@@ -1,0 +1,14 @@
+"""Benchmark B1 — the motivation table: congestion-aware dispatch wins.
+
+Regenerates the policy × node-order × load grid on the datacenter
+topology.  Expected shape: closest-leaf collapses at high load, SJF
+beats FIFO, and the paper's greedy is the overall winner.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_b1_policy_comparison(benchmark):
+    result = run_and_report(benchmark, "B1")
+    assert result.metrics["closest_over_greedy_at_high_load"] >= 1.1
+    assert result.metrics["fifo_over_sjf_for_greedy"] >= 1.0

@@ -1,0 +1,15 @@
+"""Benchmark B2 — the application scenarios, end to end.
+
+Regenerates the scenario × policy grid on the named workloads the
+introduction motivates (shuffle-heavy analytics, interactive+batch,
+sensor fan-out, data locality).  Expected shape: the paper's scheduler
+wins or ties on mean flow almost everywhere and never loses to
+closest-leaf dispatch on congested shapes.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_b2_scenarios(benchmark):
+    result = run_and_report(benchmark, "B2")
+    assert result.metrics["scenarios_won_or_tied"] >= 3

@@ -1,0 +1,14 @@
+"""Benchmark D1 — the dual fitting of Sections 3.5/3.6 as certificates.
+
+Regenerates the certificate grid: constraint residuals after scaling,
+scaled dual objectives, and weak-duality audits against the exactly
+solved LP.  Expected shape: all certificates feasible with zero
+violation; dual objectives positive and below LP*.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_d1_dual_fitting(benchmark):
+    result = run_and_report(benchmark, "D1")
+    assert result.metrics["worst_constraint_violation"] <= 1e-7

@@ -1,0 +1,13 @@
+"""Benchmark F1 — Figure 1 (the tree network model) reproduced.
+
+Regenerates the model walkthrough: topology rendering plus a per-job
+trace on the Figure-1 tree showing store-and-forward availability
+chains.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_f1_model_figure(benchmark):
+    result = run_and_report(benchmark, "F1")
+    assert result.metrics["num_leaves"] == 7.0

@@ -1,0 +1,12 @@
+"""Benchmark F2 — Figure 2 (the broomstick reduction) reproduced.
+
+Regenerates the structural audit of the reduction over assorted trees:
+broomstick image, leaf bijection, +2 depth shift, handle lengths.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_f2_reduction_figure(benchmark):
+    result = run_and_report(benchmark, "F2")
+    assert result.metrics["trees_audited"] >= 6

@@ -1,0 +1,13 @@
+"""Benchmark L1 — Lemma 1's interior waiting bound.
+
+Regenerates the normalised interior-delay audit on deep bursty trees in
+exactly Lemma 1's speed configuration.  Expected shape: the max
+normalised delay sits well below ``6/ε²``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_l1_interior_waiting(benchmark):
+    result = run_and_report(benchmark, "L1")
+    assert result.metrics["worst_fraction_of_bound"] <= 1.0

@@ -1,0 +1,12 @@
+"""Benchmark L2 — Lemma 2's available-volume bound.
+
+Regenerates the per-event audit of higher-priority available volume at
+interior nodes.  Expected shape: never exceeds ``(2/ε)·p_j``.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_l2_volume_bound(benchmark):
+    result = run_and_report(benchmark, "L2")
+    assert result.metrics["worst_fraction_of_bound"] <= 1.0

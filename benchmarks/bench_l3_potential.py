@@ -1,0 +1,13 @@
+"""Benchmark L3 — Lemma 3's potential function.
+
+Regenerates the Φ-vs-realised-residual audit after the final arrival.
+Expected shape: Φ dominates the realised residual time and never
+increases between events.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_l3_potential(benchmark):
+    result = run_and_report(benchmark, "L3")
+    assert result.metrics["min_slack"] >= -1e-7

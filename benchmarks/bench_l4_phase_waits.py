@@ -1,0 +1,14 @@
+"""Benchmark L4 — Lemma 4's per-phase waiting bounds.
+
+Regenerates the last-job phase-wait audit on single-burst broomstick
+workloads (the lemma's arrival-free hypothesis).  Expected shape: every
+phase wait within its bound; the top-tier bound is typically *tight*
+(the last job of a burst waits exactly the higher-priority volume).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_l4_phase_waits(benchmark):
+    result = run_and_report(benchmark, "L4")
+    assert result.metrics["worst_fraction_of_bound"] <= 1.0 + 1e-9

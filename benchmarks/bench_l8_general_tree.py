@@ -1,0 +1,15 @@
+"""Benchmark L8 — Lemma 8's domination of A_T by the broomstick shadow.
+
+Regenerates the per-job flow comparison between the general-tree run and
+its broomstick shadow.  Expected shape: exact per-job domination in the
+identical setting; total domination with at most rare marginal per-job
+exceptions in the unrelated setting (see the experiment module's
+reproduction finding).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_l8_general_tree(benchmark):
+    result = run_and_report(benchmark, "L8")
+    assert result.metrics["worst_relative_perjob_excess"] < 0.05

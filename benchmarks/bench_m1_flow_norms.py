@@ -1,0 +1,14 @@
+"""Benchmark M1 — max flow time and ℓ_k norms on a line network.
+
+Regenerates the norms probe on the line-network regime of Antoniadis et
+al. [5] (the conclusion's open question).  Expected shape: max flow
+within a small factor of the pipeline-latency lower bound at augmented
+speeds; ℓ₁ ≥ ℓ₂ ≥ max orderings exact.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_m1_flow_norms(benchmark):
+    result = run_and_report(benchmark, "M1")
+    assert result.metrics["worst_max_over_lb_at_augmented_speed"] <= 3.0

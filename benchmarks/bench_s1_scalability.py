@@ -1,0 +1,32 @@
+"""Benchmark S1 — simulator scalability.
+
+Regenerates the throughput table (events/sec vs instance size) and
+additionally micro-benchmarks the engine on a fixed mid-size instance so
+pytest-benchmark's statistics track engine performance over time.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.analysis.experiments.workloads import identical_instance
+from repro.core.assignment import GreedyIdenticalAssignment
+from repro.network.builders import datacenter_tree
+from repro.sim.engine import simulate
+from repro.sim.speed import SpeedProfile
+
+
+def test_s1_scalability(benchmark):
+    result = run_and_report(benchmark, "S1")
+    assert result.metrics["events_per_sec_at_largest"] > 1000
+
+
+def test_s1_engine_kernel(benchmark):
+    """Steady-state engine micro-benchmark: 400 jobs on a 40-node tree."""
+    tree = datacenter_tree(3, 3, 4)
+    instance = identical_instance(tree, 400, load=0.85, seed=99)
+
+    def run():
+        return simulate(
+            instance, GreedyIdenticalAssignment(0.25), SpeedProfile.uniform(1.5)
+        )
+
+    result = benchmark(run)
+    assert result.num_events > 0

@@ -1,0 +1,18 @@
+"""Benchmark T1 — Theorem 1's shape (identical endpoints).
+
+Regenerates the speed-augmentation sweep: the paper algorithm's
+flow-time ratio against the LP/combinatorial lower bound across
+topologies and speeds, side by side with the closest-leaf baseline.
+Expected shape: bounded small ratios for the paper algorithm at
+``s ≥ 1+ε``; greedy beats closest-leaf on congested topologies.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_t1_identical_competitive(benchmark):
+    result = run_and_report(benchmark, "T1")
+    # Shape assertions beyond the experiment's own criterion: ratios are
+    # finite and the table covers every (tree, policy, speed) row.
+    assert result.metrics["worst_mean_ratio_at_top_speed"] < 10.0
+    assert len(result.table) == 5 * 2 * 5  # trees x policies x speeds

@@ -1,0 +1,17 @@
+"""Benchmark T2 — Theorem 2's shape (unrelated endpoints).
+
+Regenerates the ``(2+ε)``-speed sweep on affinity and partition
+matrices.  Expected shape: the paper algorithm's ratio stabilises once
+speed clears ≈2 and beats closest-leaf in aggregate at high speed.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_t2_unrelated_competitive(benchmark):
+    result = run_and_report(benchmark, "T2")
+    assert result.metrics["worst_ratio_at_top_speed"] < 12.0
+    assert (
+        result.metrics["aggregate_paper_ratio_fast"]
+        <= result.metrics["aggregate_closest_ratio_fast"]
+    )

@@ -1,0 +1,15 @@
+"""Benchmark T3 — Theorem 3's shape (fractional→integral conversion).
+
+Regenerates the integral/fractional flow-time ratio grid for the paper
+algorithm.  Expected shape: the gap sits far below the generic
+``1 + 1/ε`` conversion budget because SJF runs on the leaves.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_t3_fractional_integral(benchmark):
+    result = run_and_report(benchmark, "T3")
+    # The measured conversion gap must stay below even the tightest
+    # swept budget (1 + 1/0.5 = 3) with clear margin.
+    assert result.metrics["worst_total_over_fractional"] < 3.0

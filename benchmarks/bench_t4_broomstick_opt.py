@@ -1,0 +1,13 @@
+"""Benchmark T4 — Theorem 4's shape (broomstick preserves the optimum).
+
+Regenerates the LP-vs-LP comparison: optimum on the augmented broomstick
+divided by the optimum on the original tree.  Expected shape: a modest
+constant (Theorem 4 allows ``O(1/ε³)``; measured values land near 1–2).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_t4_broomstick_opt(benchmark):
+    result = run_and_report(benchmark, "T4")
+    assert 0.0 < result.metrics["worst_opt_ratio"] <= 4.0

@@ -1,0 +1,14 @@
+"""Benchmark T5 — Theorems 5/6's fractional competitiveness, measured.
+
+Regenerates the fractional-flow ratio of the broomstick algorithm at the
+theorems' exact asymmetric speed profiles against the unit-speed LP
+optimum.  Expected shape: small constants, far inside the dual-fitting
+guarantees (10/ε³ and 20/ε³).
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_t5_fractional_broomstick(benchmark):
+    result = run_and_report(benchmark, "T5")
+    assert result.metrics["worst_fractional_ratio"] > 0

@@ -1,0 +1,14 @@
+"""Benchmark X1 — the divisible-routing extension of Section 2.
+
+Regenerates the store-and-forward vs chunked comparison on deep
+branches.  Expected shape: flow time improves as pieces shrink —
+interior congestion is "effectively negated", as the paper asserts for
+this variant.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_x1_divisible_routing(benchmark):
+    result = run_and_report(benchmark, "X1")
+    assert result.metrics["store_forward_over_finest_chunked"] >= 1.0

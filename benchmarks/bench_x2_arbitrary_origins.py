@@ -1,0 +1,14 @@
+"""Benchmark X2 — jobs created at arbitrary nodes (future work, §4).
+
+Regenerates the origin-placement comparison (root vs pod vs rack data
+origins) in the downward-routing variant.  Expected shape: deeper
+origins strictly reduce flow time; subtree constraints always hold.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_x2_arbitrary_origins(benchmark):
+    result = run_and_report(benchmark, "X2")
+    assert result.metrics["root_over_rack_mean_flow"] > 1.0
+    assert result.metrics["root_over_pod_mean_flow"] > 1.0

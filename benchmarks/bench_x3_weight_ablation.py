@@ -1,0 +1,14 @@
+"""Benchmark X3 — ablation of the greedy's 6/ε² distance weight.
+
+Regenerates the multiplier sweep on depth-heterogeneous branches.
+Expected shape: flow time monotone non-decreasing in the weight — the
+congestion term carries the performance and the worst-case coefficient
+is conservative on average-case workloads.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_x3_weight_ablation(benchmark):
+    result = run_and_report(benchmark, "X3")
+    assert result.metrics["extreme_over_paper"] >= 1.0 - 1e-9

@@ -1,0 +1,14 @@
+"""Benchmark X4 — scanning the [1+ε, 2+ε] speed interval (open question).
+
+Regenerates the unrelated-endpoint ratio scan between Theorem 2's
+required speed and the conjectured 1+ε.  Expected shape: smooth
+degradation, no cliff at 2 — evidence (not proof) that the 2+ε
+requirement is not realised by stochastic workloads.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_x4_speed_requirement(benchmark):
+    result = run_and_report(benchmark, "X4")
+    assert result.metrics["worst_ratio_cliff_1eps_over_2eps"] < 5.0

@@ -1,0 +1,24 @@
+"""Shared benchmark harness.
+
+Each ``bench_*`` module regenerates one experiment of the index in
+``DESIGN.md`` §4.  :func:`run_and_report` wraps the experiment in the
+pytest-benchmark timer (single round — experiments are end-to-end
+regenerations, not micro-kernels), prints the regenerated table so the
+benchmark log doubles as the experiment report, and asserts the
+experiment's own pass criterion.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_experiment
+
+
+def run_and_report(benchmark, exp_id: str, **params):
+    """Time one full experiment regeneration, print it, assert it passes."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(exp_id, **params), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.passed, f"{exp_id} failed its pass criterion"
+    return result

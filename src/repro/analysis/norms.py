@@ -1,0 +1,55 @@
+"""Flow-time norms beyond the total: max flow and ℓ_k norms.
+
+The paper's conclusion asks what happens for **maximum flow time** and
+**ℓ_k norms of flow time** on tree networks, citing the line-network
+results of Antoniadis et al. [5] (a ``(1+ε)``-speed ``O(1)``-competitive
+algorithm for max flow on a line in the unit-size identical setting, and
+hardness of max flow on trees).  These metrics and the ``M1`` experiment
+(:mod:`repro.analysis.experiments.m1`) explore that open question
+empirically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.sim.result import SimulationResult
+
+__all__ = ["flow_lk_norm", "flow_norm_summary"]
+
+
+def flow_lk_norm(result: SimulationResult, k: float) -> float:
+    """The ℓ_k norm ``(Σ_j flow_j^k)^{1/k}`` of per-job flow times.
+
+    ``k = 1`` gives total flow time, ``k = math.inf`` the maximum flow
+    time; intermediate ``k`` interpolate between average quality of
+    service and fairness to the worst-off job.
+    """
+    if k < 1:
+        raise AnalysisError(f"k must be >= 1, got {k}")
+    flows = result.flow_times()
+    if flows.size == 0:
+        return 0.0
+    if math.isinf(k):
+        return float(flows.max())
+    return float((flows**k).sum() ** (1.0 / k))
+
+
+def flow_norm_summary(result: SimulationResult) -> dict[str, float]:
+    """The norms the conclusion mentions, in one dict.
+
+    Keys: ``l1`` (total), ``l2``, ``mean``, ``max``, ``p95``.
+    """
+    flows = result.flow_times()
+    if flows.size == 0:
+        return {"l1": 0.0, "l2": 0.0, "mean": 0.0, "max": 0.0, "p95": 0.0}
+    return {
+        "l1": float(flows.sum()),
+        "l2": flow_lk_norm(result, 2),
+        "mean": float(flows.mean()),
+        "max": float(flows.max()),
+        "p95": float(np.percentile(flows, 95)),
+    }

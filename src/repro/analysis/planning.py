@@ -1,0 +1,127 @@
+"""Capacity planning: how much speed does a target service level need?
+
+The resource-augmentation lens of the paper invites the practical
+inverse question: given a workload and a scheduler, what uniform speed
+multiplier achieves a target mean (or max) flow time?  Flow time is
+non-increasing in a uniform speed-up of *all* nodes for a fixed
+assignment sequence — and empirically for the closed-loop greedy too —
+so a bisection over the multiplier answers it.
+
+:func:`min_speed_for_flow` returns the smallest swept speed meeting the
+target, with the evaluated frontier for reporting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.exceptions import AnalysisError
+from repro.sim.engine import simulate
+from repro.sim.result import SimulationResult
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance
+
+__all__ = ["PlanPoint", "CapacityPlan", "min_speed_for_flow"]
+
+
+@dataclass(frozen=True)
+class PlanPoint:
+    """One evaluated speed: the multiplier and the achieved metric."""
+
+    speed: float
+    value: float
+    meets_target: bool
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Result of a capacity search.
+
+    Attributes
+    ----------
+    speed:
+        The smallest found multiplier meeting the target (``inf`` if the
+        ceiling never met it).
+    target / metric:
+        The requested service level and which metric it bounds.
+    frontier:
+        Every evaluated :class:`PlanPoint`, in evaluation order.
+    """
+
+    speed: float
+    target: float
+    metric: str
+    frontier: tuple[PlanPoint, ...]
+
+    @property
+    def feasible(self) -> bool:
+        return self.speed != float("inf")
+
+
+_METRICS: dict[str, Callable[[SimulationResult], float]] = {
+    "mean_flow": lambda r: r.mean_flow_time(),
+    "max_flow": lambda r: r.max_flow_time(),
+    "total_flow": lambda r: r.total_flow_time(),
+}
+
+
+def min_speed_for_flow(
+    instance: Instance,
+    policy_factory: Callable[[], object],
+    target: float,
+    *,
+    metric: str = "mean_flow",
+    lo: float = 1.0,
+    hi: float = 16.0,
+    tol: float = 0.05,
+) -> CapacityPlan:
+    """Bisect the uniform speed multiplier to meet ``metric <= target``.
+
+    Parameters
+    ----------
+    instance / policy_factory:
+        The workload and a fresh-policy factory (policies may be
+        stateful).
+    target:
+        The service-level bound.
+    metric:
+        One of ``mean_flow``, ``max_flow``, ``total_flow``.
+    lo / hi:
+        Search bracket for the multiplier.
+    tol:
+        Absolute precision on the returned speed.
+
+    Returns an infeasible plan (``speed == inf``) if even ``hi`` misses
+    the target; returns ``lo`` directly if it already meets it.
+    """
+    if metric not in _METRICS:
+        raise AnalysisError(f"metric must be one of {sorted(_METRICS)}, got {metric}")
+    if target <= 0:
+        raise AnalysisError(f"target must be > 0, got {target}")
+    if not 0 < lo < hi:
+        raise AnalysisError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+    if tol <= 0:
+        raise AnalysisError(f"tol must be > 0, got {tol}")
+    evaluate = _METRICS[metric]
+    frontier: list[PlanPoint] = []
+
+    def probe(speed: float) -> bool:
+        result = simulate(instance, policy_factory(), SpeedProfile.uniform(speed))
+        value = evaluate(result)
+        ok = value <= target
+        frontier.append(PlanPoint(speed=speed, value=value, meets_target=ok))
+        return ok
+
+    if probe(lo):
+        return CapacityPlan(lo, target, metric, tuple(frontier))
+    if not probe(hi):
+        return CapacityPlan(float("inf"), target, metric, tuple(frontier))
+    lo_miss, hi_ok = lo, hi
+    while hi_ok - lo_miss > tol:
+        mid = 0.5 * (lo_miss + hi_ok)
+        if probe(mid):
+            hi_ok = mid
+        else:
+            lo_miss = mid
+    return CapacityPlan(hi_ok, target, metric, tuple(frontier))

@@ -1,0 +1,107 @@
+"""Per-node utilisation and congestion profiles from recorded schedules.
+
+Turns a segment-recording :class:`~repro.sim.result.SimulationResult`
+into the operational statistics a systems operator would ask for:
+
+* :func:`node_utilisation` — fraction of the horizon each node was busy;
+* :func:`busy_periods` — maximal busy intervals per node;
+* :func:`bottleneck_report` — a ranked table of the busiest nodes with
+  tier labels, used by the datacenter example and available to users.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.tables import Table
+from repro.exceptions import AnalysisError
+from repro.sim.result import SimulationResult
+
+__all__ = ["node_utilisation", "busy_periods", "bottleneck_report"]
+
+
+def _segments_by_node(result: SimulationResult):
+    if result.segments is None:
+        raise AnalysisError(
+            "no segments recorded; run the engine with record_segments=True"
+        )
+    by_node: dict[int, list] = defaultdict(list)
+    for seg in result.segments:
+        by_node[seg.node].append(seg)
+    for segs in by_node.values():
+        segs.sort(key=lambda s: s.start)
+    return by_node
+
+
+def busy_periods(result: SimulationResult) -> dict[int, list[tuple[float, float]]]:
+    """Maximal busy intervals per node (segments merged across jobs).
+
+    Adjacent segments within ``1e-9`` are coalesced, so a preemption
+    handoff does not split a busy period.
+    """
+    by_node = _segments_by_node(result)
+    out: dict[int, list[tuple[float, float]]] = {}
+    for node, segs in by_node.items():
+        merged: list[tuple[float, float]] = []
+        for seg in segs:
+            if merged and seg.start <= merged[-1][1] + 1e-9:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], seg.end))
+            else:
+                merged.append((seg.start, seg.end))
+        out[node] = merged
+    return out
+
+
+def node_utilisation(
+    result: SimulationResult, *, until: float | None = None
+) -> dict[int, float]:
+    """Busy fraction per processing node over ``[0, until]``.
+
+    Nodes that never processed anything report 0.0; ``until`` defaults to
+    the makespan.
+    """
+    horizon = until if until is not None else result.makespan()
+    if horizon <= 0:
+        return {
+            node.id: 0.0 for node in result.instance.tree if not node.is_root
+        }
+    periods = busy_periods(result)
+    out: dict[int, float] = {}
+    for node in result.instance.tree:
+        if node.is_root:
+            continue
+        busy = sum(
+            min(hi, horizon) - lo
+            for lo, hi in periods.get(node.id, [])
+            if lo < horizon
+        )
+        out[node.id] = busy / horizon
+    return out
+
+
+def bottleneck_report(result: SimulationResult, *, top: int = 10) -> Table:
+    """The ``top`` busiest nodes, ranked, with tier labels and job counts."""
+    tree = result.instance.tree
+    util = node_utilisation(result)
+    jobs_per_node: dict[int, set[int]] = defaultdict(set)
+    assert result.segments is not None  # checked in node_utilisation
+    for seg in result.segments:
+        jobs_per_node[seg.node].add(seg.job_id)
+
+    def tier(v: int) -> str:
+        node = tree.node(v)
+        if node.is_leaf:
+            return "machine"
+        if node.parent == tree.root:
+            return "root-adjacent"
+        return "router"
+
+    table = Table(
+        "busiest nodes", ["node", "tier", "utilisation", "distinct_jobs"]
+    )
+    ranked = sorted(util, key=lambda v: -util[v])[:top]
+    for v in ranked:
+        table.add_row(
+            tree.node(v).label(), tier(v), util[v], len(jobs_per_node.get(v, ()))
+        )
+    return table

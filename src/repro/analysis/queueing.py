@@ -1,0 +1,95 @@
+"""Queueing-theory cross-validation of the simulator.
+
+The engine's correctness is argued by its invariant validators; this
+module adds an *independent* check against closed-form queueing theory:
+a single node fed Poisson arrivals is an M/G/1 queue, whose stationary
+mean waiting time under FIFO is the Pollaczek–Khinchine formula
+
+.. math::  E[W] = \\frac{λ\\,E[S²]}{2(1 − ρ)},  \\qquad ρ = λE[S] < 1.
+
+:func:`mg1_fifo_mean_flow` evaluates the formula;
+:func:`simulate_single_node_flow` runs the engine on the equivalent
+one-router instance (with the leaf made fast enough to be negligible)
+and returns the measured mean flow across the router.  The test suite
+asserts agreement within sampling tolerance — a validation path that
+shares no code with the engine's own bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.assignment import FixedAssignment
+from repro.exceptions import AnalysisError
+from repro.network.builders import spine_tree
+from repro.sim.engine import fifo_priority, simulate
+from repro.sim.speed import SpeedProfile
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import JobSet
+
+__all__ = ["mg1_fifo_mean_flow", "simulate_single_node_flow"]
+
+
+def mg1_fifo_mean_flow(rate: float, mean_s: float, mean_s2: float) -> float:
+    """Stationary mean flow time (wait + service) of a FIFO M/G/1 queue.
+
+    Parameters
+    ----------
+    rate:
+        Poisson arrival rate ``λ``.
+    mean_s / mean_s2:
+        First and second moments of the service time ``S``.
+
+    Raises
+    ------
+    AnalysisError
+        If the queue is unstable (``ρ = λ·E[S] ≥ 1``) or moments are
+        inconsistent.
+    """
+    if rate <= 0 or mean_s <= 0:
+        raise AnalysisError("rate and mean service time must be > 0")
+    if mean_s2 < mean_s**2:
+        raise AnalysisError("E[S^2] cannot be below E[S]^2")
+    rho = rate * mean_s
+    if rho >= 1.0:
+        raise AnalysisError(f"unstable queue: rho = {rho:.3f} >= 1")
+    wait = rate * mean_s2 / (2.0 * (1.0 - rho))
+    return wait + mean_s
+
+
+def simulate_single_node_flow(
+    sizes: np.ndarray,
+    rate: float,
+    rng: np.random.Generator | int | None = None,
+    *,
+    leaf_speed: float = 1e6,
+) -> float:
+    """Mean simulated flow time across a single router.
+
+    Builds a root→router→leaf chain whose leaf runs ``leaf_speed``
+    times faster than the router (so leaf time is negligible), feeds it
+    the given service times at Poisson epochs, and returns the mean
+    flow time minus the (tiny) leaf residue — i.e. the router's M/G/1
+    sojourn time under FIFO.
+    """
+    n = len(sizes)
+    releases = poisson_arrivals(n, rate, rng)
+    tree = spine_tree(1)
+    leaf = tree.leaves[0]
+    instance = Instance(
+        tree, JobSet.build(releases, sizes), Setting.IDENTICAL, name="mg1"
+    )
+    speeds = SpeedProfile(root_children=1.0, interior=1.0, leaves=leaf_speed)
+    result = simulate(
+        instance,
+        FixedAssignment({i: leaf for i in range(n)}),
+        speeds,
+        priority=fifo_priority,
+    )
+    # Subtract each job's (tiny) leaf service so only the router sojourn
+    # remains; queueing at the fast leaf is negligible by construction.
+    flows = []
+    for jid, rec in result.records.items():
+        flows.append(rec.completed_at[0] - rec.release)
+    return float(np.mean(flows))

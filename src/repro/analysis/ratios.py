@@ -1,0 +1,121 @@
+"""Competitive-ratio estimation.
+
+The theorems bound ``ALG / OPT``.  ``OPT`` is bracketed here by:
+
+* a **lower bound** — the paper's LP relaxation solved exactly when the
+  instance is small enough, otherwise the best combinatorial bound of
+  :mod:`repro.lp.bounds` (the report records which bound was used, since
+  ratios against different bounds are only comparable within a column);
+* optionally an **upper bound** — the best of the baseline portfolio at
+  unit speed — which brackets how loose the lower bound itself is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import AnalysisError, LPError
+from repro.lp.bounds import best_lower_bound
+from repro.lp.primal import solve_primal_lp
+from repro.sim.result import SimulationResult
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance
+
+__all__ = ["RatioReport", "lower_bound_for", "competitive_report"]
+
+#: Instances with at most this many (node, job, step) variables use the LP.
+_LP_SIZE_BUDGET = 150_000
+
+
+@dataclass(frozen=True)
+class RatioReport:
+    """One algorithm-vs-lower-bound comparison.
+
+    Attributes
+    ----------
+    label:
+        Name of the algorithm/configuration.
+    total_flow / fractional_flow:
+        The algorithm's objective values.
+    lower_bound:
+        The OPT lower bound used.
+    bound_name:
+        Which bound produced it (``"lp"`` or a combinatorial name).
+    ratio:
+        ``total_flow / lower_bound``.
+    fractional_ratio:
+        ``fractional_flow / lower_bound``.
+    """
+
+    label: str
+    total_flow: float
+    fractional_flow: float
+    lower_bound: float
+    bound_name: str
+    ratio: float
+    fractional_ratio: float
+
+
+def _lp_size(instance: Instance) -> int:
+    """Crude LP variable-count estimate used to gate the exact solve."""
+    tree = instance.tree
+    n = len(instance.jobs)
+    m = tree.num_nodes - 1
+    horizon = instance.jobs.time_horizon() + 2.0 * sum(
+        (tree.height - 1) * j.size + j.size for j in instance.jobs
+    )
+    return int(m * n * max(horizon, 1.0))
+
+
+def lower_bound_for(
+    instance: Instance,
+    *,
+    prefer_lp: bool = True,
+    dt: float = 1.0,
+) -> tuple[float, str]:
+    """A lower bound on the unit-speed optimum and the bound's name.
+
+    Tries the exact LP when ``prefer_lp`` and the size estimate fits the
+    budget; falls back to the best combinatorial bound.
+    """
+    if prefer_lp and _lp_size(instance) <= _LP_SIZE_BUDGET:
+        try:
+            sol = solve_primal_lp(instance, SpeedProfile.uniform(1.0), dt=dt)
+            combo, combo_name = best_lower_bound(instance)
+            if sol.objective >= combo:
+                return sol.objective, "lp"
+            return combo, combo_name
+        except LPError:
+            pass
+    return best_lower_bound(instance)
+
+
+def competitive_report(
+    label: str,
+    instance: Instance,
+    result: SimulationResult,
+    *,
+    lower_bound: tuple[float, str] | None = None,
+    prefer_lp: bool = True,
+) -> RatioReport:
+    """Build a :class:`RatioReport` for a finished run.
+
+    ``lower_bound`` can be passed in to share one bound across many
+    configurations of the same instance (the usual sweep pattern).
+    """
+    if lower_bound is None:
+        lower_bound = lower_bound_for(instance, prefer_lp=prefer_lp)
+    lb, name = lower_bound
+    if lb <= 0:
+        raise AnalysisError(f"non-positive lower bound {lb} ({name})")
+    total = result.total_flow_time()
+    frac = result.fractional_flow
+    return RatioReport(
+        label=label,
+        total_flow=total,
+        fractional_flow=frac,
+        lower_bound=lb,
+        bound_name=name,
+        ratio=total / lb,
+        fractional_ratio=frac / lb,
+    )

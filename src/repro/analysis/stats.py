@@ -1,0 +1,99 @@
+"""Replication statistics for experiments.
+
+One seed is an anecdote.  :func:`replicate` runs a measurement across
+seeds and returns a :class:`Replication` with mean, standard deviation,
+and a normal-approximation confidence interval; :func:`compare` reports
+whether one configuration beats another with non-overlapping intervals.
+Used by tests to make the stochastic experiments' conclusions robust,
+and available to users sweeping their own workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["Replication", "replicate", "compare"]
+
+#: two-sided z values for common confidence levels
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class Replication:
+    """Summary of one metric across seeds.
+
+    Attributes
+    ----------
+    values:
+        The per-seed measurements.
+    mean / std:
+        Sample mean and (ddof=1) standard deviation.
+    ci_low / ci_high:
+        Normal-approximation confidence interval for the mean.
+    level:
+        The confidence level used.
+    """
+
+    values: tuple[float, ...]
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    level: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} ({int(self.level*100)}% CI)"
+
+
+def replicate(
+    measure: Callable[[int], float],
+    seeds: Sequence[int],
+    *,
+    level: float = 0.95,
+) -> Replication:
+    """Run ``measure(seed)`` for every seed and summarise.
+
+    Raises
+    ------
+    AnalysisError
+        On fewer than 2 seeds or an unsupported confidence level.
+    """
+    if len(seeds) < 2:
+        raise AnalysisError("need at least 2 seeds for a confidence interval")
+    if level not in _Z:
+        raise AnalysisError(f"level must be one of {sorted(_Z)}, got {level}")
+    values = np.array([float(measure(s)) for s in seeds])
+    mean = float(values.mean())
+    std = float(values.std(ddof=1))
+    half = _Z[level] * std / math.sqrt(len(values))
+    return Replication(
+        values=tuple(values.tolist()),
+        mean=mean,
+        std=std,
+        ci_low=mean - half,
+        ci_high=mean + half,
+        level=level,
+    )
+
+
+def compare(a: Replication, b: Replication) -> str:
+    """Verdict on whether ``a``'s mean is below ``b``'s.
+
+    Returns ``"a_lower"`` / ``"b_lower"`` when the confidence intervals
+    do not overlap, else ``"indistinguishable"``.
+    """
+    if a.ci_high < b.ci_low:
+        return "a_lower"
+    if b.ci_high < a.ci_low:
+        return "b_lower"
+    return "indistinguishable"

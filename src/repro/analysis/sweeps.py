@@ -1,0 +1,81 @@
+"""Parameter sweeps shared by the experiments.
+
+* :func:`speed_sweep` — run one policy over a list of uniform speed
+  multipliers against a shared lower bound;
+* :func:`run_policy_grid` — run a grid of (policy, node order) pairs on
+  one instance at one speed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.analysis.ratios import RatioReport, competitive_report, lower_bound_for
+from repro.sim.engine import PriorityFn, simulate, sjf_priority
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance
+
+__all__ = ["speed_sweep", "run_policy_grid"]
+
+
+def speed_sweep(
+    instance: Instance,
+    policy_factory: Callable[[], object],
+    speeds: Sequence[float],
+    *,
+    base_profile: SpeedProfile | None = None,
+    priority: PriorityFn = sjf_priority,
+    prefer_lp: bool = True,
+    label: str = "alg",
+) -> list[RatioReport]:
+    """Run ``policy_factory()`` at each speed multiplier.
+
+    The multiplier scales ``base_profile`` (default: unit speeds), so a
+    sweep over ``[1.0, 1.1, 1.5]`` with the default profile reproduces
+    the resource-augmentation axis of the theorems.  The lower bound is
+    computed once (unit-speed adversary) and shared by every row.
+    """
+    bound = lower_bound_for(instance, prefer_lp=prefer_lp)
+    base = base_profile or SpeedProfile.uniform(1.0)
+    reports = []
+    for s in speeds:
+        result = simulate(instance, policy_factory(), base.scaled(s), priority=priority)
+        reports.append(
+            competitive_report(
+                f"{label}@s={s:g}", instance, result, lower_bound=bound
+            )
+        )
+    return reports
+
+
+def run_policy_grid(
+    instance: Instance,
+    policies: dict[str, Callable[[], object]],
+    *,
+    speed: float = 1.0,
+    priorities: dict[str, PriorityFn] | None = None,
+    prefer_lp: bool = False,
+) -> list[RatioReport]:
+    """Run every (assignment policy × node order) combination.
+
+    ``policies`` maps labels to zero-argument factories (policies can be
+    stateful, e.g. round-robin, so each run gets a fresh one);
+    ``priorities`` maps labels to node orders (default: SJF only).
+    """
+    bound = lower_bound_for(instance, prefer_lp=prefer_lp)
+    priorities = priorities or {"sjf": sjf_priority}
+    reports = []
+    for pname, prio in priorities.items():
+        for label, factory in policies.items():
+            result = simulate(
+                instance,
+                factory(),
+                SpeedProfile.uniform(speed),
+                priority=prio,
+            )
+            reports.append(
+                competitive_report(
+                    f"{label}/{pname}", instance, result, lower_bound=bound
+                )
+            )
+    return reports

@@ -1,0 +1,102 @@
+"""Plain-text tables for experiment reports.
+
+Every experiment renders its output through :class:`Table` so benchmark
+logs, example scripts, and ``EXPERIMENTS.md`` all show the same rows.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["Table", "fmt"]
+
+
+def fmt(value: object, precision: int = 4) -> str:
+    """Uniform cell formatting: floats to fixed precision, rest via str."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) >= 1e6 or (value != 0 and abs(value) < 10 ** (-precision)):
+        return f"{value:.{precision}e}"
+    return f"{value:.{precision}f}"
+
+
+class Table:
+    """A titled, column-aligned plain-text table.
+
+    >>> t = Table("demo", ["x", "y"])
+    >>> t.add_row(1, 2.5)
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    x | y
+    --+-------
+    1 | 2.5000
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise AnalysisError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object, precision: int = 4) -> None:
+        """Append a row; must match the column count."""
+        if len(cells) != len(self.columns):
+            raise AnalysisError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([fmt(c, precision) for c in cells])
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    def column(self, name: str) -> list[str]:
+        """All cells of the named column (rendered strings)."""
+        try:
+            i = self.columns.index(name)
+        except ValueError:
+            raise AnalysisError(f"no column named {name!r}") from None
+        return [row[i] for row in self.rows]
+
+    def render(self) -> str:
+        """The aligned plain-text rendering."""
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        out.write(
+            " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)).rstrip()
+            + "\n"
+        )
+        out.write("-+-".join("-" * w for w in widths) + "\n")
+        for row in self.rows:
+            out.write(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip() + "\n"
+            )
+        return out.getvalue().rstrip("\n")
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (no quoting; cells are simple)."""
+        lines = [",".join(self.columns)]
+        lines += [",".join(row) for row in self.rows]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,29 @@
+"""Baseline assignment policies and node orders.
+
+These are the congestion-oblivious strawmen the paper's introduction
+argues against; the policy-comparison experiment (``B1``) measures how
+far each falls behind the greedy rule of Section 3.4.
+
+* :class:`ClosestLeafAssignment` — shortest path, ignore congestion
+  (the policy Section 3.1 explicitly calls unsuitable);
+* :class:`RandomAssignment` — uniformly random feasible leaf;
+* :class:`LeastLoadedAssignment` — join the subtree with the least
+  queued volume (congestion-aware but priority-blind);
+* :class:`RoundRobinAssignment` — cyclic dispatch;
+* FIFO node order lives in :func:`repro.sim.engine.fifo_priority` and is
+  combined with any of the above for the SJF-vs-FIFO ablation.
+"""
+
+from repro.baselines.policies import (
+    ClosestLeafAssignment,
+    LeastLoadedAssignment,
+    RandomAssignment,
+    RoundRobinAssignment,
+)
+
+__all__ = [
+    "ClosestLeafAssignment",
+    "RandomAssignment",
+    "LeastLoadedAssignment",
+    "RoundRobinAssignment",
+]

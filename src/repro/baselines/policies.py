@@ -1,0 +1,106 @@
+"""Baseline leaf-assignment policies (see package docstring)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import AssignmentError
+from repro.sim.engine import SchedulerView
+from repro.workload.job import Job
+
+__all__ = [
+    "ClosestLeafAssignment",
+    "RandomAssignment",
+    "LeastLoadedAssignment",
+    "RoundRobinAssignment",
+]
+
+
+def _feasible_leaves(view: SchedulerView, job: Job) -> list[int]:
+    tree = view.tree
+    instance = view.instance
+    if job.origin is not None and job.origin != tree.root and job.origin in tree:
+        candidates = tree.leaves_under(job.origin)
+    else:
+        candidates = tree.leaves
+    leaves = [
+        v for v in candidates if math.isfinite(instance.processing_time(job, v))
+    ]
+    if not leaves:
+        raise AssignmentError(f"job {job.id} has no feasible leaf")
+    return leaves
+
+
+class ClosestLeafAssignment:
+    """Assign to the leaf minimising the job's own path volume
+    ``P_{v,j}`` — the congestion-oblivious policy Section 3.1 rejects.
+
+    In the identical setting this is simply the closest leaf; in the
+    unrelated setting it additionally prefers fast machines.  Ties break
+    by leaf id.
+    """
+
+    def assign(self, view: SchedulerView, job: Job, now: float) -> int:
+        instance = view.instance
+        return min(
+            _feasible_leaves(view, job),
+            key=lambda v: (instance.path_volume(job, v), v),
+        )
+
+
+class RandomAssignment:
+    """Assign to a uniformly random feasible leaf (seeded)."""
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        self.rng = np.random.default_rng(rng)
+
+    def assign(self, view: SchedulerView, job: Job, now: float) -> int:
+        leaves = _feasible_leaves(view, job)
+        return int(leaves[int(self.rng.integers(len(leaves)))])
+
+
+class LeastLoadedAssignment:
+    """Join the least-loaded branch: minimise queued volume ahead of the
+    job, ignoring priorities.
+
+    The score of leaf ``v`` is the total remaining volume queued at
+    ``R(v)`` plus the total remaining leaf volume of jobs assigned to
+    ``v`` plus the job's own path volume.  Congestion-aware but blind to
+    SJF order — the natural "join shortest queue" heuristic.
+    """
+
+    def assign(self, view: SchedulerView, job: Job, now: float) -> int:
+        instance = view.instance
+        tree = view.tree
+        top_load: dict[int, float] = {}
+        for top in tree.root_children:
+            top_load[top] = sum(
+                view.remaining_on(jid, top) for jid in view.queue_at(top)
+            )
+        best_leaf: int | None = None
+        best_score = math.inf
+        for v in _feasible_leaves(view, job):
+            leaf_load = sum(
+                view.remaining_on(jid, v) for jid in view.jobs_through(v)
+            )
+            score = top_load[tree.top_router(v)] + leaf_load + instance.path_volume(job, v)
+            if score < best_score or (score == best_score and (best_leaf is None or v < best_leaf)):
+                best_score = score
+                best_leaf = v
+        assert best_leaf is not None
+        return best_leaf
+
+
+class RoundRobinAssignment:
+    """Cycle through the leaves in id order, skipping infeasible ones."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def assign(self, view: SchedulerView, job: Job, now: float) -> int:
+        leaves = _feasible_leaves(view, job)
+        v = leaves[self._next % len(leaves)]
+        self._next += 1
+        return v

@@ -1,0 +1,331 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``run`` — build a synthetic instance (or load a JSON trace), schedule
+  it with a chosen policy, and print metrics, optionally the per-job
+  table and an ASCII Gantt chart;
+* ``experiment`` — run one or all registered experiments and print their
+  reports (the same tables the benchmarks regenerate);
+* ``list-experiments`` — show the registry;
+* ``generate`` — write a synthetic instance to a JSON trace for later
+  ``run --trace`` calls;
+* ``bound`` — compute lower bounds (LP and combinatorial) for a trace.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.tables import Table
+
+__all__ = ["main", "build_parser"]
+
+_TREES = ("kary", "paths", "caterpillar", "datacenter", "random", "figure1")
+_POLICIES = ("greedy", "closest", "random", "least-loaded", "round-robin")
+_SIZES = ("uniform", "pareto", "bimodal")
+
+
+def _build_tree(args):
+    from repro.network import builders
+
+    kind = args.tree
+    a, b, c = args.tree_args
+    if kind == "kary":
+        return builders.kary_tree(a, b)
+    if kind == "paths":
+        return builders.star_of_paths(a, b)
+    if kind == "caterpillar":
+        return builders.caterpillar_tree(a, b)
+    if kind == "datacenter":
+        return builders.datacenter_tree(a, b, c)
+    if kind == "random":
+        return builders.random_tree(a, rng=args.seed)
+    return builders.figure1_tree()
+
+
+def _build_instance(args):
+    from repro.workload.arrivals import poisson_arrivals
+    from repro.workload.instance import Instance, Setting
+    from repro.workload.job import JobSet
+    from repro.workload.sizes import bimodal_sizes, bounded_pareto_sizes, uniform_sizes
+    from repro.workload.unrelated import affinity_matrix
+
+    if args.trace:
+        from repro.workload.trace_io import load_instance
+
+        return load_instance(args.trace)
+    tree = _build_tree(args)
+    if args.size_dist == "uniform":
+        sizes = uniform_sizes(args.jobs, 1.0, 4.0, rng=args.seed)
+    elif args.size_dist == "pareto":
+        sizes = bounded_pareto_sizes(args.jobs, rng=args.seed)
+    else:
+        sizes = bimodal_sizes(args.jobs, rng=args.seed)
+    rate = Instance.poisson_rate_for_load(tree, float(sizes.mean()), args.load)
+    releases = poisson_arrivals(args.jobs, rate, rng=args.seed + 1)
+    if args.unrelated:
+        rows = affinity_matrix(tree.leaves, sizes, rng=args.seed + 2)
+        jobs = JobSet.build(releases, sizes, rows)
+        return Instance(tree, jobs, Setting.UNRELATED, name="cli")
+    return Instance(tree, JobSet.build(releases, sizes), Setting.IDENTICAL, name="cli")
+
+
+def _build_policy(name: str, instance, eps: float, seed: int):
+    from repro.baselines.policies import (
+        ClosestLeafAssignment,
+        LeastLoadedAssignment,
+        RandomAssignment,
+        RoundRobinAssignment,
+    )
+    from repro.core.assignment import (
+        GreedyIdenticalAssignment,
+        GreedyUnrelatedAssignment,
+    )
+    from repro.workload.instance import Setting
+
+    if name == "greedy":
+        if instance.setting is Setting.UNRELATED:
+            return GreedyUnrelatedAssignment(eps)
+        return GreedyIdenticalAssignment(eps)
+    if name == "closest":
+        return ClosestLeafAssignment()
+    if name == "random":
+        return RandomAssignment(seed)
+    if name == "least-loaded":
+        return LeastLoadedAssignment()
+    return RoundRobinAssignment()
+
+
+def _cmd_run(args) -> int:
+    from repro.sim.engine import fifo_priority, simulate, sjf_priority
+    from repro.sim.speed import SpeedProfile
+
+    instance = _build_instance(args)
+    policy = _build_policy(args.policy, instance, args.eps, args.seed)
+    result = simulate(
+        instance,
+        policy,
+        SpeedProfile.uniform(args.speed),
+        priority=fifo_priority if args.fifo else sjf_priority,
+        record_segments=args.gantt,
+        until=args.until,
+    )
+    print(f"instance : {instance!r}")
+    print(f"policy   : {args.policy} ({'fifo' if args.fifo else 'sjf'} nodes)")
+    print(f"speed    : {args.speed}")
+    if args.until is not None:
+        done = result.completed_records()
+        print(
+            f"horizon  : {args.until} "
+            f"({len(done)} finished, {len(result.unfinished_job_ids())} in flight)"
+        )
+        if done:
+            mean = sum(r.flow_time for r in done.values()) / len(done)
+            print(f"mean flow time (completed) : {mean:.4f}")
+        print(f"fractional flow (window)     : {result.fractional_flow:.4f}")
+        return 0
+    print(f"total flow time      : {result.total_flow_time():.4f}")
+    print(f"mean flow time       : {result.mean_flow_time():.4f}")
+    print(f"max flow time        : {result.max_flow_time():.4f}")
+    print(f"fractional flow time : {result.fractional_flow:.4f}")
+    if args.per_job:
+        table = Table("per-job", ["job", "release", "leaf", "completion", "flow"])
+        for jid in sorted(result.records):
+            rec = result.records[jid]
+            table.add_row(jid, rec.release, rec.leaf, rec.completion, rec.flow_time)
+        print()
+        print(table.render())
+    if args.gantt:
+        from repro.sim.gantt import render_gantt
+
+        print()
+        print(render_gantt(result, width=args.gantt_width))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.analysis.experiments import all_experiment_ids, run_experiment
+
+    ids = all_experiment_ids() if args.id == "all" else [args.id.upper()]
+    failed = []
+    for eid in ids:
+        result = run_experiment(eid)
+        print(result.render())
+        print()
+        if not result.passed:
+            failed.append(eid)
+    if failed:
+        print(f"FAILED experiments: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_list_experiments(args) -> int:
+    from repro.analysis.experiments import all_experiment_ids, get_experiment
+
+    table = Table("registered experiments", ["id", "summary"])
+    for eid in all_experiment_ids():
+        fn = get_experiment(eid)
+        module = sys.modules.get(fn.__module__)
+        doc = (getattr(module, "__doc__", None) or fn.__doc__ or "").strip()
+        table.add_row(eid, doc.splitlines()[0] if doc else "")
+    print(table.render())
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.workload.trace_io import save_instance
+
+    instance = _build_instance(args)
+    save_instance(instance, args.output)
+    print(f"wrote {len(instance.jobs)} jobs on {instance.tree!r} to {args.output}")
+    return 0
+
+
+def _cmd_bound(args) -> int:
+    from repro.analysis.ratios import lower_bound_for
+    from repro.lp.bounds import best_lower_bound
+    from repro.workload.trace_io import load_instance
+
+    instance = load_instance(args.trace)
+    combo, combo_name = best_lower_bound(instance)
+    print(f"combinatorial bound : {combo:.4f} ({combo_name})")
+    lb, name = lower_bound_for(instance, prefer_lp=not args.no_lp)
+    print(f"best bound          : {lb:.4f} ({name})")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.analysis.planning import min_speed_for_flow
+
+    instance = _build_instance(args)
+    policy_name = args.policy
+
+    def factory():
+        return _build_policy(policy_name, instance, args.eps, args.seed)
+
+    plan = min_speed_for_flow(
+        instance, factory, args.target, metric=args.metric, tol=args.tol
+    )
+    print(f"instance : {instance!r}")
+    print(f"policy   : {policy_name}")
+    print(f"target   : {args.metric} <= {args.target}")
+    for point in plan.frontier:
+        mark = "ok " if point.meets_target else "miss"
+        print(f"  probe speed {point.speed:7.3f} -> {point.value:10.4f}  [{mark}]")
+    if plan.feasible:
+        print(f"minimum uniform speed: {plan.speed:.3f}")
+        return 0
+    print("infeasible within the searched speed range", file=sys.stderr)
+    return 1
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import render_experiments_markdown
+
+    text = render_experiments_markdown(
+        [i.upper() for i in args.ids] if args.ids else None
+    )
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def _add_instance_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", help="load an instance JSON instead of generating")
+    p.add_argument("--tree", choices=_TREES, default="kary", help="topology family")
+    p.add_argument(
+        "--tree-args",
+        type=int,
+        nargs=3,
+        default=(2, 3, 0),
+        metavar=("A", "B", "C"),
+        help="family parameters (unused slots ignored), e.g. kary A B",
+    )
+    p.add_argument("--jobs", type=int, default=50, help="number of jobs")
+    p.add_argument("--load", type=float, default=0.9, help="offered bottleneck load")
+    p.add_argument("--size-dist", choices=_SIZES, default="uniform")
+    p.add_argument("--unrelated", action="store_true", help="unrelated endpoints")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="treesched: scheduling in bandwidth-constrained tree networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one instance")
+    _add_instance_flags(p_run)
+    p_run.add_argument("--policy", choices=_POLICIES, default="greedy")
+    p_run.add_argument("--eps", type=float, default=0.25)
+    p_run.add_argument("--speed", type=float, default=1.0, help="uniform speed factor")
+    p_run.add_argument("--fifo", action="store_true", help="FIFO nodes instead of SJF")
+    p_run.add_argument(
+        "--until", type=float, default=None, help="stop the simulation at this time"
+    )
+    p_run.add_argument("--per-job", action="store_true", help="print per-job table")
+    p_run.add_argument("--gantt", action="store_true", help="print ASCII Gantt chart")
+    p_run.add_argument("--gantt-width", type=int, default=100)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_exp = sub.add_parser("experiment", help="run a registered experiment")
+    p_exp.add_argument("id", help="experiment id (e.g. T1) or 'all'")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_list = sub.add_parser("list-experiments", help="show the experiment registry")
+    p_list.set_defaults(func=_cmd_list_experiments)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic instance to JSON")
+    _add_instance_flags(p_gen)
+    p_gen.add_argument("output", help="path for the JSON trace")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_bound = sub.add_parser("bound", help="lower bounds for a saved trace")
+    p_bound.add_argument("trace", help="instance JSON path")
+    p_bound.add_argument("--no-lp", action="store_true", help="skip the LP solve")
+    p_bound.set_defaults(func=_cmd_bound)
+
+    p_plan = sub.add_parser(
+        "plan", help="find the minimum uniform speed meeting a flow-time target"
+    )
+    _add_instance_flags(p_plan)
+    p_plan.add_argument("--policy", choices=_POLICIES, default="greedy")
+    p_plan.add_argument("--eps", type=float, default=0.25)
+    p_plan.add_argument("--target", type=float, required=True)
+    p_plan.add_argument(
+        "--metric", choices=("mean_flow", "max_flow", "total_flow"), default="mean_flow"
+    )
+    p_plan.add_argument("--tol", type=float, default=0.05)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md from live experiment runs"
+    )
+    p_report.add_argument("-o", "--output", default="-", help="path or '-' for stdout")
+    p_report.add_argument(
+        "--ids", nargs="*", default=None, help="subset of experiment ids"
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

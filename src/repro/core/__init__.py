@@ -1,0 +1,43 @@
+"""The paper's primary contribution: the online tree-network scheduler.
+
+* SJF node ordering with the ``(1+ε)``-class tie-breaking of Section 2
+  (:mod:`repro.core.policy`);
+* the marginal-cost estimates ``F(j,v)`` / ``F'(j,v)`` of Sections
+  3.4–3.6 (:mod:`repro.core.fvalues`);
+* the greedy leaf-assignment policies for identical and unrelated
+  endpoints (:mod:`repro.core.assignment`);
+* the general-tree algorithm ``A_T`` that shadows a broomstick
+  simulation, Section 3.7 (:mod:`repro.core.general_tree`);
+* the potential function ``Φ_j(t)`` of Lemma 3 and the volume bound of
+  Lemma 2 as executable checks (:mod:`repro.core.potential`);
+* high-level entry points wiring algorithm + theorem speed profiles
+  (:mod:`repro.core.scheduler`).
+"""
+
+from repro.core.policy import fifo_priority, sjf_priority
+from repro.core.fvalues import f_prime_value, f_top_value, f_value
+from repro.core.assignment import (
+    FixedAssignment,
+    GreedyIdenticalAssignment,
+    GreedyUnrelatedAssignment,
+)
+from repro.core.general_tree import GeneralTreeScheduler, run_general_tree
+from repro.core.potential import higher_priority_volume, phi_potential
+from repro.core.scheduler import run_broomstick_algorithm, run_paper_algorithm
+
+__all__ = [
+    "sjf_priority",
+    "fifo_priority",
+    "f_value",
+    "f_top_value",
+    "f_prime_value",
+    "GreedyIdenticalAssignment",
+    "GreedyUnrelatedAssignment",
+    "FixedAssignment",
+    "GeneralTreeScheduler",
+    "run_general_tree",
+    "phi_potential",
+    "higher_priority_volume",
+    "run_paper_algorithm",
+    "run_broomstick_algorithm",
+]

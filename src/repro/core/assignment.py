@@ -1,0 +1,170 @@
+"""Leaf-assignment policies of Section 3.4, plus a fixed-map policy.
+
+Both greedy policies are *immediate dispatch*: they score every leaf at
+the instant the job arrives using only currently observable state, and
+commit to the argmin.  They implement exactly the expressions of
+Section 3.4:
+
+* identical endpoints — minimise
+  ``F(j,v) + (6/ε²)·d_v·p_j``
+  (the lower-priority-count term of the paper's displayed expression is
+  part of ``F`` here, see :mod:`repro.core.fvalues`);
+* unrelated endpoints — minimise
+  ``F(j,v) + F'(j,v) + (6/ε²)·d_v·p_j``.
+
+Ties break by leaf id, making runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.fvalues import f_prime_value, f_top_value
+from repro.exceptions import AssignmentError
+from repro.sim.engine import SchedulerView
+from repro.workload.job import Job
+
+__all__ = [
+    "GreedyIdenticalAssignment",
+    "GreedyUnrelatedAssignment",
+    "FixedAssignment",
+]
+
+
+def _check_eps(eps: float) -> float:
+    if not math.isfinite(eps) or eps <= 0:
+        raise AssignmentError(f"eps must be finite and > 0, got {eps}")
+    return eps
+
+
+class GreedyIdenticalAssignment:
+    """Section 3.4's assignment rule for identical endpoints.
+
+    Scores leaf ``v`` with ``F(j,v) + (6/ε²)·d_v·p_j`` and dispatches to
+    the minimiser.  Since ``F(j,v)`` depends on ``v`` only through
+    ``R(v)``, the policy scores each root-adjacent node once and then
+    only varies the ``d_v`` term across leaves — an ``O(|R|·queue +
+    |L|)`` arrival cost.
+
+    Parameters
+    ----------
+    eps:
+        The ``ε`` of the analysis; sets the interior-traversal weight
+        ``6/ε²``.
+    """
+
+    def __init__(self, eps: float) -> None:
+        self.eps = _check_eps(eps)
+        self.weight = 6.0 / (eps * eps)
+        #: ``job id -> {leaf: score}`` for the dual-fitting audit.
+        self.last_scores: dict[int, float] | None = None
+        # origin -> tuple of (entry node, ((leaf, steps), ...)); the tree
+        # is immutable, so the layout is computed once per origin
+        # (profiling showed repeated depth()/leaves_under() lookups
+        # dominating arrival cost on large instances).
+        self._layout: dict[int, tuple[tuple[int, tuple[tuple[int, int], ...]], ...]] = {}
+
+    def _entries_for(self, view: SchedulerView, origin: int):
+        layout = self._layout.get(origin)
+        if layout is None:
+            tree = view.tree
+            origin_depth = tree.depth(origin)
+            layout = tuple(
+                (
+                    entry,
+                    tuple(
+                        (leaf, tree.depth(leaf) - origin_depth)
+                        for leaf in tree.leaves_under(entry)
+                    ),
+                )
+                for entry in tree.children(origin)
+            )
+            self._layout[origin] = layout
+        return layout
+
+    def assign(self, view: SchedulerView, job: Job, now: float) -> int:
+        tree = view.tree
+        origin = job.origin if job.origin is not None else tree.root
+        # Entry nodes: the first processing hop per branch.  For the
+        # paper's root-origin jobs these are the root-adjacent nodes and
+        # the score is exactly Section 3.4's; for the arbitrary-arrival
+        # extension the same estimate prices the origin's children.
+        best_leaf: int | None = None
+        best_score = math.inf
+        scores: dict[int, float] = {}
+        weight_p = self.weight * job.size
+        for entry, leaves in self._entries_for(view, origin):
+            base = f_top_value(view, job, entry)
+            for leaf, steps in leaves:
+                score = base + weight_p * steps  # steps == d_v at the root
+                scores[leaf] = score
+                if score < best_score or (
+                    score == best_score and (best_leaf is None or leaf < best_leaf)
+                ):
+                    best_score = score
+                    best_leaf = leaf
+        if best_leaf is None:
+            raise AssignmentError(f"job {job.id} has no reachable leaf")
+        self.last_scores = scores
+        return best_leaf
+
+
+class GreedyUnrelatedAssignment:
+    """Section 3.4's assignment rule for unrelated endpoints.
+
+    Scores leaf ``v`` with ``F(j,v) + F'(j,v) + (6/ε²)·d_v·p_j``,
+    skipping forbidden leaves (``p_{j,v} = ∞``).
+    """
+
+    def __init__(self, eps: float) -> None:
+        self.eps = _check_eps(eps)
+        self.weight = 6.0 / (eps * eps)
+        self.last_scores: dict[int, float] | None = None
+        self._layout: dict[int, tuple[tuple[int, tuple[tuple[int, int], ...]], ...]] = {}
+
+    _entries_for = GreedyIdenticalAssignment._entries_for
+
+    def assign(self, view: SchedulerView, job: Job, now: float) -> int:
+        tree = view.tree
+        instance = view.instance
+        origin = job.origin if job.origin is not None else tree.root
+        best_leaf: int | None = None
+        best_score = math.inf
+        scores: dict[int, float] = {}
+        weight_p = self.weight * job.size
+        for entry, leaves in self._entries_for(view, origin):
+            base = f_top_value(view, job, entry)
+            for leaf, steps in leaves:
+                if not math.isfinite(instance.processing_time(job, leaf)):
+                    continue
+                score = base + f_prime_value(view, job, leaf) + weight_p * steps
+                scores[leaf] = score
+                if score < best_score or (
+                    score == best_score and (best_leaf is None or leaf < best_leaf)
+                ):
+                    best_score = score
+                    best_leaf = leaf
+        if best_leaf is None:
+            raise AssignmentError(f"job {job.id} has no feasible leaf")
+        self.last_scores = scores
+        return best_leaf
+
+
+class FixedAssignment:
+    """Dispatch according to a predetermined ``job id -> leaf`` map.
+
+    Used by the general-tree algorithm (Section 3.7) to replay on ``T``
+    the leaf choices made by the shadow broomstick simulation, and by
+    tests that need full control of routing.
+    """
+
+    def __init__(self, mapping: dict[int, int]) -> None:
+        self.mapping = dict(mapping)
+
+    def assign(self, view: SchedulerView, job: Job, now: float) -> int:
+        try:
+            return self.mapping[job.id]
+        except KeyError:
+            raise AssignmentError(
+                f"no fixed assignment recorded for job {job.id}"
+            ) from None

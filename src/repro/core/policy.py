@@ -1,0 +1,35 @@
+"""Per-node scheduling orders.
+
+The paper's algorithm runs Shortest-Job-First on *every* node of the
+tree, ordering by the job's original processing time on that node and
+breaking ties by age within a size class (Section 2).  The engine hosts
+the actual implementation (:func:`repro.sim.engine.sjf_priority`); this
+module re-exports it next to the FIFO ablation order and provides the
+explicit class-aware variant used when sizes have been
+``(1+ε)``-rounded.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import PriorityFn, fifo_priority, sjf_priority
+from repro.workload.instance import Instance
+from repro.workload.job import Job
+from repro.workload.sizes import class_index
+
+__all__ = ["sjf_priority", "fifo_priority", "class_sjf_priority"]
+
+
+def class_sjf_priority(eps: float) -> PriorityFn:
+    """SJF keyed by the ``(1+ε)`` class index instead of the raw size.
+
+    Identical to :func:`sjf_priority` on class-rounded instances (two
+    sizes compare equal iff they share a class), but makes the class
+    structure explicit and validates that sizes really are powers of
+    ``(1+ε)`` — useful in tests of the tie-breaking semantics.
+    """
+
+    def priority(instance: Instance, job: Job, node: int) -> tuple:
+        p = instance.processing_time(job, node)
+        return (class_index(p, eps), job.release, job.id)
+
+    return priority

@@ -1,0 +1,73 @@
+"""Typed exception hierarchy for the ``treesched`` library.
+
+Every error raised intentionally by the library derives from
+:class:`TreeSchedError`, so callers can catch library failures without
+swallowing genuine programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TreeSchedError",
+    "TopologyError",
+    "WorkloadError",
+    "SimulationError",
+    "InvariantViolation",
+    "AssignmentError",
+    "LPError",
+    "AnalysisError",
+]
+
+
+class TreeSchedError(Exception):
+    """Base class for all errors raised by the treesched library."""
+
+
+class TopologyError(TreeSchedError):
+    """A tree network is structurally invalid for the paper's model.
+
+    Examples: multiple roots, a leaf adjacent to the root, a cycle,
+    an unknown node id, or a non-positive node speed.
+    """
+
+
+class WorkloadError(TreeSchedError):
+    """A job set or generator configuration is invalid.
+
+    Examples: negative release times, non-positive processing times, an
+    unrelated-endpoint matrix that does not cover every leaf, or a job
+    with no feasible leaf.
+    """
+
+
+class SimulationError(TreeSchedError):
+    """The simulator was driven into an unusable configuration.
+
+    Examples: simulating an instance whose jobs reference nodes that are
+    not in the tree, or requesting results before the run finished.
+    """
+
+
+class InvariantViolation(SimulationError):
+    """A runtime model invariant was violated during simulation.
+
+    Raised only when invariant checking is enabled; indicates a bug in a
+    policy or in the engine itself, never a user input problem.
+    """
+
+
+class AssignmentError(TreeSchedError):
+    """An assignment policy produced an illegal leaf choice."""
+
+
+class LPError(TreeSchedError):
+    """LP construction or solving failed.
+
+    Examples: an instance too large for the discrete-time grid, a solver
+    failure reported by scipy, or an infeasible primal that should have
+    been feasible by construction.
+    """
+
+
+class AnalysisError(TreeSchedError):
+    """An analysis routine received inconsistent experiment data."""

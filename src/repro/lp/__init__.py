@@ -1,0 +1,53 @@
+"""LP machinery: the paper's LP relaxation, dual-fitting certificates,
+and combinatorial lower bounds.
+
+* :mod:`repro.lp.primal` — discrete-time construction and exact solve of
+  LP-Primal (Section 2) with HiGHS; its optimum lower-bounds the
+  fractional optimum and hence (up to the paper's constant) the optimal
+  total flow time.
+* :mod:`repro.lp.duals_paper` — the dual-variable construction of
+  Sections 3.5/3.6 turned into an executable certificate: given a run of
+  the broomstick algorithm, build ``(α, β, γ)`` and check constraints
+  (4)–(6) and the dual-objective lower bound.
+* :mod:`repro.lp.bounds` — combinatorial lower bounds (path volume and
+  SRPT tier relaxations) usable on instances too large for the LP.
+"""
+
+from repro.lp.primal import LPSolution, build_primal_lp, solve_primal_lp
+from repro.lp.dual_lp import DualSolution, solve_dual_lp
+from repro.lp.bounds import (
+    best_lower_bound,
+    leaf_tier_bound,
+    path_volume_bound,
+    srpt_single_machine_flow,
+    top_tier_bound,
+)
+from repro.lp.duals_paper import DualCertificate, build_dual_certificate
+from repro.lp.exhaustive import ExhaustiveBound, exhaustive_assignment_bound
+from repro.lp.rounding import (
+    OptBracket,
+    local_search_assignment,
+    lp_rounded_assignment,
+    opt_bracket,
+)
+
+__all__ = [
+    "LPSolution",
+    "build_primal_lp",
+    "solve_primal_lp",
+    "DualSolution",
+    "solve_dual_lp",
+    "path_volume_bound",
+    "top_tier_bound",
+    "leaf_tier_bound",
+    "best_lower_bound",
+    "srpt_single_machine_flow",
+    "DualCertificate",
+    "build_dual_certificate",
+    "OptBracket",
+    "lp_rounded_assignment",
+    "local_search_assignment",
+    "opt_bracket",
+    "ExhaustiveBound",
+    "exhaustive_assignment_bound",
+]

@@ -1,0 +1,204 @@
+"""The paper's LP-Dual, built and solved explicitly.
+
+:mod:`repro.lp.duals_paper` checks the *paper's hand-constructed* dual
+variables; this module complements it by solving the dual program itself
+(the one displayed in Section 2) with HiGHS:
+
+.. math::
+
+    \\max \\; Σ_j β_j − Σ_{v,t} α_{v,t}
+
+subject to constraints (4) (leaves), (5) (root-adjacent nodes), and (6)
+(interior nodes), all variables non-negative (``γ`` enters through its
+suffix sums; we substitute ``Γ_{v,j,t} = Σ_{t' ≥ t} γ_{v,j,t'}``, a
+non-increasing non-negative sequence, which keeps the program linear).
+
+Solving both programs on the same grid gives a strong-duality audit —
+``dual* == primal*`` up to solver tolerance — which pins down the grid
+construction in :mod:`repro.lp.primal` as a genuinely matched pair.
+
+Note the capacity constraint of the primal is ``Σ_j x ≤ speed·dt`` per
+step, so the dual objective's ``α`` term carries the same ``speed·dt``
+coefficients.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.optimize
+import scipy.sparse
+
+from repro.exceptions import LPError
+from repro.lp.primal import MAX_VARIABLES, _natural_horizon
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance
+
+__all__ = ["DualSolution", "solve_dual_lp"]
+
+
+@dataclass(frozen=True)
+class DualSolution:
+    """An LP-Dual optimum.
+
+    Attributes
+    ----------
+    objective:
+        The optimal dual value (equals the primal optimum by strong
+        duality when both are built on the same grid).
+    beta:
+        Optimal ``β_j`` per job id.
+    alpha_total:
+        ``Σ_{v,t} α_{v,t}·(speed_v·dt)`` at the optimum.
+    num_variables / num_constraints:
+        Problem size.
+    """
+
+    objective: float
+    beta: dict[int, float]
+    alpha_total: float
+    num_variables: int
+    num_constraints: int
+
+
+def solve_dual_lp(
+    instance: Instance,
+    speeds: SpeedProfile | None = None,
+    *,
+    dt: float = 1.0,
+    horizon_steps: int | None = None,
+    max_steps: int = 240,
+) -> DualSolution:
+    """Build and solve the dual program on the primal's grid.
+
+    Raises
+    ------
+    LPError
+        On size-guard violation or solver failure.
+    """
+    if dt <= 0:
+        raise LPError(f"dt must be > 0, got {dt}")
+    if len(instance.jobs) == 0:
+        raise LPError("instance has no jobs")
+    speeds = speeds or SpeedProfile.uniform(1.0)
+    tree = instance.tree
+    if horizon_steps is None:
+        horizon = _natural_horizon(instance, speeds) + 2 * dt
+        K = int(math.ceil(horizon / dt))
+        if K > max_steps:
+            dt = horizon / max_steps
+            K = max_steps
+    else:
+        K = horizon_steps
+
+    leaves = set(tree.leaves)
+    tops = set(tree.root_children)
+    nodes = [v for v in tree.node_ids if v != tree.root]
+
+    # Variables: alpha[v,k] (>=0), beta[j] (>=0), Gamma[v,j,k] (suffix
+    # sums of gamma; must be non-negative and non-increasing in k, which
+    # we encode as Gamma[k] >= Gamma[k+1] >= 0).
+    alpha_idx: dict[tuple[int, int], int] = {}
+    for v in nodes:
+        for k in range(K):
+            alpha_idx[(v, k)] = len(alpha_idx)
+    n_alpha = len(alpha_idx)
+    beta_idx = {job.id: n_alpha + i for i, job in enumerate(instance.jobs)}
+    n_beta = len(beta_idx)
+    gamma_idx: dict[tuple[int, int, int], int] = {}
+    release_step: dict[int, int] = {}
+    for job in instance.jobs:
+        k0 = int(math.floor(job.release / dt))
+        release_step[job.id] = k0
+        # Γ is needed at nodes that appear as ρ(v) in (4) or as v in
+        # (5)/(6): every non-leaf, non-root node.
+        for v in nodes:
+            if v in leaves:
+                continue
+            for k in range(k0, K):
+                gamma_idx[(v, job.id, k)] = n_alpha + n_beta + len(gamma_idx)
+    nvar = n_alpha + n_beta + len(gamma_idx)
+    if nvar > MAX_VARIABLES:
+        raise LPError(f"dual LP would have {nvar} variables (> {MAX_VARIABLES})")
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    b_ub: list[float] = []
+    row = 0
+
+    def add(col: int, val: float) -> None:
+        rows.append(row)
+        cols.append(col)
+        vals.append(val)
+
+    for job in instance.jobs:
+        k0 = release_step[job.id]
+        for v in nodes:
+            p_jv = instance.processing_time(job, v)
+            if v in leaves and not math.isfinite(p_jv):
+                continue
+            parent = tree.parent(v)
+            for k in range(k0, K):
+                # scale by p_{j,v}: the primal column's constraint reads
+                #   -alpha p_jv + beta - Gamma_parent <= (t - r_j) + eta   (leaves)
+                #   -alpha p_jv + Gamma_v <= (t - r_j)                      (tops)
+                #   -alpha p_jv + Gamma_v - Gamma_parent <= 0               (interior)
+                add(alpha_idx[(v, k)], -p_jv)
+                rhs = 0.0
+                if v in leaves:
+                    add(beta_idx[job.id], 1.0)
+                    if parent is not None and parent != tree.root:
+                        add(gamma_idx[(parent, job.id, k)], -1.0)
+                    rhs = max(0.0, k * dt - job.release) + instance.eta(job, v)
+                elif v in tops:
+                    add(gamma_idx[(v, job.id, k)], 1.0)
+                    rhs = max(0.0, k * dt - job.release)
+                else:
+                    add(gamma_idx[(v, job.id, k)], 1.0)
+                    if parent is not None and parent != tree.root:
+                        add(gamma_idx[(parent, job.id, k)], -1.0)
+                    rhs = 0.0
+                b_ub.append(rhs)
+                row += 1
+
+    # Γ monotonicity: Gamma[k+1] - Gamma[k] <= 0.
+    for (v, jid, k), col in gamma_idx.items():
+        nxt = gamma_idx.get((v, jid, k + 1))
+        if nxt is not None:
+            add(nxt, 1.0)
+            add(col, -1.0)
+            b_ub.append(0.0)
+            row += 1
+
+    A_ub = scipy.sparse.coo_matrix((vals, (rows, cols)), shape=(row, nvar)).tocsr()
+
+    # Objective: maximise sum beta - sum over (v,k) alpha * speed*dt
+    # -> minimise the negation.
+    c = np.zeros(nvar)
+    for (v, k), col in alpha_idx.items():
+        c[col] = speeds.speed_of(tree, v) * dt
+    for jid, col in beta_idx.items():
+        c[col] = -1.0
+
+    res = scipy.optimize.linprog(
+        c, A_ub=A_ub, b_ub=np.asarray(b_ub), bounds=(0, None), method="highs"
+    )
+    if not res.success:
+        raise LPError(f"dual LP solve failed: {res.message}")
+    beta = {jid: float(res.x[col]) for jid, col in beta_idx.items()}
+    alpha_total = float(
+        sum(
+            res.x[col] * speeds.speed_of(tree, v) * dt
+            for (v, _), col in alpha_idx.items()
+        )
+    )
+    return DualSolution(
+        objective=float(-res.fun),
+        beta=beta,
+        alpha_total=alpha_total,
+        num_variables=nvar,
+        num_constraints=row,
+    )

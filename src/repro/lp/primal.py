@@ -1,0 +1,327 @@
+"""Discrete-time construction and exact solve of the paper's LP-Primal.
+
+The LP of Section 2, over rates ``x_{v,j,t}`` (amount of job ``j``
+processed on node ``v`` during time step ``t``):
+
+.. math::
+
+    \\min \\sum_j \\Big( \\sum_{v ∈ L ∪ R} \\sum_t x_{v,j,t}
+        \\frac{t - r_j}{p_{j,v}}
+        + \\sum_{v ∈ L} \\sum_t x_{v,j,t} \\, η_{j,v} / p_{j,v} \\Big)
+
+subject to (1) per-node per-step capacity, (2) unit completion over the
+leaves, and (3) the prefix precedence constraints tying a child's
+cumulative *fraction* to its parent's.
+
+Discretisation notes (all choices preserve the lower-bound property):
+
+* Steps have width ``dt``; capacity per step is ``speed · dt``.  When
+  the natural horizon would exceed ``max_steps`` the grid coarsens
+  automatically (coarser steps relax capacity, keeping the bound valid).
+* A job may be processed from the step *containing* its release; the
+  waiting coefficient is ``max(0, t_k − r_j)`` with ``t_k`` the step
+  start, which can only under-charge waiting.
+* Constraint (3) compares cumulative fractions (each side divided by its
+  own node's ``p_{j,v}``) per step, which allows fractional cut-through
+  within a step — a relaxation of store-and-forward.  It is encoded
+  sparsely through auxiliary slack variables ``s_{v,j,k} ≥ 0`` with the
+  recurrence ``s_k = s_{k-1} + x_{v,j,k}/p_{j,v} − Σ_{c} x_{c,j,k}/p_{j,c}``
+  (equality rows), keeping the matrix at ``O(total variables)`` nonzeros
+  instead of the naive ``O(K²)`` prefix rows.
+
+Hence ``LP* ≤ obj(any feasible schedule)`` and in particular
+``LP* ≤ obj(OPT)``; the paper shows ``obj(OPT)`` is within a constant
+factor of OPT's total flow time, so ``LP*`` is a constant-factor lower
+bound suitable for competitive-ratio estimation (the experiments report
+raw ``ALG / LP*`` and let the constant live in the narrative).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.optimize
+import scipy.sparse
+
+from repro.exceptions import LPError
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance
+
+__all__ = ["LPSolution", "build_primal_lp", "solve_primal_lp"]
+
+#: Refuse to build LPs beyond this many variables (keeps experiments honest
+#: about which instances are LP-solvable).
+MAX_VARIABLES = 400_000
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """An LP-Primal optimum.
+
+    Attributes
+    ----------
+    objective:
+        The optimal value ``LP*``.
+    x:
+        Optimal rates as a dict ``(node, job id, step) -> amount`` over
+        the nonzero entries.
+    dt:
+        Step width used by the grid.
+    horizon_steps:
+        Number of time steps in the grid.
+    num_variables / num_constraints:
+        Problem size, for reporting.
+    """
+
+    objective: float
+    x: dict[tuple[int, int, int], float]
+    dt: float
+    horizon_steps: int
+    num_variables: int
+    num_constraints: int
+
+
+def _natural_horizon(instance: Instance, speeds: SpeedProfile) -> float:
+    """Last release plus total worst-case work at the slowest speed,
+    padded by 25%."""
+    tree = instance.tree
+    slowest = min(speeds.speed_of(tree, v) for v in tree.node_ids if v != tree.root)
+    total_work = 0.0
+    for job in instance.jobs:
+        worst_leaf = max(
+            (
+                p
+                for v in tree.leaves
+                if math.isfinite(p := job.processing_on_leaf(v))
+            ),
+            default=job.size,
+        )
+        total_work += (tree.height - 1) * job.size + worst_leaf
+    return instance.jobs.time_horizon() + 1.25 * total_work / slowest
+
+
+def build_primal_lp(
+    instance: Instance,
+    speeds: SpeedProfile | None = None,
+    *,
+    dt: float = 1.0,
+    horizon_steps: int | None = None,
+    max_steps: int = 240,
+    allowed_nodes: dict[int, frozenset[int]] | None = None,
+):
+    """Assemble the sparse LP.
+
+    Returns ``(c, A_ub, b_ub, A_eq, b_eq, index, dt)`` where ``index``
+    maps ``(node, job id, step)`` to the variable column of the ``x``
+    block (slack columns follow).  Primarily useful for tests;
+    :func:`solve_primal_lp` wraps this and calls HiGHS.
+
+    ``allowed_nodes`` optionally restricts each job to a node subset
+    (e.g. one root-to-leaf path), which turns the relaxation into the
+    assignment-restricted LP used by
+    :func:`repro.lp.exhaustive.exhaustive_assignment_bound`.
+    """
+    if dt <= 0:
+        raise LPError(f"dt must be > 0, got {dt}")
+    if len(instance.jobs) == 0:
+        raise LPError("instance has no jobs")
+    speeds = speeds or SpeedProfile.uniform(1.0)
+    tree = instance.tree
+    if horizon_steps is None:
+        horizon = _natural_horizon(instance, speeds) + 2 * dt
+        K = int(math.ceil(horizon / dt))
+        if K > max_steps:
+            dt = horizon / max_steps
+            K = max_steps
+    else:
+        K = horizon_steps
+
+    leaves = set(tree.leaves)
+    tops = set(tree.root_children)
+    nodes = [v for v in tree.node_ids if v != tree.root]
+
+    # x-variable indexing: only (v, j, k) with k >= release step and, for
+    # leaves, finite processing time.
+    index: dict[tuple[int, int, int], int] = {}
+    release_step: dict[int, int] = {}
+    for job in instance.jobs:
+        k0 = int(math.floor(job.release / dt))
+        if k0 >= K:
+            raise LPError(f"job {job.id} releases at step {k0} beyond horizon {K}")
+        release_step[job.id] = k0
+        allowed = None if allowed_nodes is None else allowed_nodes.get(job.id)
+        for v in nodes:
+            if allowed is not None and v not in allowed:
+                continue
+            if v in leaves and not math.isfinite(instance.processing_time(job, v)):
+                continue
+            for k in range(k0, K):
+                index[(v, job.id, k)] = len(index)
+    nx = len(index)
+
+    # slack variables for constraint (3), one per (non-leaf node, job, step)
+    # with any variable on the node or its children.
+    def _job_uses(v: int, jid: int) -> bool:
+        if allowed_nodes is None:
+            return True
+        allowed = allowed_nodes.get(jid)
+        return allowed is None or v in allowed
+
+    slack_index: dict[tuple[int, int, int], int] = {}
+    for v in nodes:
+        if not tree.children(v):
+            continue
+        for job in instance.jobs:
+            if not _job_uses(v, job.id):
+                continue
+            for k in range(release_step[job.id], K):
+                slack_index[(v, job.id, k)] = nx + len(slack_index)
+    nvar = nx + len(slack_index)
+    if nvar > MAX_VARIABLES:
+        raise LPError(
+            f"LP would have {nvar} variables (> {MAX_VARIABLES}); "
+            "use combinatorial bounds for instances this large"
+        )
+
+    # Objective (slacks have zero cost).
+    c = np.zeros(nvar)
+    for (v, jid, k), col in index.items():
+        job = instance.jobs.by_id(jid)
+        p_jv = instance.processing_time(job, v)
+        coeff = 0.0
+        if v in leaves or v in tops:
+            coeff += max(0.0, k * dt - job.release) / p_jv
+        if v in leaves:
+            coeff += instance.eta(job, v) / p_jv
+        c[col] = coeff
+
+    ub_rows: list[int] = []
+    ub_cols: list[int] = []
+    ub_vals: list[float] = []
+    b_ub: list[float] = []
+    row = 0
+
+    # (1) capacity: sum_j x_{v,j,k} <= speed_v * dt
+    for v in nodes:
+        s = speeds.speed_of(tree, v)
+        for k in range(K):
+            cols = [
+                index[(v, job.id, k)]
+                for job in instance.jobs
+                if (v, job.id, k) in index
+            ]
+            if cols:
+                ub_rows.extend([row] * len(cols))
+                ub_cols.extend(cols)
+                ub_vals.extend([1.0] * len(cols))
+                b_ub.append(s * dt)
+                row += 1
+
+    # (2) completion: -sum_{v in L} sum_k x/p_{j,v} <= -1
+    for job in instance.jobs:
+        for v in tree.leaves:
+            p_jv = instance.processing_time(job, v)
+            if not math.isfinite(p_jv) or not _job_uses(v, job.id):
+                continue
+            for k in range(release_step[job.id], K):
+                col = index.get((v, job.id, k))
+                if col is not None:
+                    ub_rows.append(row)
+                    ub_cols.append(col)
+                    ub_vals.append(-1.0 / p_jv)
+        b_ub.append(-1.0)
+        row += 1
+
+    A_ub = scipy.sparse.coo_matrix(
+        (ub_vals, (ub_rows, ub_cols)), shape=(row, nvar)
+    ).tocsr()
+
+    # (3) precedence via slack recurrence:
+    #   s_{v,j,k} - s_{v,j,k-1} - x_{v,j,k}/p_{j,v}
+    #     + sum_{c in children(v)} x_{c,j,k}/p_{j,c} = 0
+    eq_rows: list[int] = []
+    eq_cols: list[int] = []
+    eq_vals: list[float] = []
+    erow = 0
+    for v in nodes:
+        kids = tree.children(v)
+        if not kids:
+            continue
+        for job in instance.jobs:
+            if not _job_uses(v, job.id):
+                continue
+            p_jv = instance.processing_time(job, v)
+            k0 = release_step[job.id]
+            for k in range(k0, K):
+                eq_rows.append(erow)
+                eq_cols.append(slack_index[(v, job.id, k)])
+                eq_vals.append(1.0)
+                if k > k0:
+                    eq_rows.append(erow)
+                    eq_cols.append(slack_index[(v, job.id, k - 1)])
+                    eq_vals.append(-1.0)
+                eq_rows.append(erow)
+                eq_cols.append(index[(v, job.id, k)])
+                eq_vals.append(-1.0 / p_jv)
+                for child in kids:
+                    key = (child, job.id, k)
+                    if key in index:
+                        eq_rows.append(erow)
+                        eq_cols.append(index[key])
+                        eq_vals.append(1.0 / instance.processing_time(job, child))
+                erow += 1
+    A_eq = scipy.sparse.coo_matrix(
+        (eq_vals, (eq_rows, eq_cols)), shape=(erow, nvar)
+    ).tocsr()
+    b_eq = np.zeros(erow)
+
+    return c, A_ub, np.asarray(b_ub), A_eq, b_eq, index, dt
+
+
+def solve_primal_lp(
+    instance: Instance,
+    speeds: SpeedProfile | None = None,
+    *,
+    dt: float = 1.0,
+    horizon_steps: int | None = None,
+    max_steps: int = 240,
+    allowed_nodes: dict[int, frozenset[int]] | None = None,
+) -> LPSolution:
+    """Solve LP-Primal exactly with HiGHS and return the optimum.
+
+    Raises
+    ------
+    LPError
+        If the instance exceeds the size guard or the solver fails.
+    """
+    c, A_ub, b_ub, A_eq, b_eq, index, dt_used = build_primal_lp(
+        instance,
+        speeds,
+        dt=dt,
+        horizon_steps=horizon_steps,
+        max_steps=max_steps,
+        allowed_nodes=allowed_nodes,
+    )
+    res = scipy.optimize.linprog(
+        c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq if A_eq.shape[0] else None,
+        b_eq=b_eq if A_eq.shape[0] else None,
+        bounds=(0, None),
+        method="highs",
+    )
+    if not res.success:
+        raise LPError(f"LP solve failed: {res.message}")
+    x = {key: float(res.x[col]) for key, col in index.items() if res.x[col] > 1e-9}
+    K = 1 + max((k for (_, _, k) in index), default=0)
+    return LPSolution(
+        objective=float(res.fun),
+        x=x,
+        dt=dt_used,
+        horizon_steps=K,
+        num_variables=len(c),
+        num_constraints=A_ub.shape[0] + A_eq.shape[0],
+    )

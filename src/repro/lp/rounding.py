@@ -1,0 +1,176 @@
+"""LP-guided rounding: an offline heuristic bracketing the optimum.
+
+The LP relaxation gives a *lower* bound on OPT; this module extracts an
+*upper* bound from the same solve: round the fractional solution to an
+integral leaf assignment (each job goes to the leaf carrying the most
+LP completion mass) and simulate that assignment with SJF at unit
+speeds.  Between the two, the unknown OPT is bracketed:
+
+``LP*·c⁻¹ ≤ OPT ≤ flow(rounded assignment)``
+
+(with ``c`` the paper's constant between the LP objective and true flow
+time).  :func:`opt_bracket` also throws the baseline portfolio into the
+upper-bound minimisation, since any feasible schedule is an upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.policies import ClosestLeafAssignment, LeastLoadedAssignment
+from repro.core.assignment import (
+    FixedAssignment,
+    GreedyIdenticalAssignment,
+    GreedyUnrelatedAssignment,
+)
+from repro.exceptions import LPError
+from repro.lp.primal import LPSolution, solve_primal_lp
+from repro.sim.engine import simulate
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance, Setting
+
+__all__ = [
+    "lp_rounded_assignment",
+    "local_search_assignment",
+    "OptBracket",
+    "opt_bracket",
+]
+
+
+def local_search_assignment(
+    instance: Instance,
+    start: dict[int, int],
+    *,
+    max_rounds: int = 3,
+) -> tuple[dict[int, int], float]:
+    """First-improvement local search over leaf assignments.
+
+    Starting from ``start`` (``job id -> leaf``), repeatedly tries moving
+    one job to another feasible leaf, keeping any move that strictly
+    reduces the simulated total flow time at unit speeds, until a full
+    round makes no progress or ``max_rounds`` rounds elapse.  Returns the
+    improved assignment and its total flow — a tighter OPT upper bound
+    than rounding alone.
+
+    Each probe is a full simulation, so this is for LP-sized instances.
+    """
+    import math as _math
+
+    speeds = SpeedProfile.uniform(1.0)
+    current = dict(start)
+    best = simulate(instance, FixedAssignment(current), speeds).total_flow_time()
+    for _ in range(max_rounds):
+        improved = False
+        for job in instance.jobs:
+            for leaf in instance.tree.leaves:
+                if leaf == current[job.id]:
+                    continue
+                if not _math.isfinite(instance.processing_time(job, leaf)):
+                    continue
+                candidate = dict(current)
+                candidate[job.id] = leaf
+                flow = simulate(
+                    instance, FixedAssignment(candidate), speeds
+                ).total_flow_time()
+                if flow < best - 1e-9:
+                    current = candidate
+                    best = flow
+                    improved = True
+        if not improved:
+            break
+    return current, best
+
+
+def lp_rounded_assignment(
+    instance: Instance, solution: LPSolution | None = None
+) -> dict[int, int]:
+    """``job id -> leaf`` from the LP's completion mass.
+
+    Each job is assigned to the leaf on which the LP completes the
+    largest fraction of it (ties to the lower leaf id).  Solves the LP
+    at unit speeds when ``solution`` is not supplied.
+    """
+    if solution is None:
+        solution = solve_primal_lp(instance, SpeedProfile.uniform(1.0))
+    leaves = set(instance.tree.leaves)
+    mass: dict[int, dict[int, float]] = {j: {} for j in instance.jobs.ids}
+    for (v, jid, _), val in solution.x.items():
+        if v in leaves:
+            job = instance.jobs.by_id(jid)
+            frac = val / instance.processing_time(job, v)
+            mass[jid][v] = mass[jid].get(v, 0.0) + frac
+    assignment: dict[int, int] = {}
+    for jid, per_leaf in mass.items():
+        if not per_leaf:
+            raise LPError(f"LP completed no mass for job {jid}")
+        assignment[jid] = min(
+            per_leaf, key=lambda v: (-per_leaf[v], v)
+        )
+    return assignment
+
+
+@dataclass(frozen=True)
+class OptBracket:
+    """A two-sided bracket on the unit-speed optimum.
+
+    Attributes
+    ----------
+    lower:
+        The LP optimum (a lower bound on the LP objective of any
+        schedule; within the paper's constant of OPT's flow time).
+    upper:
+        The best total flow time among the rounded-LP assignment and the
+        heuristic portfolio (a genuine feasible schedule's cost).
+    upper_source:
+        Which schedule achieved ``upper``.
+    gap:
+        ``upper / lower``.
+    """
+
+    lower: float
+    upper: float
+    upper_source: str
+    gap: float
+
+
+def opt_bracket(instance: Instance, *, local_search: bool = False) -> OptBracket:
+    """Bracket the unit-speed optimum from both sides (see module doc).
+
+    With ``local_search=True`` the LP-rounded assignment is additionally
+    polished by :func:`local_search_assignment` (slower, tighter upper
+    bound).
+    """
+    solution = solve_primal_lp(instance, SpeedProfile.uniform(1.0))
+    speeds = SpeedProfile.uniform(1.0)
+    candidates: dict[str, float] = {}
+
+    rounded = lp_rounded_assignment(instance, solution)
+    candidates["lp-rounded"] = simulate(
+        instance, FixedAssignment(rounded), speeds
+    ).total_flow_time()
+    if local_search:
+        _, polished = local_search_assignment(instance, rounded, max_rounds=2)
+        candidates["lp-rounded+ls"] = polished
+
+    greedy = (
+        GreedyIdenticalAssignment(0.5)
+        if instance.setting is Setting.IDENTICAL
+        else GreedyUnrelatedAssignment(0.5)
+    )
+    candidates["greedy"] = simulate(instance, greedy, speeds).total_flow_time()
+    candidates["closest"] = simulate(
+        instance, ClosestLeafAssignment(), speeds
+    ).total_flow_time()
+    candidates["least-loaded"] = simulate(
+        instance, LeastLoadedAssignment(), speeds
+    ).total_flow_time()
+
+    source = min(candidates, key=lambda k: candidates[k])
+    upper = candidates[source]
+    lower = solution.objective
+    return OptBracket(
+        lower=lower,
+        upper=upper,
+        upper_source=source,
+        gap=upper / lower if lower > 0 else float("inf"),
+    )

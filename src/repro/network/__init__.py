@@ -1,0 +1,47 @@
+"""Tree network substrate.
+
+This package implements the network model of Section 2 of the paper: a
+rooted tree whose root is the job distribution centre (it performs no
+processing), whose interior nodes are routers, and whose leaves are the
+machines.  It provides:
+
+* :class:`~repro.network.tree.TreeNetwork` — the immutable topology object
+  with all of the paper's structural accessors (``R(v)``, ``L(v)``,
+  ``d_v``, parent/children, root-to-leaf processing paths);
+* builders for every topology family used by the experiments
+  (:mod:`repro.network.builders`);
+* the broomstick reduction of Section 3.3
+  (:mod:`repro.network.broomstick`).
+"""
+
+from repro.network.node import Node, NodeKind
+from repro.network.tree import TreeNetwork
+from repro.network.builders import (
+    broomstick_tree,
+    caterpillar_tree,
+    datacenter_tree,
+    figure1_tree,
+    kary_tree,
+    random_tree,
+    spine_tree,
+    star_of_paths,
+    tree_from_parent_map,
+)
+from repro.network.broomstick import BroomstickReduction, reduce_to_broomstick
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "TreeNetwork",
+    "tree_from_parent_map",
+    "kary_tree",
+    "star_of_paths",
+    "caterpillar_tree",
+    "spine_tree",
+    "broomstick_tree",
+    "random_tree",
+    "datacenter_tree",
+    "figure1_tree",
+    "BroomstickReduction",
+    "reduce_to_broomstick",
+]

@@ -1,0 +1,296 @@
+"""Topology builders for every tree family used by the experiments.
+
+All builders return a :class:`~repro.network.tree.TreeNetwork` whose root
+has id ``0`` and whose remaining ids are assigned densely in construction
+order.  Every builder honours the model requirement that no leaf is
+adjacent to the root: the shallowest possible machine sits two hops below
+the root (one router in between).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.network.tree import TreeNetwork
+
+__all__ = [
+    "tree_from_parent_map",
+    "kary_tree",
+    "star_of_paths",
+    "caterpillar_tree",
+    "spine_tree",
+    "broomstick_tree",
+    "random_tree",
+    "datacenter_tree",
+    "figure1_tree",
+]
+
+
+def tree_from_parent_map(
+    parent_map: dict[int, int | None], names: dict[int, str] | None = None
+) -> TreeNetwork:
+    """Build a tree directly from a ``node -> parent`` mapping."""
+    return TreeNetwork(parent_map, names)
+
+
+class _IdAllocator:
+    """Dense id allocator shared by the builders."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self.parent_map: dict[int, int | None] = {}
+
+    def add(self, parent: int | None) -> int:
+        v = self._next
+        self._next += 1
+        self.parent_map[v] = parent
+        return v
+
+
+def kary_tree(branching: int, depth: int) -> TreeNetwork:
+    """A complete ``branching``-ary tree of the given depth.
+
+    ``depth`` counts edges from the root to the leaves and must be at
+    least 2 so that no leaf is adjacent to the root.  The resulting tree
+    has ``branching**depth`` machines.
+    """
+    if branching < 1:
+        raise TopologyError(f"branching must be >= 1, got {branching}")
+    if depth < 2:
+        raise TopologyError(f"depth must be >= 2 (no leaf may touch the root), got {depth}")
+    alloc = _IdAllocator()
+    root = alloc.add(None)
+    frontier = [root]
+    for _ in range(depth):
+        frontier = [alloc.add(p) for p in frontier for _ in range(branching)]
+    return TreeNetwork(alloc.parent_map)
+
+
+def star_of_paths(num_paths: int, path_length: int) -> TreeNetwork:
+    """``num_paths`` disjoint router paths below the root, a leaf at each end.
+
+    Each path has ``path_length`` routers followed by one machine, so a
+    job assigned to path ``i`` is processed on ``path_length + 1`` nodes.
+    This is the minimal topology exhibiting pure per-branch congestion.
+    """
+    if num_paths < 1:
+        raise TopologyError(f"num_paths must be >= 1, got {num_paths}")
+    if path_length < 1:
+        raise TopologyError(f"path_length must be >= 1, got {path_length}")
+    alloc = _IdAllocator()
+    root = alloc.add(None)
+    for _ in range(num_paths):
+        v = root
+        for _ in range(path_length):
+            v = alloc.add(v)
+        alloc.add(v)  # the machine
+    return TreeNetwork(alloc.parent_map)
+
+
+def caterpillar_tree(spine_length: int, leaves_per_node: int) -> TreeNetwork:
+    """A single router spine with machines hanging off every spine node.
+
+    The spine is a path of ``spine_length`` routers below the root; each
+    spine node except the first carries ``leaves_per_node`` machines (the
+    first spine node is root-adjacent, so machines there would violate the
+    model only if the spine node itself were a leaf — machines *below* a
+    root-adjacent router are fine, so the first node carries them too).
+    """
+    if spine_length < 1:
+        raise TopologyError(f"spine_length must be >= 1, got {spine_length}")
+    if leaves_per_node < 1:
+        raise TopologyError(f"leaves_per_node must be >= 1, got {leaves_per_node}")
+    alloc = _IdAllocator()
+    root = alloc.add(None)
+    v = root
+    spine: list[int] = []
+    for _ in range(spine_length):
+        v = alloc.add(v)
+        spine.append(v)
+    for s in spine:
+        for _ in range(leaves_per_node):
+            alloc.add(s)
+    return TreeNetwork(alloc.parent_map)
+
+
+def spine_tree(depth: int) -> TreeNetwork:
+    """A single path of ``depth`` routers ending in one machine.
+
+    The degenerate one-branch topology: useful for line-network style
+    experiments and for exercising the store-and-forward pipeline without
+    any assignment decision.
+    """
+    return star_of_paths(1, depth)
+
+
+def broomstick_tree(
+    num_tops: int, handle_length: int, bristles: dict[int, int] | int
+) -> TreeNetwork:
+    """Directly build a broomstick (Section 3.3 normal form).
+
+    Parameters
+    ----------
+    num_tops:
+        Number of children of the root; each heads its own handle.
+    handle_length:
+        Number of routers on each handle (including the root-adjacent
+        one).
+    bristles:
+        Either a single int — that many machines hang off *every* handle
+        node except the first — or a mapping ``position -> count`` with
+        positions in ``range(1, handle_length)`` (position 0, the
+        root-adjacent node, cannot carry machines in the reduction's
+        image; a machine there would be depth 2 which the reduction never
+        produces, but direct construction allows positions >= 1).
+    """
+    if num_tops < 1:
+        raise TopologyError(f"num_tops must be >= 1, got {num_tops}")
+    if handle_length < 2:
+        raise TopologyError(f"handle_length must be >= 2, got {handle_length}")
+    if isinstance(bristles, int):
+        bristle_map = {pos: bristles for pos in range(1, handle_length)}
+    else:
+        bristle_map = dict(bristles)
+        for pos in bristle_map:
+            if not 1 <= pos < handle_length:
+                raise TopologyError(
+                    f"bristle position {pos} outside range(1, {handle_length})"
+                )
+    bristle_map = {pos: c for pos, c in bristle_map.items() if c > 0}
+    if not bristle_map:
+        raise TopologyError("a broomstick needs at least one machine")
+    # A handle node past the last bristle would be a childless router,
+    # i.e. a spurious machine — trim the handle to the deepest bristle.
+    effective_length = max(bristle_map) + 1
+    alloc = _IdAllocator()
+    root = alloc.add(None)
+    for _ in range(num_tops):
+        v = root
+        handle: list[int] = []
+        for _ in range(effective_length):
+            v = alloc.add(v)
+            handle.append(v)
+        for pos, count in sorted(bristle_map.items()):
+            for _ in range(count):
+                alloc.add(handle[pos])
+    return TreeNetwork(alloc.parent_map)
+
+
+def random_tree(
+    num_nodes: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    max_children: int = 4,
+) -> TreeNetwork:
+    """A random rooted tree with ``num_nodes`` nodes (root included).
+
+    Built by attaching each new node to a uniformly random existing node
+    that is neither the root (direct machines under the root are illegal)
+    nor already at ``max_children`` children, with the root's children
+    created first so every branch exists.  Any node that ends up childless
+    becomes a machine; the construction then pads machines that would be
+    adjacent to the root with an extra router hop, so the result always
+    satisfies the model.
+    """
+    if num_nodes < 4:
+        raise TopologyError(f"need at least 4 nodes for a legal tree, got {num_nodes}")
+    rng = np.random.default_rng(rng)
+    alloc = _IdAllocator()
+    root = alloc.add(None)
+    num_branches = max(1, min(3, (num_nodes - 1) // 3))
+    attachable: list[int] = []
+    child_count: dict[int, int] = {}
+    for _ in range(num_branches):
+        branch = alloc.add(root)
+        child_count[branch] = 0
+        attachable.append(branch)
+    while len(alloc.parent_map) < num_nodes:
+        parent = attachable[int(rng.integers(len(attachable)))]
+        v = alloc.add(parent)
+        child_count[parent] += 1
+        if child_count[parent] >= max_children:
+            attachable.remove(parent)
+        child_count[v] = 0
+        attachable.append(v)
+    # Pad any root-adjacent node that stayed childless with one machine
+    # below it so it becomes a router.
+    for v, p in list(alloc.parent_map.items()):
+        if p == root and child_count.get(v, 0) == 0:
+            alloc.add(v)
+    return TreeNetwork(alloc.parent_map)
+
+
+def datacenter_tree(
+    num_pods: int, racks_per_pod: int, machines_per_rack: int
+) -> TreeNetwork:
+    """A three-tier datacenter-style tree: pods → racks → machines.
+
+    Mirrors the topology family the paper's introduction motivates
+    (tree-structured datacenter networks [1, 15]): the root is the core,
+    each pod is an aggregation router, each rack a top-of-rack router, and
+    machines hang off racks.
+    """
+    for label, value in (
+        ("num_pods", num_pods),
+        ("racks_per_pod", racks_per_pod),
+        ("machines_per_rack", machines_per_rack),
+    ):
+        if value < 1:
+            raise TopologyError(f"{label} must be >= 1, got {value}")
+    alloc = _IdAllocator()
+    names: dict[int, str] = {}
+    root = alloc.add(None)
+    names[root] = "core"
+    for p in range(num_pods):
+        pod = alloc.add(root)
+        names[pod] = f"pod{p}"
+        for r in range(racks_per_pod):
+            rack = alloc.add(pod)
+            names[rack] = f"pod{p}/rack{r}"
+            for m in range(machines_per_rack):
+                machine = alloc.add(rack)
+                names[machine] = f"pod{p}/rack{r}/m{m}"
+    return TreeNetwork(alloc.parent_map, names)
+
+
+def figure1_tree() -> TreeNetwork:
+    """The small example topology in the spirit of the paper's Figure 1.
+
+    A root with two router subtrees of different shapes: one balanced
+    binary subtree of machines and one deeper lopsided branch.  Used by
+    the ``F1`` figure-reproduction experiment and the quickstart example.
+    """
+    names = {
+        0: "root",
+        1: "routerA",
+        2: "routerB",
+        3: "routerA1",
+        4: "routerA2",
+        5: "m1",
+        6: "m2",
+        7: "m3",
+        8: "m4",
+        9: "routerB1",
+        10: "m5",
+        11: "routerB2",
+        12: "m6",
+        13: "m7",
+    }
+    parent_map: dict[int, int | None] = {
+        0: None,
+        1: 0,
+        2: 0,
+        3: 1,
+        4: 1,
+        5: 3,
+        6: 3,
+        7: 4,
+        8: 4,
+        9: 2,
+        10: 9,
+        11: 9,
+        12: 11,
+        13: 11,
+    }
+    return TreeNetwork(parent_map, names)

@@ -1,0 +1,79 @@
+"""Node objects for tree networks.
+
+A node is one of three kinds, mirroring the roles in the paper's model:
+
+* ``ROOT`` — the job distribution centre.  It performs no processing; jobs
+  released at the root are immediately available on the first router of
+  their assigned path.
+* ``ROUTER`` — an interior node.  Moving a job's data across the link into
+  a router takes the job's router processing time; only one job can use a
+  node at a time.
+* ``LEAF`` — a machine.  A job finishes when it completes processing on
+  its assigned leaf.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["NodeKind", "Node"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node inside a :class:`~repro.network.tree.TreeNetwork`."""
+
+    ROOT = "root"
+    ROUTER = "router"
+    LEAF = "leaf"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeKind.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """A single node of a tree network.
+
+    Attributes
+    ----------
+    id:
+        Dense integer identifier, unique within the tree.  The root is not
+        required to be id ``0`` but builders conventionally make it so.
+    kind:
+        The node's role (:class:`NodeKind`).
+    parent:
+        Parent node id, or ``None`` for the root.
+    children:
+        Tuple of child node ids in deterministic (sorted) order.
+    depth:
+        Number of edges from the root (root has depth ``0``).
+    name:
+        Optional human-readable label used in rendering and traces.
+    """
+
+    id: int
+    kind: NodeKind
+    parent: int | None
+    children: tuple[int, ...]
+    depth: int
+    name: str = ""
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this node is the distribution-centre root."""
+        return self.kind is NodeKind.ROOT
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node is a machine (leaf)."""
+        return self.kind is NodeKind.LEAF
+
+    @property
+    def is_router(self) -> bool:
+        """Whether this node is an interior router."""
+        return self.kind is NodeKind.ROUTER
+
+    def label(self) -> str:
+        """Human-readable label: the explicit name if set, else ``kind#id``."""
+        return self.name or f"{self.kind.value}#{self.id}"

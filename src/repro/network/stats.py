@@ -1,0 +1,69 @@
+"""Structural statistics of tree networks.
+
+Used by the figure experiments and the operations reports to
+characterise topologies, and handy when generating random trees whose
+shape needs sanity-checking.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.network.tree import TreeNetwork
+
+__all__ = ["TreeStats", "tree_stats"]
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Shape summary of one tree.
+
+    Attributes
+    ----------
+    num_nodes / num_routers / num_leaves:
+        Node counts by role (the root counts toward ``num_nodes`` only).
+    height:
+        Maximum depth.
+    min_leaf_depth / max_leaf_depth / mean_leaf_depth:
+        Depth distribution of the machines.
+    max_branching / mean_branching:
+        Children counts over internal nodes (root included).
+    leaf_depth_histogram:
+        ``depth -> count`` over machines.
+    """
+
+    num_nodes: int
+    num_routers: int
+    num_leaves: int
+    height: int
+    min_leaf_depth: int
+    max_leaf_depth: int
+    mean_leaf_depth: float
+    max_branching: int
+    mean_branching: float
+    leaf_depth_histogram: dict[int, int]
+
+    @property
+    def is_balanced(self) -> bool:
+        """Whether every machine sits at the same depth."""
+        return self.min_leaf_depth == self.max_leaf_depth
+
+
+def tree_stats(tree: TreeNetwork) -> TreeStats:
+    """Compute :class:`TreeStats` for a tree."""
+    leaf_depths = [tree.depth(v) for v in tree.leaves]
+    internal = [n for n in tree if n.children]
+    branchings = [len(n.children) for n in internal]
+    return TreeStats(
+        num_nodes=tree.num_nodes,
+        num_routers=len(tree.routers),
+        num_leaves=tree.num_leaves,
+        height=tree.height,
+        min_leaf_depth=min(leaf_depths),
+        max_leaf_depth=max(leaf_depths),
+        mean_leaf_depth=sum(leaf_depths) / len(leaf_depths),
+        max_branching=max(branchings),
+        mean_branching=sum(branchings) / len(branchings),
+        leaf_depth_histogram=dict(Counter(leaf_depths)),
+    )

@@ -1,0 +1,653 @@
+"""The continuous-time event-driven simulation engine.
+
+Semantics implemented (Section 2 of the paper):
+
+* Jobs arrive at the root at their release times.  The root performs no
+  processing: an arriving job is immediately available on the first node
+  of its assigned processing path (the root-adjacent node ``R(v)``).
+* A job occupies exactly one node at a time.  It becomes available on
+  the next node of its path only once fully processed on the current one
+  (store-and-forward).
+* Each node processes at most one job at any moment, preemptively, at
+  its speed from the :class:`~repro.sim.speed.SpeedProfile`.
+* The per-node order is a pluggable priority (default SJF by *original*
+  processing time on that node, ties by release then id — the paper's
+  "oldest in class first" under class-rounded sizes).
+* The leaf assignment is chosen by an
+  :class:`AssignmentPolicy` at arrival (immediate dispatch) and never
+  changes (non-migratory).
+
+Event machinery
+---------------
+Two event sources exist: the sorted arrival list and per-node completion
+predictions.  Completion events are pushed onto a heap tagged with the
+node's *version*; any change to a node's queue bumps the version, so
+stale events are skipped lazily.  Between events every quantity needed
+for the paper's fractional flow time changes affinely, so the integral
+is accumulated exactly (no discretisation error).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Callable
+from typing import Protocol
+
+from repro.exceptions import (
+    AssignmentError,
+    InvariantViolation,
+    SimulationError,
+    TopologyError,
+)
+from repro.sim.result import JobRecord, ScheduleSegment, SimulationResult
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance
+from repro.workload.job import Job
+
+__all__ = [
+    "PriorityFn",
+    "sjf_priority",
+    "fifo_priority",
+    "AssignmentPolicy",
+    "SchedulerView",
+    "Engine",
+    "simulate",
+]
+
+#: A per-node ordering: maps (instance, job, node) to a sortable key;
+#: smaller keys run first.
+PriorityFn = Callable[[Instance, Job, int], tuple]
+
+
+def sjf_priority(instance: Instance, job: Job, node: int) -> tuple:
+    """Shortest-Job-First by original processing time on the node.
+
+    Ties break by release time ("the oldest job in the class") and then
+    by id for full determinism.
+    """
+    return (instance.processing_time(job, node), job.release, job.id)
+
+
+def fifo_priority(instance: Instance, job: Job, node: int) -> tuple:
+    """First-in-first-out by release time — the ablation node policy."""
+    return (job.release, job.id)
+
+
+class AssignmentPolicy(Protocol):
+    """Chooses the leaf for each arriving job (immediate dispatch)."""
+
+    def assign(self, view: "SchedulerView", job: Job, now: float) -> int:
+        """Return the leaf id ``job`` is dispatched to at time ``now``."""
+        ...  # pragma: no cover
+
+
+class _JobState:
+    """Mutable runtime state of one released job."""
+
+    __slots__ = ("job", "record", "idx", "remaining", "path", "pos_of")
+
+    def __init__(self, job: Job, record: JobRecord) -> None:
+        self.job = job
+        self.record = record
+        self.path = record.path
+        self.pos_of = {v: i for i, v in enumerate(record.path)}
+        self.idx = 0
+        self.remaining = 0.0
+
+    @property
+    def current_node(self) -> int | None:
+        return self.path[self.idx] if self.idx < len(self.path) else None
+
+    @property
+    def done(self) -> bool:
+        return self.idx >= len(self.path)
+
+
+class _NodeState:
+    """Mutable runtime state of one processing node."""
+
+    __slots__ = (
+        "node_id",
+        "speed",
+        "is_leaf",
+        "heap",
+        "version",
+        "active_id",
+        "active_started",
+        "active_rem_start",
+    )
+
+    def __init__(self, node_id: int, speed: float, is_leaf: bool) -> None:
+        self.node_id = node_id
+        self.speed = speed
+        self.is_leaf = is_leaf
+        self.heap: list[tuple[tuple, int]] = []
+        self.version = 0
+        self.active_id: int | None = None
+        self.active_started = 0.0
+        self.active_rem_start = 0.0
+
+
+class SchedulerView:
+    """Read-only window onto live engine state for assignment policies.
+
+    The queries mirror the paper's notation at the current simulation
+    time ``t``:
+
+    * :meth:`queue_at` — the jobs *available to schedule* on a node
+      (the jobs physically at the node);
+    * :meth:`jobs_through` — ``Q_v(t)``: released jobs with ``v`` on
+      their path not yet completed on ``v``;
+    * :meth:`remaining_on` — ``p^A_{i,v}(t)``: the remaining processing
+      of job ``i`` on node ``v`` (full if the job has not reached ``v``,
+      zero once past it).
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: "Engine") -> None:
+        self._engine = engine
+
+    # -- static context -------------------------------------------------
+    @property
+    def instance(self) -> Instance:
+        return self._engine.instance
+
+    @property
+    def tree(self):
+        return self._engine.instance.tree
+
+    @property
+    def speeds(self) -> SpeedProfile:
+        return self._engine.speeds
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    def speed_of(self, node: int) -> float:
+        return self._engine._nodes[node].speed
+
+    # -- dynamic state ---------------------------------------------------
+    def queue_at(self, node: int) -> tuple[int, ...]:
+        """Ids of jobs currently available to schedule on ``node``."""
+        return tuple(jid for _, jid in self._engine._nodes[node].heap)
+
+    def active_at(self, node: int) -> int | None:
+        """Id of the job being processed on ``node``, if any."""
+        return self._engine._nodes[node].active_id
+
+    def jobs_through(self, node: int) -> tuple[int, ...]:
+        """``Q_v(t)``: alive jobs routed through ``node`` and not yet
+        completed on it.
+
+        For a root-adjacent node this equals :meth:`queue_at` (nothing is
+        upstream of the first hop); for a leaf it is the alive jobs
+        assigned to that leaf; in general it is computed by scanning the
+        alive set.
+        """
+        eng = self._engine
+        tree = eng.instance.tree
+        if tree.node(node).parent == tree.root:
+            return self.queue_at(node)
+        if node in eng._alive_at_leaf:
+            return tuple(sorted(eng._alive_at_leaf[node]))
+        out = []
+        for jid in eng._alive:
+            st = eng._states[jid]
+            pos = st.pos_of.get(node)
+            if pos is not None and st.idx <= pos:
+                out.append(jid)
+        return tuple(out)
+
+    def alive_jobs(self) -> tuple[int, ...]:
+        """Ids of all released, uncompleted jobs."""
+        return tuple(sorted(self._engine._alive))
+
+    def job(self, job_id: int) -> Job:
+        return self._engine._states[job_id].job
+
+    def assigned_leaf(self, job_id: int) -> int:
+        return self._engine._states[job_id].record.leaf
+
+    def current_node_of(self, job_id: int) -> int | None:
+        """The node job ``job_id`` is currently available on (``None``
+        once completed)."""
+        return self._engine._states[job_id].current_node
+
+    def remaining_on(self, job_id: int, node: int) -> float:
+        """``p^A_{i,v}(t)`` — remaining processing of the job on ``node``.
+
+        Zero for nodes already passed (or off-path), live remaining for
+        the current node, full requirement for nodes not yet reached.
+        """
+        eng = self._engine
+        st = eng._states[job_id]
+        pos = st.pos_of.get(node)
+        if pos is None or st.idx > pos or st.done:
+            return 0.0
+        if st.idx < pos:
+            return eng.instance.processing_time(st.job, node)
+        return eng._live_remaining(st)
+
+    def live_remaining(self, job_id: int) -> float:
+        """Remaining processing of the job on its *current* node."""
+        return self._engine._live_remaining(self._engine._states[job_id])
+
+
+class Engine:
+    """One simulation run over an :class:`~repro.workload.instance.Instance`.
+
+    Parameters
+    ----------
+    instance:
+        The instance to simulate.
+    policy:
+        The leaf :class:`AssignmentPolicy` (immediate dispatch).
+    speeds:
+        Per-node speeds; defaults to unit speed everywhere.
+    priority:
+        The per-node ordering; defaults to :func:`sjf_priority`.
+    record_segments:
+        When true, every maximal (node, job) processing interval is
+        recorded — required by the dual-fitting and LP audits.
+    check_invariants:
+        When true, model invariants are asserted after every event
+        (simulation slows down by a small constant factor).
+    max_events:
+        Safety bound on processed events; exceeding it raises
+        :class:`~repro.exceptions.SimulationError`.
+    observer:
+        Optional callback invoked after every processed event as
+        ``observer(view, kind, subject)`` where ``kind`` is ``"arrival"``
+        (``subject`` is the job id) or ``"completion"`` (``subject`` is
+        the node id).  Used by the potential-function and dual-fitting
+        experiments to snapshot live state; must not mutate anything.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        policy: AssignmentPolicy,
+        speeds: SpeedProfile | None = None,
+        *,
+        priority: PriorityFn = sjf_priority,
+        record_segments: bool = False,
+        check_invariants: bool = False,
+        max_events: int = 10_000_000,
+        observer: Callable[["SchedulerView", str, int], None] | None = None,
+    ) -> None:
+        self.instance = instance
+        self.policy = policy
+        self.speeds = speeds or SpeedProfile.uniform(1.0)
+        self.priority = priority
+        self.record_segments = record_segments
+        self.check_invariants = check_invariants
+        self.max_events = max_events
+
+        tree = instance.tree
+        self._nodes: dict[int, _NodeState] = {}
+        for node in tree:
+            if node.is_root:
+                continue
+            self._nodes[node.id] = _NodeState(
+                node.id, self.speeds.speed_of(tree, node.id), node.is_leaf
+            )
+        self._states: dict[int, _JobState] = {}
+        self._alive: set[int] = set()
+        self._alive_at_leaf: dict[int, set[int]] = {v: set() for v in tree.leaves}
+
+        self.now = 0.0
+        self._events: list[tuple[float, int, int, int]] = []  # (t, version, seq, node)
+        self._seq = 0
+        self._num_events = 0
+
+        # fractional-flow accounting
+        self._frac_integral = 0.0
+        self._alive_fraction = 0.0  # Σ_alive remaining_leaf/p_leaf at self.now
+        self._drain = 0.0  # d/dt of the above (≥ 0): Σ over draining leaves
+        self._leaf_drain: dict[int, float] = {v: 0.0 for v in tree.leaves}
+        self._alive_integral = 0.0
+
+        self._segments: list[ScheduleSegment] | None = (
+            [] if record_segments else None
+        )
+        self._view = SchedulerView(self)
+        self._observer = observer
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+    def _live_remaining(self, st: _JobState) -> float:
+        """Remaining processing of ``st`` on its current node, *now*."""
+        if st.done:
+            return 0.0
+        node = self._nodes[st.path[st.idx]]
+        if node.active_id == st.job.id:
+            rem = node.active_rem_start - node.speed * (self.now - node.active_started)
+            return max(rem, 0.0)
+        return st.remaining
+
+    def _settle(self, ns: _NodeState) -> None:
+        """Fold elapsed processing into the active job's remaining and
+        close its schedule segment.  Leaves the node with no active job;
+        callers must follow with :meth:`_rearm`."""
+        if ns.active_id is None:
+            return
+        st = self._states[ns.active_id]
+        elapsed = self.now - ns.active_started
+        if elapsed > 0.0:
+            st.remaining = max(ns.active_rem_start - ns.speed * elapsed, 0.0)
+            if self._segments is not None:
+                self._segments.append(
+                    ScheduleSegment(ns.node_id, ns.active_id, ns.active_started, self.now)
+                )
+        else:
+            st.remaining = ns.active_rem_start
+        if ns.is_leaf:
+            self._set_leaf_drain(ns.node_id, 0.0)
+        ns.active_id = None
+
+    def _rearm(self, ns: _NodeState) -> None:
+        """Start the highest-priority available job (if any) and schedule
+        its completion event."""
+        ns.version += 1
+        if not ns.heap:
+            return
+        _, jid = ns.heap[0]
+        st = self._states[jid]
+        ns.active_id = jid
+        ns.active_started = self.now
+        ns.active_rem_start = st.remaining
+        finish = self.now + st.remaining / ns.speed
+        self._seq += 1
+        heapq.heappush(self._events, (finish, ns.version, self._seq, ns.node_id))
+        if ns.is_leaf:
+            p_leaf = self.instance.processing_time(st.job, ns.node_id)
+            self._set_leaf_drain(ns.node_id, ns.speed / p_leaf)
+
+    def _set_leaf_drain(self, leaf: int, value: float) -> None:
+        old = self._leaf_drain[leaf]
+        if old != value:
+            self._drain += value - old
+            self._leaf_drain[leaf] = value
+
+    def _advance(self, t: float) -> None:
+        """Move simulated time to ``t``, accumulating exact integrals."""
+        dt = t - self.now
+        if dt < 0:
+            if dt < -1e-9:
+                raise SimulationError(f"time went backwards: {self.now} -> {t}")
+            dt = 0.0
+        if dt > 0.0:
+            self._frac_integral += self._alive_fraction * dt - 0.5 * self._drain * dt * dt
+            self._alive_fraction = max(self._alive_fraction - self._drain * dt, 0.0)
+            self._alive_integral += len(self._alive) * dt
+            self.now = t
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _advance_job(self, ns: _NodeState, jid: int) -> None:
+        """Pop ``jid`` (the fully-processed heap top of ``ns``) and move it
+        to the next node of its path (or finish it)."""
+        heapq.heappop(ns.heap)
+        st = self._states[jid]
+        st.remaining = 0.0
+        st.record.completed_at.append(self.now)
+        st.idx += 1
+        if st.done:
+            self._alive.discard(jid)
+            self._alive_at_leaf[st.record.leaf].discard(jid)
+            return
+        nxt = self._nodes[st.path[st.idx]]
+        st.remaining = self.instance.processing_time(st.job, nxt.node_id)
+        st.record.available_at.append(self.now)
+        self._settle(nxt)
+        self._drain_finished_top(nxt)
+        heapq.heappush(
+            nxt.heap, (self.priority(self.instance, st.job, nxt.node_id), jid)
+        )
+        self._rearm(nxt)
+
+    def _drain_finished_top(self, ns: _NodeState) -> None:
+        """Complete a fully-processed job stranded at the heap top.
+
+        A job whose remaining work reached zero is *done* on this node;
+        it must advance before a simultaneous push can outrank it (ties
+        at identical priority would otherwise re-queue finished work
+        behind a full-size job).  Only the just-settled active job can be
+        in this state, so a single check suffices; the recursive advance
+        settles downstream nodes the same way.
+        """
+        if ns.active_id is not None or not ns.heap:
+            return
+        _, jid = ns.heap[0]
+        if self._states[jid].remaining <= 1e-12:
+            self._advance_job(ns, jid)
+
+    def _handle_arrival(self, job: Job) -> None:
+        leaf = self.policy.assign(self._view, job, self.now)
+        tree = self.instance.tree
+        if leaf not in tree or not tree.node(leaf).is_leaf:
+            raise AssignmentError(
+                f"policy assigned job {job.id} to non-leaf node {leaf!r}"
+            )
+        p_leaf = self.instance.processing_time(job, leaf)
+        if not math.isfinite(p_leaf):
+            raise AssignmentError(
+                f"policy assigned job {job.id} to forbidden leaf {leaf} (p=inf)"
+            )
+        try:
+            path = self.instance.processing_path_for(job, leaf)
+        except TopologyError as exc:
+            raise AssignmentError(
+                f"policy assigned job {job.id} to leaf {leaf} outside its "
+                f"origin's subtree: {exc}"
+            ) from exc
+        if not path:
+            raise AssignmentError(
+                f"job {job.id}: empty processing path to leaf {leaf}"
+            )
+        record = JobRecord(job_id=job.id, release=job.release, leaf=leaf, path=path)
+        st = _JobState(job, record)
+        self._states[job.id] = st
+        self._alive.add(job.id)
+        self._alive_at_leaf[leaf].add(job.id)
+        self._alive_fraction += 1.0
+
+        first = self._nodes[path[0]]
+        st.remaining = self.instance.processing_time(job, path[0])
+        record.available_at.append(self.now)
+        self._settle(first)
+        self._drain_finished_top(first)
+        heapq.heappush(first.heap, (self.priority(self.instance, job, path[0]), job.id))
+        self._rearm(first)
+
+    def _handle_completion(self, ns: _NodeState) -> None:
+        jid = ns.active_id
+        if jid is None:
+            # The active job was drained by a simultaneous event on
+            # another node before this (now stale-by-settlement, but
+            # version-valid) completion fired; nothing left to do except
+            # restart whatever is queued.
+            self._drain_finished_top(ns)
+            self._rearm(ns)
+            return
+        self._settle(ns)
+        st = self._states[jid]
+        # Completion-event times are computed as now + remaining/speed;
+        # one ulp of clock error leaves ~ speed * now * 2^-52 work
+        # unprocessed, so the guard must scale with both.
+        tol = max(
+            1e-7 * max(1.0, ns.active_rem_start),
+            256.0 * ns.speed * max(abs(self.now), 1.0) * 2.22e-16,
+        )
+        if st.remaining > tol:  # pragma: no cover - numerical guard
+            raise SimulationError(
+                f"completion event fired with {st.remaining} work left "
+                f"(job {jid} on node {ns.node_id})"
+            )
+        self._advance_job(ns, jid)
+        self._rearm(ns)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, *, until: float | None = None) -> SimulationResult:
+        """Simulate until every released job completes.
+
+        Parameters
+        ----------
+        until:
+            Optional time horizon.  When set, the run stops at the first
+            event past ``until`` (time is advanced exactly to ``until``
+            so the integrals cover ``[0, until]``); jobs still in flight
+            stay unfinished in the result (``records`` with partial
+            completion lists — use
+            :meth:`~repro.sim.result.SimulationResult.completed_records`).
+            Jobs released after ``until`` are not admitted.
+        """
+        if self._finished:
+            raise SimulationError("an Engine instance can only run once")
+        self._finished = True
+        if until is not None and until < 0:
+            raise SimulationError(f"until must be >= 0, got {until}")
+
+        arrivals = list(self.instance.jobs)
+        arr_idx = 0
+        n_arr = len(arrivals)
+
+        while True:
+            # Earliest valid completion event.
+            while self._events:
+                t, version, _, node_id = self._events[0]
+                if self._nodes[node_id].version == version:
+                    break
+                heapq.heappop(self._events)
+            next_completion = self._events[0][0] if self._events else math.inf
+            next_arrival = arrivals[arr_idx].release if arr_idx < n_arr else math.inf
+            if until is not None and min(next_completion, next_arrival) > until:
+                self._advance(until)
+                break
+            if next_completion is math.inf and next_arrival is math.inf:
+                break
+            self._num_events += 1
+            if self._num_events > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; "
+                    "likely a policy or engine bug"
+                )
+            if next_completion <= next_arrival:
+                t, version, _, node_id = heapq.heappop(self._events)
+                self._advance(t)
+                self._handle_completion(self._nodes[node_id])
+                if self._observer is not None:
+                    self._observer(self._view, "completion", node_id)
+            else:
+                self._advance(next_arrival)
+                job_id = arrivals[arr_idx].id
+                self._handle_arrival(arrivals[arr_idx])
+                arr_idx += 1
+                if self._observer is not None:
+                    self._observer(self._view, "arrival", job_id)
+            if self.check_invariants:
+                self._assert_invariants()
+
+        if until is not None:
+            # Close open schedule segments at the horizon so recorded
+            # segments cover exactly [0, until].
+            for ns in self._nodes.values():
+                self._settle(ns)
+        result = SimulationResult(
+            instance=self.instance,
+            speeds=self.speeds,
+            records={jid: st.record for jid, st in self._states.items()},
+            fractional_flow=self._frac_integral,
+            alive_integral=self._alive_integral,
+            num_events=self._num_events,
+            segments=self._segments,
+        )
+        if until is None:
+            result.verify_complete()
+        return result
+
+    # ------------------------------------------------------------------
+    # invariants (enabled via check_invariants=True)
+    # ------------------------------------------------------------------
+    def _assert_invariants(self) -> None:
+        tree = self.instance.tree
+        seen: dict[int, int] = {}
+        for ns in self._nodes.values():
+            # Each queued job must actually be at this node.
+            for _, jid in ns.heap:
+                st = self._states[jid]
+                if st.done or st.path[st.idx] != ns.node_id:
+                    raise InvariantViolation(
+                        f"job {jid} queued on node {ns.node_id} but is at "
+                        f"{'done' if st.done else st.path[st.idx]}"
+                    )
+                if jid in seen:
+                    raise InvariantViolation(
+                        f"job {jid} queued on two nodes: {seen[jid]}, {ns.node_id}"
+                    )
+                seen[jid] = ns.node_id
+            # The active job must be the heap minimum.
+            if ns.active_id is not None:
+                if not ns.heap or ns.heap[0][1] != ns.active_id:
+                    raise InvariantViolation(
+                        f"node {ns.node_id} active job {ns.active_id} is not "
+                        "the queue minimum"
+                    )
+        for jid in self._alive:
+            st = self._states[jid]
+            if st.done:
+                raise InvariantViolation(f"done job {jid} still in alive set")
+            rem = self._live_remaining(st)
+            p = self.instance.processing_time(st.job, st.path[st.idx])
+            if rem < -1e-9 or rem > p * (1.0 + 1e-9):
+                raise InvariantViolation(
+                    f"job {jid} remaining {rem} outside [0, {p}]"
+                )
+        # Fractional bookkeeping must match a from-scratch recomputation.
+        expected = 0.0
+        for jid in self._alive:
+            st = self._states[jid]
+            leaf = st.record.leaf
+            p_leaf = self.instance.processing_time(st.job, leaf)
+            pos = st.pos_of[leaf]
+            if st.idx < pos:
+                expected += 1.0
+            elif st.idx == pos:
+                expected += self._live_remaining(st) / p_leaf
+        if abs(expected - self._alive_fraction) > 1e-6 * max(1.0, expected):
+            raise InvariantViolation(
+                f"alive-fraction drift: tracked {self._alive_fraction}, "
+                f"recomputed {expected}"
+            )
+        _ = tree  # reserved for future structural checks
+
+
+def simulate(
+    instance: Instance,
+    policy: AssignmentPolicy,
+    speeds: SpeedProfile | None = None,
+    *,
+    priority: PriorityFn = sjf_priority,
+    record_segments: bool = False,
+    check_invariants: bool = False,
+    observer: Callable[[SchedulerView, str, int], None] | None = None,
+    until: float | None = None,
+) -> SimulationResult:
+    """Convenience wrapper: build an :class:`Engine` and run it."""
+    return Engine(
+        instance,
+        policy,
+        speeds,
+        priority=priority,
+        record_segments=record_segments,
+        check_invariants=check_invariants,
+        observer=observer,
+    ).run(until=until)

@@ -1,0 +1,122 @@
+"""Post-hoc schedule validation.
+
+:func:`validate_schedule` replays a finished
+:class:`~repro.sim.result.SimulationResult` (run with
+``record_segments=True``) against the model of Section 2 and raises
+:class:`~repro.exceptions.InvariantViolation` on the first discrepancy:
+
+1. **Mutual exclusion** — no node processes two jobs at once.
+2. **Work conservation** — per (job, node), segment durations × node
+   speed sum to exactly the job's processing requirement there.
+3. **Store-and-forward** — a job is only processed on a node inside its
+   availability window there, and becomes available on node ``i+1`` at
+   the instant it completes on node ``i``.
+4. **Release respect** — nothing is processed before its release.
+
+These checks are independent of the engine's internal bookkeeping: they
+consume only the emitted segments and records, so an engine bug cannot
+hide itself.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.exceptions import InvariantViolation
+from repro.sim.result import SimulationResult
+
+__all__ = ["validate_schedule"]
+
+_TOL = 1e-6
+
+
+def validate_schedule(result: SimulationResult, *, tol: float = _TOL) -> None:
+    """Validate a recorded schedule against the tree network model.
+
+    Raises
+    ------
+    InvariantViolation
+        Describing the first violated property.
+    """
+    if result.segments is None:
+        raise InvariantViolation(
+            "result has no segments; run the engine with record_segments=True"
+        )
+    instance = result.instance
+
+    by_node: dict[int, list] = defaultdict(list)
+    by_job_node: dict[tuple[int, int], float] = defaultdict(float)
+    for seg in result.segments:
+        if seg.end < seg.start - tol:
+            raise InvariantViolation(f"segment with negative duration: {seg}")
+        by_node[seg.node].append(seg)
+        by_job_node[(seg.job_id, seg.node)] += seg.duration
+
+    # 1. mutual exclusion per node
+    for node, segs in by_node.items():
+        segs.sort(key=lambda s: (s.start, s.end))
+        for a, b in zip(segs, segs[1:]):
+            if b.start < a.end - tol:
+                raise InvariantViolation(
+                    f"node {node} overlaps: job {a.job_id} [{a.start},{a.end}] "
+                    f"vs job {b.job_id} [{b.start},{b.end}]"
+                )
+
+    for rec in result.records.values():
+        job = instance.jobs.by_id(rec.job_id)
+        if len(rec.available_at) != len(rec.path) or len(rec.completed_at) != len(
+            rec.path
+        ):
+            raise InvariantViolation(
+                f"job {rec.job_id}: incomplete per-node records"
+            )
+        # 4. release respect + monotone chain
+        if rec.available_at[0] < job.release - tol:
+            raise InvariantViolation(
+                f"job {rec.job_id} available before release"
+            )
+        for i, node in enumerate(rec.path):
+            speed = result.speeds.speed_of(instance.tree, node)
+            required = instance.processing_time(job, node)
+            done = by_job_node.pop((rec.job_id, node), 0.0) * speed
+            # 2. work conservation
+            if abs(done - required) > tol * max(1.0, required):
+                raise InvariantViolation(
+                    f"job {rec.job_id} on node {node}: processed {done}, "
+                    f"required {required}"
+                )
+            # 3. store-and-forward ordering
+            if rec.completed_at[i] < rec.available_at[i] - tol:
+                raise InvariantViolation(
+                    f"job {rec.job_id} completed on node {node} before available"
+                )
+            if i + 1 < len(rec.path):
+                if abs(rec.available_at[i + 1] - rec.completed_at[i]) > tol:
+                    raise InvariantViolation(
+                        f"job {rec.job_id}: availability on {rec.path[i + 1]} "
+                        f"({rec.available_at[i + 1]}) does not match completion "
+                        f"on {node} ({rec.completed_at[i]})"
+                    )
+
+    # Any leftover work on nodes not on the job's path is illegal.
+    stray = {k: v for k, v in by_job_node.items() if v > tol}
+    if stray:
+        raise InvariantViolation(f"processing off the assigned path: {stray}")
+
+    # 3b. segments must lie inside the availability window on their node.
+    windows = {
+        (rec.job_id, node): (rec.available_at[i], rec.completed_at[i])
+        for rec in result.records.values()
+        for i, node in enumerate(rec.path)
+    }
+    for seg in result.segments:
+        window = windows.get((seg.job_id, seg.node))
+        if window is None:
+            raise InvariantViolation(
+                f"segment for job {seg.job_id} on off-path node {seg.node}"
+            )
+        lo, hi = window
+        if seg.start < lo - tol or seg.end > hi + tol:
+            raise InvariantViolation(
+                f"segment {seg} outside availability window [{lo}, {hi}]"
+            )

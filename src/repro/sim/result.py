@@ -1,0 +1,178 @@
+"""Simulation outputs: per-job records, schedule segments, and the
+:class:`SimulationResult` bundle consumed by metrics, analysis, and the
+dual-fitting machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance
+
+__all__ = ["JobRecord", "ScheduleSegment", "SimulationResult"]
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """Everything the simulator recorded about one job.
+
+    Attributes
+    ----------
+    job_id:
+        The job's id.
+    release:
+        Its arrival time ``r_j``.
+    leaf:
+        The leaf machine it was (immediately) dispatched to.
+    path:
+        The processing path — the nodes from ``R(leaf)`` down to ``leaf``.
+    available_at:
+        ``available_at[i]`` is the time the job became available to
+        schedule on ``path[i]``; ``available_at[0] == release``.
+    completed_at:
+        ``completed_at[i]`` is the time the job finished processing on
+        ``path[i]``.  The final entry is the completion time ``C_j``.
+    """
+
+    job_id: int
+    release: float
+    leaf: int
+    path: tuple[int, ...]
+    available_at: list[float] = field(default_factory=list)
+    completed_at: list[float] = field(default_factory=list)
+
+    @property
+    def completion(self) -> float:
+        """``C_j`` — completion on the leaf."""
+        if len(self.completed_at) != len(self.path):
+            raise SimulationError(f"job {self.job_id} did not complete")
+        return self.completed_at[-1]
+
+    @property
+    def flow_time(self) -> float:
+        """``C_j − r_j``."""
+        return self.completion - self.release
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job completed on its leaf."""
+        return len(self.completed_at) == len(self.path)
+
+    def time_on_node(self, i: int) -> float:
+        """Wall-clock the job spent associated with ``path[i]``
+        (waiting plus processing)."""
+        return self.completed_at[i] - self.available_at[i]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleSegment:
+    """A maximal interval during which ``node`` processed ``job_id``.
+
+    Only recorded when the engine is run with ``record_segments=True``;
+    the dual-fitting and LP-comparison machinery replays these.
+    """
+
+    node: int
+    job_id: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SimulationResult:
+    """The full outcome of one simulation run.
+
+    Attributes
+    ----------
+    instance:
+        The simulated instance.
+    speeds:
+        The speed profile the algorithm ran with.
+    records:
+        ``job id -> JobRecord`` for every released job.
+    fractional_flow:
+        The paper's fractional flow time: the exact integral of the sum
+        over alive jobs of the remaining fraction on their assigned leaf.
+    alive_integral:
+        Exact integral of the number of alive jobs — equals the total
+        (integral) flow time; kept as an independent cross-check.
+    num_events:
+        Number of engine events processed.
+    segments:
+        Schedule segments if recording was enabled, else ``None``.
+    """
+
+    instance: Instance
+    speeds: SpeedProfile
+    records: dict[int, JobRecord]
+    fractional_flow: float
+    alive_integral: float
+    num_events: int
+    segments: list[ScheduleSegment] | None = None
+
+    # ------------------------------------------------------------------
+    def assignment(self) -> dict[int, int]:
+        """``job id -> leaf id`` dispatch map."""
+        return {j: rec.leaf for j, rec in self.records.items()}
+
+    def completed_records(self) -> dict[int, JobRecord]:
+        """Only the jobs that finished — the whole record set for a full
+        run, a strict subset after a bounded-horizon run."""
+        return {j: rec for j, rec in self.records.items() if rec.finished}
+
+    def unfinished_job_ids(self) -> tuple[int, ...]:
+        """Ids of admitted jobs still in flight (bounded-horizon runs)."""
+        return tuple(sorted(j for j, rec in self.records.items() if not rec.finished))
+
+    def completions(self) -> dict[int, float]:
+        """``job id -> C_j``."""
+        return {j: rec.completion for j, rec in self.records.items()}
+
+    def flow_times(self) -> np.ndarray:
+        """Per-job flow times in job-id order."""
+        return np.array(
+            [self.records[j].flow_time for j in sorted(self.records)], dtype=float
+        )
+
+    def total_flow_time(self) -> float:
+        """``Σ_j (C_j − r_j)``."""
+        return float(self.flow_times().sum())
+
+    def mean_flow_time(self) -> float:
+        """Average flow time."""
+        flows = self.flow_times()
+        return float(flows.mean()) if flows.size else 0.0
+
+    def max_flow_time(self) -> float:
+        """Maximum flow time over jobs."""
+        flows = self.flow_times()
+        return float(flows.max()) if flows.size else 0.0
+
+    def makespan(self) -> float:
+        """Latest completion time among finished jobs."""
+        return max(
+            (r.completion for r in self.records.values() if r.finished),
+            default=0.0,
+        )
+
+    def verify_complete(self) -> None:
+        """Raise if any released job failed to finish."""
+        unfinished = [j for j, r in self.records.items() if not r.finished]
+        if unfinished:
+            raise SimulationError(f"jobs did not complete: {unfinished[:10]}")
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(jobs={len(self.records)}, "
+            f"total_flow={self.total_flow_time():.3f}, "
+            f"fractional_flow={self.fractional_flow:.3f}, "
+            f"events={self.num_events})"
+        )

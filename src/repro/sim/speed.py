@@ -1,0 +1,150 @@
+"""Resource-augmentation speed profiles.
+
+The paper's theorems augment different tiers of the tree by different
+factors; :class:`SpeedProfile` captures that: one speed for the
+root-adjacent nodes (the paper's ``R``), one for the remaining interior
+routers, one for the leaves, plus optional per-node overrides.
+
+Named constructors build the exact profiles of the analysis:
+
+* :meth:`SpeedProfile.theorem1` — the algorithm's speeds in the identical
+  setting of Section 3.5: ``(1+ε)`` on ``R``, ``(1+ε)²`` elsewhere.
+* :meth:`SpeedProfile.theorem2` — the unrelated-endpoint speeds of
+  Section 3.6: ``2(1+ε)`` on ``R``, ``2(1+ε)²`` elsewhere.
+* :meth:`SpeedProfile.theorem4_opt` — the augmentation granted to the
+  *optimum on the broomstick* in Theorem 4: ``(1+ε)`` on ``R``,
+  ``(1+ε)²`` elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+from repro.network.tree import TreeNetwork
+
+__all__ = ["SpeedProfile"]
+
+
+@dataclass(frozen=True)
+class SpeedProfile:
+    """Per-tier node speeds with optional per-node overrides.
+
+    Attributes
+    ----------
+    root_children:
+        Speed of every node adjacent to the root (the paper's ``R``).
+    interior:
+        Speed of every other interior router.
+    leaves:
+        Speed of every leaf machine.
+    overrides:
+        Mapping ``node id -> speed`` taking precedence over the tiers.
+    """
+
+    root_children: float = 1.0
+    interior: float = 1.0
+    leaves: float = 1.0
+    overrides: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label, s in (
+            ("root_children", self.root_children),
+            ("interior", self.interior),
+            ("leaves", self.leaves),
+            *((f"override[{v}]", s) for v, s in self.overrides.items()),
+        ):
+            if not math.isfinite(s) or s <= 0:
+                raise SimulationError(f"speed {label} must be finite and > 0, got {s}")
+
+    # ------------------------------------------------------------------
+    def speed_of(self, tree: TreeNetwork, v: int) -> float:
+        """The speed of node ``v`` in ``tree``.
+
+        The root performs no processing; querying its speed is an error.
+        """
+        node = tree.node(v)
+        if node.is_root:
+            raise SimulationError("the root performs no processing; it has no speed")
+        if v in self.overrides:
+            return self.overrides[v]
+        if node.is_leaf:
+            return self.leaves
+        if node.parent == tree.root:
+            return self.root_children
+        return self.interior
+
+    def speeds_for(self, tree: TreeNetwork) -> dict[int, float]:
+        """Concrete ``node id -> speed`` map for every non-root node."""
+        return {
+            node.id: self.speed_of(tree, node.id)
+            for node in tree
+            if not node.is_root
+        }
+
+    def scaled(self, factor: float) -> "SpeedProfile":
+        """Every speed multiplied by ``factor`` (> 0)."""
+        if not math.isfinite(factor) or factor <= 0:
+            raise SimulationError(f"factor must be finite and > 0, got {factor}")
+        return SpeedProfile(
+            root_children=self.root_children * factor,
+            interior=self.interior * factor,
+            leaves=self.leaves * factor,
+            overrides={v: s * factor for v, s in self.overrides.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # named profiles from the paper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def uniform(speed: float = 1.0) -> "SpeedProfile":
+        """Every node runs at the same speed (the adversary's profile)."""
+        return SpeedProfile(speed, speed, speed)
+
+    @staticmethod
+    def theorem1(eps: float) -> "SpeedProfile":
+        """Section 3.5 algorithm speeds (identical endpoints):
+        ``(1+ε)`` on root-adjacent nodes, ``(1+ε)²`` below."""
+        _check_eps(eps)
+        return SpeedProfile(
+            root_children=1.0 + eps,
+            interior=(1.0 + eps) ** 2,
+            leaves=(1.0 + eps) ** 2,
+        )
+
+    @staticmethod
+    def theorem2(eps: float) -> "SpeedProfile":
+        """Section 3.6 algorithm speeds (unrelated endpoints):
+        ``2(1+ε)`` on root-adjacent nodes, ``2(1+ε)²`` below."""
+        _check_eps(eps)
+        return SpeedProfile(
+            root_children=2.0 * (1.0 + eps),
+            interior=2.0 * (1.0 + eps) ** 2,
+            leaves=2.0 * (1.0 + eps) ** 2,
+        )
+
+    @staticmethod
+    def theorem4_opt(eps: float) -> "SpeedProfile":
+        """Theorem 4's augmentation of the broomstick optimum:
+        ``(1+ε)`` on root-adjacent nodes, ``(1+ε)²`` below."""
+        _check_eps(eps)
+        return SpeedProfile(
+            root_children=1.0 + eps,
+            interior=(1.0 + eps) ** 2,
+            leaves=(1.0 + eps) ** 2,
+        )
+
+    @staticmethod
+    def lemma1(eps: float) -> "SpeedProfile":
+        """Lemma 1's setting: unit speed on root-adjacent nodes and
+        ``s ≥ 1+ε`` on every other node."""
+        _check_eps(eps)
+        return SpeedProfile(
+            root_children=1.0, interior=1.0 + eps, leaves=1.0 + eps
+        )
+
+
+def _check_eps(eps: float) -> None:
+    if not math.isfinite(eps) or eps <= 0:
+        raise SimulationError(f"eps must be finite and > 0, got {eps}")

@@ -1,0 +1,68 @@
+"""Workload substrate: jobs, arrival processes, size distributions,
+unrelated-endpoint matrices, instances, and trace IO.
+
+The paper evaluates nothing empirically, so worst-case-flavoured
+synthetic workloads are built here to exercise the algorithms at the
+stress points of the proofs: congestion at the root-adjacent routers
+(Lemma 6), priority mixing inside subtrees (Lemma 2), and skewed
+machine affinities in the unrelated-endpoint setting (Theorem 2).
+"""
+
+from repro.workload.job import Job, JobSet
+from repro.workload.arrivals import (
+    adversarial_bursts,
+    batch_arrivals,
+    bursty_arrivals,
+    deterministic_arrivals,
+    poisson_arrivals,
+)
+from repro.workload.sizes import (
+    bimodal_sizes,
+    bounded_pareto_sizes,
+    class_index,
+    geometric_class_sizes,
+    round_to_classes,
+    uniform_sizes,
+)
+from repro.workload.unrelated import (
+    affinity_matrix,
+    partition_matrix,
+    restricted_assignment_matrix,
+    uniform_speed_matrix,
+)
+from repro.workload.instance import Instance, Setting
+from repro.workload.scenarios import (
+    interactive_plus_batch,
+    locality_cluster,
+    mapreduce_shuffle,
+    sensor_fanout,
+)
+from repro.workload.trace_io import instance_from_json, instance_to_json
+
+__all__ = [
+    "Job",
+    "JobSet",
+    "poisson_arrivals",
+    "deterministic_arrivals",
+    "batch_arrivals",
+    "bursty_arrivals",
+    "adversarial_bursts",
+    "uniform_sizes",
+    "bounded_pareto_sizes",
+    "bimodal_sizes",
+    "geometric_class_sizes",
+    "round_to_classes",
+    "class_index",
+    "uniform_speed_matrix",
+    "affinity_matrix",
+    "partition_matrix",
+    "restricted_assignment_matrix",
+    "Instance",
+    "Setting",
+    "instance_to_json",
+    "instance_from_json",
+    "mapreduce_shuffle",
+    "interactive_plus_batch",
+    "sensor_fanout",
+    "locality_cluster",
+]

@@ -1,0 +1,149 @@
+"""Arrival-time generators.
+
+All generators return a 1-D float numpy array of non-decreasing release
+times.  Randomness flows through a :class:`numpy.random.Generator` (or a
+seed convertible to one) so every workload is reproducible.
+
+Load calibration
+----------------
+For flow-time experiments the interesting regime is near the capacity of
+the bottleneck tier.  :func:`poisson_arrivals` therefore takes an
+explicit ``rate`` (jobs per unit time); the helpers in
+:mod:`repro.workload.instance` compute the rate that loads a given tree
+to a target utilisation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "poisson_arrivals",
+    "deterministic_arrivals",
+    "batch_arrivals",
+    "bursty_arrivals",
+    "adversarial_bursts",
+]
+
+
+def _check_n(n: int) -> None:
+    if n < 0:
+        raise WorkloadError(f"number of jobs must be >= 0, got {n}")
+
+
+def poisson_arrivals(
+    n: int, rate: float, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """``n`` arrivals of a Poisson process with the given rate.
+
+    Inter-arrival times are iid exponential with mean ``1/rate``.
+    """
+    _check_n(n)
+    if rate <= 0:
+        raise WorkloadError(f"rate must be > 0, got {rate}")
+    rng = np.random.default_rng(rng)
+    gaps = rng.exponential(1.0 / rate, size=n)
+    return np.cumsum(gaps)
+
+
+def deterministic_arrivals(n: int, spacing: float, start: float = 0.0) -> np.ndarray:
+    """``n`` evenly spaced arrivals starting at ``start``."""
+    _check_n(n)
+    if spacing < 0:
+        raise WorkloadError(f"spacing must be >= 0, got {spacing}")
+    if start < 0:
+        raise WorkloadError(f"start must be >= 0, got {start}")
+    return start + spacing * np.arange(n, dtype=float)
+
+
+def batch_arrivals(batch_sizes: Sequence[int], batch_times: Sequence[float]) -> np.ndarray:
+    """Batches of simultaneous arrivals at the given times.
+
+    ``batch_sizes[i]`` jobs arrive at ``batch_times[i]``.  Times must be
+    non-decreasing.
+    """
+    if len(batch_sizes) != len(batch_times):
+        raise WorkloadError("batch_sizes and batch_times differ in length")
+    out: list[float] = []
+    prev = 0.0
+    for size, t in zip(batch_sizes, batch_times):
+        if size < 0:
+            raise WorkloadError(f"batch size must be >= 0, got {size}")
+        if t < prev:
+            raise WorkloadError("batch_times must be non-decreasing")
+        prev = t
+        out.extend([float(t)] * size)
+    return np.asarray(out, dtype=float)
+
+
+def bursty_arrivals(
+    n: int,
+    burst_rate: float,
+    idle_rate: float,
+    mean_burst: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """A two-state (on/off) modulated Poisson process.
+
+    The process alternates between a *burst* state generating arrivals at
+    ``burst_rate`` and an *idle* state at ``idle_rate``; the expected
+    number of arrivals per burst visit is ``mean_burst``.  This produces
+    the queue-buildup-then-drain pattern that stresses the interior
+    waiting bounds (Lemma 1/Lemma 2).
+    """
+    _check_n(n)
+    if burst_rate <= 0 or idle_rate <= 0:
+        raise WorkloadError("burst_rate and idle_rate must be > 0")
+    if mean_burst <= 0:
+        raise WorkloadError(f"mean_burst must be > 0, got {mean_burst}")
+    rng = np.random.default_rng(rng)
+    times: list[float] = []
+    t = 0.0
+    in_burst = True
+    # Probability of leaving the burst state after each burst arrival.
+    leave_p = min(1.0, 1.0 / mean_burst)
+    while len(times) < n:
+        rate = burst_rate if in_burst else idle_rate
+        t += float(rng.exponential(1.0 / rate))
+        times.append(t)
+        if in_burst:
+            if rng.random() < leave_p:
+                in_burst = False
+        else:
+            in_burst = True
+    return np.asarray(times[:n], dtype=float)
+
+
+def adversarial_bursts(
+    num_bursts: int,
+    jobs_per_burst: int,
+    gap: float,
+    jitter: float = 0.0,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Tight bursts separated by drain gaps.
+
+    Each burst releases ``jobs_per_burst`` jobs within ``jitter`` time of
+    the burst start; consecutive bursts are ``gap`` apart.  With
+    ``jitter = 0`` all jobs of a burst arrive simultaneously — the
+    adversarial pattern behind the lower bounds for parallel-machine flow
+    time [Leonardi & Raz].
+    """
+    if num_bursts < 0 or jobs_per_burst < 0:
+        raise WorkloadError("num_bursts and jobs_per_burst must be >= 0")
+    if gap < 0 or jitter < 0:
+        raise WorkloadError("gap and jitter must be >= 0")
+    rng = np.random.default_rng(rng)
+    times: list[float] = []
+    for b in range(num_bursts):
+        start = b * gap
+        if jitter == 0.0:
+            times.extend([start] * jobs_per_burst)
+        else:
+            offsets = np.sort(rng.uniform(0.0, jitter, size=jobs_per_burst))
+            times.extend((start + offsets).tolist())
+    return np.asarray(times, dtype=float)

@@ -1,0 +1,227 @@
+"""Divisible routing: jobs sent in small pieces through the routers.
+
+Section 2 of the paper notes that all its results extend to the variant
+where a job's data can be divided into small packets while routing —
+store-and-forward congestion at interior routers is "effectively
+negated" because pieces pipeline.  This module implements that variant
+as an instance transformation:
+
+* :func:`chunk_instance` splits every job into equal pieces of router
+  size at most ``chunk_size``; each piece is an ordinary job of the
+  chunk-level instance (released at the parent's release time), so the
+  unchanged engine simulates cut-through pipelining at piece
+  granularity;
+* :func:`chunk_priority` ranks pieces by their *parent's* original
+  processing time, so SJF semantics match the unchunked system (pieces
+  of the same job then order by index);
+* :class:`ChunkedAssignment` pins all pieces of a job to the leaf the
+  base policy chooses for its first piece (non-migratory, immediate
+  dispatch, exactly once per job);
+* :func:`aggregate_chunk_result` folds piece completions back to job
+  completions (a job finishes when its last piece finishes on the leaf).
+
+The ``X1`` experiment (:mod:`repro.analysis.experiments.x1`) uses this to
+measure the pipelining win the paper asserts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import WorkloadError
+from repro.sim.engine import PriorityFn, SchedulerView
+from repro.sim.result import SimulationResult
+from repro.workload.instance import Instance
+from repro.workload.job import Job, JobSet
+
+__all__ = [
+    "ChunkedInstance",
+    "chunk_instance",
+    "chunk_priority",
+    "ChunkedAssignment",
+    "ChunkedRunSummary",
+    "aggregate_chunk_result",
+]
+
+
+@dataclass(frozen=True)
+class ChunkedInstance:
+    """A chunk-level instance plus the bookkeeping back to the original.
+
+    Attributes
+    ----------
+    original:
+        The unchunked instance.
+    instance:
+        The chunk-level instance the engine runs.
+    parent_of:
+        ``chunk job id -> original job id``.
+    chunks_of:
+        ``original job id -> tuple of chunk job ids`` (ascending; the
+        first entry is the piece that triggers leaf assignment).
+    """
+
+    original: Instance
+    instance: Instance
+    parent_of: dict[int, int] = field(repr=False)
+    chunks_of: dict[int, tuple[int, ...]] = field(repr=False)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.parent_of)
+
+
+def chunk_instance(instance: Instance, chunk_size: float) -> ChunkedInstance:
+    """Split every job into equal pieces of router size ≤ ``chunk_size``.
+
+    A job of size ``p_j`` becomes ``m = ceil(p_j / chunk_size)`` pieces
+    of router size ``p_j/m``; in the unrelated setting each piece carries
+    ``p_{j,v}/m`` on leaf ``v`` (``inf`` stays ``inf``).  Piece ids are
+    contiguous ascending per job, so a job's first piece is dispatched
+    first among its siblings.
+    """
+    if not math.isfinite(chunk_size) or chunk_size <= 0:
+        raise WorkloadError(f"chunk_size must be finite and > 0, got {chunk_size}")
+    chunks: list[Job] = []
+    parent_of: dict[int, int] = {}
+    chunks_of: dict[int, tuple[int, ...]] = {}
+    next_id = 0
+    for job in instance.jobs:
+        m = max(1, math.ceil(job.size / chunk_size))
+        piece_size = job.size / m
+        piece_leaf_sizes = None
+        if job.leaf_sizes is not None:
+            piece_leaf_sizes = {
+                v: (p if math.isinf(p) else p / m) for v, p in job.leaf_sizes.items()
+            }
+        ids = []
+        for _ in range(m):
+            chunks.append(
+                Job(
+                    id=next_id,
+                    release=job.release,
+                    size=piece_size,
+                    leaf_sizes=piece_leaf_sizes,
+                )
+            )
+            parent_of[next_id] = job.id
+            ids.append(next_id)
+            next_id += 1
+        chunks_of[job.id] = tuple(ids)
+    chunked = Instance(
+        instance.tree,
+        JobSet(chunks),
+        instance.setting,
+        name=f"{instance.name}::chunks" if instance.name else "chunks",
+    )
+    return ChunkedInstance(
+        original=instance,
+        instance=chunked,
+        parent_of=parent_of,
+        chunks_of=chunks_of,
+    )
+
+
+def chunk_priority(chunked: ChunkedInstance) -> PriorityFn:
+    """SJF by the *parent job's* original processing time.
+
+    Pieces of the same job tie-break by piece id, preserving their
+    natural order; across jobs the ranking matches the unchunked SJF.
+    """
+    parent_of = chunked.parent_of
+    original = chunked.original
+
+    def priority(instance: Instance, job: Job, node: int) -> tuple:
+        parent = original.jobs.by_id(parent_of[job.id])
+        return (
+            original.processing_time(parent, node),
+            parent.release,
+            parent.id,
+            job.id,
+        )
+
+    return priority
+
+
+class ChunkedAssignment:
+    """Dispatch pieces: the base policy chooses once per job, siblings pin.
+
+    The base policy sees the chunk-level view (so its congestion estimates
+    price the actual queues the pieces will join).
+    """
+
+    def __init__(self, chunked: ChunkedInstance, base_policy) -> None:
+        self.chunked = chunked
+        self.base_policy = base_policy
+        self.leaf_of_parent: dict[int, int] = {}
+
+    def assign(self, view: SchedulerView, job: Job, now: float) -> int:
+        parent = self.chunked.parent_of[job.id]
+        leaf = self.leaf_of_parent.get(parent)
+        if leaf is None:
+            leaf = self.base_policy.assign(view, job, now)
+            self.leaf_of_parent[parent] = leaf
+        return leaf
+
+
+@dataclass(frozen=True)
+class ChunkedRunSummary:
+    """Job-level metrics recovered from a chunk-level run.
+
+    Attributes
+    ----------
+    completions:
+        ``original job id -> completion of its last piece``.
+    flow_times:
+        ``original job id -> completion − release``.
+    assignment:
+        ``original job id -> leaf`` (identical for all pieces).
+    """
+
+    completions: dict[int, float]
+    flow_times: dict[int, float]
+    assignment: dict[int, int]
+
+    def total_flow_time(self) -> float:
+        return sum(self.flow_times.values())
+
+    def mean_flow_time(self) -> float:
+        return (
+            sum(self.flow_times.values()) / len(self.flow_times)
+            if self.flow_times
+            else 0.0
+        )
+
+    def max_flow_time(self) -> float:
+        return max(self.flow_times.values(), default=0.0)
+
+
+def aggregate_chunk_result(
+    chunked: ChunkedInstance, result: SimulationResult
+) -> ChunkedRunSummary:
+    """Fold a chunk-level :class:`SimulationResult` back to job level.
+
+    Raises
+    ------
+    WorkloadError
+        If pieces of one job landed on different leaves (the pinning
+        policy was not used).
+    """
+    completions: dict[int, float] = {}
+    flow_times: dict[int, float] = {}
+    assignment: dict[int, int] = {}
+    for parent_id, piece_ids in chunked.chunks_of.items():
+        job = chunked.original.jobs.by_id(parent_id)
+        leaves = {result.records[p].leaf for p in piece_ids}
+        if len(leaves) != 1:
+            raise WorkloadError(
+                f"pieces of job {parent_id} landed on multiple leaves {leaves}"
+            )
+        done = max(result.records[p].completion for p in piece_ids)
+        completions[parent_id] = done
+        flow_times[parent_id] = done - job.release
+        assignment[parent_id] = leaves.pop()
+    return ChunkedRunSummary(
+        completions=completions, flow_times=flow_times, assignment=assignment
+    )

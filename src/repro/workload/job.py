@@ -1,0 +1,216 @@
+"""Job and job-set objects.
+
+A :class:`Job` carries the data of the paper's ``J_j``: a release time
+``r_j``, a router processing time ``p_j`` (the data size — the time the
+job occupies any identical node), and, in the unrelated-endpoint setting,
+a per-leaf processing-time mapping ``p_{j,v}``.
+
+:class:`JobSet` is an immutable ordered collection with numpy views used
+by the workload generators and the metrics layer.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+
+__all__ = ["Job", "JobSet"]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """A single job.
+
+    Attributes
+    ----------
+    id:
+        Unique non-negative identifier; also the deterministic tie-break
+        of last resort in SJF ordering.
+    release:
+        Arrival time ``r_j`` at the root (non-negative).
+    size:
+        Router processing time ``p_j`` (strictly positive, finite).  In
+        the identical setting this is also the leaf processing time.
+    leaf_sizes:
+        ``None`` in the identical setting.  In the unrelated-endpoint
+        setting, a mapping ``leaf id -> p_{j,v}``; ``math.inf`` marks a
+        leaf the job cannot run on.  At least one leaf must be finite.
+    origin:
+        Node the job's data is created at.  ``None`` (the default) means
+        the root — the paper's model.  A router id enables the
+        arbitrary-arrival extension the paper's conclusion poses as
+        future work: the job is routed only through nodes strictly below
+        its origin and must be assigned to a leaf of the origin's
+        subtree.  Validated against the tree by
+        :class:`~repro.workload.instance.Instance`.
+    """
+
+    id: int
+    release: float
+    size: float
+    leaf_sizes: Mapping[int, float] | None = field(default=None)
+    origin: int | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise WorkloadError(f"job id must be non-negative, got {self.id}")
+        if not math.isfinite(self.release) or self.release < 0:
+            raise WorkloadError(
+                f"job {self.id}: release must be finite and >= 0, got {self.release}"
+            )
+        if not math.isfinite(self.size) or self.size <= 0:
+            raise WorkloadError(
+                f"job {self.id}: size must be finite and > 0, got {self.size}"
+            )
+        if self.leaf_sizes is not None:
+            if not self.leaf_sizes:
+                raise WorkloadError(f"job {self.id}: empty leaf_sizes mapping")
+            finite = False
+            for leaf, p in self.leaf_sizes.items():
+                if math.isnan(p) or p <= 0:
+                    raise WorkloadError(
+                        f"job {self.id}: leaf {leaf} processing time must be > 0 "
+                        f"(inf allowed for forbidden leaves), got {p}"
+                    )
+                finite = finite or math.isfinite(p)
+            if not finite:
+                raise WorkloadError(
+                    f"job {self.id}: no leaf has a finite processing time"
+                )
+        if self.origin is not None and self.origin < 0:
+            raise WorkloadError(
+                f"job {self.id}: origin must be a node id >= 0, got {self.origin}"
+            )
+
+    @property
+    def is_unrelated(self) -> bool:
+        """Whether the job carries per-leaf processing times."""
+        return self.leaf_sizes is not None
+
+    def processing_on_leaf(self, leaf: int) -> float:
+        """``p_{j,v}`` for leaf ``v`` (``p_j`` in the identical setting)."""
+        if self.leaf_sizes is None:
+            return self.size
+        try:
+            return self.leaf_sizes[leaf]
+        except KeyError:
+            raise WorkloadError(
+                f"job {self.id}: leaf {leaf} missing from leaf_sizes"
+            ) from None
+
+    def with_leaf_sizes(self, leaf_sizes: Mapping[int, float] | None) -> "Job":
+        """A copy of this job with a different per-leaf mapping."""
+        return Job(self.id, self.release, self.size, leaf_sizes, self.origin)
+
+
+class JobSet:
+    """An immutable collection of jobs ordered by release time.
+
+    Jobs are stored sorted by ``(release, id)``; duplicate ids are
+    rejected.  The paper assumes distinct arrival times for analysis but
+    the implementation tolerates ties, resolving them by id.
+    """
+
+    __slots__ = ("_jobs", "_by_id")
+
+    def __init__(self, jobs: Sequence[Job]) -> None:
+        ordered = sorted(jobs, key=lambda j: (j.release, j.id))
+        by_id: dict[int, Job] = {}
+        for job in ordered:
+            if job.id in by_id:
+                raise WorkloadError(f"duplicate job id {job.id}")
+            by_id[job.id] = job
+        self._jobs: tuple[Job, ...] = tuple(ordered)
+        self._by_id = by_id
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __getitem__(self, index: int) -> Job:
+        return self._jobs[index]
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._by_id
+
+    def by_id(self, job_id: int) -> Job:
+        """The job with the given id."""
+        try:
+            return self._by_id[job_id]
+        except KeyError:
+            raise WorkloadError(f"unknown job id {job_id}") from None
+
+    @property
+    def ids(self) -> tuple[int, ...]:
+        """Job ids in release order."""
+        return tuple(j.id for j in self._jobs)
+
+    def releases(self) -> np.ndarray:
+        """Release times in release order, as a float array."""
+        return np.array([j.release for j in self._jobs], dtype=float)
+
+    def sizes(self) -> np.ndarray:
+        """Router sizes ``p_j`` in release order, as a float array."""
+        return np.array([j.size for j in self._jobs], dtype=float)
+
+    def total_volume(self) -> float:
+        """Sum of router sizes (one hop's worth of total work)."""
+        return float(sum(j.size for j in self._jobs))
+
+    @property
+    def is_unrelated(self) -> bool:
+        """Whether any job carries per-leaf processing times."""
+        return any(j.is_unrelated for j in self._jobs)
+
+    def time_horizon(self) -> float:
+        """Latest release time (0.0 for an empty set)."""
+        return self._jobs[-1].release if self._jobs else 0.0
+
+    def __repr__(self) -> str:
+        return f"JobSet(n={len(self)}, unrelated={self.is_unrelated})"
+
+    @staticmethod
+    def build(
+        releases: Sequence[float],
+        sizes: Sequence[float],
+        leaf_size_rows: Sequence[Mapping[int, float] | None] | None = None,
+        origins: Sequence[int | None] | None = None,
+    ) -> "JobSet":
+        """Assemble a job set from parallel arrays.
+
+        ``leaf_size_rows`` may be ``None`` (identical setting) or one
+        mapping (or ``None``) per job; ``origins`` likewise (``None``
+        entries mean the root).
+        """
+        if len(releases) != len(sizes):
+            raise WorkloadError(
+                f"releases ({len(releases)}) and sizes ({len(sizes)}) differ in length"
+            )
+        if leaf_size_rows is not None and len(leaf_size_rows) != len(releases):
+            raise WorkloadError(
+                f"leaf_size_rows ({len(leaf_size_rows)}) and releases "
+                f"({len(releases)}) differ in length"
+            )
+        if origins is not None and len(origins) != len(releases):
+            raise WorkloadError(
+                f"origins ({len(origins)}) and releases ({len(releases)}) "
+                "differ in length"
+            )
+        jobs = [
+            Job(
+                id=i,
+                release=float(releases[i]),
+                size=float(sizes[i]),
+                leaf_sizes=None if leaf_size_rows is None else leaf_size_rows[i],
+                origin=None if origins is None else origins[i],
+            )
+            for i in range(len(releases))
+        ]
+        return JobSet(jobs)

@@ -1,0 +1,157 @@
+"""Named workload scenarios.
+
+Presets bundling topology + arrival process + size distribution (+
+unrelated matrix where it fits) into the application shapes the paper's
+introduction motivates.  Each returns a fully seeded
+:class:`~repro.workload.instance.Instance`; all parameters can be
+overridden.
+
+* :func:`mapreduce_shuffle` — analytics jobs whose *data movement*
+  dominates (big transfers to a datacenter tree, heavy-tailed sizes);
+* :func:`interactive_plus_batch` — a latency-sensitive stream of tiny
+  requests sharing the tree with periodic large batch jobs;
+* :func:`sensor_fanout` — packet-routing style: dense bursts of small
+  payloads pushed down deep paths;
+* :func:`locality_cluster` — unrelated endpoints with replica locality
+  and a fraction of machine-restricted jobs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.builders import datacenter_tree, star_of_paths
+from repro.workload.arrivals import (
+    adversarial_bursts,
+    deterministic_arrivals,
+    poisson_arrivals,
+)
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import JobSet
+from repro.workload.sizes import bimodal_sizes, bounded_pareto_sizes
+from repro.workload.unrelated import affinity_matrix, restricted_assignment_matrix
+
+__all__ = [
+    "mapreduce_shuffle",
+    "interactive_plus_batch",
+    "sensor_fanout",
+    "locality_cluster",
+]
+
+
+def mapreduce_shuffle(
+    n: int = 120,
+    *,
+    pods: int = 3,
+    racks: int = 3,
+    machines: int = 4,
+    load: float = 0.85,
+    seed: int = 0,
+) -> Instance:
+    """Shuffle-heavy analytics on a three-tier datacenter tree.
+
+    Heavy-tailed transfer sizes (bounded Pareto, α=1.3) at the given
+    bottleneck load — the MapReduce/Hadoop regime of the introduction
+    where moving data between machines is the main time constraint.
+    """
+    rng = np.random.default_rng(seed)
+    tree = datacenter_tree(pods, racks, machines)
+    sizes = bounded_pareto_sizes(n, alpha=1.3, low=1.0, high=40.0, rng=rng)
+    rate = Instance.poisson_rate_for_load(tree, float(sizes.mean()), load)
+    releases = poisson_arrivals(n, rate, rng)
+    return Instance(
+        tree, JobSet.build(releases, sizes), Setting.IDENTICAL, name="mapreduce_shuffle"
+    )
+
+
+def interactive_plus_batch(
+    n_interactive: int = 100,
+    n_batch: int = 10,
+    *,
+    pods: int = 2,
+    racks: int = 2,
+    machines: int = 3,
+    batch_size: float = 25.0,
+    seed: int = 0,
+) -> Instance:
+    """Tiny latency-sensitive requests sharing the fabric with periodic
+    large batch jobs — the mice-vs-elephants mix where SJF's value shows.
+    """
+    rng = np.random.default_rng(seed)
+    tree = datacenter_tree(pods, racks, machines)
+    inter_rel = poisson_arrivals(n_interactive, rate=1.5, rng=rng)
+    horizon = float(inter_rel[-1]) if n_interactive else 10.0
+    batch_rel = deterministic_arrivals(
+        n_batch, spacing=max(horizon, 1.0) / max(n_batch, 1)
+    )
+    releases = np.concatenate([inter_rel, batch_rel])
+    sizes = np.concatenate(
+        [np.full(n_interactive, 1.0), np.full(n_batch, batch_size)]
+    )
+    return Instance(
+        tree,
+        JobSet.build(releases, sizes),
+        Setting.IDENTICAL,
+        name="interactive_plus_batch",
+    )
+
+
+def sensor_fanout(
+    num_bursts: int = 6,
+    burst_size: int = 20,
+    *,
+    branches: int = 4,
+    depth: int = 5,
+    gap: float = 30.0,
+    seed: int = 0,
+) -> Instance:
+    """Bursts of near-unit packets pushed down deep distribution paths —
+    the packet-forwarding application of Section 2."""
+    rng = np.random.default_rng(seed)
+    tree = star_of_paths(branches, depth)
+    releases = adversarial_bursts(num_bursts, burst_size, gap, jitter=0.5, rng=rng)
+    sizes = np.full(len(releases), 1.0)
+    return Instance(
+        tree, JobSet.build(releases, sizes), Setting.IDENTICAL, name="sensor_fanout"
+    )
+
+
+def locality_cluster(
+    n: int = 80,
+    *,
+    pods: int = 2,
+    racks: int = 3,
+    machines: int = 3,
+    replicas: int = 2,
+    remote_penalty: float = 5.0,
+    restricted_fraction: float = 0.25,
+    load: float = 0.75,
+    seed: int = 0,
+) -> Instance:
+    """Unrelated endpoints with data locality.
+
+    Each job is fast on ``replicas`` machines and ``remote_penalty``×
+    slower elsewhere; a ``restricted_fraction`` of jobs can only run on a
+    random feasible subset at all (restricted assignment).
+    """
+    rng = np.random.default_rng(seed)
+    tree = datacenter_tree(pods, racks, machines)
+    sizes = bimodal_sizes(n, small=1.0, large=8.0, large_fraction=0.2, rng=rng)
+    rate = Instance.poisson_rate_for_load(tree, float(sizes.mean()), load)
+    releases = poisson_arrivals(n, rate, rng)
+    local_rows = affinity_matrix(
+        tree.leaves, sizes, fast_leaves=replicas, slow_factor=remote_penalty, rng=rng
+    )
+    restricted_rows = restricted_assignment_matrix(
+        tree.leaves, sizes, feasible_fraction=0.4, rng=rng
+    )
+    pick_restricted = rng.random(n) < restricted_fraction
+    rows = [
+        restricted_rows[i] if pick_restricted[i] else local_rows[i] for i in range(n)
+    ]
+    return Instance(
+        tree,
+        JobSet.build(releases, sizes, rows),
+        Setting.UNRELATED,
+        name="locality_cluster",
+    )

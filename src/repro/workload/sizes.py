@@ -1,0 +1,149 @@
+"""Processing-time (data size) distributions and the ``(1+ε)``-class
+machinery of Section 2.
+
+The paper assumes every processing time is a power of ``(1+ε)`` — jobs of
+size ``(1+ε)^i`` form *class* ``i`` on a node, and SJF breaks ties within
+a class by age.  :func:`round_to_classes` performs the rounding (up, so
+rounded instances dominate the original work-wise) and
+:func:`class_index` recovers the class of a size.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "uniform_sizes",
+    "bounded_pareto_sizes",
+    "bimodal_sizes",
+    "geometric_class_sizes",
+    "round_to_classes",
+    "class_index",
+]
+
+
+def uniform_sizes(
+    n: int, low: float, high: float, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """``n`` iid sizes uniform on ``[low, high]``."""
+    if n < 0:
+        raise WorkloadError(f"n must be >= 0, got {n}")
+    if not 0 < low <= high:
+        raise WorkloadError(f"need 0 < low <= high, got low={low}, high={high}")
+    rng = np.random.default_rng(rng)
+    return rng.uniform(low, high, size=n)
+
+
+def bounded_pareto_sizes(
+    n: int,
+    alpha: float = 1.5,
+    low: float = 1.0,
+    high: float = 100.0,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """``n`` iid sizes from a bounded Pareto distribution.
+
+    Heavy-tailed sizes are the classic stress for SJF-style policies: a
+    few huge jobs coexist with many small ones, maximising the value of
+    size-aware prioritisation.  Sampling is by inversion of the bounded
+    Pareto CDF, vectorised.
+    """
+    if n < 0:
+        raise WorkloadError(f"n must be >= 0, got {n}")
+    if alpha <= 0:
+        raise WorkloadError(f"alpha must be > 0, got {alpha}")
+    if not 0 < low < high:
+        raise WorkloadError(f"need 0 < low < high, got low={low}, high={high}")
+    rng = np.random.default_rng(rng)
+    u = rng.random(size=n)
+    la, ha = low**alpha, high**alpha
+    return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+
+
+def bimodal_sizes(
+    n: int,
+    small: float = 1.0,
+    large: float = 50.0,
+    large_fraction: float = 0.1,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """``n`` sizes that are ``small`` w.p. ``1-large_fraction`` else ``large``.
+
+    The mice-and-elephants mix used by the policy-comparison experiment:
+    FIFO-style policies head-of-line block the mice behind the elephants.
+    """
+    if n < 0:
+        raise WorkloadError(f"n must be >= 0, got {n}")
+    if small <= 0 or large <= 0:
+        raise WorkloadError("small and large must be > 0")
+    if not 0.0 <= large_fraction <= 1.0:
+        raise WorkloadError(f"large_fraction must be in [0,1], got {large_fraction}")
+    rng = np.random.default_rng(rng)
+    mask = rng.random(size=n) < large_fraction
+    return np.where(mask, float(large), float(small))
+
+
+def geometric_class_sizes(
+    n: int,
+    eps: float,
+    num_classes: int,
+    base: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """``n`` sizes drawn uniformly from the class set ``base·(1+ε)^i``.
+
+    Produces instances that are already class-rounded, exercising the
+    within-class age tie-breaking of SJF directly.
+    """
+    if n < 0:
+        raise WorkloadError(f"n must be >= 0, got {n}")
+    if eps <= 0:
+        raise WorkloadError(f"eps must be > 0, got {eps}")
+    if num_classes < 1:
+        raise WorkloadError(f"num_classes must be >= 1, got {num_classes}")
+    if base <= 0:
+        raise WorkloadError(f"base must be > 0, got {base}")
+    rng = np.random.default_rng(rng)
+    classes = rng.integers(0, num_classes, size=n)
+    return base * (1.0 + eps) ** classes
+
+
+def round_to_classes(sizes: np.ndarray | list[float], eps: float) -> np.ndarray:
+    """Round every size *up* to the nearest power of ``(1+ε)``.
+
+    Section 2: assuming sizes are powers of ``(1+ε)`` costs only a
+    ``(1+ε)`` speed factor.  Rounding up means the rounded instance has
+    at least as much work, so bounds measured on it are conservative.
+    """
+    if eps <= 0:
+        raise WorkloadError(f"eps must be > 0, got {eps}")
+    arr = np.asarray(sizes, dtype=float)
+    if arr.size and (not np.all(np.isfinite(arr)) or np.any(arr <= 0)):
+        raise WorkloadError("sizes must be finite and > 0")
+    log_base = np.log1p(eps)
+    k = np.ceil(np.log(arr) / log_base - 1e-12)
+    return (1.0 + eps) ** k
+
+
+def class_index(size: float, eps: float) -> int:
+    """The class ``i`` with ``(1+ε)^i == size`` (to rounding tolerance).
+
+    Raises
+    ------
+    WorkloadError
+        If ``size`` is not a power of ``(1+ε)`` within tolerance.
+    """
+    if eps <= 0:
+        raise WorkloadError(f"eps must be > 0, got {eps}")
+    if not math.isfinite(size) or size <= 0:
+        raise WorkloadError(f"size must be finite and > 0, got {size}")
+    k = round(math.log(size) / math.log1p(eps))
+    if not math.isclose((1.0 + eps) ** k, size, rel_tol=1e-9, abs_tol=1e-12):
+        raise WorkloadError(
+            f"size {size} is not a power of (1+{eps}); round_to_classes first"
+        )
+    return int(k)

@@ -1,0 +1,119 @@
+"""JSON serialisation of instances.
+
+A saved instance is a single JSON document holding the tree's parent map
+and names, every job, and the endpoint setting — enough to re-run any
+experiment bit-for-bit on another machine.  ``inf`` leaf times (forbidden
+leaves) are encoded as the string ``"inf"`` for JSON portability.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import WorkloadError
+from repro.network.tree import TreeNetwork
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+__all__ = ["instance_to_json", "instance_from_json", "save_instance", "load_instance"]
+
+_FORMAT_VERSION = 1
+
+
+def instance_to_json(instance: Instance) -> str:
+    """Serialise an instance to a JSON string."""
+    tree = instance.tree
+    doc: dict[str, Any] = {
+        "format": "treesched-instance",
+        "version": _FORMAT_VERSION,
+        "name": instance.name,
+        "setting": instance.setting.value,
+        "tree": {
+            "parent_map": {
+                str(v): p for v, p in tree.parent_map().items()
+            },
+            "names": {
+                str(node.id): node.name for node in tree if node.name
+            },
+        },
+        "jobs": [
+            {
+                "id": job.id,
+                "release": job.release,
+                "size": job.size,
+                "origin": job.origin,
+                "leaf_sizes": (
+                    None
+                    if job.leaf_sizes is None
+                    else {
+                        str(v): ("inf" if math.isinf(p) else p)
+                        for v, p in job.leaf_sizes.items()
+                    }
+                ),
+            }
+            for job in instance.jobs
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def instance_from_json(text: str) -> Instance:
+    """Parse an instance from a JSON string produced by
+    :func:`instance_to_json`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != "treesched-instance":
+        raise WorkloadError("not a treesched instance document")
+    if doc.get("version") != _FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported format version {doc.get('version')!r}; "
+            f"expected {_FORMAT_VERSION}"
+        )
+    tree_doc = doc["tree"]
+    parent_map = {
+        int(v): (None if p is None else int(p))
+        for v, p in tree_doc["parent_map"].items()
+    }
+    names = {int(v): str(s) for v, s in tree_doc.get("names", {}).items()}
+    tree = TreeNetwork(parent_map, names)
+
+    jobs = []
+    for row in doc["jobs"]:
+        leaf_sizes = row.get("leaf_sizes")
+        parsed = None
+        if leaf_sizes is not None:
+            parsed = {
+                int(v): (math.inf if p == "inf" else float(p))
+                for v, p in leaf_sizes.items()
+            }
+        origin = row.get("origin")
+        jobs.append(
+            Job(
+                id=int(row["id"]),
+                release=float(row["release"]),
+                size=float(row["size"]),
+                leaf_sizes=parsed,
+                origin=None if origin is None else int(origin),
+            )
+        )
+    return Instance(
+        tree=tree,
+        jobs=JobSet(jobs),
+        setting=Setting(doc["setting"]),
+        name=str(doc.get("name", "")),
+    )
+
+
+def save_instance(instance: Instance, path: str | Path) -> None:
+    """Write an instance to ``path`` as JSON."""
+    Path(path).write_text(instance_to_json(instance))
+
+
+def load_instance(path: str | Path) -> Instance:
+    """Read an instance previously written by :func:`save_instance`."""
+    return instance_from_json(Path(path).read_text())

@@ -1,0 +1,167 @@
+"""Unrelated-endpoint processing-time matrix generators.
+
+In the unrelated-endpoint setting a job requires ``p_j`` on every router
+but ``p_{j,v}`` on leaf ``v``, where the ``p_{j,v}`` can be arbitrary.
+Each generator below returns one ``{leaf id: p_{j,v}}`` mapping per job
+(ready for :attr:`repro.workload.job.Job.leaf_sizes`), structured to
+exercise a distinct failure mode of congestion-oblivious assignment:
+
+* :func:`uniform_speed_matrix` — leaves behave like *related* machines
+  (per-leaf speed factors); a sanity regime between identical and fully
+  unrelated.
+* :func:`affinity_matrix` — each job is fast on a few random leaves and
+  slow elsewhere; mild heterogeneity.
+* :func:`partition_matrix` — job types are fast only on their own leaf
+  group; assignment must respect the partition or pay a large factor.
+* :func:`restricted_assignment_matrix` — the classic restricted
+  assignment special case: each job is runnable (``p_j``) on a random
+  feasible subset and forbidden (``inf``) elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "uniform_speed_matrix",
+    "affinity_matrix",
+    "partition_matrix",
+    "restricted_assignment_matrix",
+]
+
+
+def _check(leaves: Sequence[int], sizes: Sequence[float]) -> None:
+    if not leaves:
+        raise WorkloadError("need at least one leaf")
+    if len(set(leaves)) != len(leaves):
+        raise WorkloadError("duplicate leaf ids")
+    if any((not math.isfinite(p)) or p <= 0 for p in sizes):
+        raise WorkloadError("sizes must be finite and > 0")
+
+
+def uniform_speed_matrix(
+    leaves: Sequence[int],
+    sizes: Sequence[float],
+    speed_low: float = 0.5,
+    speed_high: float = 2.0,
+    rng: np.random.Generator | int | None = None,
+) -> list[dict[int, float]]:
+    """Related-machine style: ``p_{j,v} = p_j / s_v`` with random ``s_v``.
+
+    One speed per leaf, shared by all jobs.
+    """
+    _check(leaves, sizes)
+    if not 0 < speed_low <= speed_high:
+        raise WorkloadError("need 0 < speed_low <= speed_high")
+    rng = np.random.default_rng(rng)
+    speeds = rng.uniform(speed_low, speed_high, size=len(leaves))
+    return [
+        {leaf: float(p) / float(s) for leaf, s in zip(leaves, speeds)} for p in sizes
+    ]
+
+
+def affinity_matrix(
+    leaves: Sequence[int],
+    sizes: Sequence[float],
+    fast_leaves: int = 2,
+    slow_factor: float = 8.0,
+    rng: np.random.Generator | int | None = None,
+) -> list[dict[int, float]]:
+    """Each job is fast (``p_j``) on ``fast_leaves`` random leaves and
+    ``slow_factor`` times slower everywhere else.
+
+    Models data locality: the job's data has replicas on a few machines.
+    """
+    _check(leaves, sizes)
+    if fast_leaves < 1:
+        raise WorkloadError(f"fast_leaves must be >= 1, got {fast_leaves}")
+    if slow_factor < 1.0:
+        raise WorkloadError(f"slow_factor must be >= 1, got {slow_factor}")
+    rng = np.random.default_rng(rng)
+    k = min(fast_leaves, len(leaves))
+    rows: list[dict[int, float]] = []
+    leaf_arr = np.asarray(leaves)
+    for p in sizes:
+        fast = set(rng.choice(leaf_arr, size=k, replace=False).tolist())
+        rows.append(
+            {
+                int(leaf): float(p) if leaf in fast else float(p) * slow_factor
+                for leaf in leaf_arr
+            }
+        )
+    return rows
+
+
+def partition_matrix(
+    leaves: Sequence[int],
+    sizes: Sequence[float],
+    num_groups: int,
+    slow_factor: float = 16.0,
+    rng: np.random.Generator | int | None = None,
+) -> list[dict[int, float]]:
+    """Leaves are split into ``num_groups`` groups; each job belongs to a
+    random group and is fast only on that group's leaves.
+
+    The sharp case for congestion-aware assignment: if many consecutive
+    jobs share a group, their group's subtree congests and a good
+    scheduler must start paying the ``slow_factor`` elsewhere — exactly
+    the trade-off the greedy rule of Section 3.4 arbitrates.
+    """
+    _check(leaves, sizes)
+    if num_groups < 1 or num_groups > len(leaves):
+        raise WorkloadError(
+            f"num_groups must be in [1, {len(leaves)}], got {num_groups}"
+        )
+    if slow_factor < 1.0:
+        raise WorkloadError(f"slow_factor must be >= 1, got {slow_factor}")
+    rng = np.random.default_rng(rng)
+    groups = [int(i) % num_groups for i in range(len(leaves))]
+    rows: list[dict[int, float]] = []
+    for p in sizes:
+        g = int(rng.integers(num_groups))
+        rows.append(
+            {
+                int(leaf): float(p) if groups[i] == g else float(p) * slow_factor
+                for i, leaf in enumerate(leaves)
+            }
+        )
+    return rows
+
+
+def restricted_assignment_matrix(
+    leaves: Sequence[int],
+    sizes: Sequence[float],
+    feasible_fraction: float = 0.4,
+    rng: np.random.Generator | int | None = None,
+) -> list[dict[int, float]]:
+    """Restricted assignment: ``p_{j,v} ∈ {p_j, ∞}``.
+
+    Each leaf is independently feasible with probability
+    ``feasible_fraction``; at least one feasible leaf per job is
+    guaranteed (a uniformly random one is forced feasible when the coin
+    flips all fail).
+    """
+    _check(leaves, sizes)
+    if not 0.0 < feasible_fraction <= 1.0:
+        raise WorkloadError(
+            f"feasible_fraction must be in (0,1], got {feasible_fraction}"
+        )
+    rng = np.random.default_rng(rng)
+    rows: list[dict[int, float]] = []
+    leaf_list = [int(v) for v in leaves]
+    for p in sizes:
+        feasible = rng.random(size=len(leaf_list)) < feasible_fraction
+        if not feasible.any():
+            feasible[int(rng.integers(len(leaf_list)))] = True
+        rows.append(
+            {
+                leaf: float(p) if ok else math.inf
+                for leaf, ok in zip(leaf_list, feasible)
+            }
+        )
+    return rows

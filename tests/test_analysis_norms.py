@@ -1,0 +1,75 @@
+"""Unit tests for flow-time norms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.norms import flow_lk_norm, flow_norm_summary
+from repro.core.assignment import FixedAssignment
+from repro.exceptions import AnalysisError
+from repro.network.builders import spine_tree
+from repro.sim.engine import simulate
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+def run_jobs(jobs):
+    tree = spine_tree(1)
+    instance = Instance(tree, JobSet(jobs), Setting.IDENTICAL)
+    return simulate(instance, FixedAssignment({j.id: 2 for j in jobs}))
+
+
+@pytest.fixture
+def result():
+    # Flows: job0 [0 -> 2], job1 arrives 0, waits: completes 2 on router?
+    # Simpler: two spaced unit jobs -> flows 2 and 2.
+    return run_jobs(
+        [Job(id=0, release=0.0, size=1.0), Job(id=1, release=10.0, size=1.0)]
+    )
+
+
+class TestLkNorm:
+    def test_l1_is_total(self, result):
+        assert flow_lk_norm(result, 1) == pytest.approx(result.total_flow_time())
+
+    def test_linf_is_max(self, result):
+        assert flow_lk_norm(result, math.inf) == pytest.approx(result.max_flow_time())
+
+    def test_l2_formula(self, result):
+        flows = result.flow_times()
+        assert flow_lk_norm(result, 2) == pytest.approx(
+            float(np.sqrt((flows**2).sum()))
+        )
+
+    def test_k_below_one_rejected(self, result):
+        with pytest.raises(AnalysisError):
+            flow_lk_norm(result, 0.5)
+
+    def test_empty_result(self):
+        res = run_jobs([])
+        assert flow_lk_norm(res, 2) == 0.0
+        assert flow_norm_summary(res)["max"] == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(k1=st.floats(1.0, 8.0), k2=st.floats(1.0, 8.0))
+    def test_norm_monotone_in_k_after_normalisation(self, k1, k2):
+        """For fixed flows, the raw lk norm is non-increasing in k."""
+        res = run_jobs(
+            [Job(id=i, release=3.0 * i, size=1.0 + i % 2) for i in range(5)]
+        )
+        lo, hi = sorted((k1, k2))
+        assert flow_lk_norm(res, hi) <= flow_lk_norm(res, lo) + 1e-9
+
+
+class TestSummary:
+    def test_keys_and_ordering(self, result):
+        s = flow_norm_summary(result)
+        assert set(s) == {"l1", "l2", "mean", "max", "p95"}
+        assert s["max"] <= s["l2"] <= s["l1"]
+        assert s["mean"] <= s["max"]
+        assert s["p95"] <= s["max"] + 1e-9

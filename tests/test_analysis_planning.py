@@ -1,0 +1,91 @@
+"""Unit tests for capacity planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.planning import min_speed_for_flow
+from repro.core.assignment import GreedyIdenticalAssignment
+from repro.exceptions import AnalysisError
+from repro.network.builders import star_of_paths
+from repro.sim.engine import simulate
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+@pytest.fixture
+def instance():
+    tree = star_of_paths(2, 1)
+    jobs = JobSet([Job(id=i, release=0.3 * i, size=1.0 + (i % 2)) for i in range(16)])
+    return Instance(tree, jobs, Setting.IDENTICAL)
+
+
+def policy():
+    return GreedyIdenticalAssignment(0.5)
+
+
+class TestBisection:
+    def test_plan_meets_target(self, instance):
+        base = simulate(instance, policy(), SpeedProfile.uniform(1.0))
+        target = base.mean_flow_time() * 0.5
+        plan = min_speed_for_flow(instance, policy, target, tol=0.02)
+        assert plan.feasible
+        check = simulate(instance, policy(), SpeedProfile.uniform(plan.speed))
+        assert check.mean_flow_time() <= target + 1e-9
+
+    def test_plan_is_near_minimal(self, instance):
+        base = simulate(instance, policy(), SpeedProfile.uniform(1.0))
+        target = base.mean_flow_time() * 0.5
+        plan = min_speed_for_flow(instance, policy, target, tol=0.02)
+        # Slightly below the found speed must miss the target.
+        slower = simulate(
+            instance, policy(), SpeedProfile.uniform(max(plan.speed - 0.1, 1.0))
+        )
+        assert slower.mean_flow_time() > target or plan.speed <= 1.0 + 0.1
+
+    def test_already_fast_enough(self, instance):
+        plan = min_speed_for_flow(instance, policy, target=1e9)
+        assert plan.speed == 1.0
+        assert len(plan.frontier) == 1
+
+    def test_infeasible_ceiling(self, instance):
+        plan = min_speed_for_flow(instance, policy, target=1e-6, hi=2.0)
+        assert not plan.feasible
+        assert plan.speed == float("inf")
+
+    def test_frontier_records_probes(self, instance):
+        base = simulate(instance, policy(), SpeedProfile.uniform(1.0))
+        plan = min_speed_for_flow(
+            instance, policy, base.mean_flow_time() * 0.6, tol=0.1
+        )
+        assert len(plan.frontier) >= 3
+        speeds = [p.speed for p in plan.frontier]
+        assert speeds[0] == 1.0 and speeds[1] == 16.0
+
+    def test_max_flow_metric(self, instance):
+        base = simulate(instance, policy(), SpeedProfile.uniform(1.0))
+        plan = min_speed_for_flow(
+            instance, policy, base.max_flow_time() * 0.5, metric="max_flow", tol=0.05
+        )
+        assert plan.feasible
+        check = simulate(instance, policy(), SpeedProfile.uniform(plan.speed))
+        assert check.max_flow_time() <= base.max_flow_time() * 0.5 + 1e-9
+
+
+class TestValidation:
+    def test_bad_metric(self, instance):
+        with pytest.raises(AnalysisError, match="metric"):
+            min_speed_for_flow(instance, policy, 1.0, metric="p50")
+
+    def test_bad_target(self, instance):
+        with pytest.raises(AnalysisError, match="target"):
+            min_speed_for_flow(instance, policy, 0.0)
+
+    def test_bad_bracket(self, instance):
+        with pytest.raises(AnalysisError, match="lo"):
+            min_speed_for_flow(instance, policy, 1.0, lo=2.0, hi=1.0)
+
+    def test_bad_tol(self, instance):
+        with pytest.raises(AnalysisError, match="tol"):
+            min_speed_for_flow(instance, policy, 1.0, tol=0.0)

@@ -1,0 +1,96 @@
+"""Unit tests for utilisation/congestion profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.profiles import bottleneck_report, busy_periods, node_utilisation
+from repro.core.assignment import FixedAssignment, GreedyIdenticalAssignment
+from repro.exceptions import AnalysisError
+from repro.network.builders import spine_tree, star_of_paths
+from repro.sim.engine import simulate
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+@pytest.fixture
+def chain_result():
+    tree = spine_tree(1)
+    jobs = JobSet([Job(id=0, release=0.0, size=2.0), Job(id=1, release=0.0, size=2.0)])
+    instance = Instance(tree, jobs, Setting.IDENTICAL)
+    return simulate(instance, FixedAssignment({0: 2, 1: 2}), record_segments=True)
+
+
+class TestBusyPeriods:
+    def test_requires_segments(self):
+        tree = spine_tree(1)
+        instance = Instance(
+            tree, JobSet([Job(id=0, release=0.0, size=1.0)]), Setting.IDENTICAL
+        )
+        res = simulate(instance, FixedAssignment({0: 2}))
+        with pytest.raises(AnalysisError, match="record_segments"):
+            busy_periods(res)
+
+    def test_merges_back_to_back_jobs(self, chain_result):
+        # Router busy [0,4) continuously across two jobs -> one period.
+        periods = busy_periods(chain_result)
+        assert periods[1] == [(0.0, 4.0)]
+
+    def test_gap_splits_periods(self):
+        tree = spine_tree(1)
+        jobs = JobSet(
+            [Job(id=0, release=0.0, size=1.0), Job(id=1, release=10.0, size=1.0)]
+        )
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        res = simulate(instance, FixedAssignment({0: 2, 1: 2}), record_segments=True)
+        assert len(busy_periods(res)[1]) == 2
+
+
+class TestUtilisation:
+    def test_chain_utilisation(self, chain_result):
+        # Makespan 6: router busy 4/6, leaf busy [2,6) = 4/6.
+        util = node_utilisation(chain_result)
+        assert util[1] == pytest.approx(4 / 6)
+        assert util[2] == pytest.approx(4 / 6)
+
+    def test_until_window(self, chain_result):
+        util = node_utilisation(chain_result, until=4.0)
+        assert util[1] == pytest.approx(1.0)
+
+    def test_idle_node_zero(self):
+        tree = star_of_paths(2, 1)
+        jobs = JobSet([Job(id=0, release=0.0, size=1.0)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        res = simulate(instance, FixedAssignment({0: 2}), record_segments=True)
+        util = node_utilisation(res)
+        assert util[3] == 0.0 and util[4] == 0.0
+
+    def test_empty_schedule(self):
+        tree = spine_tree(1)
+        instance = Instance(tree, JobSet([]), Setting.IDENTICAL)
+        res = simulate(instance, FixedAssignment({}), record_segments=True)
+        assert set(node_utilisation(res).values()) == {0.0}
+
+    def test_values_in_unit_interval(self):
+        tree = star_of_paths(3, 2)
+        jobs = JobSet([Job(id=i, release=0.2 * i, size=1.0 + i % 2) for i in range(20)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        res = simulate(instance, GreedyIdenticalAssignment(0.5), record_segments=True)
+        for u in node_utilisation(res).values():
+            assert 0.0 <= u <= 1.0 + 1e-9
+
+
+class TestBottleneckReport:
+    def test_ranked_and_labelled(self, chain_result):
+        table = bottleneck_report(chain_result, top=5)
+        utils = [float(u) for u in table.column("utilisation")]
+        assert utils == sorted(utils, reverse=True)
+        tiers = set(table.column("tier"))
+        assert tiers <= {"root-adjacent", "router", "machine"}
+
+    def test_top_limits_rows(self):
+        tree = star_of_paths(3, 2)
+        jobs = JobSet([Job(id=i, release=0.5 * i, size=1.0) for i in range(9)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        res = simulate(instance, GreedyIdenticalAssignment(0.5), record_segments=True)
+        assert len(bottleneck_report(res, top=3)) == 3

@@ -1,0 +1,28 @@
+"""Unit tests for EXPERIMENTS.md generation."""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_experiments_markdown
+
+
+class TestRenderReport:
+    def test_subset_render_structure(self):
+        text = render_experiments_markdown(["F2"])
+        assert text.startswith("# EXPERIMENTS")
+        assert "## F2 —" in text
+        assert "```text" in text
+        assert "**Verdict:** PASS" in text
+        assert "**Claim (paper):**" in text
+
+    def test_findings_section_present(self):
+        text = render_experiments_markdown(["F2"])
+        assert "Reproduction findings" in text
+        assert "off-by-one" in text
+
+    def test_multiple_ids_in_order(self):
+        text = render_experiments_markdown(["F1", "F2"])
+        assert text.index("## F1") < text.index("## F2")
+
+    def test_metrics_inline(self):
+        text = render_experiments_markdown(["F2"])
+        assert "`trees_audited = 6`" in text

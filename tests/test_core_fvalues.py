@@ -1,0 +1,136 @@
+"""Unit tests for F(j,v) / F'(j,v) against hand-computed queue states."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import FixedAssignment
+from repro.core.fvalues import f_prime_value, f_top_value, f_value
+from repro.network.builders import star_of_paths
+from repro.sim.engine import Engine
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+def capture_at_arrival(instance, fixed_map, probe_job_id, fn):
+    """Run with FixedAssignment and evaluate ``fn(view, job)`` at the
+    instant ``probe_job_id`` arrives (before insertion)."""
+    captured = {}
+    inner = FixedAssignment(fixed_map)
+
+    class Probe:
+        def assign(self, view, job, now):
+            if job.id == probe_job_id:
+                captured["value"] = fn(view, job)
+            return inner.assign(view, job, now)
+
+    Engine(instance, Probe()).run()
+    return captured["value"]
+
+
+class TestFTop:
+    def test_empty_queue_gives_own_size(self):
+        tree = star_of_paths(2, 1)
+        jobs = JobSet([Job(id=0, release=0.0, size=3.0)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        top = tree.root_children[0]
+        val = capture_at_arrival(
+            instance, {0: 2}, 0, lambda view, job: f_top_value(view, job, top)
+        )
+        assert val == 3.0  # only the self term
+
+    def test_higher_priority_counts_remaining(self):
+        # Job 0 (size 1) arrives at t=0, runs on the top router; job 1
+        # (size 3) arrives at t=0.5 when job 0 has 0.5 remaining.
+        tree = star_of_paths(1, 1)
+        jobs = JobSet(
+            [Job(id=0, release=0.0, size=1.0), Job(id=1, release=0.5, size=3.0)]
+        )
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        leaf = tree.leaves[0]
+        top = tree.root_children[0]
+        val = capture_at_arrival(
+            instance, {0: leaf, 1: leaf}, 1,
+            lambda view, job: f_top_value(view, job, top),
+        )
+        # self (3) + remaining of higher-priority job 0 (0.5).
+        assert val == pytest.approx(3.5)
+
+    def test_lower_priority_charges_p_j(self):
+        # Job 0 (size 5) holds the router; job 1 (size 1) arrives at 0.5.
+        tree = star_of_paths(1, 1)
+        jobs = JobSet(
+            [Job(id=0, release=0.0, size=5.0), Job(id=1, release=0.5, size=1.0)]
+        )
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        leaf = tree.leaves[0]
+        top = tree.root_children[0]
+        val = capture_at_arrival(
+            instance, {0: leaf, 1: leaf}, 1,
+            lambda view, job: f_top_value(view, job, top),
+        )
+        # self (1) + p_j charged for delaying the bigger job (1).
+        assert val == pytest.approx(2.0)
+
+    def test_equal_size_earlier_arrival_outranks(self):
+        tree = star_of_paths(1, 1)
+        jobs = JobSet(
+            [Job(id=0, release=0.0, size=2.0), Job(id=1, release=1.0, size=2.0)]
+        )
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        leaf = tree.leaves[0]
+        top = tree.root_children[0]
+        val = capture_at_arrival(
+            instance, {0: leaf, 1: leaf}, 1,
+            lambda view, job: f_top_value(view, job, top),
+        )
+        # Job 0 outranks (same size, earlier): remaining 1.0 counts; no
+        # lower-priority term.
+        assert val == pytest.approx(2.0 + 1.0)
+
+    def test_f_value_routes_through_top(self):
+        tree = star_of_paths(2, 2)
+        jobs = JobSet([Job(id=0, release=0.0, size=1.0)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        leaf = tree.leaves[0]
+        val = capture_at_arrival(
+            instance, {0: leaf}, 0, lambda view, job: f_value(view, job, leaf)
+        )
+        assert val == 1.0
+
+
+class TestFPrime:
+    def test_empty_leaf_gives_own_leaf_size(self):
+        tree = star_of_paths(2, 1)
+        jobs = JobSet(
+            [Job(id=0, release=0.0, size=1.0, leaf_sizes={2: 4.0, 4: 2.0})]
+        )
+        instance = Instance(tree, jobs, Setting.UNRELATED)
+        val = capture_at_arrival(
+            instance, {0: 2}, 0, lambda view, job: f_prime_value(view, job, 2)
+        )
+        assert val == 4.0
+
+    def test_mixed_queue(self):
+        # Jobs 0 and 1 both assigned to leaf 2 and still alive when job 2
+        # arrives at t=0.2 (router still processing job 0).
+        tree = star_of_paths(1, 1)
+        leaf = tree.leaves[0]
+        jobs = JobSet(
+            [
+                Job(id=0, release=0.0, size=1.0, leaf_sizes={leaf: 1.0}),
+                Job(id=1, release=0.1, size=1.0, leaf_sizes={leaf: 8.0}),
+                Job(id=2, release=0.2, size=1.0, leaf_sizes={leaf: 2.0}),
+            ]
+        )
+        instance = Instance(tree, jobs, Setting.UNRELATED)
+        val = capture_at_arrival(
+            instance,
+            {0: leaf, 1: leaf, 2: leaf},
+            2,
+            lambda view, job: f_prime_value(view, job, leaf),
+        )
+        # self p_{2,leaf}=2; job 0 outranks on leaf (1 < 2): full remaining
+        # leaf work 1.0 (not yet reached the leaf); job 1 is lower priority
+        # (8 > 2): charge 2 * (8/8) = 2.
+        assert val == pytest.approx(2.0 + 1.0 + 2.0)

@@ -1,0 +1,83 @@
+"""Unit tests for the general-tree algorithm (Section 3.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments.workloads import identical_instance
+from repro.core.general_tree import GeneralTreeScheduler, run_general_tree
+from repro.core.scheduler import run_paper_algorithm
+from repro.exceptions import SimulationError
+from repro.network.builders import broomstick_tree, figure1_tree, kary_tree
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+@pytest.fixture
+def fig1_instance():
+    tree = figure1_tree()
+    jobs = JobSet([Job(id=i, release=0.5 * i, size=1.0 + i % 2) for i in range(12)])
+    return Instance(tree, jobs, Setting.IDENTICAL)
+
+
+class TestShadowConstruction:
+    def test_assignments_correspond(self, fig1_instance):
+        out = run_general_tree(fig1_instance, 0.5)
+        inv = out.reduction.inverse_leaf_map
+        shadow_assign = out.shadow_result.assignment()
+        for jid, leaf in out.assignment.items():
+            assert inv[shadow_assign[jid]] == leaf
+
+    def test_total_flow_dominated_by_shadow(self, fig1_instance):
+        out = run_general_tree(fig1_instance, 0.5)
+        assert out.result.total_flow_time() <= out.shadow_result.total_flow_time() + 1e-9
+
+    def test_identical_per_job_domination(self, fig1_instance):
+        out = run_general_tree(fig1_instance, 0.5)
+        for jid, rec in out.result.records.items():
+            assert (
+                rec.flow_time
+                <= out.shadow_result.records[jid].flow_time + 1e-9
+            )
+
+    def test_default_speed_profile_matches_setting(self, fig1_instance):
+        sched = GeneralTreeScheduler(fig1_instance, 0.5)
+        assert sched.speeds == SpeedProfile.theorem1(0.5)
+
+    def test_explicit_speeds_respected(self, fig1_instance):
+        sched = GeneralTreeScheduler(fig1_instance, 0.5, SpeedProfile.uniform(3.0))
+        out = sched.run()
+        assert out.result.speeds == SpeedProfile.uniform(3.0)
+
+    def test_both_runs_complete(self, fig1_instance):
+        out = run_general_tree(fig1_instance, 0.25)
+        out.result.verify_complete()
+        out.shadow_result.verify_complete()
+
+
+class TestRunPaperAlgorithm:
+    def test_broomstick_goes_direct(self):
+        tree = broomstick_tree(2, 3, 1)
+        jobs = JobSet([Job(id=i, release=float(i), size=1.0) for i in range(6)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        res = run_paper_algorithm(instance, 0.5)
+        assert res.instance.tree is tree
+
+    def test_general_tree_routes_through_shadow(self, fig1_instance):
+        res = run_paper_algorithm(fig1_instance, 0.5)
+        assert res.instance.tree is fig1_instance.tree
+        direct = run_general_tree(fig1_instance, 0.5).result
+        assert res.total_flow_time() == pytest.approx(direct.total_flow_time())
+
+    def test_broomstick_entry_rejects_general_tree(self, fig1_instance):
+        from repro.core.scheduler import run_broomstick_algorithm
+
+        with pytest.raises(SimulationError, match="not a broomstick"):
+            run_broomstick_algorithm(fig1_instance, 0.5)
+
+    def test_larger_randomised_instances_complete(self):
+        for seed in (0, 1):
+            instance = identical_instance(kary_tree(2, 3), 40, load=0.9, seed=seed)
+            res = run_paper_algorithm(instance, 0.25)
+            res.verify_complete()

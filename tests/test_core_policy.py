@@ -1,0 +1,76 @@
+"""Unit tests for node-order priorities (SJF, FIFO, class-SJF)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import class_sjf_priority, fifo_priority, sjf_priority
+from repro.exceptions import WorkloadError
+from repro.network.builders import spine_tree
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+@pytest.fixture
+def instance():
+    tree = spine_tree(1)
+    jobs = JobSet(
+        [
+            Job(id=0, release=0.0, size=2.0),
+            Job(id=1, release=1.0, size=1.0),
+            Job(id=2, release=2.0, size=2.0),
+        ]
+    )
+    return Instance(tree, jobs, Setting.IDENTICAL)
+
+
+class TestSJF:
+    def test_orders_by_size_first(self, instance):
+        j0, j1 = instance.jobs.by_id(0), instance.jobs.by_id(1)
+        assert sjf_priority(instance, j1, 1) < sjf_priority(instance, j0, 1)
+
+    def test_ties_by_release(self, instance):
+        j0, j2 = instance.jobs.by_id(0), instance.jobs.by_id(2)
+        assert sjf_priority(instance, j0, 1) < sjf_priority(instance, j2, 1)
+
+    def test_uses_leaf_size_on_leaves(self):
+        tree = spine_tree(1)
+        jobs = JobSet(
+            [
+                Job(id=0, release=0.0, size=1.0, leaf_sizes={2: 9.0}),
+                Job(id=1, release=1.0, size=5.0, leaf_sizes={2: 1.0}),
+            ]
+        )
+        instance = Instance(tree, jobs, Setting.UNRELATED)
+        j0, j1 = jobs.by_id(0), jobs.by_id(1)
+        # Router: j0 first (1 < 5); leaf: j1 first (1 < 9).
+        assert sjf_priority(instance, j0, 1) < sjf_priority(instance, j1, 1)
+        assert sjf_priority(instance, j1, 2) < sjf_priority(instance, j0, 2)
+
+
+class TestFIFO:
+    def test_orders_by_release_only(self, instance):
+        j0, j1 = instance.jobs.by_id(0), instance.jobs.by_id(1)
+        assert fifo_priority(instance, j0, 1) < fifo_priority(instance, j1, 1)
+
+
+class TestClassSJF:
+    def test_matches_sjf_on_rounded_sizes(self):
+        eps = 0.5
+        tree = spine_tree(1)
+        jobs = JobSet(
+            [Job(id=i, release=float(i), size=(1.0 + eps) ** (i % 3)) for i in range(6)]
+        )
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        prio = class_sjf_priority(eps)
+        ordered_sjf = sorted(jobs, key=lambda j: sjf_priority(instance, j, 1))
+        ordered_cls = sorted(jobs, key=lambda j: prio(instance, j, 1))
+        assert [j.id for j in ordered_sjf] == [j.id for j in ordered_cls]
+
+    def test_rejects_unrounded_sizes(self):
+        tree = spine_tree(1)
+        jobs = JobSet([Job(id=0, release=0.0, size=1.3)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        prio = class_sjf_priority(0.5)
+        with pytest.raises(WorkloadError, match="not a power"):
+            prio(instance, jobs.by_id(0), 1)

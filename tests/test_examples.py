@@ -1,0 +1,38 @@
+"""Smoke tests executing every example script end to end.
+
+The examples are part of the public deliverable; each must run cleanly
+and print the sections its docstring promises.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["total flow time", "per-job schedule"],
+    "datacenter_scheduling.py": ["policy comparison", "decomposition"],
+    "packet_routing.py": ["Lemma 1 bound", "mean packet flow"],
+    "unrelated_machines.py": ["flow-time ratio vs speed", "fastest machine"],
+    "broomstick_walkthrough.py": ["broomstick T'", "dual-fitting certificate"],
+    "operations_report.py": ["busiest nodes", "SJF preemptions"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs_and_reports(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    for needle in CASES[script]:
+        assert needle in out, f"{script} output missing {needle!r}"
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), "update CASES when adding examples"

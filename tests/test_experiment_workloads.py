@@ -1,0 +1,83 @@
+"""Unit tests for the shared experiment workload builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments.workloads import (
+    burst_instance,
+    identical_instance,
+    standard_trees,
+    unrelated_instance,
+)
+from repro.exceptions import AnalysisError
+from repro.network.builders import kary_tree
+from repro.workload.instance import Setting
+
+
+class TestStandardTrees:
+    def test_family_coverage(self):
+        trees = standard_trees()
+        assert len(trees) == 5
+        # At least one broomstick-free tree (exercises the general-tree
+        # path) and one broomstick.
+        assert any(not t.is_broomstick() for t in trees.values())
+        assert any(t.is_broomstick() for t in trees.values())
+
+    def test_all_legal(self):
+        for tree in standard_trees().values():
+            assert all(not tree.node(v).is_leaf for v in tree.root_children)
+
+
+class TestBuilders:
+    def test_identical_instance_load_scales_rate(self):
+        tree = kary_tree(2, 3)
+        lo = identical_instance(tree, 200, load=0.4, seed=0)
+        hi = identical_instance(tree, 200, load=0.95, seed=0)
+        # Higher load compresses the arrival span.
+        assert hi.jobs.time_horizon() < lo.jobs.time_horizon()
+
+    def test_size_kinds(self):
+        tree = kary_tree(2, 3)
+        for kind in ("uniform", "pareto", "bimodal"):
+            inst = identical_instance(tree, 30, size_kind=kind, seed=1)
+            assert len(inst.jobs) == 30
+            assert inst.setting is Setting.IDENTICAL
+
+    def test_unknown_size_kind(self):
+        tree = kary_tree(2, 3)
+        with pytest.raises(AnalysisError, match="size kind"):
+            identical_instance(tree, 10, size_kind="zipf")
+
+    def test_unrelated_matrices(self):
+        tree = kary_tree(2, 3)
+        for matrix in ("affinity", "partition"):
+            inst = unrelated_instance(tree, 20, matrix=matrix, seed=2)
+            assert inst.setting is Setting.UNRELATED
+            job = inst.jobs.by_id(0)
+            assert set(job.leaf_sizes) == set(tree.leaves)
+
+    def test_unknown_matrix(self):
+        tree = kary_tree(2, 3)
+        with pytest.raises(AnalysisError, match="matrix kind"):
+            unrelated_instance(tree, 10, matrix="nope")
+
+    def test_burst_instance_shapes(self):
+        tree = kary_tree(2, 3)
+        inst = burst_instance(tree, num_bursts=3, jobs_per_burst=5, gap=10.0, seed=3)
+        assert len(inst.jobs) == 15
+        releases = inst.jobs.releases()
+        # Three clusters ~10 apart.
+        assert releases[0] < 2.0 and releases[-1] > 18.0
+
+    def test_burst_instance_bursty_process_variant(self):
+        tree = kary_tree(2, 3)
+        inst = burst_instance(tree, seed=4, bursty_process=True)
+        assert len(inst.jobs) == 4 * 12
+
+    def test_determinism(self):
+        tree = kary_tree(2, 3)
+        a = identical_instance(tree, 25, seed=7)
+        b = identical_instance(tree, 25, seed=7)
+        assert (a.jobs.releases() == b.jobs.releases()).all()
+        assert (a.jobs.sizes() == b.jobs.sizes()).all()

@@ -1,0 +1,68 @@
+"""Golden regression tests.
+
+Small, fully deterministic scenarios with frozen expected outputs.
+These catch *any* behavioural drift in the engine, the policies, or the
+workload generators — including changes that are individually plausible
+but alter schedules (tie-breaking, event ordering, settle semantics).
+If one of these fails after an intentional semantic change, update the
+constant *and* document the change in docs/model.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import GreedyIdenticalAssignment
+from repro.core.scheduler import run_paper_algorithm
+from repro.lp.primal import solve_primal_lp
+from repro.network.builders import figure1_tree, kary_tree, star_of_paths
+from repro.sim.engine import simulate
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+class TestGoldenSchedules:
+    def test_figure1_walkthrough(self):
+        """The F1 walkthrough's exact completions (also shown in
+        EXPERIMENTS.md)."""
+        tree = figure1_tree()
+        releases = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5]
+        sizes = [2.0, 1.0, 1.0, 2.0, 1.0, 1.0]
+        instance = Instance(tree, JobSet.build(releases, sizes), Setting.IDENTICAL)
+        result = run_paper_algorithm(instance, eps=0.5)
+        completions = [round(result.records[j].completion, 4) for j in range(6)]
+        assert completions == [3.1111, 2.0556, 2.7222, 4.6111, 3.5556, 4.2222]
+        assert result.total_flow_time() == pytest.approx(12.7778, abs=1e-4)
+
+    def test_two_branch_burst(self):
+        """Six simultaneous unit jobs, two branches, unit speeds."""
+        tree = star_of_paths(2, 1)
+        jobs = JobSet([Job(id=i, release=0.0, size=1.0) for i in range(6)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        result = simulate(instance, GreedyIdenticalAssignment(1.0))
+        # Greedy alternates branches as F grows; each branch pipelines
+        # three unit jobs: completions 2,3,4 per branch.
+        flows = sorted(r.flow_time for r in result.records.values())
+        assert flows == [2.0, 2.0, 3.0, 3.0, 4.0, 4.0]
+
+    def test_seeded_poisson_instance_total(self):
+        """Frozen end-to-end number for a seeded random workload."""
+        from repro.analysis.experiments.workloads import identical_instance
+
+        instance = identical_instance(kary_tree(2, 3), 30, load=0.9, seed=42)
+        result = run_paper_algorithm(instance, eps=0.25)
+        assert result.total_flow_time() == pytest.approx(249.7884, abs=1e-3)
+        assert result.fractional_flow == pytest.approx(212.3201, abs=1e-3)
+        assert result.num_events == 120
+
+    def test_lp_optimum_frozen(self):
+        tree = star_of_paths(2, 1)
+        jobs = JobSet([Job(id=i, release=float(i), size=2.0) for i in range(4)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        sol = solve_primal_lp(instance, SpeedProfile.uniform(1.0))
+        assert sol.objective == pytest.approx(16.0, abs=1e-6)
+
+    def test_theorem_speeds_frozen(self):
+        sp = SpeedProfile.theorem2(0.25)
+        assert (sp.root_children, sp.interior, sp.leaves) == (2.5, 3.125, 3.125)

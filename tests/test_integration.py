@@ -1,0 +1,149 @@
+"""End-to-end integration tests crossing every subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    GreedyIdenticalAssignment,
+    GreedyUnrelatedAssignment,
+    Instance,
+    Job,
+    JobSet,
+    Setting,
+    SpeedProfile,
+    datacenter_tree,
+    instance_from_json,
+    instance_to_json,
+    kary_tree,
+    poisson_arrivals,
+    reduce_to_broomstick,
+    run_general_tree,
+    run_paper_algorithm,
+    simulate,
+    uniform_sizes,
+)
+from repro.analysis.ratios import competitive_report, lower_bound_for
+from repro.lp.duals_paper import build_dual_certificate
+from repro.lp.primal import solve_primal_lp
+from repro.sim.invariants import validate_schedule
+
+
+class TestFullPipelineIdentical:
+    """Generate -> schedule -> bound -> certify, identical endpoints."""
+
+    @pytest.fixture(scope="class")
+    def instance(self):
+        tree = kary_tree(2, 3)
+        n = 24
+        sizes = uniform_sizes(n, 1.0, 3.0, rng=0)
+        rate = Instance.poisson_rate_for_load(tree, float(sizes.mean()), 0.85)
+        releases = poisson_arrivals(n, rate, rng=1)
+        return Instance(tree, JobSet.build(releases, sizes), Setting.IDENTICAL)
+
+    def test_algorithm_beats_baseline_portfolio_under_load(self, instance):
+        from repro.baselines.policies import ClosestLeafAssignment
+
+        eps = 0.25
+        alg = run_paper_algorithm(instance, eps, SpeedProfile.uniform(1.0))
+        base = simulate(instance, ClosestLeafAssignment(), SpeedProfile.uniform(1.0))
+        # closest-leaf funnels everything to one subtree; greedy must win
+        # comfortably on this congested instance.
+        assert alg.total_flow_time() < base.total_flow_time()
+
+    def test_ratio_report_consistent(self, instance):
+        eps = 0.25
+        alg = run_paper_algorithm(instance, eps)
+        report = competitive_report("alg", instance, alg, prefer_lp=False)
+        assert report.ratio >= report.fractional_ratio > 0
+
+    def test_broomstick_round_trip_certificate(self, instance):
+        eps = 0.25
+        red = reduce_to_broomstick(instance.tree)
+        shadow = instance.on_broomstick(red).rounded(eps)
+        cert = build_dual_certificate(shadow, eps)
+        assert cert.is_feasible()
+        assert cert.dual_objective_scaled > 0
+
+    def test_general_tree_consistency(self, instance):
+        eps = 0.25
+        out = run_general_tree(instance, eps, record_segments=True)
+        validate_schedule(out.result)
+        validate_schedule(out.shadow_result)
+        assert out.result.total_flow_time() <= out.shadow_result.total_flow_time() + 1e-9
+
+
+class TestFullPipelineUnrelated:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        from repro.workload.unrelated import partition_matrix
+
+        tree = datacenter_tree(2, 2, 2)
+        n = 18
+        sizes = uniform_sizes(n, 1.0, 2.5, rng=2)
+        releases = poisson_arrivals(n, 1.5, rng=3)
+        rows = partition_matrix(tree.leaves, sizes, num_groups=2, rng=4)
+        return Instance(tree, JobSet.build(releases, sizes, rows), Setting.UNRELATED)
+
+    def test_paper_algorithm_completes_and_validates(self, instance):
+        res = run_paper_algorithm(instance, 0.25, record_segments=True)
+        validate_schedule(res)
+        res.verify_complete()
+
+    def test_assignment_mostly_respects_partition(self, instance):
+        """The greedy should mostly place jobs on their fast group."""
+        res = run_paper_algorithm(instance, 0.25, SpeedProfile.uniform(2.5))
+        fast = 0
+        for jid, rec in res.records.items():
+            job = instance.jobs.by_id(jid)
+            if job.leaf_sizes[rec.leaf] == min(job.leaf_sizes.values()):
+                fast += 1
+        assert fast >= len(res.records) * 0.6
+
+
+class TestLPvsSimulationConsistency:
+    def test_lp_lower_bounds_every_policy(self):
+        """On a small instance, LP* must stay below the objective value of
+        every simulated unit-speed schedule (it relaxes all of them)."""
+        from repro.baselines.policies import (
+            ClosestLeafAssignment,
+            LeastLoadedAssignment,
+            RandomAssignment,
+        )
+
+        tree = kary_tree(2, 2)
+        jobs = JobSet([Job(id=i, release=float(i), size=2.0) for i in range(5)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        lp = solve_primal_lp(instance, SpeedProfile.uniform(1.0))
+        for policy in (
+            GreedyIdenticalAssignment(0.5),
+            ClosestLeafAssignment(),
+            LeastLoadedAssignment(),
+            RandomAssignment(0),
+        ):
+            sim = simulate(instance, policy)
+            # LP objective sums two per-job flow lower bounds, so compare
+            # against twice the simulated flow.
+            assert lp.objective <= 2.0 * sim.total_flow_time() + 1e-6
+
+    def test_lower_bound_for_prefers_tighter(self):
+        tree = kary_tree(2, 2)
+        jobs = JobSet([Job(id=i, release=float(i), size=2.0) for i in range(5)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        lb_lp, _ = lower_bound_for(instance, prefer_lp=True)
+        lb_combo, _ = lower_bound_for(instance, prefer_lp=False)
+        assert lb_lp >= lb_combo - 1e-9
+
+
+class TestSerialisationPipeline:
+    def test_full_cycle_via_json(self, tmp_path):
+        tree = datacenter_tree(2, 1, 2)
+        jobs = JobSet([Job(id=i, release=0.5 * i, size=1.0 + i % 2) for i in range(8)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL, name="cycle")
+        text = instance_to_json(instance)
+        (tmp_path / "x.json").write_text(text)
+        restored = instance_from_json((tmp_path / "x.json").read_text())
+        a = run_paper_algorithm(instance, 0.5)
+        b = run_paper_algorithm(restored, 0.5)
+        assert a.assignment() == b.assignment()
+        assert a.fractional_flow == pytest.approx(b.fractional_flow)

@@ -1,0 +1,117 @@
+"""Unit tests for combinatorial lower bounds and the SRPT relaxation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.policies import LeastLoadedAssignment
+from repro.core.assignment import GreedyIdenticalAssignment
+from repro.exceptions import LPError
+from repro.lp.bounds import (
+    best_lower_bound,
+    leaf_tier_bound,
+    path_volume_bound,
+    srpt_single_machine_flow,
+    top_tier_bound,
+)
+from repro.network.builders import star_of_paths
+from repro.sim.engine import simulate
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+class TestSRPT:
+    def test_two_simultaneous_unit_jobs(self):
+        # SRPT, speed 1: flows 1 and 2.
+        assert srpt_single_machine_flow([0, 0], [1, 1], 1.0) == 3.0
+
+    def test_preemption_helps_small_job(self):
+        # Big job at 0 (size 10), small at 1 (size 1): SRPT preempts.
+        # Small runs [1,2) (flow 1); big runs [0,1) and [2,11) (flow 11).
+        flow = srpt_single_machine_flow([0, 1], [10, 1], 1.0)
+        assert flow == pytest.approx(1.0 + 11.0)
+
+    def test_idle_gap_handled(self):
+        flow = srpt_single_machine_flow([0, 100], [1, 1], 1.0)
+        assert flow == 2.0
+
+    def test_speed_scales(self):
+        assert srpt_single_machine_flow([0, 0], [2, 2], 2.0) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert srpt_single_machine_flow([], [], 1.0) == 0.0
+
+    def test_bad_speed(self):
+        with pytest.raises(LPError):
+            srpt_single_machine_flow([0], [1], 0.0)
+
+    def test_srpt_optimality_vs_brute_force(self):
+        """SRPT is optimal on one machine: no better completion order on a
+        tiny instance."""
+        import itertools
+
+        releases = [0.0, 0.5, 1.0]
+        sizes = [2.0, 1.0, 1.5]
+        srpt = srpt_single_machine_flow(releases, sizes, 1.0)
+        # Brute force over non-preemptive orders (a superset check: SRPT
+        # must beat every non-preemptive schedule).
+        best_np = math.inf
+        for order in itertools.permutations(range(3)):
+            t = 0.0
+            flow = 0.0
+            for i in order:
+                t = max(t, releases[i]) + sizes[i]
+                flow += t - releases[i]
+            best_np = min(best_np, flow)
+        assert srpt <= best_np + 1e-9
+
+
+class TestBounds:
+    @pytest.fixture
+    def instance(self):
+        tree = star_of_paths(2, 1)
+        jobs = JobSet([Job(id=i, release=float(i), size=2.0) for i in range(6)])
+        return Instance(tree, jobs, Setting.IDENTICAL)
+
+    def test_path_volume(self, instance):
+        # Every path is router+leaf: P = 4 per job.
+        assert path_volume_bound(instance) == 24.0
+
+    def test_top_tier_positive(self, instance):
+        assert top_tier_bound(instance) > 0
+
+    def test_leaf_tier_uses_min_leaf_size(self):
+        tree = star_of_paths(2, 1)
+        jobs = JobSet(
+            [Job(id=0, release=0.0, size=1.0, leaf_sizes={2: 5.0, 4: 1.0})]
+        )
+        instance = Instance(tree, jobs, Setting.UNRELATED)
+        assert leaf_tier_bound(instance) == pytest.approx(0.5)  # 1.0 / (2 leaves)
+
+    def test_best_picks_max(self, instance):
+        lb, name = best_lower_bound(instance)
+        assert lb == max(
+            path_volume_bound(instance),
+            top_tier_bound(instance),
+            leaf_tier_bound(instance),
+        )
+        assert name in {"path_volume", "top_tier_srpt", "leaf_tier_srpt"}
+
+    def test_empty_instance(self):
+        instance = Instance(star_of_paths(2, 1), JobSet([]), Setting.IDENTICAL)
+        assert best_lower_bound(instance) == (0.0, "empty")
+
+    def test_bounds_never_exceed_any_simulated_schedule(self):
+        """Soundness: the LB must be <= the flow of every policy at unit
+        speed (policies are feasible schedules for the adversary)."""
+        tree = star_of_paths(3, 2)
+        jobs = JobSet(
+            [Job(id=i, release=0.6 * i, size=1.0 + (i % 3)) for i in range(18)]
+        )
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        lb, _ = best_lower_bound(instance)
+        for policy in (GreedyIdenticalAssignment(0.5), LeastLoadedAssignment()):
+            sim = simulate(instance, policy)
+            assert lb <= sim.total_flow_time() + 1e-9

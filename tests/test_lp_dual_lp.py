@@ -1,0 +1,96 @@
+"""Unit tests for the explicit LP-Dual solve and strong duality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LPError
+from repro.lp.dual_lp import solve_dual_lp
+from repro.lp.primal import solve_primal_lp
+from repro.network.builders import kary_tree, spine_tree, star_of_paths
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+def small_instances():
+    tree = star_of_paths(2, 1)
+    yield Instance(
+        tree,
+        JobSet([Job(id=i, release=float(i), size=2.0) for i in range(4)]),
+        Setting.IDENTICAL,
+    )
+    yield Instance(
+        tree,
+        JobSet(
+            [
+                Job(id=0, release=0.0, size=1.0, leaf_sizes={2: 2.0, 4: 1.0}),
+                Job(id=1, release=1.0, size=2.0, leaf_sizes={2: 1.0, 4: 3.0}),
+            ]
+        ),
+        Setting.UNRELATED,
+    )
+    yield Instance(
+        kary_tree(2, 2),
+        JobSet([Job(id=i, release=0.5 * i, size=1.0) for i in range(5)]),
+        Setting.IDENTICAL,
+    )
+    yield Instance(
+        spine_tree(2),
+        JobSet([Job(id=i, release=0.0, size=2.0) for i in range(3)]),
+        Setting.IDENTICAL,
+    )
+
+
+class TestStrongDuality:
+    @pytest.mark.parametrize(
+        "instance", list(small_instances()), ids=["paths", "unrelated", "kary", "spine"]
+    )
+    def test_dual_equals_primal(self, instance):
+        p = solve_primal_lp(instance)
+        d = solve_dual_lp(instance)
+        assert d.objective == pytest.approx(p.objective, rel=1e-5, abs=1e-6)
+
+    def test_duality_with_augmented_speeds(self):
+        instance = next(iter(small_instances()))
+        speeds = SpeedProfile.theorem1(0.5)
+        p = solve_primal_lp(instance, speeds)
+        d = solve_dual_lp(instance, speeds)
+        assert d.objective == pytest.approx(p.objective, rel=1e-5, abs=1e-6)
+
+
+class TestDualSolutionShape:
+    def test_beta_nonnegative_and_objective_split(self):
+        instance = next(iter(small_instances()))
+        d = solve_dual_lp(instance)
+        assert all(b >= -1e-9 for b in d.beta.values())
+        assert d.objective == pytest.approx(
+            sum(d.beta.values()) - d.alpha_total, rel=1e-6, abs=1e-6
+        )
+
+    def test_empty_instance_rejected(self):
+        instance = Instance(spine_tree(1), JobSet([]), Setting.IDENTICAL)
+        with pytest.raises(LPError, match="no jobs"):
+            solve_dual_lp(instance)
+
+    def test_bad_dt_rejected(self):
+        instance = next(iter(small_instances()))
+        with pytest.raises(LPError, match="dt"):
+            solve_dual_lp(instance, dt=0.0)
+
+    def test_paper_certificate_below_dual_optimum(self):
+        """The hand-built scaled certificate is a feasible dual, so its
+        objective cannot exceed the dual optimum."""
+        from repro.lp.duals_paper import build_dual_certificate
+        from repro.network.builders import broomstick_tree
+        from repro.workload.sizes import geometric_class_sizes
+
+        eps = 0.25
+        tree = broomstick_tree(2, 3, 1)
+        sizes = geometric_class_sizes(8, eps, num_classes=2, rng=0)
+        instance = Instance(
+            tree, JobSet.build([0.5 * i for i in range(8)], sizes), Setting.IDENTICAL
+        )
+        cert = build_dual_certificate(instance, eps)
+        d = solve_dual_lp(instance)
+        assert cert.dual_objective_scaled <= d.objective * (1 + 1e-6) + 1e-6

@@ -1,0 +1,110 @@
+"""Unit tests for the dual-fitting certificate machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LPError
+from repro.lp.duals_paper import build_dual_certificate
+from repro.lp.primal import solve_primal_lp
+from repro.network.builders import broomstick_tree, kary_tree
+from repro.sim.speed import SpeedProfile
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+from repro.workload.sizes import geometric_class_sizes
+from repro.workload.unrelated import uniform_speed_matrix
+
+
+def identical_bs_instance(n=15, eps=0.25, seed=0):
+    tree = broomstick_tree(2, 3, 1)
+    sizes = geometric_class_sizes(n, eps, num_classes=3, rng=seed)
+    releases = poisson_arrivals(n, rate=1.0, rng=seed + 1)
+    return Instance(tree, JobSet.build(releases, sizes), Setting.IDENTICAL)
+
+
+def unrelated_bs_instance(n=12, eps=0.25, seed=0):
+    tree = broomstick_tree(2, 3, 1)
+    sizes = geometric_class_sizes(n, eps, num_classes=2, rng=seed)
+    releases = poisson_arrivals(n, rate=1.0, rng=seed + 1)
+    rows = uniform_speed_matrix(tree.leaves, sizes, 0.5, 1.0, rng=seed + 2)
+    inst = Instance(tree, JobSet.build(releases, sizes, rows), Setting.UNRELATED)
+    return inst.rounded(eps)
+
+
+class TestIdenticalCertificate:
+    @pytest.mark.parametrize("eps", [0.1, 0.25, 0.5])
+    def test_feasible_across_eps(self, eps):
+        cert = build_dual_certificate(identical_bs_instance(eps=eps), eps)
+        assert cert.is_feasible()
+        assert cert.max_violation <= 1e-7
+
+    def test_dual_objective_positive_and_scaled(self):
+        eps = 0.25
+        cert = build_dual_certificate(identical_bs_instance(eps=eps), eps)
+        assert cert.dual_objective_scaled > 0
+        assert cert.scale == pytest.approx(eps * eps / 10.0)
+
+    def test_beta_matches_greedy_score_structure(self):
+        eps = 0.25
+        instance = identical_bs_instance(eps=eps)
+        cert = build_dual_certificate(instance, eps)
+        weight = 6.0 / (eps * eps)
+        for jid, rec in cert.result.records.items():
+            job = instance.jobs.by_id(jid)
+            d_v = instance.tree.d(rec.leaf)
+            # beta includes the interior term and at least the self F term.
+            assert cert.beta[jid] >= weight * d_v * job.size + job.size - 1e-9
+
+    def test_weak_duality_against_lp(self):
+        eps = 0.25
+        instance = identical_bs_instance(n=8, eps=eps)
+        cert = build_dual_certificate(instance, eps)
+        lp = solve_primal_lp(instance, SpeedProfile.uniform(1.0))
+        assert cert.dual_objective_scaled <= lp.objective * (1 + 1e-6) + 1e-6
+
+    def test_dual_objective_at_least_eps_times_cost(self):
+        """The paper's Section 3.5 accounting: Σβ − cost ≥ ε·cost."""
+        eps = 0.25
+        cert = build_dual_certificate(identical_bs_instance(eps=eps), eps)
+        assert cert.beta_sum - cert.alg_fractional_cost >= eps * cert.alg_fractional_cost
+
+    def test_summary_renders(self):
+        cert = build_dual_certificate(identical_bs_instance(), 0.25)
+        text = cert.summary()
+        assert "feasible=True" in text
+
+
+class TestUnrelatedCertificate:
+    def test_feasible(self):
+        eps = 0.25
+        cert = build_dual_certificate(unrelated_bs_instance(eps=eps), eps)
+        assert cert.is_feasible()
+        assert cert.scale == pytest.approx(eps * eps / 20.0)
+
+    def test_dual_objective_positive(self):
+        cert = build_dual_certificate(unrelated_bs_instance(), 0.25)
+        assert cert.dual_objective_scaled > 0
+
+
+class TestCertificateContracts:
+    def test_requires_broomstick(self):
+        # kary(2,3) branches at the router level, so it is NOT a broomstick
+        # (kary(2,2) would be one: a single router layer with leaf fans).
+        instance = Instance(
+            kary_tree(2, 3),
+            JobSet([Job(id=0, release=0.0, size=1.0)]),
+            Setting.IDENTICAL,
+        )
+        with pytest.raises(LPError, match="broomstick"):
+            build_dual_certificate(instance, 0.25)
+
+    def test_bad_eps_rejected(self):
+        with pytest.raises(LPError, match="eps"):
+            build_dual_certificate(identical_bs_instance(), 0.0)
+
+    def test_custom_speeds_accepted(self):
+        cert = build_dual_certificate(
+            identical_bs_instance(), 0.25, speeds=SpeedProfile.uniform(4.0)
+        )
+        assert cert.is_feasible()

@@ -1,0 +1,87 @@
+"""Unit tests for the exhaustive assignment-enumeration bound."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.assignment import FixedAssignment
+from repro.exceptions import LPError
+from repro.lp.exhaustive import exhaustive_assignment_bound
+from repro.lp.primal import solve_primal_lp
+from repro.network.builders import star_of_paths
+from repro.sim.engine import simulate
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+@pytest.fixture
+def tiny():
+    tree = star_of_paths(2, 1)
+    jobs = JobSet([Job(id=i, release=float(i), size=2.0) for i in range(3)])
+    return Instance(tree, jobs, Setting.IDENTICAL)
+
+
+class TestSandwich:
+    def test_at_least_plain_lp(self, tiny):
+        plain = solve_primal_lp(tiny, SpeedProfile.uniform(1.0))
+        ex = exhaustive_assignment_bound(tiny)
+        assert ex.objective >= plain.objective - 1e-6
+
+    def test_at_most_best_simulated_schedule_objective(self, tiny):
+        """Every integral assignment's simulated schedule is feasible for
+        its restricted LP, so min-assignment LP* cannot exceed the LP
+        objective of the best such schedule; in particular it is at most
+        2x the best simulated flow (the objective sums two flow lower
+        bounds)."""
+        ex = exhaustive_assignment_bound(tiny)
+        best_flow = math.inf
+        for l0 in tiny.tree.leaves:
+            for l1 in tiny.tree.leaves:
+                for l2 in tiny.tree.leaves:
+                    sim = simulate(
+                        tiny, FixedAssignment({0: l0, 1: l1, 2: l2})
+                    )
+                    best_flow = min(best_flow, sim.total_flow_time())
+        assert ex.objective <= 2.0 * best_flow + 1e-6
+
+    def test_enumeration_count(self, tiny):
+        ex = exhaustive_assignment_bound(tiny)
+        assert ex.num_assignments == 2**3
+        assert set(ex.best_assignment) == {0, 1, 2}
+
+    def test_best_assignment_balances_congestion(self):
+        """Two simultaneous jobs, two branches: the minimising assignment
+        must use both branches."""
+        tree = star_of_paths(2, 1)
+        jobs = JobSet([Job(id=0, release=0.0, size=2.0), Job(id=1, release=0.0, size=2.0)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        ex = exhaustive_assignment_bound(instance)
+        assert len(set(ex.best_assignment.values())) == 2
+
+
+class TestGuards:
+    def test_too_many_assignments(self):
+        tree = star_of_paths(3, 1)
+        jobs = JobSet([Job(id=i, release=float(i), size=1.0) for i in range(8)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        with pytest.raises(LPError, match="max_assignments"):
+            exhaustive_assignment_bound(instance, max_assignments=100)
+
+    def test_empty_instance(self):
+        tree = star_of_paths(2, 1)
+        instance = Instance(tree, JobSet([]), Setting.IDENTICAL)
+        with pytest.raises(LPError, match="no jobs"):
+            exhaustive_assignment_bound(instance)
+
+    def test_respects_forbidden_leaves(self):
+        tree = star_of_paths(2, 1)
+        jobs = JobSet(
+            [Job(id=0, release=0.0, size=1.0, leaf_sizes={2: math.inf, 4: 1.0})]
+        )
+        instance = Instance(tree, jobs, Setting.UNRELATED)
+        ex = exhaustive_assignment_bound(instance)
+        assert ex.best_assignment == {0: 4}
+        assert ex.num_assignments == 1

@@ -1,0 +1,149 @@
+"""Unit tests for the LP-Primal construction and solve."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import FixedAssignment, GreedyIdenticalAssignment
+from repro.exceptions import LPError
+from repro.lp.primal import MAX_VARIABLES, build_primal_lp, solve_primal_lp
+from repro.network.builders import spine_tree, star_of_paths
+from repro.sim.engine import simulate
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+def single_job_instance(size=2.0):
+    return Instance(
+        spine_tree(1), JobSet([Job(id=0, release=0.0, size=size)]), Setting.IDENTICAL
+    )
+
+
+class TestSolve:
+    def test_single_job_objective(self):
+        """One size-2 job on router+leaf.
+
+        The LP can pipeline fractionally, but the objective's η term alone
+        charges P = 4, plus positive leaf/top waiting terms: LP* must land
+        in (0, obj(schedule)] and below the true flow time 4 + slack.
+        """
+        sol = solve_primal_lp(single_job_instance())
+        assert 0 < sol.objective <= 8.0
+
+    def test_lower_bounds_simulated_total_flow(self):
+        # LP* (a relaxation of the sum of two per-job flow lower bounds,
+        # each individually <= flow) should not exceed 2x the best
+        # simulated schedule's total flow.
+        tree = star_of_paths(2, 1)
+        jobs = JobSet([Job(id=i, release=float(i), size=1.0) for i in range(5)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        sol = solve_primal_lp(instance)
+        sim = simulate(instance, GreedyIdenticalAssignment(0.5))
+        assert sol.objective <= 2.0 * sim.total_flow_time() + 1e-6
+
+    def test_more_speed_cannot_increase_optimum(self):
+        instance = Instance(
+            star_of_paths(2, 1),
+            JobSet([Job(id=i, release=float(i), size=2.0) for i in range(4)]),
+            Setting.IDENTICAL,
+        )
+        slow = solve_primal_lp(instance, SpeedProfile.uniform(1.0))
+        fast = solve_primal_lp(instance, SpeedProfile.uniform(2.0))
+        assert fast.objective <= slow.objective + 1e-6
+
+    def test_forbidden_leaf_gets_no_variables(self):
+        import math
+
+        tree = star_of_paths(2, 1)
+        jobs = JobSet(
+            [Job(id=0, release=0.0, size=1.0, leaf_sizes={2: math.inf, 4: 1.0})]
+        )
+        instance = Instance(tree, jobs, Setting.UNRELATED)
+        sol = solve_primal_lp(instance)
+        assert all(v != 2 for (v, _, _) in sol.x)
+
+    def test_unrelated_prefers_fast_leaf(self):
+        tree = star_of_paths(2, 1)
+        jobs = JobSet(
+            [Job(id=0, release=0.0, size=1.0, leaf_sizes={2: 50.0, 4: 1.0})]
+        )
+        instance = Instance(tree, jobs, Setting.UNRELATED)
+        sol = solve_primal_lp(instance)
+        on_fast = sum(val for (v, _, _), val in sol.x.items() if v == 4)
+        on_slow = sum(val for (v, _, _), val in sol.x.items() if v == 2)
+        assert on_fast > on_slow
+
+    def test_solution_respects_capacity(self):
+        instance = Instance(
+            star_of_paths(2, 1),
+            JobSet([Job(id=i, release=0.0, size=1.0) for i in range(4)]),
+            Setting.IDENTICAL,
+        )
+        sol = solve_primal_lp(instance, SpeedProfile.uniform(1.0), dt=1.0)
+        per_node_step: dict[tuple[int, int], float] = {}
+        for (v, _, k), val in sol.x.items():
+            per_node_step[(v, k)] = per_node_step.get((v, k), 0.0) + val
+        assert all(val <= 1.0 + 1e-6 for val in per_node_step.values())
+
+    def test_solution_completes_every_job(self):
+        instance = Instance(
+            star_of_paths(2, 1),
+            JobSet([Job(id=i, release=0.0, size=2.0) for i in range(3)]),
+            Setting.IDENTICAL,
+        )
+        sol = solve_primal_lp(instance)
+        done = {j: 0.0 for j in instance.jobs.ids}
+        leaves = set(instance.tree.leaves)
+        for (v, j, _), val in sol.x.items():
+            if v in leaves:
+                done[j] += val / instance.processing_time(instance.jobs.by_id(j), v)
+        for j, frac in done.items():
+            assert frac == pytest.approx(1.0, abs=1e-6)
+
+    def test_precedence_respected_cumulatively(self):
+        # Work done on the leaf by step k never exceeds (fractionally)
+        # work done on its parent router.
+        instance = single_job_instance(size=4.0)
+        sol = solve_primal_lp(instance)
+        router, leaf = 1, 2
+        K = sol.horizon_steps
+        cum_r = cum_l = 0.0
+        for k in range(K):
+            cum_r += sol.x.get((router, 0, k), 0.0) / 4.0
+            cum_l += sol.x.get((leaf, 0, k), 0.0) / 4.0
+            assert cum_l <= cum_r + 1e-6
+
+
+class TestConstruction:
+    def test_empty_instance_rejected(self):
+        instance = Instance(spine_tree(1), JobSet([]), Setting.IDENTICAL)
+        with pytest.raises(LPError, match="no jobs"):
+            solve_primal_lp(instance)
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(LPError, match="dt"):
+            solve_primal_lp(single_job_instance(), dt=0.0)
+
+    def test_horizon_auto_coarsens(self):
+        # A long-release instance must coarsen dt instead of exploding.
+        jobs = JobSet([Job(id=0, release=5000.0, size=1.0)])
+        instance = Instance(spine_tree(1), jobs, Setting.IDENTICAL)
+        sol = solve_primal_lp(instance, max_steps=100)
+        assert sol.dt > 1.0
+        assert sol.horizon_steps <= 100
+
+    def test_size_guard(self):
+        jobs = JobSet([Job(id=i, release=0.0, size=1.0) for i in range(40)])
+        instance = Instance(star_of_paths(4, 3), jobs, Setting.IDENTICAL)
+        with pytest.raises(LPError, match="variables"):
+            build_primal_lp(instance, horizon_steps=2000)  # force a huge grid
+
+    def test_build_returns_consistent_shapes(self):
+        c, A_ub, b_ub, A_eq, b_eq, index, dt = build_primal_lp(
+            single_job_instance()
+        )
+        assert A_ub.shape[0] == len(b_ub)
+        assert A_eq.shape[0] == len(b_eq)
+        assert A_ub.shape[1] == len(c) == A_eq.shape[1]
+        assert len(index) <= len(c)

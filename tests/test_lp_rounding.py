@@ -1,0 +1,110 @@
+"""Unit tests for LP-guided rounding and the OPT bracket."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.lp.rounding import lp_rounded_assignment, opt_bracket
+from repro.network.builders import star_of_paths
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+@pytest.fixture
+def small_identical():
+    tree = star_of_paths(2, 1)
+    jobs = JobSet([Job(id=i, release=float(i), size=2.0) for i in range(5)])
+    return Instance(tree, jobs, Setting.IDENTICAL)
+
+
+class TestRounding:
+    def test_assignment_covers_all_jobs(self, small_identical):
+        assignment = lp_rounded_assignment(small_identical)
+        assert set(assignment) == set(small_identical.jobs.ids)
+        leaves = set(small_identical.tree.leaves)
+        assert all(v in leaves for v in assignment.values())
+
+    def test_unrelated_respects_forbidden(self):
+        tree = star_of_paths(2, 1)
+        jobs = JobSet(
+            [
+                Job(id=0, release=0.0, size=1.0, leaf_sizes={2: math.inf, 4: 1.0}),
+                Job(id=1, release=1.0, size=1.0, leaf_sizes={2: 1.0, 4: math.inf}),
+            ]
+        )
+        instance = Instance(tree, jobs, Setting.UNRELATED)
+        assignment = lp_rounded_assignment(instance)
+        assert assignment == {0: 4, 1: 2}
+
+    def test_obvious_fast_leaf_chosen(self):
+        tree = star_of_paths(2, 1)
+        jobs = JobSet(
+            [Job(id=0, release=0.0, size=1.0, leaf_sizes={2: 50.0, 4: 1.0})]
+        )
+        instance = Instance(tree, jobs, Setting.UNRELATED)
+        assert lp_rounded_assignment(instance)[0] == 4
+
+
+class TestLocalSearch:
+    def test_never_worse_than_start(self, small_identical):
+        from repro.core.assignment import FixedAssignment
+        from repro.lp.rounding import local_search_assignment
+        from repro.sim.engine import simulate
+        from repro.sim.speed import SpeedProfile
+
+        leaves = small_identical.tree.leaves
+        start = {j: leaves[0] for j in small_identical.jobs.ids}  # worst pile-up
+        start_flow = simulate(
+            small_identical, FixedAssignment(start), SpeedProfile.uniform(1.0)
+        ).total_flow_time()
+        improved, flow = local_search_assignment(small_identical, start)
+        assert flow <= start_flow
+        # The pile-up start is clearly improvable by spreading.
+        assert flow < start_flow
+        assert set(improved) == set(start)
+
+    def test_fixed_point_of_balanced_start(self, small_identical):
+        from repro.lp.rounding import local_search_assignment
+
+        rounded = lp_rounded_assignment(small_identical)
+        improved, flow = local_search_assignment(small_identical, rounded)
+        again, flow2 = local_search_assignment(small_identical, improved, max_rounds=1)
+        assert flow2 <= flow + 1e-9
+
+    def test_bracket_with_local_search_at_least_as_tight(self, small_identical):
+        plain = opt_bracket(small_identical)
+        polished = opt_bracket(small_identical, local_search=True)
+        assert polished.upper <= plain.upper + 1e-9
+        assert polished.lower == pytest.approx(plain.lower)
+
+
+class TestOptBracket:
+    def test_bracket_orders(self, small_identical):
+        bracket = opt_bracket(small_identical)
+        assert bracket.lower > 0
+        assert bracket.upper > 0
+        assert bracket.gap == pytest.approx(bracket.upper / bracket.lower)
+        assert bracket.upper_source in {
+            "lp-rounded", "greedy", "closest", "least-loaded",
+        }
+
+    def test_upper_bound_is_feasible_cost(self, small_identical):
+        """The upper bound comes from a genuine simulated schedule, so it
+        must be at least the path-volume lower bound."""
+        from repro.lp.bounds import path_volume_bound
+
+        bracket = opt_bracket(small_identical)
+        assert bracket.upper >= path_volume_bound(small_identical) - 1e-9
+
+    def test_bracket_tightens_on_trivial_instance(self):
+        """One job alone: every heuristic is optimal; the gap reflects
+        only the LP objective's definitional slack (it omits part of the
+        waiting charge), so upper/lower stays a small constant."""
+        tree = star_of_paths(2, 1)
+        jobs = JobSet([Job(id=0, release=0.0, size=2.0)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        bracket = opt_bracket(instance)
+        assert bracket.upper == pytest.approx(4.0)  # router + leaf
+        assert bracket.gap < 2.0

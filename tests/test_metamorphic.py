@@ -1,0 +1,199 @@
+"""Metamorphic engine tests.
+
+These validate the simulator through *transformation invariances* that
+must hold for any correct implementation of the model, independent of
+policies or workloads:
+
+* time-shift equivariance — shifting every release by Δ shifts every
+  recorded time by Δ and preserves flow times exactly;
+* size/speed scaling — multiplying all processing times by c and all
+  speeds by c leaves the schedule unchanged;
+* time dilation — multiplying sizes by c (speeds fixed) dilates the
+  whole schedule by c;
+* job-id relabelling — renaming ids (preserving relative order) does
+  not change the multiset of flow times;
+* subtree isolation — traffic confined to one root branch is unaffected
+  by deleting the other branches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import FixedAssignment, GreedyIdenticalAssignment
+from repro.network.builders import star_of_paths
+from repro.network.tree import TreeNetwork
+from repro.sim.engine import simulate
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+def base_jobs(n=12):
+    return [Job(id=i, release=0.7 * i, size=1.0 + (i * 7 % 5)) for i in range(n)]
+
+
+def tree():
+    return star_of_paths(3, 2)
+
+
+class TestTimeShift:
+    @pytest.mark.parametrize("delta", [0.5, 3.0, 100.0])
+    def test_all_times_shift_flows_invariant(self, delta):
+        """Engine equivariance, with the assignment pinned (greedy scores
+        on symmetric branches can flip float-level ties under a shift, so
+        policy decisions are checked separately and softly)."""
+        t = tree()
+        jobs_a = base_jobs()
+        jobs_b = [
+            Job(id=j.id, release=j.release + delta, size=j.size) for j in jobs_a
+        ]
+        fixed = {j.id: t.leaves[j.id % len(t.leaves)] for j in jobs_a}
+        ra = simulate(
+            Instance(t, JobSet(jobs_a), Setting.IDENTICAL), FixedAssignment(fixed)
+        )
+        rb = simulate(
+            Instance(t, JobSet(jobs_b), Setting.IDENTICAL), FixedAssignment(fixed)
+        )
+        for jid in ra.records:
+            assert rb.records[jid].completion == pytest.approx(
+                ra.records[jid].completion + delta
+            )
+            assert rb.records[jid].flow_time == pytest.approx(
+                ra.records[jid].flow_time
+            )
+        assert rb.fractional_flow == pytest.approx(ra.fractional_flow)
+
+    def test_greedy_shift_keeps_branch_symmetric_outcomes_close(self):
+        """Greedy decisions at *exact* branch ties can flip under a shift
+        (one ulp of float noise decides the argmin), so only a soft
+        aggregate property holds: totals stay within the cost of a few
+        flipped tie decisions."""
+        t = tree()
+        jobs_a = base_jobs()
+        jobs_b = [Job(id=j.id, release=j.release + 3.0, size=j.size) for j in jobs_a]
+        ra = simulate(
+            Instance(t, JobSet(jobs_a), Setting.IDENTICAL),
+            GreedyIdenticalAssignment(0.5),
+        )
+        rb = simulate(
+            Instance(t, JobSet(jobs_b), Setting.IDENTICAL),
+            GreedyIdenticalAssignment(0.5),
+        )
+        assert rb.total_flow_time() == pytest.approx(ra.total_flow_time(), rel=0.15)
+
+
+class TestScaling:
+    @pytest.mark.parametrize("c", [2.0, 0.25, 10.0])
+    def test_size_and_speed_scale_cancels(self, c):
+        t = tree()
+        jobs_a = base_jobs()
+        jobs_b = [Job(id=j.id, release=j.release, size=j.size * c) for j in jobs_a]
+        ra = simulate(
+            Instance(t, JobSet(jobs_a), Setting.IDENTICAL),
+            GreedyIdenticalAssignment(0.5),
+            SpeedProfile.uniform(1.0),
+        )
+        rb = simulate(
+            Instance(t, JobSet(jobs_b), Setting.IDENTICAL),
+            GreedyIdenticalAssignment(0.5),
+            SpeedProfile.uniform(c),
+        )
+        assert ra.assignment() == rb.assignment()
+        for jid in ra.records:
+            assert rb.records[jid].flow_time == pytest.approx(
+                ra.records[jid].flow_time, rel=1e-9
+            )
+
+    @pytest.mark.parametrize("c", [2.0, 5.0])
+    def test_pure_size_scale_dilates(self, c):
+        """Sizes AND releases scaled by c -> every time point scales by c
+        (the model has no intrinsic time constant)."""
+        t = tree()
+        jobs_a = base_jobs()
+        jobs_b = [
+            Job(id=j.id, release=j.release * c, size=j.size * c) for j in jobs_a
+        ]
+        fixed = {j.id: t.leaves[j.id % len(t.leaves)] for j in jobs_a}
+        ra = simulate(Instance(t, JobSet(jobs_a), Setting.IDENTICAL), FixedAssignment(fixed))
+        rb = simulate(Instance(t, JobSet(jobs_b), Setting.IDENTICAL), FixedAssignment(fixed))
+        for jid in ra.records:
+            assert rb.records[jid].completion == pytest.approx(
+                ra.records[jid].completion * c, rel=1e-9
+            )
+        assert rb.alive_integral == pytest.approx(ra.alive_integral * c, rel=1e-9)
+        # fractional flow is also a time integral -> scales by c
+        assert rb.fractional_flow == pytest.approx(ra.fractional_flow * c, rel=1e-9)
+
+
+class TestRelabelling:
+    def test_id_relabel_preserves_flow_multiset(self):
+        """Reversing ids while keeping (release, size) pairs attached to
+        the jobs permutes identities only; with strictly distinct
+        releases and sizes the SJF order is id-independent."""
+        t = tree()
+        n = 10
+        jobs_a = [
+            Job(id=i, release=1.37 * i, size=1.0 + 0.13 * i) for i in range(n)
+        ]
+        jobs_b = [
+            Job(id=n - 1 - i, release=1.37 * i, size=1.0 + 0.13 * i)
+            for i in range(n)
+        ]
+        pol = lambda: GreedyIdenticalAssignment(0.5)  # noqa: E731
+        ra = simulate(Instance(t, JobSet(jobs_a), Setting.IDENTICAL), pol())
+        rb = simulate(Instance(t, JobSet(jobs_b), Setting.IDENTICAL), pol())
+        flows_a = sorted(r.flow_time for r in ra.records.values())
+        flows_b = sorted(r.flow_time for r in rb.records.values())
+        assert flows_a == pytest.approx(flows_b)
+
+
+class TestSubtreeIsolation:
+    def test_unused_branches_are_irrelevant(self):
+        """Jobs pinned to branch 0 behave identically whether or not the
+        other branches exist."""
+        big = star_of_paths(3, 2)
+        small = star_of_paths(1, 2)
+        leaf_big = big.leaves[0]
+        leaf_small = small.leaves[0]
+        jobs = base_jobs(8)
+        r_big = simulate(
+            Instance(big, JobSet(jobs), Setting.IDENTICAL),
+            FixedAssignment({j.id: leaf_big for j in jobs}),
+        )
+        r_small = simulate(
+            Instance(small, JobSet(jobs), Setting.IDENTICAL),
+            FixedAssignment({j.id: leaf_small for j in jobs}),
+        )
+        for jid in r_big.records:
+            assert r_big.records[jid].flow_time == pytest.approx(
+                r_small.records[jid].flow_time
+            )
+
+
+class TestMergeIndependence:
+    def test_disjoint_branch_streams_superpose(self):
+        """Two job streams pinned to disjoint branches produce the same
+        per-job schedules run together or separately."""
+        t = star_of_paths(2, 2)
+        leaf_a, leaf_b = t.leaves
+        stream_a = [Job(id=i, release=0.9 * i, size=1.5) for i in range(6)]
+        stream_b = [Job(id=100 + i, release=0.4 * i, size=2.5) for i in range(6)]
+        merged = simulate(
+            Instance(t, JobSet(stream_a + stream_b), Setting.IDENTICAL),
+            FixedAssignment(
+                {**{j.id: leaf_a for j in stream_a}, **{j.id: leaf_b for j in stream_b}}
+            ),
+        )
+        alone_a = simulate(
+            Instance(t, JobSet(stream_a), Setting.IDENTICAL),
+            FixedAssignment({j.id: leaf_a for j in stream_a}),
+        )
+        alone_b = simulate(
+            Instance(t, JobSet(stream_b), Setting.IDENTICAL),
+            FixedAssignment({j.id: leaf_b for j in stream_b}),
+        )
+        for jid, rec in alone_a.records.items():
+            assert merged.records[jid].completion == pytest.approx(rec.completion)
+        for jid, rec in alone_b.records.items():
+            assert merged.records[jid].completion == pytest.approx(rec.completion)

@@ -1,0 +1,182 @@
+"""Unit tests for the topology builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network.builders import (
+    broomstick_tree,
+    caterpillar_tree,
+    datacenter_tree,
+    figure1_tree,
+    kary_tree,
+    random_tree,
+    spine_tree,
+    star_of_paths,
+    tree_from_parent_map,
+)
+
+
+class TestKary:
+    def test_leaf_count(self):
+        assert kary_tree(2, 3).num_leaves == 8
+        assert kary_tree(3, 2).num_leaves == 9
+
+    def test_height(self):
+        assert kary_tree(2, 4).height == 4
+
+    def test_all_leaves_at_max_depth(self):
+        t = kary_tree(2, 3)
+        assert all(t.depth(v) == 3 for v in t.leaves)
+
+    def test_depth_one_rejected(self):
+        with pytest.raises(TopologyError, match="depth must be >= 2"):
+            kary_tree(2, 1)
+
+    def test_bad_branching_rejected(self):
+        with pytest.raises(TopologyError, match="branching"):
+            kary_tree(0, 3)
+
+    def test_unary_is_broomstick(self):
+        assert kary_tree(1, 4).is_broomstick()
+
+
+class TestStarOfPaths:
+    def test_shape(self):
+        t = star_of_paths(3, 2)
+        assert len(t.root_children) == 3
+        assert t.num_leaves == 3
+        assert t.height == 3
+
+    def test_every_path_has_stated_length(self):
+        t = star_of_paths(2, 4)
+        for leaf in t.leaves:
+            assert len(t.processing_path(leaf)) == 5
+
+    def test_is_broomstick(self):
+        assert star_of_paths(4, 3).is_broomstick()
+
+    def test_spine_tree_single_branch(self):
+        t = spine_tree(3)
+        assert len(t.root_children) == 1
+        assert t.num_leaves == 1
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            star_of_paths(0, 1)
+        with pytest.raises(TopologyError):
+            star_of_paths(1, 0)
+
+
+class TestCaterpillar:
+    def test_leaf_count(self):
+        assert caterpillar_tree(3, 2).num_leaves == 6
+
+    def test_single_spine(self):
+        t = caterpillar_tree(4, 1)
+        assert len(t.root_children) == 1
+        assert t.is_broomstick()
+
+    def test_leaf_depths_spread(self):
+        t = caterpillar_tree(3, 1)
+        depths = sorted(t.depth(v) for v in t.leaves)
+        assert depths == [2, 3, 4]
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            caterpillar_tree(0, 1)
+        with pytest.raises(TopologyError):
+            caterpillar_tree(1, 0)
+
+
+class TestBroomstickBuilder:
+    def test_uniform_bristles(self):
+        t = broomstick_tree(2, 3, 2)
+        assert t.is_broomstick()
+        assert t.num_leaves == 2 * 2 * 2  # 2 tops x positions {1,2} x 2 each
+
+    def test_bristle_map(self):
+        t = broomstick_tree(1, 4, {2: 3})
+        assert t.num_leaves == 3
+        assert all(t.depth(v) == 4 for v in t.leaves)
+
+    def test_bad_position_rejected(self):
+        with pytest.raises(TopologyError, match="position"):
+            broomstick_tree(1, 3, {0: 1})
+        with pytest.raises(TopologyError, match="position"):
+            broomstick_tree(1, 3, {3: 1})
+
+    def test_no_machines_rejected(self):
+        with pytest.raises(TopologyError, match="at least one machine"):
+            broomstick_tree(1, 3, {1: 0})
+
+    def test_short_handle_rejected(self):
+        with pytest.raises(TopologyError, match="handle_length"):
+            broomstick_tree(1, 1, 1)
+
+
+class TestRandomTree:
+    def test_node_count_at_least_requested(self):
+        t = random_tree(20, rng=0)
+        assert t.num_nodes >= 20
+
+    def test_deterministic_under_seed(self):
+        a = random_tree(25, rng=42)
+        b = random_tree(25, rng=42)
+        assert a.parent_map() == b.parent_map()
+
+    def test_different_seeds_differ(self):
+        a = random_tree(25, rng=1)
+        b = random_tree(25, rng=2)
+        assert a.parent_map() != b.parent_map()
+
+    def test_accepts_generator(self):
+        t = random_tree(15, rng=np.random.default_rng(7))
+        assert t.num_leaves >= 1
+
+    def test_max_children_respected(self):
+        t = random_tree(60, rng=3, max_children=2)
+        for node in t:
+            if node.id not in t.root_children and not node.is_root:
+                assert len(node.children) <= 2 + 1  # +1 for the padding machine
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            random_tree(3)
+
+
+class TestDatacenter:
+    def test_shape(self):
+        t = datacenter_tree(2, 3, 4)
+        assert len(t.root_children) == 2
+        assert t.num_leaves == 2 * 3 * 4
+        assert t.height == 3
+
+    def test_names(self):
+        t = datacenter_tree(1, 1, 1)
+        labels = {n.name for n in t}
+        assert "core" in labels
+        assert "pod0/rack0/m0" in labels
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            datacenter_tree(0, 1, 1)
+
+
+class TestFigure1:
+    def test_structure(self):
+        t = figure1_tree()
+        assert len(t.root_children) == 2
+        assert t.num_leaves == 7
+        assert not t.is_broomstick()
+
+    def test_legal_model(self):
+        t = figure1_tree()
+        assert all(not t.node(v).is_leaf for v in t.root_children)
+
+
+def test_tree_from_parent_map_passthrough():
+    t = tree_from_parent_map({0: None, 1: 0, 2: 1})
+    assert t.num_leaves == 1

@@ -1,0 +1,39 @@
+"""Unit tests for tree structural statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.builders import caterpillar_tree, datacenter_tree, kary_tree
+from repro.network.stats import tree_stats
+
+
+class TestTreeStats:
+    def test_kary_counts(self):
+        s = tree_stats(kary_tree(2, 3))
+        assert s.num_nodes == 15
+        assert s.num_leaves == 8
+        assert s.num_routers == 6
+        assert s.height == 3
+        assert s.is_balanced
+        assert s.max_branching == 2
+        assert s.mean_branching == 2.0
+        assert s.leaf_depth_histogram == {3: 8}
+
+    def test_caterpillar_depth_spread(self):
+        s = tree_stats(caterpillar_tree(3, 2))
+        assert not s.is_balanced
+        assert s.min_leaf_depth == 2
+        assert s.max_leaf_depth == 4
+        assert sum(s.leaf_depth_histogram.values()) == s.num_leaves
+
+    def test_datacenter_branching(self):
+        s = tree_stats(datacenter_tree(2, 3, 4))
+        assert s.max_branching == 4
+        assert s.num_leaves == 24
+        assert s.mean_leaf_depth == 3.0
+
+    def test_mean_leaf_depth_consistent_with_histogram(self):
+        s = tree_stats(caterpillar_tree(4, 3))
+        mean = sum(d * c for d, c in s.leaf_depth_histogram.items()) / s.num_leaves
+        assert s.mean_leaf_depth == pytest.approx(mean)

@@ -1,0 +1,218 @@
+"""Unit tests for TreeNetwork structure and the paper's accessors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network.node import NodeKind
+from repro.network.tree import TreeNetwork
+
+
+def chain(n: int) -> dict[int, int | None]:
+    """0 -> 1 -> ... -> n-1 parent map (0 is root)."""
+    return {0: None, **{i: i - 1 for i in range(1, n)}}
+
+
+class TestConstruction:
+    def test_single_chain_classifies_kinds(self):
+        t = TreeNetwork(chain(4))
+        assert t.node(0).kind is NodeKind.ROOT
+        assert t.node(1).kind is NodeKind.ROUTER
+        assert t.node(2).kind is NodeKind.ROUTER
+        assert t.node(3).kind is NodeKind.LEAF
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError, match="at least one node"):
+            TreeNetwork({})
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(TopologyError, match="exactly one root"):
+            TreeNetwork({0: None, 1: None})
+
+    def test_no_root_rejected(self):
+        with pytest.raises(TopologyError, match="exactly one root"):
+            TreeNetwork({0: 1, 1: 0})
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(TopologyError, match="its own parent"):
+            TreeNetwork({0: None, 1: 1})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(TopologyError, match="unknown parent"):
+            TreeNetwork({0: None, 1: 99})
+
+    def test_disconnected_cycle_rejected(self):
+        with pytest.raises(TopologyError, match="not reachable"):
+            TreeNetwork({0: None, 1: 2, 2: 1})
+
+    def test_leaf_adjacent_to_root_rejected(self):
+        with pytest.raises(TopologyError, match="forbids leaves adjacent"):
+            TreeNetwork({0: None, 1: 0})
+
+    def test_leaf_adjacent_to_root_allowed_when_opted_in(self):
+        t = TreeNetwork({0: None, 1: 0}, allow_leaf_under_root=True)
+        assert t.node(1).is_leaf
+
+    def test_rootless_children_rejected(self):
+        with pytest.raises(TopologyError, match="no children"):
+            TreeNetwork({0: None}, allow_leaf_under_root=True)
+
+    def test_names_attach(self):
+        t = TreeNetwork(chain(3), names={2: "machine"})
+        assert t.node(2).name == "machine"
+        assert t.node(2).label() == "machine"
+        assert t.node(1).label() == "router#1"
+
+
+class TestAccessors:
+    @pytest.fixture
+    def tree(self):
+        #       0
+        #    1     2
+        #   3 4    5
+        #  L6 L7  L8 L9(under 5)
+        return TreeNetwork(
+            {0: None, 1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 3, 7: 4, 8: 5, 9: 5}
+        )
+
+    def test_root_children(self, tree):
+        assert tree.root_children == (1, 2)
+
+    def test_leaves_preorder(self, tree):
+        assert set(tree.leaves) == {6, 7, 8, 9}
+
+    def test_routers(self, tree):
+        assert set(tree.routers) == {1, 2, 3, 4, 5}
+
+    def test_parent_and_children(self, tree):
+        assert tree.parent(3) == 1
+        assert tree.parent(0) is None
+        assert tree.children(1) == (3, 4)
+        assert tree.children(6) == ()
+
+    def test_top_router(self, tree):
+        assert tree.top_router(6) == 1
+        assert tree.top_router(9) == 2
+        assert tree.top_router(1) == 1
+
+    def test_top_router_of_root_rejected(self, tree):
+        with pytest.raises(TopologyError):
+            tree.top_router(0)
+
+    def test_leaves_under(self, tree):
+        assert set(tree.leaves_under(1)) == {6, 7}
+        assert set(tree.leaves_under(2)) == {8, 9}
+        assert tree.leaves_under(6) == (6,)
+
+    def test_d_counts_nodes_to_top(self, tree):
+        assert tree.d(1) == 1
+        assert tree.d(3) == 2
+        assert tree.d(6) == 3
+
+    def test_processing_path(self, tree):
+        assert tree.processing_path(6) == (1, 3, 6)
+        assert tree.processing_path(9) == (2, 5, 9)
+
+    def test_processing_path_non_leaf_rejected(self, tree):
+        with pytest.raises(TopologyError, match="not a leaf"):
+            tree.processing_path(3)
+
+    def test_path_between(self, tree):
+        assert tree.path_between(1, 6) == (1, 3, 6)
+        assert tree.path_between(6, 6) == (6,)
+        with pytest.raises(TopologyError, match="not an ancestor"):
+            tree.path_between(2, 6)
+
+    def test_is_ancestor(self, tree):
+        assert tree.is_ancestor(0, 9)
+        assert tree.is_ancestor(2, 9)
+        assert tree.is_ancestor(9, 9)
+        assert not tree.is_ancestor(1, 9)
+
+    def test_height_and_counts(self, tree):
+        assert tree.height == 3
+        assert tree.num_nodes == 10
+        assert tree.num_leaves == 4
+        assert len(tree) == 10
+
+    def test_iteration_preorder_root_first(self, tree):
+        ids = [n.id for n in tree]
+        assert ids[0] == 0
+        assert set(ids) == set(range(10))
+
+    def test_unknown_node_queries(self, tree):
+        with pytest.raises(TopologyError):
+            tree.node(42)
+        with pytest.raises(TopologyError):
+            tree.leaves_under(42)
+        assert 42 not in tree
+        assert 5 in tree
+
+    def test_subtree_node_ids(self, tree):
+        assert set(tree.subtree_node_ids(1)) == {1, 3, 4, 6, 7}
+
+    def test_leaf_index_dense(self, tree):
+        idx = tree.leaf_index()
+        assert sorted(idx.values()) == list(range(4))
+
+
+class TestBroomstickPredicate:
+    def test_chain_is_broomstick(self):
+        assert TreeNetwork(chain(5)).is_broomstick()
+
+    def test_branching_routers_not_broomstick(self):
+        t = TreeNetwork({0: None, 1: 0, 2: 1, 3: 1, 4: 2, 5: 3})
+        assert not t.is_broomstick()
+
+    def test_spine_of_chain(self):
+        t = TreeNetwork(chain(5))
+        assert t.spine_of(1) == (1, 2, 3)
+
+    def test_spine_of_requires_root_child(self):
+        t = TreeNetwork(chain(5))
+        with pytest.raises(TopologyError, match="not adjacent"):
+            t.spine_of(2)
+
+
+class TestExport:
+    def test_parent_map_round_trip(self):
+        pm = chain(4)
+        t = TreeNetwork(pm)
+        t2 = TreeNetwork(t.parent_map())
+        assert t2.parent_map() == t.parent_map()
+
+    def test_to_networkx(self):
+        t = TreeNetwork(chain(4))
+        g = t.to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 3
+        assert g.nodes[3]["kind"] == "leaf"
+
+    def test_render_ascii_mentions_every_node(self):
+        t = TreeNetwork(chain(4), names={0: "r", 3: "m"})
+        text = t.render_ascii()
+        assert "r" in text and "m" in text
+        assert text.count("\n") == 3
+
+    def test_from_edges_order_independent(self):
+        a = TreeNetwork.from_edges(0, [(0, 1), (1, 2)])
+        b = TreeNetwork.from_edges(0, [(1, 2), (0, 1)])
+        assert a.parent_map() == b.parent_map()
+
+    def test_from_edges_rejects_two_parents(self):
+        with pytest.raises(TopologyError, match="two parents"):
+            TreeNetwork.from_edges(0, [(0, 1), (2, 1), (0, 2)])
+
+    def test_from_edges_rejects_root_as_child(self):
+        with pytest.raises(TopologyError, match="root cannot"):
+            TreeNetwork.from_edges(0, [(1, 0)])
+
+    def test_from_edges_rejects_orphan(self):
+        # 5 appears only as a parent and is not the root.
+        with pytest.raises(TopologyError):
+            TreeNetwork.from_edges(0, [(0, 1), (5, 2)])
+
+    def test_repr_mentions_shape(self):
+        t = TreeNetwork(chain(4))
+        assert "leaves=1" in repr(t)

@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategies generate random small trees and workloads; every property is
+a model invariant the paper's setting guarantees regardless of policy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.policies import LeastLoadedAssignment, RandomAssignment
+from repro.core.assignment import GreedyIdenticalAssignment
+from repro.lp.bounds import best_lower_bound, srpt_single_machine_flow
+from repro.network.broomstick import reduce_to_broomstick
+from repro.network.tree import TreeNetwork
+from repro.sim.engine import simulate
+from repro.sim.invariants import validate_schedule
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+from repro.workload.sizes import class_index, round_to_classes
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def tree_strategy(draw):
+    """A random legal tree: root with 1-3 branch routers, each carrying a
+    small random subtree whose childless nodes are machines."""
+    num_branches = draw(st.integers(1, 3))
+    parent_map: dict[int, int | None] = {0: None}
+    next_id = 1
+    frontier: list[int] = []
+    for _ in range(num_branches):
+        parent_map[next_id] = 0
+        frontier.append(next_id)
+        next_id += 1
+    extra = draw(st.integers(num_branches, 10))
+    for _ in range(extra):
+        parent = draw(st.sampled_from(frontier))
+        parent_map[next_id] = parent
+        frontier.append(next_id)
+        next_id += 1
+    # Every branch router must have a descendant; pad machines under
+    # childless root-children.
+    children = {v: 0 for v in parent_map}
+    for v, p in parent_map.items():
+        if p is not None:
+            children[p] += 1
+    for v, p in list(parent_map.items()):
+        if p == 0 and children[v] == 0:
+            parent_map[next_id] = v
+            next_id += 1
+    return TreeNetwork(parent_map)
+
+
+@st.composite
+def jobs_strategy(draw, max_jobs=12):
+    n = draw(st.integers(1, max_jobs))
+    releases = draw(
+        st.lists(
+            st.floats(0.0, 20.0, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    sizes = draw(
+        st.lists(
+            st.floats(0.1, 8.0, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return JobSet.build(sorted(releases), sizes)
+
+
+# ----------------------------------------------------------------------
+# simulation invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(tree=tree_strategy(), jobs=jobs_strategy(), seed=st.integers(0, 5))
+def test_simulation_invariants_random_policy(tree, jobs, seed):
+    """Any policy on any instance yields a valid schedule: conservation,
+    mutual exclusion, store-and-forward, flow >= path volume."""
+    instance = Instance(tree, jobs, Setting.IDENTICAL)
+    result = simulate(
+        instance,
+        RandomAssignment(seed),
+        SpeedProfile.uniform(1.0),
+        record_segments=True,
+        check_invariants=True,
+    )
+    validate_schedule(result)
+    result.verify_complete()
+    for jid, rec in result.records.items():
+        job = instance.jobs.by_id(jid)
+        assert rec.flow_time >= instance.path_volume(job, rec.leaf) - 1e-6
+    assert result.alive_integral == pytest.approx(
+        result.total_flow_time(), rel=1e-6, abs=1e-6
+    )
+    assert result.fractional_flow <= result.total_flow_time() + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree=tree_strategy(), jobs=jobs_strategy(max_jobs=8))
+def test_greedy_dominates_nothing_but_completes(tree, jobs):
+    """The paper policy always completes and never beats the per-job
+    physical lower bound."""
+    instance = Instance(tree, jobs, Setting.IDENTICAL)
+    result = simulate(
+        instance, GreedyIdenticalAssignment(0.5), check_invariants=True
+    )
+    result.verify_complete()
+    lb, _ = best_lower_bound(instance)
+    assert result.total_flow_time() >= lb - 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree=tree_strategy(), jobs=jobs_strategy(max_jobs=8), factor=st.floats(1.1, 4.0))
+def test_speed_scaling_preserves_validity(tree, jobs, factor):
+    instance = Instance(tree, jobs, Setting.IDENTICAL)
+    result = simulate(
+        instance,
+        LeastLoadedAssignment(),
+        SpeedProfile.uniform(factor),
+        record_segments=True,
+    )
+    validate_schedule(result)
+
+
+# ----------------------------------------------------------------------
+# broomstick reduction properties
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(tree=tree_strategy())
+def test_broomstick_reduction_properties(tree):
+    red = reduce_to_broomstick(tree)
+    assert red.broomstick.is_broomstick()
+    assert red.broomstick.num_leaves == tree.num_leaves
+    for leaf in tree.leaves:
+        assert red.depth_shift(leaf) == 2
+    assert len(red.top_map) == len(tree.root_children)
+
+
+# ----------------------------------------------------------------------
+# class rounding properties
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(st.floats(1e-3, 1e6), min_size=1, max_size=30),
+    eps=st.floats(0.05, 2.0),
+)
+def test_round_to_classes_properties(sizes, eps):
+    arr = np.asarray(sizes)
+    rounded = round_to_classes(arr, eps)
+    # Rounds up, by less than one class factor.
+    assert np.all(rounded >= arr * (1 - 1e-9))
+    assert np.all(rounded <= arr * (1 + eps) * (1 + 1e-9))
+    # Results are genuine class powers.
+    for v in rounded:
+        class_index(float(v), eps)
+    # Idempotent.
+    again = round_to_classes(rounded, eps)
+    assert np.allclose(again, rounded, rtol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# SRPT relaxation properties
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    jobs=st.lists(
+        st.tuples(st.floats(0, 50), st.floats(0.1, 10.0)), min_size=1, max_size=20
+    ),
+    speed=st.floats(0.5, 4.0),
+)
+def test_srpt_flow_sane(jobs, speed):
+    releases = sorted(r for r, _ in jobs)
+    sizes = [s for _, s in jobs]
+    flow = srpt_single_machine_flow(releases, sizes, speed)
+    # At least the sum of processing times; finite.
+    assert flow >= sum(sizes) / speed - 1e-6
+    assert math.isfinite(flow)
+    # Monotone in speed.
+    faster = srpt_single_machine_flow(releases, sizes, speed * 2)
+    assert faster <= flow + 1e-6
+
+
+# ----------------------------------------------------------------------
+# serialisation round trip
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(tree=tree_strategy(), jobs=jobs_strategy(max_jobs=6))
+def test_json_round_trip_preserves_schedule(tree, jobs):
+    from repro.workload.trace_io import instance_from_json, instance_to_json
+
+    instance = Instance(tree, jobs, Setting.IDENTICAL)
+    restored = instance_from_json(instance_to_json(instance))
+    a = simulate(instance, GreedyIdenticalAssignment(0.5))
+    b = simulate(restored, GreedyIdenticalAssignment(0.5))
+    assert a.assignment() == b.assignment()
+    assert a.total_flow_time() == pytest.approx(b.total_flow_time())

@@ -1,0 +1,66 @@
+"""Property-based hardening of the dual-fitting certificate.
+
+The D1 experiment checks fixed seeds; these hypothesis tests assert the
+certificate verifies over *random* broomstick workloads, sizes, and ε —
+the strongest empirical form of the Sections 3.5/3.6 claim this
+reproduction offers.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.duals_paper import build_dual_certificate
+from repro.network.builders import broomstick_tree
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+from repro.workload.sizes import round_to_classes
+
+
+@st.composite
+def broomstick_instance(draw):
+    tops = draw(st.integers(1, 3))
+    handle = draw(st.integers(2, 4))
+    tree = broomstick_tree(tops, handle, 1)
+    eps = draw(st.sampled_from([0.1, 0.25, 0.5, 1.0]))
+    n = draw(st.integers(1, 8))
+    jobs = []
+    for i in range(n):
+        raw = draw(st.floats(0.3, 9.0, allow_nan=False))
+        size = float(round_to_classes([raw], eps)[0])
+        release = draw(st.floats(0.0, 15.0, allow_nan=False))
+        jobs.append(Job(id=i, release=release, size=size))
+    return Instance(tree, JobSet(jobs), Setting.IDENTICAL), eps
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=broomstick_instance())
+def test_certificate_always_feasible_identical(data):
+    instance, eps = data
+    cert = build_dual_certificate(instance, eps)
+    assert cert.is_feasible(), cert.summary()
+    assert cert.dual_objective_scaled > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=broomstick_instance(), speed_boost=st.floats(1.0, 3.0))
+def test_certificate_feasible_with_extra_speed(data, speed_boost):
+    """More algorithm speed only helps: the certificate must continue to
+    verify when the algorithm runs faster than the theorem requires."""
+    instance, eps = data
+    from repro.sim.speed import SpeedProfile
+
+    speeds = SpeedProfile.theorem1(eps).scaled(speed_boost)
+    cert = build_dual_certificate(instance, eps, speeds=speeds)
+    assert cert.is_feasible(), cert.summary()
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=broomstick_instance())
+def test_beta_dominates_cost_paper_accounting(data):
+    """Section 3.5's accounting: Σβ ≥ (1+ε) × fractional cost."""
+    instance, eps = data
+    cert = build_dual_certificate(instance, eps)
+    if cert.alg_fractional_cost > 0:
+        assert cert.beta_sum >= (1.0 + eps) * cert.alg_fractional_cost - 1e-9

@@ -1,0 +1,108 @@
+"""Property-based tests for the chunking and origin extensions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import GreedyIdenticalAssignment
+from repro.network.builders import datacenter_tree, star_of_paths
+from repro.sim.engine import simulate
+from repro.sim.invariants import validate_schedule
+from repro.workload.chunking import (
+    ChunkedAssignment,
+    aggregate_chunk_result,
+    chunk_instance,
+    chunk_priority,
+)
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+@st.composite
+def small_jobset(draw):
+    n = draw(st.integers(1, 8))
+    jobs = []
+    for i in range(n):
+        jobs.append(
+            Job(
+                id=i,
+                release=draw(st.floats(0.0, 10.0, allow_nan=False)),
+                size=draw(st.floats(0.2, 6.0, allow_nan=False)),
+            )
+        )
+    return JobSet(jobs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(jobs=small_jobset(), chunk_size=st.floats(0.3, 3.0))
+def test_chunking_conserves_work_and_validates(jobs, chunk_size):
+    """Any chunking yields a valid schedule whose per-job completion is
+    at least the unchunked physical lower bound p_j (first hop is still
+    serial at the chunk level... the LAST piece cannot finish before all
+    of the job's data crossed the first link: >= p_j at unit speed)."""
+    tree = star_of_paths(2, 2)
+    instance = Instance(tree, jobs, Setting.IDENTICAL)
+    chunked = chunk_instance(instance, chunk_size)
+    result = simulate(
+        chunked.instance,
+        ChunkedAssignment(chunked, GreedyIdenticalAssignment(0.5)),
+        priority=chunk_priority(chunked),
+        record_segments=True,
+    )
+    validate_schedule(result)
+    summary = aggregate_chunk_result(chunked, result)
+    for jid, flow in summary.flow_times.items():
+        job = instance.jobs.by_id(jid)
+        assert flow >= job.size - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(jobs=small_jobset(), chunk_size=st.floats(0.3, 3.0))
+def test_chunk_totals_match_parent_sizes(jobs, chunk_size):
+    tree = star_of_paths(2, 2)
+    instance = Instance(tree, jobs, Setting.IDENTICAL)
+    chunked = chunk_instance(instance, chunk_size)
+    for jid, pieces in chunked.chunks_of.items():
+        total = sum(chunked.instance.jobs.by_id(p).size for p in pieces)
+        assert total == pytest.approx(instance.jobs.by_id(jid).size)
+        # no piece exceeds the requested granularity
+        for p in pieces:
+            assert chunked.instance.jobs.by_id(p).size <= chunk_size + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    jobs=small_jobset(),
+    origin_choice=st.lists(st.integers(0, 5), min_size=8, max_size=8),
+)
+def test_origin_jobs_always_complete_inside_subtree(jobs, origin_choice):
+    tree = datacenter_tree(2, 2, 2)
+    candidates = [None, *tree.root_children, *(
+        r for p in tree.root_children for r in tree.children(p)
+    )]
+    reassigned = JobSet(
+        [
+            Job(
+                id=j.id,
+                release=j.release,
+                size=j.size,
+                origin=candidates[origin_choice[i] % len(candidates)],
+            )
+            for i, j in enumerate(jobs)
+        ]
+    )
+    instance = Instance(tree, reassigned, Setting.IDENTICAL)
+    result = simulate(
+        instance,
+        GreedyIdenticalAssignment(0.5),
+        record_segments=True,
+        check_invariants=True,
+    )
+    validate_schedule(result)
+    for jid, rec in result.records.items():
+        origin = reassigned.by_id(jid).origin
+        if origin is not None:
+            assert instance.tree.is_ancestor(origin, rec.leaf)
+            assert origin not in rec.path

@@ -1,0 +1,90 @@
+"""Unit tests for the EventLog observer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import FixedAssignment
+from repro.network.builders import spine_tree
+from repro.sim.engine import fifo_priority, simulate
+from repro.sim.events import EventKind, EventLog
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+def run_with_log(jobs, priority=None):
+    tree = spine_tree(1)
+    instance = Instance(tree, JobSet(jobs), Setting.IDENTICAL)
+    log = EventLog()
+    kwargs = {"observer": log}
+    if priority is not None:
+        kwargs["priority"] = priority
+    result = simulate(instance, FixedAssignment({j.id: 2 for j in jobs}), **kwargs)
+    return log, result
+
+
+class TestTimeline:
+    def test_single_job_lifecycle(self):
+        log, _ = run_with_log([Job(id=0, release=0.0, size=2.0)])
+        kinds = [e.kind for e in log.for_job(0)]
+        assert kinds[0] is EventKind.ARRIVAL
+        assert EventKind.HANDOFF in kinds
+        assert kinds[-1] is EventKind.FINISH
+
+    def test_times_monotone(self):
+        log, _ = run_with_log(
+            [Job(id=i, release=0.5 * i, size=1.0 + i % 2) for i in range(8)]
+        )
+        times = [e.time for e in log.events]
+        assert times == sorted(times)
+
+    def test_arrival_records_entry_node(self):
+        log, _ = run_with_log([Job(id=0, release=0.0, size=1.0)])
+        arrival = log.of_kind(EventKind.ARRIVAL)[0]
+        assert arrival.node == 1  # the root-adjacent router
+
+    def test_finish_records_leaf(self):
+        log, _ = run_with_log([Job(id=0, release=0.0, size=1.0)])
+        finish = log.of_kind(EventKind.FINISH)[0]
+        assert finish.node == 2
+
+    def test_every_job_finishes_once(self):
+        jobs = [Job(id=i, release=0.3 * i, size=1.0) for i in range(6)]
+        log, result = run_with_log(jobs)
+        finishes = log.of_kind(EventKind.FINISH)
+        assert sorted(e.job_id for e in finishes) == sorted(result.records)
+
+
+class TestPreemptions:
+    def test_sjf_preemption_detected(self):
+        # Big job running, small job arrives -> preemption at router 1.
+        log, _ = run_with_log(
+            [Job(id=0, release=0.0, size=4.0), Job(id=1, release=1.0, size=1.0)]
+        )
+        pre = log.preemptions_at(1)
+        assert len(pre) == 1
+        assert pre[0].job_id == 0  # displaced
+        assert pre[0].other_job == 1  # displacer
+        assert pre[0].time == pytest.approx(1.0)
+
+    def test_fifo_never_preempts(self):
+        log, _ = run_with_log(
+            [Job(id=0, release=0.0, size=4.0), Job(id=1, release=1.0, size=1.0)],
+            priority=fifo_priority,
+        )
+        assert not log.of_kind(EventKind.PREEMPTION)
+
+    def test_no_false_preemption_on_natural_handoff(self):
+        # Sequential jobs with no overlap: no preemptions.
+        log, _ = run_with_log(
+            [Job(id=0, release=0.0, size=1.0), Job(id=1, release=10.0, size=1.0)]
+        )
+        assert not log.of_kind(EventKind.PREEMPTION)
+
+
+class TestQueries:
+    def test_len_and_filters(self):
+        log, _ = run_with_log([Job(id=0, release=0.0, size=1.0)])
+        assert len(log) == len(log.events)
+        assert all(e.job_id == 0 for e in log.for_job(0))
+        assert log.preemptions_at(99) == []

@@ -1,0 +1,81 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import FixedAssignment, GreedyIdenticalAssignment
+from repro.exceptions import AnalysisError
+from repro.network.builders import spine_tree, star_of_paths
+from repro.sim.engine import simulate
+from repro.sim.gantt import render_gantt
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+@pytest.fixture
+def pipeline_result():
+    tree = spine_tree(1)
+    jobs = JobSet([Job(id=0, release=0.0, size=2.0), Job(id=1, release=0.0, size=4.0)])
+    instance = Instance(tree, jobs, Setting.IDENTICAL)
+    return simulate(instance, FixedAssignment({0: 2, 1: 2}), record_segments=True)
+
+
+class TestRenderGantt:
+    def test_requires_segments(self):
+        tree = spine_tree(1)
+        instance = Instance(
+            tree, JobSet([Job(id=0, release=0.0, size=1.0)]), Setting.IDENTICAL
+        )
+        res = simulate(instance, FixedAssignment({0: 2}))
+        with pytest.raises(AnalysisError, match="record_segments"):
+            render_gantt(res)
+
+    def test_row_per_processing_node(self, pipeline_result):
+        text = render_gantt(pipeline_result, width=40)
+        lines = text.splitlines()
+        # header + router + leaf + legend
+        assert len(lines) == 4
+
+    def test_glyphs_reflect_schedule(self, pipeline_result):
+        # Router: job0 [0,2), job1 [2,6).  Leaf: job0 [2,4), idle, job1 [6,10).
+        text = render_gantt(pipeline_result, width=10)  # cell = 1.0
+        router_row = next(l for l in text.splitlines() if "router#1" in l)
+        cells = router_row.split("| ")[1]
+        assert cells[0] == "0" and cells[1] == "0"
+        assert cells[2] == "1" and cells[5] == "1"
+        leaf_row = next(l for l in text.splitlines() if "leaf#2" in l)
+        lcells = leaf_row.split("| ")[1]
+        assert lcells[2] == "0" and lcells[3] == "0"
+        assert lcells[4] == "." and lcells[5] == "."
+        assert lcells[6] == "1"
+
+    def test_idle_everywhere_before_release(self):
+        tree = spine_tree(1)
+        jobs = JobSet([Job(id=0, release=5.0, size=1.0)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        res = simulate(instance, FixedAssignment({0: 2}), record_segments=True)
+        text = render_gantt(res, width=7)  # horizon 7, cell 1
+        router_row = next(l for l in text.splitlines() if "router#1" in l)
+        assert router_row.split("| ")[1][:5] == "....."
+
+    def test_busy_system_renders_without_error(self):
+        tree = star_of_paths(3, 2)
+        jobs = JobSet(
+            [Job(id=i, release=0.3 * i, size=1.0 + i % 3) for i in range(20)]
+        )
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        res = simulate(instance, GreedyIdenticalAssignment(0.5), record_segments=True)
+        text = render_gantt(res, width=60)
+        assert len(text.splitlines()) == tree.num_nodes - 1 + 2
+
+    def test_until_window(self, pipeline_result):
+        text = render_gantt(pipeline_result, width=10, until=2.0)
+        router_row = next(l for l in text.splitlines() if "router#1" in l)
+        assert set(router_row.split("| ")[1]) == {"0"}
+
+    def test_empty_schedule(self):
+        tree = spine_tree(1)
+        instance = Instance(tree, JobSet([]), Setting.IDENTICAL)
+        res = simulate(instance, FixedAssignment({}), record_segments=True)
+        assert render_gantt(res) == "(empty schedule)"

@@ -1,0 +1,105 @@
+"""Tests for the post-hoc schedule validator — including that it actually
+catches corrupted schedules, not just passes good ones."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.assignment import FixedAssignment, GreedyIdenticalAssignment
+from repro.exceptions import InvariantViolation
+from repro.network.builders import kary_tree, spine_tree
+from repro.sim.engine import simulate
+from repro.sim.invariants import validate_schedule
+from repro.sim.result import ScheduleSegment
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+@pytest.fixture
+def good_result():
+    tree = kary_tree(2, 2)
+    jobs = JobSet([Job(id=i, release=0.4 * i, size=1.0 + (i % 2)) for i in range(10)])
+    instance = Instance(tree, jobs, Setting.IDENTICAL)
+    return simulate(
+        instance, GreedyIdenticalAssignment(0.5), record_segments=True
+    )
+
+
+class TestAcceptsValidSchedules:
+    def test_greedy_run_validates(self, good_result):
+        validate_schedule(good_result)
+
+    def test_requires_segments(self):
+        tree = spine_tree(1)
+        instance = Instance(
+            tree, JobSet([Job(id=0, release=0.0, size=1.0)]), Setting.IDENTICAL
+        )
+        res = simulate(instance, FixedAssignment({0: 2}))
+        with pytest.raises(InvariantViolation, match="record_segments"):
+            validate_schedule(res)
+
+
+class TestCatchesCorruption:
+    def test_overlapping_segments_detected(self, good_result):
+        assert good_result.segments
+        seg = good_result.segments[0]
+        good_result.segments.append(
+            ScheduleSegment(seg.node, 9999, seg.start, seg.end)
+        )
+        with pytest.raises(InvariantViolation):
+            validate_schedule(good_result)
+
+    def test_missing_work_detected(self, good_result):
+        # Dropping one segment breaks work conservation for that job/node.
+        removed = good_result.segments.pop(0)
+        assert removed.duration > 0
+        with pytest.raises(InvariantViolation, match="processed"):
+            validate_schedule(good_result)
+
+    def test_negative_duration_detected(self, good_result):
+        good_result.segments.append(ScheduleSegment(1, 0, 5.0, 4.0))
+        with pytest.raises(InvariantViolation, match="negative"):
+            validate_schedule(good_result)
+
+    def test_off_path_processing_detected(self, good_result):
+        # Move one job's segment to a node not on its path, compensating
+        # nothing: both conservation and off-path checks can fire.
+        seg = good_result.segments[0]
+        rec = good_result.records[seg.job_id]
+        off_path = next(
+            v for v in good_result.instance.tree.leaves if v != rec.leaf
+        )
+        good_result.segments[0] = dataclasses.replace(seg, node=off_path)
+        with pytest.raises(InvariantViolation):
+            validate_schedule(good_result)
+
+    def test_broken_availability_chain_detected(self, good_result):
+        rec = next(iter(good_result.records.values()))
+        rec.available_at[1] -= 0.5
+        with pytest.raises(InvariantViolation):
+            validate_schedule(good_result)
+
+    def test_completion_before_available_detected(self, good_result):
+        rec = next(iter(good_result.records.values()))
+        rec.available_at[-1] = rec.completed_at[-1] + 1.0
+        with pytest.raises(InvariantViolation):
+            validate_schedule(good_result)
+
+
+class TestEngineInvariantMode:
+    def test_check_invariants_on_busy_instance(self):
+        tree = kary_tree(2, 3)
+        jobs = JobSet(
+            [Job(id=i, release=0.1 * i, size=1.0 + (i % 4)) for i in range(40)]
+        )
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        res = simulate(
+            instance,
+            GreedyIdenticalAssignment(0.25),
+            record_segments=True,
+            check_invariants=True,
+        )
+        validate_schedule(res)
+        res.verify_complete()

@@ -1,0 +1,97 @@
+"""Unit tests for metrics and the waiting-time decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import FixedAssignment
+from repro.network.builders import spine_tree, star_of_paths
+from repro.sim.engine import simulate
+from repro.sim.metrics import (
+    interior_delay,
+    max_stretch,
+    mean_flow_time,
+    normalized_interior_delay,
+    total_flow_time,
+    waiting_decomposition,
+)
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+@pytest.fixture
+def deep_result():
+    """One job on a 3-router + leaf spine: all timings deterministic."""
+    tree = spine_tree(3)
+    leaf = tree.leaves[0]
+    instance = Instance(
+        tree, JobSet([Job(id=0, release=0.0, size=2.0)]), Setting.IDENTICAL
+    )
+    return simulate(instance, FixedAssignment({0: leaf}))
+
+
+class TestBasics:
+    def test_totals(self, deep_result):
+        # 4 nodes x size 2 = 8.
+        assert total_flow_time(deep_result) == 8.0
+        assert mean_flow_time(deep_result) == 8.0
+
+    def test_max_stretch_idle_system_is_one(self, deep_result):
+        assert max_stretch(deep_result) == pytest.approx(1.0)
+
+    def test_stretch_grows_with_contention(self):
+        tree = spine_tree(1)
+        jobs = JobSet([Job(id=i, release=0.0, size=1.0) for i in range(3)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        res = simulate(instance, FixedAssignment({i: 2 for i in range(3)}))
+        assert max_stretch(res) > 1.5
+
+
+class TestInteriorDelay:
+    def test_uncontended_job(self, deep_result):
+        # Leaves R at t=2; completes last identical node (the leaf) at 8.
+        assert interior_delay(deep_result, 0) == 6.0
+        # d_v = 4 nodes, p = 2 -> normalised 6/8.
+        assert normalized_interior_delay(deep_result, 0) == pytest.approx(0.75)
+
+    def test_unrelated_excludes_leaf(self):
+        tree = spine_tree(2)
+        leaf = tree.leaves[0]
+        jobs = JobSet([Job(id=0, release=0.0, size=1.0, leaf_sizes={leaf: 10.0})])
+        instance = Instance(tree, jobs, Setting.UNRELATED)
+        res = simulate(instance, FixedAssignment({0: leaf}))
+        # Routers: [0,1), [1,2). Last identical node completes at 2; left
+        # R at 1 -> interior delay 1 (the slow leaf is excluded).
+        assert interior_delay(res, 0) == 1.0
+
+    def test_shallow_unrelated_path_zero(self):
+        tree = spine_tree(1)
+        leaf = tree.leaves[0]
+        jobs = JobSet([Job(id=0, release=0.0, size=1.0, leaf_sizes={leaf: 3.0})])
+        instance = Instance(tree, jobs, Setting.UNRELATED)
+        res = simulate(instance, FixedAssignment({0: leaf}))
+        assert interior_delay(res, 0) == 0.0
+
+
+class TestWaitingDecomposition:
+    def test_parts_sum_to_flow(self):
+        tree = star_of_paths(2, 2)
+        jobs = JobSet([Job(id=i, release=0.5 * i, size=1.0 + i % 2) for i in range(8)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        leaves = tree.leaves
+        res = simulate(
+            instance, FixedAssignment({i: leaves[i % 2] for i in range(8)})
+        )
+        for jid, rec in res.records.items():
+            br = waiting_decomposition(res, jid)
+            assert br.total == pytest.approx(rec.flow_time, abs=1e-9)
+            assert br.at_top >= 0 and br.interior >= 0 and br.at_leaf >= 0
+
+    def test_contended_top_shows_up(self):
+        tree = spine_tree(1)
+        jobs = JobSet([Job(id=i, release=0.0, size=1.0) for i in range(3)])
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        res = simulate(instance, FixedAssignment({i: 2 for i in range(3)}))
+        # Third job waits 2 units at the router.
+        br = waiting_decomposition(res, 2)
+        assert br.at_top == pytest.approx(3.0)  # 2 waiting + 1 processing

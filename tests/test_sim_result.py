@@ -1,0 +1,66 @@
+"""Direct unit tests for SimulationResult and JobRecord."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import FixedAssignment
+from repro.exceptions import SimulationError
+from repro.network.builders import spine_tree
+from repro.sim.engine import simulate
+from repro.sim.result import JobRecord, ScheduleSegment
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+def run(jobs, **kw):
+    instance = Instance(spine_tree(1), JobSet(jobs), Setting.IDENTICAL)
+    return simulate(instance, FixedAssignment({j.id: 2 for j in jobs}), **kw)
+
+
+class TestJobRecord:
+    def test_unfinished_completion_raises(self):
+        rec = JobRecord(job_id=0, release=0.0, leaf=2, path=(1, 2))
+        rec.available_at = [0.0]
+        rec.completed_at = [1.0]
+        assert not rec.finished
+        with pytest.raises(SimulationError, match="did not complete"):
+            _ = rec.completion
+
+    def test_time_on_node(self):
+        res = run([Job(id=0, release=0.0, size=2.0)])
+        rec = res.records[0]
+        assert rec.time_on_node(0) == pytest.approx(2.0)
+        assert rec.time_on_node(1) == pytest.approx(2.0)
+
+
+class TestScheduleSegment:
+    def test_duration(self):
+        assert ScheduleSegment(1, 0, 2.0, 5.0).duration == 3.0
+
+
+class TestSimulationResult:
+    def test_flow_accessors_consistent(self):
+        res = run([Job(id=i, release=float(i), size=1.0) for i in range(4)])
+        flows = res.flow_times()
+        assert res.total_flow_time() == pytest.approx(float(flows.sum()))
+        assert res.mean_flow_time() == pytest.approx(float(flows.mean()))
+        assert res.max_flow_time() == pytest.approx(float(flows.max()))
+        assert res.completions()[0] == res.records[0].completion
+
+    def test_empty_result_metrics(self):
+        res = run([])
+        assert res.total_flow_time() == 0.0
+        assert res.mean_flow_time() == 0.0
+        assert res.max_flow_time() == 0.0
+        assert res.makespan() == 0.0
+        res.verify_complete()
+
+    def test_verify_complete_raises_on_partial(self):
+        res = run([Job(id=0, release=0.0, size=5.0)], until=2.0)
+        with pytest.raises(SimulationError, match="did not complete"):
+            res.verify_complete()
+
+    def test_repr_mentions_totals(self):
+        res = run([Job(id=0, release=0.0, size=1.0)])
+        assert "total_flow" in repr(res)

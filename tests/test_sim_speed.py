@@ -1,0 +1,105 @@
+"""Unit tests for SpeedProfile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.builders import kary_tree
+from repro.sim.speed import SpeedProfile
+
+
+@pytest.fixture
+def tree():
+    return kary_tree(2, 3)
+
+
+class TestTiers:
+    def test_uniform(self, tree):
+        sp = SpeedProfile.uniform(2.0)
+        for node in tree:
+            if not node.is_root:
+                assert sp.speed_of(tree, node.id) == 2.0
+
+    def test_tier_assignment(self, tree):
+        sp = SpeedProfile(root_children=1.0, interior=2.0, leaves=3.0)
+        for v in tree.root_children:
+            assert sp.speed_of(tree, v) == 1.0
+        for v in tree.leaves:
+            assert sp.speed_of(tree, v) == 3.0
+        interior = [
+            n.id
+            for n in tree
+            if n.is_router and n.parent != tree.root
+        ]
+        for v in interior:
+            assert sp.speed_of(tree, v) == 2.0
+
+    def test_overrides_take_precedence(self, tree):
+        leaf = tree.leaves[0]
+        sp = SpeedProfile(leaves=1.0, overrides={leaf: 9.0})
+        assert sp.speed_of(tree, leaf) == 9.0
+        assert sp.speed_of(tree, tree.leaves[1]) == 1.0
+
+    def test_root_has_no_speed(self, tree):
+        sp = SpeedProfile.uniform(1.0)
+        with pytest.raises(SimulationError, match="root"):
+            sp.speed_of(tree, tree.root)
+
+    def test_speeds_for_covers_all_non_root(self, tree):
+        sp = SpeedProfile.uniform(1.5)
+        speeds = sp.speeds_for(tree)
+        assert set(speeds) == set(tree.node_ids) - {tree.root}
+
+
+class TestValidation:
+    def test_non_positive_rejected(self):
+        with pytest.raises(SimulationError):
+            SpeedProfile(root_children=0.0)
+        with pytest.raises(SimulationError):
+            SpeedProfile(leaves=-1.0)
+        with pytest.raises(SimulationError):
+            SpeedProfile(overrides={3: 0.0})
+
+    def test_scaled(self):
+        sp = SpeedProfile(1.0, 2.0, 3.0, overrides={7: 4.0}).scaled(2.0)
+        assert sp.root_children == 2.0
+        assert sp.interior == 4.0
+        assert sp.leaves == 6.0
+        assert sp.overrides[7] == 8.0
+
+    def test_scaled_validation(self):
+        with pytest.raises(SimulationError):
+            SpeedProfile.uniform(1.0).scaled(0.0)
+
+
+class TestNamedProfiles:
+    def test_theorem1(self, tree):
+        eps = 0.5
+        sp = SpeedProfile.theorem1(eps)
+        assert sp.speed_of(tree, tree.root_children[0]) == pytest.approx(1.5)
+        assert sp.speed_of(tree, tree.leaves[0]) == pytest.approx(2.25)
+
+    def test_theorem2_doubles(self):
+        eps = 0.5
+        sp = SpeedProfile.theorem2(eps)
+        assert sp.root_children == pytest.approx(3.0)
+        assert sp.interior == pytest.approx(4.5)
+
+    def test_theorem4_matches_theorem1_tiers(self):
+        assert SpeedProfile.theorem4_opt(0.25) == SpeedProfile.theorem1(0.25)
+
+    def test_lemma1_unit_top(self):
+        sp = SpeedProfile.lemma1(0.25)
+        assert sp.root_children == 1.0
+        assert sp.interior == 1.25
+
+    def test_eps_validation(self):
+        for ctor in (
+            SpeedProfile.theorem1,
+            SpeedProfile.theorem2,
+            SpeedProfile.theorem4_opt,
+            SpeedProfile.lemma1,
+        ):
+            with pytest.raises(SimulationError):
+                ctor(0.0)

@@ -1,0 +1,115 @@
+"""Unit tests for arrival-process generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.arrivals import (
+    adversarial_bursts,
+    batch_arrivals,
+    bursty_arrivals,
+    deterministic_arrivals,
+    poisson_arrivals,
+)
+
+
+class TestPoisson:
+    def test_count_and_monotone(self):
+        t = poisson_arrivals(100, rate=2.0, rng=0)
+        assert t.shape == (100,)
+        assert np.all(np.diff(t) >= 0)
+        assert np.all(t > 0)
+
+    def test_rate_controls_mean_gap(self):
+        t = poisson_arrivals(5000, rate=4.0, rng=1)
+        assert np.mean(np.diff(t)) == pytest.approx(0.25, rel=0.1)
+
+    def test_deterministic_under_seed(self):
+        assert np.array_equal(
+            poisson_arrivals(10, 1.0, rng=3), poisson_arrivals(10, 1.0, rng=3)
+        )
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(-1, 1.0)
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(5, 0.0)
+
+    def test_zero_jobs(self):
+        assert poisson_arrivals(0, 1.0, rng=0).shape == (0,)
+
+
+class TestDeterministic:
+    def test_spacing(self):
+        t = deterministic_arrivals(4, spacing=2.0, start=1.0)
+        assert np.allclose(t, [1, 3, 5, 7])
+
+    def test_zero_spacing_batch(self):
+        t = deterministic_arrivals(3, spacing=0.0)
+        assert np.allclose(t, [0, 0, 0])
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            deterministic_arrivals(3, spacing=-1.0)
+        with pytest.raises(WorkloadError):
+            deterministic_arrivals(3, spacing=1.0, start=-1.0)
+
+
+class TestBatch:
+    def test_expansion(self):
+        t = batch_arrivals([2, 3], [0.0, 5.0])
+        assert np.allclose(t, [0, 0, 5, 5, 5])
+
+    def test_non_decreasing_required(self):
+        with pytest.raises(WorkloadError, match="non-decreasing"):
+            batch_arrivals([1, 1], [5.0, 1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(WorkloadError, match="length"):
+            batch_arrivals([1], [0.0, 1.0])
+
+    def test_negative_size(self):
+        with pytest.raises(WorkloadError, match="batch size"):
+            batch_arrivals([-1], [0.0])
+
+
+class TestBursty:
+    def test_shape_and_monotone(self):
+        t = bursty_arrivals(200, burst_rate=5.0, idle_rate=0.2, mean_burst=10, rng=0)
+        assert t.shape == (200,)
+        assert np.all(np.diff(t) >= 0)
+
+    def test_burstier_than_poisson(self):
+        """The on/off process should have higher gap variance than a
+        Poisson process of the same mean rate."""
+        t = bursty_arrivals(3000, burst_rate=10.0, idle_rate=0.1, mean_burst=20, rng=2)
+        gaps = np.diff(t)
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.5  # exponential gaps would give ~1
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(10, 0.0, 1.0, 5)
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(10, 1.0, 1.0, 0)
+
+
+class TestAdversarialBursts:
+    def test_zero_jitter_simultaneous(self):
+        t = adversarial_bursts(3, 4, gap=10.0)
+        assert t.shape == (12,)
+        assert np.allclose(t[:4], 0.0)
+        assert np.allclose(t[4:8], 10.0)
+
+    def test_jitter_spreads_within_window(self):
+        t = adversarial_bursts(2, 5, gap=10.0, jitter=1.0, rng=0)
+        assert np.all(t[:5] <= 1.0)
+        assert np.all((t[5:] >= 10.0) & (t[5:] <= 11.0))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            adversarial_bursts(-1, 1, 1.0)
+        with pytest.raises(WorkloadError):
+            adversarial_bursts(1, 1, -1.0)

@@ -1,0 +1,161 @@
+"""Unit tests for the divisible-routing (chunking) extension."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.assignment import FixedAssignment, GreedyIdenticalAssignment
+from repro.exceptions import WorkloadError
+from repro.network.builders import spine_tree, star_of_paths
+from repro.sim.engine import simulate
+from repro.sim.invariants import validate_schedule
+from repro.workload.chunking import (
+    ChunkedAssignment,
+    aggregate_chunk_result,
+    chunk_instance,
+    chunk_priority,
+)
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+@pytest.fixture
+def base_instance():
+    tree = star_of_paths(2, 3)
+    jobs = JobSet(
+        [
+            Job(id=0, release=0.0, size=4.0),
+            Job(id=1, release=1.0, size=2.0),
+            Job(id=2, release=2.0, size=1.0),
+        ]
+    )
+    return Instance(tree, jobs, Setting.IDENTICAL)
+
+
+class TestChunkInstance:
+    def test_piece_counts_and_sizes(self, base_instance):
+        chunked = chunk_instance(base_instance, chunk_size=1.0)
+        assert chunked.num_chunks == 4 + 2 + 1
+        for parent_id, pieces in chunked.chunks_of.items():
+            parent = base_instance.jobs.by_id(parent_id)
+            total = sum(chunked.instance.jobs.by_id(p).size for p in pieces)
+            assert total == pytest.approx(parent.size)
+
+    def test_pieces_inherit_release(self, base_instance):
+        chunked = chunk_instance(base_instance, 1.0)
+        for parent_id, pieces in chunked.chunks_of.items():
+            parent = base_instance.jobs.by_id(parent_id)
+            for p in pieces:
+                assert chunked.instance.jobs.by_id(p).release == parent.release
+
+    def test_oversized_chunk_is_single_piece(self, base_instance):
+        chunked = chunk_instance(base_instance, 100.0)
+        assert chunked.num_chunks == 3
+
+    def test_fractional_boundary_splits_evenly(self):
+        tree = spine_tree(1)
+        inst = Instance(
+            tree, JobSet([Job(id=0, release=0.0, size=2.5)]), Setting.IDENTICAL
+        )
+        chunked = chunk_instance(inst, 1.0)  # ceil(2.5) = 3 pieces of 5/6
+        pieces = chunked.chunks_of[0]
+        assert len(pieces) == 3
+        assert chunked.instance.jobs.by_id(pieces[0]).size == pytest.approx(2.5 / 3)
+
+    def test_unrelated_leaf_sizes_scaled(self):
+        tree = star_of_paths(2, 1)
+        jobs = JobSet(
+            [Job(id=0, release=0.0, size=2.0, leaf_sizes={2: 4.0, 4: math.inf})]
+        )
+        inst = Instance(tree, jobs, Setting.UNRELATED)
+        chunked = chunk_instance(inst, 1.0)
+        piece = chunked.instance.jobs.by_id(chunked.chunks_of[0][0])
+        assert piece.leaf_sizes == {2: 2.0, 4: math.inf}
+
+    def test_bad_chunk_size(self, base_instance):
+        with pytest.raises(WorkloadError):
+            chunk_instance(base_instance, 0.0)
+        with pytest.raises(WorkloadError):
+            chunk_instance(base_instance, math.inf)
+
+
+class TestChunkPriority:
+    def test_ranks_by_parent_size(self, base_instance):
+        chunked = chunk_instance(base_instance, 1.0)
+        prio = chunk_priority(chunked)
+        inst = chunked.instance
+        # A piece of job 2 (parent size 1) outranks a piece of job 0
+        # (parent size 4) even though piece sizes are equal (1.0).
+        piece_of_0 = inst.jobs.by_id(chunked.chunks_of[0][0])
+        piece_of_2 = inst.jobs.by_id(chunked.chunks_of[2][0])
+        node = base_instance.tree.root_children[0]
+        assert prio(inst, piece_of_2, node) < prio(inst, piece_of_0, node)
+
+    def test_sibling_pieces_order_by_index(self, base_instance):
+        chunked = chunk_instance(base_instance, 1.0)
+        prio = chunk_priority(chunked)
+        inst = chunked.instance
+        node = base_instance.tree.root_children[0]
+        a, b = chunked.chunks_of[0][:2]
+        assert prio(inst, inst.jobs.by_id(a), node) < prio(inst, inst.jobs.by_id(b), node)
+
+
+class TestChunkedRuns:
+    def test_pinning_keeps_one_leaf_per_job(self, base_instance):
+        chunked = chunk_instance(base_instance, 1.0)
+        result = simulate(
+            chunked.instance,
+            ChunkedAssignment(chunked, GreedyIdenticalAssignment(0.5)),
+            priority=chunk_priority(chunked),
+            record_segments=True,
+        )
+        validate_schedule(result)
+        summary = aggregate_chunk_result(chunked, result)
+        assert set(summary.assignment) == {0, 1, 2}
+
+    def test_aggregate_rejects_split_jobs(self, base_instance):
+        chunked = chunk_instance(base_instance, 2.0)
+        leaves = base_instance.tree.leaves
+        # Deliberately split job 0's two pieces across leaves.
+        mapping = {p: leaves[i % 2] for i, p in enumerate(chunked.chunks_of[0])}
+        for parent in (1, 2):
+            for p in chunked.chunks_of[parent]:
+                mapping[p] = leaves[0]
+        result = simulate(chunked.instance, FixedAssignment(mapping))
+        with pytest.raises(WorkloadError, match="multiple leaves"):
+            aggregate_chunk_result(chunked, result)
+
+    def test_chunking_helps_on_deep_pipeline(self):
+        """A single big job on a deep path: chunks pipeline, halving-ish
+        the flow time."""
+        tree = spine_tree(4)
+        leaf = tree.leaves[0]
+        inst = Instance(
+            tree, JobSet([Job(id=0, release=0.0, size=4.0)]), Setting.IDENTICAL
+        )
+        whole = simulate(inst, FixedAssignment({0: leaf}))
+        chunked = chunk_instance(inst, 1.0)
+        mapping = {p: leaf for p in chunked.chunks_of[0]}
+        res = simulate(
+            chunked.instance, FixedAssignment(mapping), priority=chunk_priority(chunked)
+        )
+        summary = aggregate_chunk_result(chunked, res)
+        # Store-and-forward: 5 nodes x 4 = 20.  Chunked: pipeline fills in
+        # 4 hops of 1 unit then streams: 4 + 4 = 8.
+        assert whole.records[0].flow_time == pytest.approx(20.0)
+        assert summary.flow_times[0] == pytest.approx(8.0)
+
+    def test_flow_never_negative_and_consistent(self, base_instance):
+        chunked = chunk_instance(base_instance, 0.5)
+        result = simulate(
+            chunked.instance,
+            ChunkedAssignment(chunked, GreedyIdenticalAssignment(0.5)),
+            priority=chunk_priority(chunked),
+        )
+        summary = aggregate_chunk_result(chunked, result)
+        for jid, f in summary.flow_times.items():
+            job = base_instance.jobs.by_id(jid)
+            assert f > 0
+            assert summary.completions[jid] == pytest.approx(job.release + f)

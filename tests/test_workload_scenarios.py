@@ -1,0 +1,69 @@
+"""Unit tests for the named workload scenarios."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.scheduler import run_paper_algorithm
+from repro.workload.instance import Setting
+from repro.workload.scenarios import (
+    interactive_plus_batch,
+    locality_cluster,
+    mapreduce_shuffle,
+    sensor_fanout,
+)
+
+ALL = {
+    "mapreduce": lambda: mapreduce_shuffle(40, seed=1),
+    "mixed": lambda: interactive_plus_batch(30, 4, seed=1),
+    "sensor": lambda: sensor_fanout(3, 8, seed=1),
+    "locality": lambda: locality_cluster(25, seed=1),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+class TestAllScenarios:
+    def test_deterministic(self, name):
+        from repro.workload.trace_io import instance_to_json
+
+        a, b = ALL[name](), ALL[name]()
+        assert instance_to_json(a) == instance_to_json(b)
+
+    def test_schedulable_end_to_end(self, name):
+        instance = ALL[name]()
+        result = run_paper_algorithm(instance, eps=0.5)
+        result.verify_complete()
+
+    def test_named(self, name):
+        assert ALL[name]().name
+
+
+class TestScenarioShapes:
+    def test_mapreduce_heavy_tail(self):
+        inst = mapreduce_shuffle(300, seed=0)
+        sizes = inst.jobs.sizes()
+        assert sizes.max() > 6 * sizes.mean() * 0.5  # a heavy upper tail exists
+        assert inst.setting is Setting.IDENTICAL
+
+    def test_mixed_two_modes(self):
+        inst = interactive_plus_batch(50, 5, batch_size=30.0, seed=0)
+        sizes = sorted(set(inst.jobs.sizes().tolist()))
+        assert sizes == [1.0, 30.0]
+        assert sum(1 for j in inst.jobs if j.size == 30.0) == 5
+
+    def test_sensor_unit_payloads(self):
+        inst = sensor_fanout(2, 5, seed=0)
+        assert set(inst.jobs.sizes().tolist()) == {1.0}
+        assert inst.tree.height >= 6  # deep paths
+
+    def test_locality_mix_of_restricted_and_replicated(self):
+        inst = locality_cluster(60, restricted_fraction=0.3, seed=0)
+        assert inst.setting is Setting.UNRELATED
+        has_forbidden = sum(
+            1
+            for job in inst.jobs
+            if any(math.isinf(p) for p in job.leaf_sizes.values())
+        )
+        assert 0 < has_forbidden < len(inst.jobs)

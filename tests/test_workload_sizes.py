@@ -1,0 +1,121 @@
+"""Unit tests for size distributions and the (1+eps)-class machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.sizes import (
+    bimodal_sizes,
+    bounded_pareto_sizes,
+    class_index,
+    geometric_class_sizes,
+    round_to_classes,
+    uniform_sizes,
+)
+
+
+class TestDistributions:
+    def test_uniform_in_range(self):
+        s = uniform_sizes(500, 1.0, 3.0, rng=0)
+        assert s.shape == (500,)
+        assert s.min() >= 1.0 and s.max() <= 3.0
+
+    def test_uniform_validation(self):
+        with pytest.raises(WorkloadError):
+            uniform_sizes(5, 0.0, 1.0)
+        with pytest.raises(WorkloadError):
+            uniform_sizes(5, 3.0, 1.0)
+        with pytest.raises(WorkloadError):
+            uniform_sizes(-1, 1.0, 2.0)
+
+    def test_pareto_bounded(self):
+        s = bounded_pareto_sizes(2000, alpha=1.5, low=1.0, high=50.0, rng=1)
+        assert s.min() >= 1.0 and s.max() <= 50.0
+
+    def test_pareto_heavy_tail(self):
+        s = bounded_pareto_sizes(5000, alpha=1.1, low=1.0, high=1000.0, rng=2)
+        # Mean well above median for a heavy tail.
+        assert s.mean() > 2.0 * np.median(s)
+
+    def test_pareto_validation(self):
+        with pytest.raises(WorkloadError):
+            bounded_pareto_sizes(5, alpha=0.0)
+        with pytest.raises(WorkloadError):
+            bounded_pareto_sizes(5, low=2.0, high=2.0)
+
+    def test_bimodal_values(self):
+        s = bimodal_sizes(1000, small=1.0, large=10.0, large_fraction=0.3, rng=3)
+        assert set(np.unique(s)) == {1.0, 10.0}
+        assert 0.2 < np.mean(s == 10.0) < 0.4
+
+    def test_bimodal_extreme_fractions(self):
+        assert np.all(bimodal_sizes(50, large_fraction=0.0, rng=0) == 1.0)
+        assert np.all(bimodal_sizes(50, large_fraction=1.0, rng=0) == 50.0)
+
+    def test_bimodal_validation(self):
+        with pytest.raises(WorkloadError):
+            bimodal_sizes(5, large_fraction=1.5)
+
+    def test_geometric_classes_are_powers(self):
+        eps = 0.5
+        s = geometric_class_sizes(200, eps, num_classes=4, rng=4)
+        for v in np.unique(s):
+            class_index(float(v), eps)  # must not raise
+
+    def test_geometric_validation(self):
+        with pytest.raises(WorkloadError):
+            geometric_class_sizes(5, 0.0, 3)
+        with pytest.raises(WorkloadError):
+            geometric_class_sizes(5, 0.5, 0)
+
+
+class TestClassRounding:
+    def test_rounds_up(self):
+        s = round_to_classes([1.3, 2.0, 0.9], eps=1.0)
+        assert np.all(s >= [1.3, 2.0, 0.9])
+        assert np.allclose(s, [2.0, 2.0, 1.0])
+
+    def test_exact_powers_unchanged(self):
+        eps = 0.25
+        vals = (1.0 + eps) ** np.arange(-3, 6)
+        assert np.allclose(round_to_classes(vals, eps), vals)
+
+    def test_at_most_one_class_up(self):
+        eps = 0.3
+        vals = np.array([0.7, 1.0, 5.3, 11.0])
+        rounded = round_to_classes(vals, eps)
+        assert np.all(rounded < vals * (1.0 + eps) * (1 + 1e-9))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            round_to_classes([1.0], eps=0.0)
+        with pytest.raises(WorkloadError):
+            round_to_classes([-1.0], eps=0.5)
+        with pytest.raises(WorkloadError):
+            round_to_classes([np.inf], eps=0.5)
+
+
+class TestClassIndex:
+    def test_round_trip(self):
+        eps = 0.5
+        for k in (-3, 0, 1, 7):
+            assert class_index((1.0 + eps) ** k, eps) == k
+
+    def test_non_power_rejected(self):
+        with pytest.raises(WorkloadError, match="not a power"):
+            class_index(1.3, eps=0.5)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            class_index(1.0, eps=0.0)
+        with pytest.raises(WorkloadError):
+            class_index(0.0, eps=0.5)
+
+    def test_consistent_with_rounding(self):
+        eps = 0.25
+        vals = uniform_sizes(100, 0.5, 20.0, rng=5)
+        rounded = round_to_classes(vals, eps)
+        ks = [class_index(float(v), eps) for v in rounded]
+        assert all(isinstance(k, int) for k in ks)

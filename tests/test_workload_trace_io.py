@@ -1,0 +1,92 @@
+"""Unit tests for instance JSON serialisation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.network.builders import figure1_tree, star_of_paths
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+from repro.workload.trace_io import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    save_instance,
+)
+
+
+@pytest.fixture
+def identical_inst():
+    tree = figure1_tree()
+    jobs = JobSet([Job(id=i, release=float(i), size=1.5 * (i + 1)) for i in range(4)])
+    return Instance(tree, jobs, Setting.IDENTICAL, name="roundtrip")
+
+
+@pytest.fixture
+def unrelated_inst():
+    tree = star_of_paths(2, 1)
+    jobs = JobSet(
+        [
+            Job(id=0, release=0.0, size=1.0, leaf_sizes={2: 2.0, 4: math.inf}),
+            Job(id=1, release=1.0, size=2.0, leaf_sizes={2: 1.0, 4: 3.0}),
+        ]
+    )
+    return Instance(tree, jobs, Setting.UNRELATED, name="unrel")
+
+
+class TestRoundTrip:
+    def test_identical_round_trip(self, identical_inst):
+        restored = instance_from_json(instance_to_json(identical_inst))
+        assert restored.name == "roundtrip"
+        assert restored.setting is Setting.IDENTICAL
+        assert restored.tree.parent_map() == identical_inst.tree.parent_map()
+        assert len(restored.jobs) == 4
+        for j in range(4):
+            assert restored.jobs.by_id(j).size == identical_inst.jobs.by_id(j).size
+            assert restored.jobs.by_id(j).release == identical_inst.jobs.by_id(j).release
+
+    def test_names_survive(self, identical_inst):
+        restored = instance_from_json(instance_to_json(identical_inst))
+        assert restored.tree.node(0).name == "root"
+
+    def test_unrelated_round_trip_with_inf(self, unrelated_inst):
+        restored = instance_from_json(instance_to_json(unrelated_inst))
+        job = restored.jobs.by_id(0)
+        assert job.leaf_sizes[4] == math.inf
+        assert job.leaf_sizes[2] == 2.0
+
+    def test_file_round_trip(self, tmp_path, identical_inst):
+        path = tmp_path / "inst.json"
+        save_instance(identical_inst, path)
+        restored = load_instance(path)
+        assert restored.tree.num_nodes == identical_inst.tree.num_nodes
+
+    def test_simulation_equivalence(self, identical_inst):
+        """A restored instance must schedule identically."""
+        from repro.core.scheduler import run_paper_algorithm
+
+        restored = instance_from_json(instance_to_json(identical_inst))
+        a = run_paper_algorithm(identical_inst, 0.5)
+        b = run_paper_algorithm(restored, 0.5)
+        assert a.total_flow_time() == pytest.approx(b.total_flow_time())
+        assert a.assignment() == b.assignment()
+
+
+class TestErrors:
+    def test_bad_json(self):
+        with pytest.raises(WorkloadError, match="invalid JSON"):
+            instance_from_json("{not json")
+
+    def test_wrong_format(self):
+        with pytest.raises(WorkloadError, match="not a treesched"):
+            instance_from_json('{"format": "something-else"}')
+
+    def test_wrong_version(self, identical_inst):
+        text = instance_to_json(identical_inst).replace(
+            '"version": 1', '"version": 99'
+        )
+        with pytest.raises(WorkloadError, match="version"):
+            instance_from_json(text)

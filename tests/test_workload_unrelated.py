@@ -1,0 +1,121 @@
+"""Unit tests for unrelated-endpoint matrix generators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.unrelated import (
+    affinity_matrix,
+    partition_matrix,
+    restricted_assignment_matrix,
+    uniform_speed_matrix,
+)
+
+LEAVES = (10, 11, 12, 13, 14, 15)
+SIZES = (1.0, 2.0, 4.0)
+
+
+class TestUniformSpeed:
+    def test_shape_and_coverage(self):
+        rows = uniform_speed_matrix(LEAVES, SIZES, rng=0)
+        assert len(rows) == len(SIZES)
+        for row in rows:
+            assert set(row) == set(LEAVES)
+
+    def test_speeds_shared_across_jobs(self):
+        rows = uniform_speed_matrix(LEAVES, SIZES, rng=1)
+        # p_{j,v}/p_j must be the same 1/s_v for all jobs.
+        ratios0 = {v: rows[0][v] / SIZES[0] for v in LEAVES}
+        ratios1 = {v: rows[1][v] / SIZES[1] for v in LEAVES}
+        for v in LEAVES:
+            assert ratios0[v] == pytest.approx(ratios1[v])
+
+    def test_bounds_respected(self):
+        rows = uniform_speed_matrix(LEAVES, SIZES, speed_low=0.5, speed_high=2.0, rng=2)
+        for row, p in zip(rows, SIZES):
+            for v in LEAVES:
+                assert p / 2.0 <= row[v] <= p / 0.5
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            uniform_speed_matrix([], SIZES)
+        with pytest.raises(WorkloadError):
+            uniform_speed_matrix(LEAVES, SIZES, speed_low=0.0)
+        with pytest.raises(WorkloadError):
+            uniform_speed_matrix((1, 1), SIZES)
+
+
+class TestAffinity:
+    def test_fast_leaf_count(self):
+        rows = affinity_matrix(LEAVES, SIZES, fast_leaves=2, slow_factor=8.0, rng=0)
+        for row, p in zip(rows, SIZES):
+            fast = [v for v in LEAVES if row[v] == p]
+            slow = [v for v in LEAVES if row[v] == p * 8.0]
+            assert len(fast) == 2
+            assert len(slow) == len(LEAVES) - 2
+
+    def test_fast_leaves_capped_at_leaf_count(self):
+        rows = affinity_matrix(LEAVES[:2], SIZES, fast_leaves=10, rng=1)
+        for row, p in zip(rows, SIZES):
+            assert all(val == p for val in row.values())
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            affinity_matrix(LEAVES, SIZES, fast_leaves=0)
+        with pytest.raises(WorkloadError):
+            affinity_matrix(LEAVES, SIZES, slow_factor=0.5)
+
+
+class TestPartition:
+    def test_group_structure(self):
+        rows = partition_matrix(LEAVES, SIZES, num_groups=3, slow_factor=16.0, rng=0)
+        for row, p in zip(rows, SIZES):
+            values = set(row.values())
+            assert values <= {p, p * 16.0}
+            fast = [v for v in LEAVES if row[v] == p]
+            assert len(fast) == len(LEAVES) // 3
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            partition_matrix(LEAVES, SIZES, num_groups=0)
+        with pytest.raises(WorkloadError):
+            partition_matrix(LEAVES, SIZES, num_groups=len(LEAVES) + 1)
+
+
+class TestRestrictedAssignment:
+    def test_values_are_p_or_inf(self):
+        rows = restricted_assignment_matrix(LEAVES, SIZES, feasible_fraction=0.4, rng=0)
+        for row, p in zip(rows, SIZES):
+            assert set(row.values()) <= {p, math.inf}
+
+    def test_at_least_one_feasible(self):
+        rows = restricted_assignment_matrix(
+            LEAVES, [1.0] * 200, feasible_fraction=0.01, rng=1
+        )
+        for row in rows:
+            assert any(math.isfinite(v) for v in row.values())
+
+    def test_fraction_one_all_feasible(self):
+        rows = restricted_assignment_matrix(LEAVES, SIZES, feasible_fraction=1.0, rng=2)
+        for row in rows:
+            assert all(math.isfinite(v) for v in row.values())
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            restricted_assignment_matrix(LEAVES, SIZES, feasible_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            restricted_assignment_matrix(LEAVES, [0.0])
+
+
+def test_determinism_across_generators():
+    for gen in (
+        lambda r: uniform_speed_matrix(LEAVES, SIZES, rng=r),
+        lambda r: affinity_matrix(LEAVES, SIZES, rng=r),
+        lambda r: partition_matrix(LEAVES, SIZES, num_groups=2, rng=r),
+        lambda r: restricted_assignment_matrix(LEAVES, SIZES, rng=r),
+    ):
+        assert gen(7) == gen(7)
