@@ -1,0 +1,27 @@
+# Convenience targets; everything assumes the in-tree package layout
+# (PYTHONPATH=src), no install required.
+
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+
+.PHONY: test smoke bench report clean-cache
+
+# Tier-1: the fast unit/contract suite (benchmarks are marked slow).
+test:
+	$(PY) -m pytest -x -q -m "not slow"
+
+# CI smoke: the two fastest experiments through the parallel runner.
+# Exercises worker processes, the result cache, and the counters path
+# end to end in a couple of seconds.
+smoke:
+	$(PY) -m repro experiments F1 F2 --parallel 2 --counters --summary-only
+
+# Full experiment regenerations via pytest-benchmark.
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+# Regenerate EXPERIMENTS.md from live runs.
+report:
+	$(PY) -m repro report -o EXPERIMENTS.md
+
+clean-cache:
+	rm -rf .cache

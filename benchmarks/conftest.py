@@ -10,7 +10,21 @@ experiment's own pass criterion.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.analysis.experiments import run_experiment
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark as ``slow`` so tier-1 can deselect them.
+
+    ``pytest -m "not slow"`` (the Makefile's ``test`` target) runs only
+    the fast unit/contract suite; ``pytest benchmarks/`` still runs the
+    full experiment regenerations.
+    """
+    for item in items:
+        if "benchmarks" in str(item.fspath):
+            item.add_marker(pytest.mark.slow)
 
 
 def run_and_report(benchmark, exp_id: str, **params):

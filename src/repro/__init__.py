@@ -71,6 +71,7 @@ from repro.workload import (
 )
 from repro.sim import (
     Engine,
+    EngineCounters,
     SchedulerView,
     SimulationResult,
     SpeedProfile,
@@ -155,6 +156,7 @@ __all__ = [
     "instance_from_json",
     # sim
     "Engine",
+    "EngineCounters",
     "SchedulerView",
     "SimulationResult",
     "SpeedProfile",

@@ -1,4 +1,11 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI.
+
+Notable commands: ``run`` (one simulation, ``--counters`` for engine
+perf counters), ``experiment`` (one registered experiment, serial),
+``experiments`` (many experiments via the parallel runner with
+content-addressed result caching: ``--parallel N``, ``--no-cache``,
+``--counters``), ``report``, ``generate``, ``bound``, ``plan``.
+"""
 
 from repro.cli import main
 

@@ -1,0 +1,308 @@
+"""Parallel experiment runner with content-addressed result caching.
+
+The validation registry (T1–T5, L1–L8, X1–X4, B1/B2, D1, M1, S1, F1/F2)
+used to run strictly serially through
+:func:`~repro.analysis.experiments.base.run_experiment`.  This module
+executes any subset of the registry across worker processes and
+memoises finished :class:`~repro.analysis.experiments.base.ExperimentResult`
+bundles on disk, so sweeps over bigger trees and more seeds only pay
+for what changed.
+
+Determinism
+-----------
+Experiments are already deterministic given their parameters (seeds are
+explicit), but some code paths consult the *global* ``random`` /
+``numpy.random`` state.  To make parallel output bit-identical to
+serial output, every task — serial or in a worker — first reseeds both
+global generators from the task's cache key.  Results therefore do not
+depend on how tasks are interleaved over workers.
+
+Cache layout
+------------
+``<cache_dir>/<key>.pkl`` where ``key`` is the SHA-256 of the
+canonical JSON of ``(schema version, package version, experiment id,
+parameters)``.  Any parameter change, package version bump, or cache
+schema change misses cleanly; entries are written atomically
+(temp file + rename) so a crashed run never leaves a torn entry, and
+unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.tables import Table
+from repro.sim.counters import EngineCounters
+
+__all__ = [
+    "RunnerOutcome",
+    "cache_key",
+    "cache_path",
+    "clear_cache",
+    "run_experiments",
+    "summary_table",
+    "aggregate_counters",
+    "DEFAULT_CACHE_DIR",
+]
+
+#: Bump when the pickled outcome layout changes; invalidates old entries.
+CACHE_SCHEMA = 1
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_CACHE_DIR = os.path.join(".cache", "experiments")
+
+
+@dataclass(slots=True)
+class RunnerOutcome:
+    """One experiment's result plus runner metadata.
+
+    Attributes
+    ----------
+    exp_id:
+        The experiment id.
+    result:
+        The :class:`ExperimentResult` (identical to a direct
+        ``run_experiment`` call with the same parameters).
+    cached:
+        Whether the result came from the on-disk cache.
+    wall_seconds:
+        Wall-clock of the *computation* (the cold run's time when
+        ``cached`` — re-reported, not re-measured).
+    key:
+        The content-addressed cache key.
+    counters:
+        Aggregated :class:`EngineCounters` over every simulation the
+        experiment ran, when counter collection was requested (for a
+        cache hit: the counters stored by the cold run), else ``None``.
+    """
+
+    exp_id: str
+    result: ExperimentResult
+    cached: bool
+    wall_seconds: float
+    key: str
+    counters: EngineCounters | None = None
+
+
+def cache_key(exp_id: str, params: dict | None = None) -> str:
+    """Content hash identifying one (experiment, parameters) task."""
+    from repro import __version__
+
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "exp_id": exp_id,
+            "params": params or {},
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def cache_path(cache_dir: str | Path, key: str) -> Path:
+    return Path(cache_dir) / f"{key}.pkl"
+
+
+def clear_cache(cache_dir: str | Path = DEFAULT_CACHE_DIR) -> int:
+    """Delete every cache entry; returns the number removed."""
+    root = Path(cache_dir)
+    if not root.is_dir():
+        return 0
+    removed = 0
+    for entry in root.glob("*.pkl"):
+        entry.unlink(missing_ok=True)
+        removed += 1
+    return removed
+
+
+def _seed_for(key: str) -> int:
+    return int(key[:16], 16) % 2**32
+
+
+def _execute(exp_id: str, params: dict, key: str, collect_counters: bool):
+    """Run one experiment (in this or a worker process).
+
+    Returns ``(result, counters_dict | None, wall_seconds)``.  Reseeds
+    the global RNGs from the task key first so serial and parallel
+    schedules produce bit-identical results.
+    """
+    import numpy as np
+
+    from repro.analysis.experiments import run_experiment
+    from repro.sim import counters as counter_mod
+
+    seed = _seed_for(key)
+    random.seed(seed)
+    np.random.seed(seed)
+    if collect_counters:
+        counter_mod.enable_global_counters()
+    try:
+        started = perf_counter()
+        result = run_experiment(exp_id, **params)
+        wall = perf_counter() - started
+        tallies = counter_mod.global_counters()
+        counters = tallies.as_dict() if tallies is not None else None
+    finally:
+        if collect_counters:
+            counter_mod.disable_global_counters()
+    return result, counters, wall
+
+
+def _load_cached(path: Path) -> dict | None:
+    # Unpickling arbitrary bytes can raise nearly anything (ValueError,
+    # ImportError, ...), not just UnpicklingError; any unreadable entry
+    # is simply a miss, so the cache can never poison a run.
+    try:
+        with open(path, "rb") as fh:
+            entry = pickle.load(fh)
+    except Exception:
+        return None
+    if not isinstance(entry, dict) or "result" not in entry:
+        return None
+    return entry
+
+
+def _store(path: Path, entry: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        pickle.dump(entry, fh)
+    os.replace(tmp, path)
+
+
+def run_experiments(
+    exp_ids: list[str] | None = None,
+    params_by_id: dict[str, dict] | None = None,
+    *,
+    parallel: int = 1,
+    cache_dir: str | Path = DEFAULT_CACHE_DIR,
+    use_cache: bool = True,
+    collect_counters: bool = False,
+) -> list[RunnerOutcome]:
+    """Run experiments, possibly in parallel, with result caching.
+
+    Parameters
+    ----------
+    exp_ids:
+        Ids to run (``None`` = the whole registry), returned in the
+        given order.
+    params_by_id:
+        Optional per-id keyword overrides (defaults: each experiment's
+        own defaults).
+    parallel:
+        Worker processes for cache misses; ``<= 1`` runs serially in
+        this process.  Outputs are bit-identical either way.
+    cache_dir / use_cache:
+        Cache location and switch.  Misses are stored even when hits
+        are being bypassed only if ``use_cache`` is true; with
+        ``use_cache=False`` nothing is read or written.
+    collect_counters:
+        Meter every simulation the experiments run and attach the
+        aggregate to each outcome.
+    """
+    from repro.analysis.experiments import all_experiment_ids
+
+    if exp_ids is None:
+        exp_ids = all_experiment_ids()
+    params_by_id = params_by_id or {}
+    tasks = [
+        (eid, params_by_id.get(eid, {}), cache_key(eid, params_by_id.get(eid, {})))
+        for eid in exp_ids
+    ]
+
+    outcomes: dict[int, RunnerOutcome] = {}
+    misses: list[tuple[int, str, dict, str]] = []
+    for i, (eid, params, key) in enumerate(tasks):
+        entry = _load_cached(cache_path(cache_dir, key)) if use_cache else None
+        if entry is not None:
+            counters = entry.get("counters")
+            outcomes[i] = RunnerOutcome(
+                exp_id=eid,
+                result=entry["result"],
+                cached=True,
+                wall_seconds=entry.get("wall_seconds", 0.0),
+                key=key,
+                counters=(
+                    EngineCounters.from_dict(counters)
+                    if counters is not None
+                    else None
+                ),
+            )
+        else:
+            misses.append((i, eid, params, key))
+
+    if misses:
+        if parallel > 1:
+            with ProcessPoolExecutor(max_workers=min(parallel, len(misses))) as pool:
+                futures = [
+                    (i, eid, key, pool.submit(_execute, eid, params, key, collect_counters))
+                    for i, eid, params, key in misses
+                ]
+                computed = [
+                    (i, eid, key, *future.result()) for i, eid, key, future in futures
+                ]
+        else:
+            computed = [
+                (i, eid, key, *_execute(eid, params, key, collect_counters))
+                for i, eid, params, key in misses
+            ]
+        for i, eid, key, result, counters, wall in computed:
+            if use_cache:
+                _store(
+                    cache_path(cache_dir, key),
+                    {"result": result, "counters": counters, "wall_seconds": wall},
+                )
+            outcomes[i] = RunnerOutcome(
+                exp_id=eid,
+                result=result,
+                cached=False,
+                wall_seconds=wall,
+                key=key,
+                counters=(
+                    EngineCounters.from_dict(counters)
+                    if counters is not None
+                    else None
+                ),
+            )
+
+    return [outcomes[i] for i in range(len(tasks))]
+
+
+def summary_table(outcomes: list[RunnerOutcome]) -> Table:
+    """One row per experiment: verdict, wall time, cache provenance."""
+    table = Table(
+        "experiment runner summary",
+        ["id", "verdict", "wall_s", "source", "events"],
+    )
+    for out in outcomes:
+        table.add_row(
+            out.exp_id,
+            "PASS" if out.result.passed else "FAIL",
+            out.wall_seconds,
+            "cache" if out.cached else "run",
+            int(out.counters.events_processed) if out.counters is not None else "-",
+        )
+    return table
+
+
+def aggregate_counters(outcomes: list[RunnerOutcome]) -> EngineCounters | None:
+    """Merged engine counters across outcomes (``None`` if none carried any)."""
+    merged: EngineCounters | None = None
+    for out in outcomes:
+        if out.counters is None:
+            continue
+        if merged is None:
+            merged = EngineCounters()
+        merged.merge(out.counters)
+    return merged

@@ -5,8 +5,11 @@
 * ``run`` — build a synthetic instance (or load a JSON trace), schedule
   it with a chosen policy, and print metrics, optionally the per-job
   table and an ASCII Gantt chart;
-* ``experiment`` — run one or all registered experiments and print their
-  reports (the same tables the benchmarks regenerate);
+* ``experiment`` — run one or all registered experiments serially and
+  print their reports (the same tables the benchmarks regenerate);
+* ``experiments`` — run many experiments through the parallel runner
+  with content-addressed result caching (``--parallel N``,
+  ``--no-cache``, ``--counters``);
 * ``list-experiments`` — show the registry;
 * ``generate`` — write a synthetic instance to a JSON trace for later
   ``run --trace`` calls;
@@ -114,6 +117,7 @@ def _cmd_run(args) -> int:
         priority=fifo_priority if args.fifo else sjf_priority,
         record_segments=args.gantt,
         until=args.until,
+        collect_counters=args.counters or None,
     )
     print(f"instance : {instance!r}")
     print(f"policy   : {args.policy} ({'fifo' if args.fifo else 'sjf'} nodes)")
@@ -128,6 +132,11 @@ def _cmd_run(args) -> int:
             mean = sum(r.flow_time for r in done.values()) / len(done)
             print(f"mean flow time (completed) : {mean:.4f}")
         print(f"fractional flow (window)     : {result.fractional_flow:.4f}")
+        if args.counters and result.counters is not None:
+            from repro.analysis.report import counters_table
+
+            print()
+            print(counters_table(result.counters).render())
         return 0
     print(f"total flow time      : {result.total_flow_time():.4f}")
     print(f"mean flow time       : {result.mean_flow_time():.4f}")
@@ -145,6 +154,11 @@ def _cmd_run(args) -> int:
 
         print()
         print(render_gantt(result, width=args.gantt_width))
+    if args.counters and result.counters is not None:
+        from repro.analysis.report import counters_table
+
+        print()
+        print(counters_table(result.counters).render())
     return 0
 
 
@@ -159,6 +173,43 @@ def _cmd_experiment(args) -> int:
         print()
         if not result.passed:
             failed.append(eid)
+    if failed:
+        print(f"FAILED experiments: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.analysis.experiments import all_experiment_ids
+    from repro.analysis.report import counters_table
+    from repro.analysis.runner import (
+        DEFAULT_CACHE_DIR,
+        aggregate_counters,
+        run_experiments,
+        summary_table,
+    )
+
+    ids = [i.upper() for i in args.ids]
+    if not ids or ids == ["ALL"]:
+        ids = all_experiment_ids()
+    outcomes = run_experiments(
+        ids,
+        parallel=args.parallel,
+        cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+        use_cache=not args.no_cache,
+        collect_counters=args.counters,
+    )
+    if not args.summary_only:
+        for out in outcomes:
+            print(out.result.render())
+            print()
+    print(summary_table(outcomes).render())
+    if args.counters:
+        merged = aggregate_counters(outcomes)
+        if merged is not None:
+            print()
+            print(counters_table(merged, "engine counters (all experiments)").render())
+    failed = [out.exp_id for out in outcomes if not out.result.passed]
     if failed:
         print(f"FAILED experiments: {failed}", file=sys.stderr)
         return 1
@@ -274,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--until", type=float, default=None, help="stop the simulation at this time"
     )
+    p_run.add_argument(
+        "--counters",
+        action="store_true",
+        help="collect and print engine performance counters",
+    )
     p_run.add_argument("--per-job", action="store_true", help="print per-job table")
     p_run.add_argument("--gantt", action="store_true", help="print ASCII Gantt chart")
     p_run.add_argument("--gantt-width", type=int, default=100)
@@ -282,6 +338,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="run a registered experiment")
     p_exp.add_argument("id", help="experiment id (e.g. T1) or 'all'")
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_exps = sub.add_parser(
+        "experiments",
+        help="run many experiments via the parallel runner with result caching",
+    )
+    p_exps.add_argument(
+        "ids",
+        nargs="*",
+        default=[],
+        help="experiment ids (empty or 'all' = whole registry)",
+    )
+    p_exps.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cache misses (1 = serial)",
+    )
+    p_exps.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    p_exps.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: .cache/experiments)",
+    )
+    p_exps.add_argument(
+        "--counters",
+        action="store_true",
+        help="collect and print aggregate engine performance counters",
+    )
+    p_exps.add_argument(
+        "--summary-only",
+        action="store_true",
+        help="print only the summary table, not each experiment report",
+    )
+    p_exps.set_defaults(func=_cmd_experiments)
 
     p_list = sub.add_parser("list-experiments", help="show the experiment registry")
     p_list.set_defaults(func=_cmd_list_experiments)

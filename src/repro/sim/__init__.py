@@ -10,6 +10,14 @@ records and exact fractional flow-time integrals
 """
 
 from repro.sim.speed import SpeedProfile
+from repro.sim.counters import (
+    EngineCounters,
+    disable_global_counters,
+    enable_global_counters,
+    global_counters,
+    global_counters_enabled,
+    reset_global_counters,
+)
 from repro.sim.engine import Engine, SchedulerView, simulate
 from repro.sim.events import EventKind, EventLog, TraceEvent
 from repro.sim.gantt import render_gantt
@@ -25,6 +33,12 @@ from repro.sim.metrics import (
 
 __all__ = [
     "SpeedProfile",
+    "EngineCounters",
+    "enable_global_counters",
+    "disable_global_counters",
+    "global_counters",
+    "global_counters_enabled",
+    "reset_global_counters",
     "Engine",
     "SchedulerView",
     "simulate",

@@ -32,6 +32,7 @@ from __future__ import annotations
 import heapq
 import math
 from collections.abc import Callable
+from time import perf_counter
 from typing import Protocol
 
 from repro.exceptions import (
@@ -40,7 +41,15 @@ from repro.exceptions import (
     SimulationError,
     TopologyError,
 )
+from repro.sim.counters import EngineCounters, global_counters
 from repro.sim.result import JobRecord, ScheduleSegment, SimulationResult
+from repro.sim.tolerances import (
+    CLOCK_EPS,
+    DRIFT_RTOL,
+    REL_EPS,
+    completion_guard_tol,
+    finished_tol,
+)
 from repro.sim.speed import SpeedProfile
 from repro.workload.instance import Instance
 from repro.workload.job import Job
@@ -264,6 +273,12 @@ class Engine:
         (``subject`` is the job id) or ``"completion"`` (``subject`` is
         the node id).  Used by the potential-function and dual-fitting
         experiments to snapshot live state; must not mutate anything.
+    collect_counters:
+        When true, tally :class:`~repro.sim.counters.EngineCounters`
+        for this run (surfaced on ``SimulationResult.counters``).  When
+        ``None`` (the default), collection follows the process-wide
+        switch (:func:`~repro.sim.counters.enable_global_counters`);
+        disabled collection costs nothing in the hot path.
     """
 
     def __init__(
@@ -277,6 +292,7 @@ class Engine:
         check_invariants: bool = False,
         max_events: int = 10_000_000,
         observer: Callable[["SchedulerView", str, int], None] | None = None,
+        collect_counters: bool | None = None,
     ) -> None:
         self.instance = instance
         self.policy = policy
@@ -316,6 +332,11 @@ class Engine:
         self._view = SchedulerView(self)
         self._observer = observer
         self._finished = False
+        if collect_counters is None:
+            collect_counters = global_counters() is not None
+        self._counters: EngineCounters | None = (
+            EngineCounters(runs=1) if collect_counters else None
+        )
 
     # ------------------------------------------------------------------
     # internal helpers
@@ -334,6 +355,8 @@ class Engine:
         """Fold elapsed processing into the active job's remaining and
         close its schedule segment.  Leaves the node with no active job;
         callers must follow with :meth:`_rearm`."""
+        if self._counters is not None:
+            self._counters.settle_calls += 1
         if ns.active_id is None:
             return
         st = self._states[ns.active_id]
@@ -354,6 +377,8 @@ class Engine:
         """Start the highest-priority available job (if any) and schedule
         its completion event."""
         ns.version += 1
+        if self._counters is not None:
+            self._counters.rearm_calls += 1
         if not ns.heap:
             return
         _, jid = ns.heap[0]
@@ -364,6 +389,8 @@ class Engine:
         finish = self.now + st.remaining / ns.speed
         self._seq += 1
         heapq.heappush(self._events, (finish, ns.version, self._seq, ns.node_id))
+        if self._counters is not None:
+            self._counters.heap_pushes += 1
         if ns.is_leaf:
             p_leaf = self.instance.processing_time(st.job, ns.node_id)
             self._set_leaf_drain(ns.node_id, ns.speed / p_leaf)
@@ -378,7 +405,7 @@ class Engine:
         """Move simulated time to ``t``, accumulating exact integrals."""
         dt = t - self.now
         if dt < 0:
-            if dt < -1e-9:
+            if dt < -CLOCK_EPS:
                 raise SimulationError(f"time went backwards: {self.now} -> {t}")
             dt = 0.0
         if dt > 0.0:
@@ -410,22 +437,32 @@ class Engine:
         heapq.heappush(
             nxt.heap, (self.priority(self.instance, st.job, nxt.node_id), jid)
         )
+        if self._counters is not None:
+            self._counters.heap_pushes += 1
         self._rearm(nxt)
 
     def _drain_finished_top(self, ns: _NodeState) -> None:
-        """Complete a fully-processed job stranded at the heap top.
+        """Complete every fully-processed job stranded at the heap top.
 
         A job whose remaining work reached zero is *done* on this node;
         it must advance before a simultaneous push can outrank it (ties
         at identical priority would otherwise re-queue finished work
-        behind a full-size job).  Only the just-settled active job can be
-        in this state, so a single check suffices; the recursive advance
-        settles downstream nodes the same way.
+        behind a full-size job).  More than one finished job can be
+        queued at once — e.g. two jobs preempted at the brink of
+        completion, released when a simultaneous completion settles the
+        node — so the drain loops until the top has work left; the
+        recursive advance settles downstream nodes the same way.
         """
-        if ns.active_id is not None or not ns.heap:
+        if ns.active_id is not None:
             return
-        _, jid = ns.heap[0]
-        if self._states[jid].remaining <= 1e-12:
+        while ns.heap:
+            _, jid = ns.heap[0]
+            st = self._states[jid]
+            p = self.instance.processing_time(st.job, ns.node_id)
+            if st.remaining > finished_tol(p):
+                return
+            if self._counters is not None:
+                self._counters.drained_finished += 1
             self._advance_job(ns, jid)
 
     def _handle_arrival(self, job: Job) -> None:
@@ -464,6 +501,8 @@ class Engine:
         self._settle(first)
         self._drain_finished_top(first)
         heapq.heappush(first.heap, (self.priority(self.instance, job, path[0]), job.id))
+        if self._counters is not None:
+            self._counters.heap_pushes += 1
         self._rearm(first)
 
     def _handle_completion(self, ns: _NodeState) -> None:
@@ -478,13 +517,7 @@ class Engine:
             return
         self._settle(ns)
         st = self._states[jid]
-        # Completion-event times are computed as now + remaining/speed;
-        # one ulp of clock error leaves ~ speed * now * 2^-52 work
-        # unprocessed, so the guard must scale with both.
-        tol = max(
-            1e-7 * max(1.0, ns.active_rem_start),
-            256.0 * ns.speed * max(abs(self.now), 1.0) * 2.22e-16,
-        )
+        tol = completion_guard_tol(ns.active_rem_start, ns.speed, self.now)
         if st.remaining > tol:  # pragma: no cover - numerical guard
             raise SimulationError(
                 f"completion event fired with {st.remaining} work left "
@@ -519,6 +552,8 @@ class Engine:
         arrivals = list(self.instance.jobs)
         arr_idx = 0
         n_arr = len(arrivals)
+        counters = self._counters
+        run_started = perf_counter() if counters is not None else 0.0
 
         while True:
             # Earliest valid completion event.
@@ -527,6 +562,8 @@ class Engine:
                 if self._nodes[node_id].version == version:
                     break
                 heapq.heappop(self._events)
+                if counters is not None:
+                    counters.stale_events_skipped += 1
             next_completion = self._events[0][0] if self._events else math.inf
             next_arrival = arrivals[arr_idx].release if arr_idx < n_arr else math.inf
             if until is not None and min(next_completion, next_arrival) > until:
@@ -540,10 +577,15 @@ class Engine:
                     f"exceeded max_events={self.max_events}; "
                     "likely a policy or engine bug"
                 )
+            phase_started = perf_counter() if counters is not None else 0.0
             if next_completion <= next_arrival:
                 t, version, _, node_id = heapq.heappop(self._events)
                 self._advance(t)
                 self._handle_completion(self._nodes[node_id])
+                if counters is not None:
+                    counters.events_processed += 1
+                    counters.completions += 1
+                    counters.completion_seconds += perf_counter() - phase_started
                 if self._observer is not None:
                     self._observer(self._view, "completion", node_id)
             else:
@@ -551,6 +593,10 @@ class Engine:
                 job_id = arrivals[arr_idx].id
                 self._handle_arrival(arrivals[arr_idx])
                 arr_idx += 1
+                if counters is not None:
+                    counters.events_processed += 1
+                    counters.arrivals += 1
+                    counters.arrival_seconds += perf_counter() - phase_started
                 if self._observer is not None:
                     self._observer(self._view, "arrival", job_id)
             if self.check_invariants:
@@ -561,6 +607,11 @@ class Engine:
             # segments cover exactly [0, until].
             for ns in self._nodes.values():
                 self._settle(ns)
+        if counters is not None:
+            counters.run_seconds += perf_counter() - run_started
+            aggregate = global_counters()
+            if aggregate is not None and aggregate is not counters:
+                aggregate.merge(counters)
         result = SimulationResult(
             instance=self.instance,
             speeds=self.speeds,
@@ -569,6 +620,7 @@ class Engine:
             alive_integral=self._alive_integral,
             num_events=self._num_events,
             segments=self._segments,
+            counters=counters,
         )
         if until is None:
             result.verify_complete()
@@ -607,7 +659,10 @@ class Engine:
                 raise InvariantViolation(f"done job {jid} still in alive set")
             rem = self._live_remaining(st)
             p = self.instance.processing_time(st.job, st.path[st.idx])
-            if rem < -1e-9 or rem > p * (1.0 + 1e-9):
+            # The lower band must admit anything finished_tol treats as
+            # zero, or a job the drain just declared finished could fail
+            # the invariant it satisfies semantically.
+            if rem < -finished_tol(p) or rem > p * (1.0 + REL_EPS):
                 raise InvariantViolation(
                     f"job {jid} remaining {rem} outside [0, {p}]"
                 )
@@ -622,7 +677,7 @@ class Engine:
                 expected += 1.0
             elif st.idx == pos:
                 expected += self._live_remaining(st) / p_leaf
-        if abs(expected - self._alive_fraction) > 1e-6 * max(1.0, expected):
+        if abs(expected - self._alive_fraction) > DRIFT_RTOL * max(1.0, expected):
             raise InvariantViolation(
                 f"alive-fraction drift: tracked {self._alive_fraction}, "
                 f"recomputed {expected}"
@@ -640,6 +695,7 @@ def simulate(
     check_invariants: bool = False,
     observer: Callable[[SchedulerView, str, int], None] | None = None,
     until: float | None = None,
+    collect_counters: bool | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build an :class:`Engine` and run it."""
     return Engine(
@@ -650,4 +706,5 @@ def simulate(
         record_segments=record_segments,
         check_invariants=check_invariants,
         observer=observer,
+        collect_counters=collect_counters,
     ).run(until=until)

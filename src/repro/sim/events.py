@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.sim.engine import SchedulerView
+from repro.sim.tolerances import finished_tol
 
 __all__ = ["EventKind", "TraceEvent", "EventLog"]
 
@@ -118,7 +119,8 @@ class EventLog:
                 and active != prev
                 and prev in view.alive_jobs()
                 and view.current_node_of(prev) == node
-                and view.live_remaining(prev) > 1e-12
+                and view.live_remaining(prev)
+                > finished_tol(view.instance.processing_time(view.job(prev), node))
             ):
                 self.events.append(
                     TraceEvent(now, EventKind.PREEMPTION, prev, node, other_job=active)

@@ -68,8 +68,22 @@ def render_gantt(
     for seg in result.segments:
         if seg.node not in rows:
             continue
+        # Cell i spans [i*cell, (i+1)*cell).  Integer division of the
+        # endpoints can land one cell off (float quotients round both
+        # ways, and an end exactly on a boundary belongs to the cell it
+        # closes, not the one it opens), so correct both indices against
+        # the actual boundaries.  An absolute epsilon cannot do this: it
+        # mis-binned segments shorter than one cell that start on a
+        # boundary.
         first = max(0, int(seg.start / cell))
-        last = min(width - 1, int(max(seg.end - 1e-12, seg.start) / cell))
+        if (first + 1) * cell <= seg.start:
+            first += 1
+        if first >= width:  # segment lies beyond the rendered window
+            continue
+        last = min(width - 1, int(seg.end / cell))
+        if last * cell >= seg.end:
+            last -= 1
+        last = max(last, first)
         for i in range(first, last + 1):
             lo = max(seg.start, i * cell)
             hi = min(seg.end, (i + 1) * cell)

@@ -10,6 +10,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.sim.counters import EngineCounters
 from repro.sim.speed import SpeedProfile
 from repro.workload.instance import Instance
 
@@ -108,6 +109,10 @@ class SimulationResult:
         Number of engine events processed.
     segments:
         Schedule segments if recording was enabled, else ``None``.
+    counters:
+        :class:`~repro.sim.counters.EngineCounters` for the run when the
+        engine collected them (``collect_counters=True`` or the global
+        switch), else ``None``.
     """
 
     instance: Instance
@@ -117,6 +122,7 @@ class SimulationResult:
     alive_integral: float
     num_events: int
     segments: list[ScheduleSegment] | None = None
+    counters: EngineCounters | None = None
 
     # ------------------------------------------------------------------
     def assignment(self) -> dict[int, int]:

@@ -130,6 +130,64 @@ class TestExperiments:
         capsys.readouterr()
 
 
+class TestExperimentsRunner:
+    def test_parallel_cached_run(self, capsys, tmp_path):
+        argv = [
+            "experiments", "f1", "F2",
+            "--parallel", "2",
+            "--cache-dir", str(tmp_path),
+            "--summary-only",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "experiment runner summary" in out
+        assert "F1" in out and "F2" in out
+        assert "run" in out
+        # warm re-run is served from the cache
+        assert main(argv) == 0
+        assert "cache" in capsys.readouterr().out
+
+    def test_no_cache_bypasses_disk(self, capsys, tmp_path):
+        argv = [
+            "experiments", "F1",
+            "--no-cache",
+            "--cache-dir", str(tmp_path),
+            "--summary-only",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_counters_flag_prints_aggregate(self, capsys, tmp_path):
+        argv = [
+            "experiments", "F1",
+            "--counters",
+            "--cache-dir", str(tmp_path),
+            "--summary-only",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "engine counters (all experiments)" in out
+        assert "events processed" in out
+
+    def test_full_reports_printed_without_summary_only(self, capsys, tmp_path):
+        assert main(["experiments", "F2", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+
+    def test_run_counters_flag(self, capsys):
+        assert main(["run", "--jobs", "6", "--counters"]) == 0
+        out = capsys.readouterr().out
+        assert "engine counters" in out
+        assert "events processed" in out
+
+    def test_run_counters_with_until(self, capsys):
+        assert main(["run", "--jobs", "10", "--until", "3", "--counters"]) == 0
+        out = capsys.readouterr().out
+        assert "horizon" in out
+        assert "engine counters" in out
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

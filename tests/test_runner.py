@@ -1,0 +1,175 @@
+"""Tests for the parallel experiment runner and its result cache."""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import pytest
+
+from repro.analysis.runner import (
+    RunnerOutcome,
+    aggregate_counters,
+    cache_key,
+    cache_path,
+    clear_cache,
+    run_experiments,
+    summary_table,
+)
+
+#: Small-but-nonzero workloads: fast enough for tier-1, long enough that
+#: cold wall time dominates cache-read time.
+FAST_IDS = ["F1", "F2"]
+
+
+def same_payload(a, b) -> bool:
+    """Bit-identical experiment outputs: metrics, rows, verdict, text."""
+    return (
+        a.metrics == b.metrics
+        and a.table.rows == b.table.rows
+        and a.table.columns == b.table.columns
+        and a.passed == b.passed
+        and a.render() == b.render()
+    )
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key("T1", {"n": 5}) == cache_key("T1", {"n": 5})
+
+    def test_sensitive_to_id_and_params(self):
+        base = cache_key("T1", {"n": 5})
+        assert cache_key("T2", {"n": 5}) != base
+        assert cache_key("T1", {"n": 6}) != base
+        assert cache_key("T1", {}) != base
+
+    def test_tuple_and_list_params_hash_alike(self):
+        # argparse/json hand over lists, experiment defaults are tuples;
+        # the canonical form must not distinguish them.
+        assert cache_key("T1", {"speeds": (1.0, 1.5)}) == cache_key(
+            "T1", {"speeds": [1.0, 1.5]}
+        )
+
+
+class TestCacheRoundTrip:
+    def test_cold_then_warm(self, tmp_path):
+        cold = run_experiments(FAST_IDS, cache_dir=tmp_path)
+        assert [o.exp_id for o in cold] == FAST_IDS
+        assert all(not o.cached for o in cold)
+        warm = run_experiments(FAST_IDS, cache_dir=tmp_path)
+        assert all(o.cached for o in warm)
+        for a, b in zip(cold, warm):
+            assert same_payload(a.result, b.result)
+            assert a.key == b.key
+
+    def test_no_cache_never_touches_disk(self, tmp_path):
+        out = run_experiments(FAST_IDS, cache_dir=tmp_path, use_cache=False)
+        assert all(not o.cached for o in out)
+        assert list(tmp_path.glob("*.pkl")) == []
+
+    # pickle raises different exceptions depending on which opcode the
+    # garbage happens to decode to: b"not a pickle" -> UnpicklingError,
+    # b"garbage\n" -> ValueError (the GET opcode expects an int line).
+    @pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n", b""])
+    def test_corrupt_entry_is_a_miss(self, tmp_path, junk):
+        first = run_experiments(["F1"], cache_dir=tmp_path)[0]
+        cache_path(tmp_path, first.key).write_bytes(junk)
+        again = run_experiments(["F1"], cache_dir=tmp_path)[0]
+        assert not again.cached
+        assert same_payload(first.result, again.result)
+        # and the repaired entry is served on the next read
+        assert run_experiments(["F1"], cache_dir=tmp_path)[0].cached
+
+    def test_clear_cache(self, tmp_path):
+        run_experiments(FAST_IDS, cache_dir=tmp_path)
+        assert clear_cache(tmp_path) == len(FAST_IDS)
+        assert clear_cache(tmp_path) == 0
+        assert clear_cache(tmp_path / "missing") == 0
+
+
+class TestParallelIdentity:
+    def test_full_registry_parallel_matches_serial(self, tmp_path):
+        """Acceptance: --parallel 4 over the whole registry is
+        bit-identical to the serial run (reduced-size parameters keep
+        tier-1 fast; every experiment id is exercised).  S1 is the one
+        experiment whose *output is itself a wall-clock measurement*
+        (events/second); for it only the deterministic columns can be
+        compared.
+        """
+        from tests.test_experiments import QUICK_PARAMS
+
+        serial = run_experiments(
+            None, QUICK_PARAMS, parallel=1, cache_dir=tmp_path / "serial"
+        )
+        parallel = run_experiments(
+            None, QUICK_PARAMS, parallel=4, cache_dir=tmp_path / "parallel"
+        )
+        assert [o.exp_id for o in serial] == [o.exp_id for o in parallel]
+        for s, p in zip(serial, parallel):
+            assert not s.cached and not p.cached
+            assert s.key == p.key
+            if s.exp_id == "S1":
+                assert s.result.passed == p.result.passed
+                assert s.result.table.columns == p.result.table.columns
+                for col in ("n_jobs", "tree_nodes", "events"):
+                    assert s.result.table.column(col) == p.result.table.column(col)
+            else:
+                assert same_payload(s.result, p.result), f"{s.exp_id} diverged"
+
+    def test_warm_cache_is_fast(self, tmp_path):
+        """Acceptance: a warm-cache re-run completes in under 25% of the
+        cold run's wall time."""
+        from tests.test_experiments import QUICK_PARAMS
+
+        ids = ["T1", "T2", "D1"]  # the slowest quick-size experiments
+        params = {i: QUICK_PARAMS[i] for i in ids}
+        started = perf_counter()
+        run_experiments(ids, params, cache_dir=tmp_path)
+        cold_wall = perf_counter() - started
+        started = perf_counter()
+        warm = run_experiments(ids, params, cache_dir=tmp_path)
+        warm_wall = perf_counter() - started
+        assert all(o.cached for o in warm)
+        assert warm_wall < 0.25 * cold_wall, (
+            f"warm {warm_wall:.3f}s vs cold {cold_wall:.3f}s"
+        )
+
+
+class TestCountersThroughRunner:
+    def test_counters_collected_and_cached(self, tmp_path):
+        cold = run_experiments(
+            ["F1"], cache_dir=tmp_path, collect_counters=True
+        )[0]
+        assert cold.counters is not None
+        assert cold.counters.events_processed > 0
+        warm = run_experiments(
+            ["F1"], cache_dir=tmp_path, collect_counters=True
+        )[0]
+        assert warm.cached
+        assert warm.counters is not None
+        assert warm.counters.events_processed == cold.counters.events_processed
+
+    def test_counters_off_by_default(self, tmp_path):
+        out = run_experiments(["F1"], cache_dir=tmp_path)[0]
+        assert out.counters is None
+
+    def test_aggregate_and_summary(self, tmp_path):
+        outcomes = run_experiments(
+            FAST_IDS, cache_dir=tmp_path, collect_counters=True
+        )
+        merged = aggregate_counters(outcomes)
+        assert merged is not None
+        assert merged.runs == sum(o.counters.runs for o in outcomes)
+        text = summary_table(outcomes).render()
+        for eid in FAST_IDS:
+            assert eid in text
+        assert "PASS" in text
+
+    def test_aggregate_none_without_counters(self):
+        assert aggregate_counters([]) is None
+
+
+def test_outcome_is_plain_data():
+    out = RunnerOutcome(
+        exp_id="T1", result=None, cached=False, wall_seconds=0.0, key="k"
+    )
+    assert out.counters is None

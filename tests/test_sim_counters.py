@@ -1,0 +1,104 @@
+"""Tests for the engine performance counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import FixedAssignment
+from repro.network.builders import spine_tree
+from repro.sim.counters import (
+    EngineCounters,
+    disable_global_counters,
+    enable_global_counters,
+    global_counters,
+    global_counters_enabled,
+)
+from repro.sim.engine import simulate
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+
+@pytest.fixture
+def chain_instance():
+    jobs = JobSet([Job(id=i, release=float(i), size=1.0) for i in range(4)])
+    return Instance(spine_tree(1), jobs, Setting.IDENTICAL)
+
+
+def run(instance, **kw):
+    policy = FixedAssignment({j.id: 2 for j in instance.jobs})
+    return simulate(instance, policy, **kw)
+
+
+class TestPerRunCounters:
+    def test_disabled_by_default(self, chain_instance):
+        assert run(chain_instance).counters is None
+
+    def test_collected_when_requested(self, chain_instance):
+        res = run(chain_instance, collect_counters=True)
+        c = res.counters
+        assert c is not None
+        assert c.runs == 1
+        assert c.events_processed == res.num_events
+        assert c.arrivals == len(chain_instance.jobs)
+        assert c.arrivals + c.completions == c.events_processed
+        # Every arrival and every hop settles + rearms at least once.
+        assert c.settle_calls > 0
+        assert c.rearm_calls > 0
+        assert c.heap_pushes >= c.arrivals
+        assert c.run_seconds > 0.0
+        assert c.arrival_seconds >= 0.0
+        assert c.completion_seconds >= 0.0
+        assert c.events_per_second > 0.0
+
+    def test_explicit_false_wins_over_global(self, chain_instance):
+        enable_global_counters()
+        try:
+            res = run(chain_instance, collect_counters=False)
+            assert res.counters is None
+            assert global_counters().runs == 0
+        finally:
+            disable_global_counters()
+
+
+class TestGlobalAggregation:
+    def test_runs_merge_into_aggregate(self, chain_instance):
+        aggregate = enable_global_counters()
+        try:
+            assert global_counters_enabled()
+            r1 = run(chain_instance)
+            r2 = run(chain_instance)
+            assert r1.counters is not None and r2.counters is not None
+            assert aggregate.runs == 2
+            assert (
+                aggregate.events_processed
+                == r1.counters.events_processed + r2.counters.events_processed
+            )
+        finally:
+            disable_global_counters()
+        assert not global_counters_enabled()
+        assert global_counters() is None
+
+
+class TestCountersStruct:
+    def test_merge_and_dict_roundtrip(self):
+        a = EngineCounters(runs=1, events_processed=10, arrivals=4, run_seconds=0.5)
+        b = EngineCounters(runs=2, events_processed=5, arrivals=1, run_seconds=0.25)
+        a.merge(b)
+        assert a.runs == 3
+        assert a.events_processed == 15
+        assert a.arrivals == 5
+        assert a.run_seconds == pytest.approx(0.75)
+        again = EngineCounters.from_dict(a.as_dict() | {"unknown_key": 1})
+        assert again == a
+
+    def test_events_per_second_unmeasured(self):
+        assert EngineCounters().events_per_second == 0.0
+
+
+def test_counters_table_renders():
+    from repro.analysis.report import counters_table
+
+    c = EngineCounters(runs=1, events_processed=7, arrivals=3, completions=4)
+    text = counters_table(c).render()
+    assert "events processed" in text
+    assert "7" in text

@@ -300,3 +300,53 @@ class TestSchedulerView:
         Engine(instance, FixedAssignment({0: 2, 1: 2}), observer=obs).run()
         assert rows[0] == (0,)
         assert rows[1] == (0, 1)
+
+
+class TestDrainFinishedTies:
+    """Regression: `_drain_finished_top` must advance *every* finished
+    job at the heap top, not just the first (two jobs preempted at the
+    brink of completion would otherwise strand the second behind
+    full-size work pushed at the same instant)."""
+
+    def test_two_finished_ties_both_advance(self):
+        # Three same-size, same-release jobs: identical (p, release)
+        # priority tuples, ties broken by id, so jobs 0 and 1 sit at the
+        # top of the router heap.  Mark both as numerically finished
+        # (as a brink-of-completion preemption would leave them) and
+        # drain: both must move to the leaf, while job 2 stays.
+        jobs = [Job(id=i, release=0.0, size=1.0) for i in range(3)]
+        instance = chain_instance(jobs)
+        eng = Engine(instance, FixedAssignment({j.id: 2 for j in jobs}))
+        for job in jobs:
+            eng._handle_arrival(job)
+        router = eng._nodes[1]
+        eng._settle(router)
+        eng._states[0].remaining = 0.0
+        eng._states[1].remaining = 5e-13  # below finished_tol(1.0)
+        eng._drain_finished_top(router)
+        assert eng._states[0].idx == 1, "heap-top finished job must advance"
+        assert eng._states[1].idx == 1, "second finished tie must advance too"
+        assert eng._states[2].idx == 0, "unfinished job must stay queued"
+        assert [jid for _, jid in router.heap] == [2]
+
+    def test_finished_tol_scales_with_job_size(self):
+        # A residual of 1e-10 is noise for a size-1e6 job (relative
+        # 1e-16) but real work for a size-1 job.  The drain threshold
+        # must scale accordingly.
+        from repro.sim.tolerances import finished_tol
+
+        assert 1e-10 > finished_tol(1.0)
+        assert 1e-10 <= finished_tol(1e6)
+
+    def test_brink_preemption_end_to_end(self):
+        # Job 0 (size 1) is preempted by smaller job 1 arriving when
+        # job 0 has ~1e-13 work left; the run must still complete with a
+        # valid schedule and job 0's router completion at (numerically)
+        # its preemption time or later.
+        jobs = [
+            Job(id=0, release=0.0, size=1.0),
+            Job(id=1, release=1.0 - 1e-13, size=0.5),
+        ]
+        res = run_chain(jobs)
+        validate_schedule(res)
+        assert res.records[0].finished and res.records[1].finished

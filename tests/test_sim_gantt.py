@@ -79,3 +79,58 @@ class TestRenderGantt:
         instance = Instance(tree, JobSet([]), Setting.IDENTICAL)
         res = simulate(instance, FixedAssignment({}), record_segments=True)
         assert render_gantt(res) == "(empty schedule)"
+
+
+class TestSubCellSegments:
+    """Regression: segments shorter than one cell used to be binned one
+    cell early (an absolute ``end - 1e-12`` clamp interacted badly with
+    inexact cell widths) or could index past the rendered window."""
+
+    @staticmethod
+    def _result_with_segments(segments):
+        from repro.sim.result import ScheduleSegment, SimulationResult
+        from repro.sim.speed import SpeedProfile
+
+        tree = spine_tree(1)
+        instance = Instance(
+            tree, JobSet([Job(id=7, release=0.0, size=1.0)]), Setting.IDENTICAL
+        )
+        return SimulationResult(
+            instance=instance,
+            speeds=SpeedProfile.uniform(1.0),
+            records={},
+            fractional_flow=0.0,
+            alive_integral=0.0,
+            num_events=0,
+            segments=[ScheduleSegment(1, 7, s, e) for s, e in segments],
+        )
+
+    def _router_cells(self, segments, width=10, until=1.0):
+        res = self._result_with_segments(segments)
+        text = render_gantt(res, width=width, until=until)
+        row = next(l for l in text.splitlines() if "router#1" in l)
+        return row.split("| ")[1]
+
+    def test_boundary_start_lands_in_majority_cell(self):
+        # cell = 0.1 (inexact); 3 * cell = 0.30000000000000004 > 0.3, so
+        # int(0.3 / cell) == 2 although nearly all of the segment lies in
+        # cell 3.  The old clamp drew only cell 2.
+        cells = self._router_cells([(0.3, 0.30000000000001)])
+        assert cells[3] == "7"
+
+    def test_interior_sub_cell_segment_draws_its_cell(self):
+        cells = self._router_cells([(0.55, 0.56)])
+        assert cells[5] == "7"
+        assert cells.count("7") == 1
+
+    def test_end_on_boundary_does_not_spill(self):
+        # A segment ending exactly on a representable cell boundary
+        # belongs to the cell it closes, not the one it opens.
+        boundary = 6 * (1.0 / 10)  # 0.6000000000000001, exactly 6*cell
+        cells = self._router_cells([(0.45, boundary)])
+        assert cells[6] == "."
+        assert cells[4] == "7" and cells[5] == "7"
+
+    def test_segment_beyond_window_is_ignored(self):
+        cells = self._router_cells([(5.0, 5.5)], until=1.0)
+        assert set(cells) == {"."}

@@ -1,0 +1,51 @@
+"""Tests for the consolidated tolerance constants."""
+
+from __future__ import annotations
+
+from repro.sim.tolerances import (
+    CLOCK_EPS,
+    REMAINING_ATOL,
+    completion_guard_tol,
+    finished_tol,
+)
+
+
+class TestFinishedTol:
+    def test_absolute_floor_at_unit_scale(self):
+        assert finished_tol(1.0) == REMAINING_ATOL
+        assert finished_tol(0.0) == REMAINING_ATOL
+
+    def test_scales_with_processing_time(self):
+        assert finished_tol(1e8) == 1e8 * 1e-12
+        assert finished_tol(1e8) > finished_tol(1.0)
+
+    def test_band_consistency_with_invariants(self):
+        # The drain's "finished" test and the invariant check's lower
+        # band use the same threshold, so any residual the engine
+        # declares finished (|r| <= finished_tol(p)) also satisfies the
+        # invariant band r >= -finished_tol(p) — the historical mix of
+        # 1e-12 and -1e-9 could not guarantee this across scales.
+        for p in (1e-6, 1.0, 1e3, 1e9):
+            tol = finished_tol(p)
+            for r in (0.0, tol, -tol):
+                assert r <= tol, "residual must count as finished"
+                assert r >= -tol, "finished residual must pass the band"
+
+
+class TestCompletionGuardTol:
+    def test_scales_with_work(self):
+        assert completion_guard_tol(1e6, 1.0, 0.0) > completion_guard_tol(
+            1.0, 1.0, 0.0
+        )
+
+    def test_scales_with_clock_and_speed(self):
+        late = completion_guard_tol(1.0, 4.0, 1e12)
+        early = completion_guard_tol(1.0, 4.0, 0.0)
+        assert late > early
+
+    def test_floor_is_historical_guard(self):
+        assert completion_guard_tol(1.0, 1.0, 0.0) == 1e-7
+
+
+def test_clock_eps_is_absolute_and_small():
+    assert 0 < CLOCK_EPS < 1e-6
