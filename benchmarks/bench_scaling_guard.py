@@ -1,0 +1,31 @@
+"""Regression guard: engine throughput must scale near-linearly.
+
+With the incremental congestion aggregates, an arrival costs O(path
+length + branch count) instead of O(leaves x alive), so events/s should
+be roughly flat as the job count grows.  This guard runs the S1 sweep
+(via ``repro bench``'s harness, best-of-N walls to shed scheduler noise)
+and asserts the largest size retains at least ``1/2.5`` of the smallest
+size's throughput.  A quadratic-scan regression shows up as a 3-10x
+drop at 2400 jobs, far past the band.
+
+Marked ``slow`` by the benchmarks conftest, so tier-1 stays fast.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bench import run_bench
+
+MAX_DEGRADATION = 2.5
+
+
+def test_throughput_scales_near_linearly():
+    doc = run_bench(sizes=(200, 800, 2400), repeats=3, include_policies=False)
+    rates = {int(size): row["events_per_s"] for size, row in doc["scaling"].items()}
+    smallest = rates[min(rates)]
+    largest = rates[max(rates)]
+    assert largest >= smallest / MAX_DEGRADATION, (
+        f"throughput degraded {smallest / largest:.2f}x from "
+        f"{min(rates)} to {max(rates)} jobs "
+        f"({smallest:,.0f} -> {largest:,.0f} events/s); "
+        f"allowed: {MAX_DEGRADATION}x"
+    )

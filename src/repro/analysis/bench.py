@@ -1,0 +1,144 @@
+"""Engine benchmark harness behind ``repro bench``.
+
+Two suites, both deterministic in everything except wall-clock:
+
+* **Scaling sweep** — the S1 workload (datacenter tree, identical jobs,
+  the paper's greedy policy) at growing job counts; reports events/s,
+  jobs/s and wall seconds per size.  Near-linear scaling here is the
+  acceptance bar for the incremental congestion aggregates.
+* **Policy microbenchmarks** — every CLI policy on one mid-size
+  instance, so a change to a single policy's arrival cost is visible in
+  isolation from the engine.
+
+``run_bench`` returns a JSON-ready dict (schema ``bench_engine/v1``);
+the CLI writes it to ``BENCH_engine.json`` at the repo root so the perf
+trajectory is tracked across PRs.  Each configuration is run ``repeats``
+times and the fastest wall is kept (standard practice for throughput
+benchmarks: the minimum is the least noise-contaminated sample).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.analysis.tables import Table
+
+__all__ = ["run_bench", "render_bench", "DEFAULT_SIZES"]
+
+SCHEMA = "bench_engine/v1"
+DEFAULT_SIZES = (200, 800, 2400)
+_MICRO_JOBS = 800
+_LOAD = 0.85
+_SEED = 12
+_EPS = 0.25
+_SPEED = 1.5
+
+
+def _bench_once(instance, policy_factory) -> tuple[float, int]:
+    """One timed simulation; returns (wall seconds, events)."""
+    from repro.sim.engine import Engine
+    from repro.sim.speed import SpeedProfile
+
+    engine = Engine(instance, policy_factory(), SpeedProfile.uniform(_SPEED))
+    t0 = perf_counter()
+    result = engine.run()
+    wall = perf_counter() - t0
+    return wall, result.num_events
+
+
+def _measure(instance, policy_factory, repeats: int) -> dict[str, float]:
+    n = len(instance.jobs)
+    best_wall = float("inf")
+    events = 0
+    for _ in range(repeats):
+        wall, events = _bench_once(instance, policy_factory)
+        if wall < best_wall:
+            best_wall = wall
+    return {
+        "events": events,
+        "wall_s": best_wall,
+        "events_per_s": events / best_wall if best_wall > 0 else float("inf"),
+        "jobs_per_s": n / best_wall if best_wall > 0 else float("inf"),
+    }
+
+
+def run_bench(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    repeats: int = 3,
+    include_policies: bool = True,
+) -> dict:
+    """Run both suites; returns the ``bench_engine/v1`` document."""
+    from repro.analysis.experiments.workloads import identical_instance
+    from repro.baselines.policies import (
+        ClosestLeafAssignment,
+        LeastLoadedAssignment,
+        RandomAssignment,
+        RoundRobinAssignment,
+    )
+    from repro.core.assignment import GreedyIdenticalAssignment
+    from repro.network.builders import datacenter_tree
+
+    tree = datacenter_tree(3, 3, 4)
+    greedy = lambda: GreedyIdenticalAssignment(_EPS)  # noqa: E731
+
+    scaling: dict[str, dict[str, float]] = {}
+    for n in sizes:
+        instance = identical_instance(tree, n, load=_LOAD, seed=_SEED)
+        scaling[str(n)] = _measure(instance, greedy, repeats)
+
+    doc = {
+        "schema": SCHEMA,
+        "config": {
+            "tree": "datacenter(3,3,4)",
+            "load": _LOAD,
+            "seed": _SEED,
+            "eps": _EPS,
+            "speed": _SPEED,
+            "repeats": repeats,
+            "policy_microbench_jobs": _MICRO_JOBS,
+        },
+        "scaling": scaling,
+    }
+    if include_policies:
+        policies = {
+            "paper-greedy": greedy,
+            "closest": ClosestLeafAssignment,
+            "least-loaded": LeastLoadedAssignment,
+            "round-robin": RoundRobinAssignment,
+            "random": lambda: RandomAssignment(_SEED),
+        }
+        micro_instance = identical_instance(
+            tree, _MICRO_JOBS, load=_LOAD, seed=_SEED
+        )
+        doc["policies"] = {
+            name: _measure(micro_instance, factory, repeats)
+            for name, factory in policies.items()
+        }
+    return doc
+
+
+def render_bench(doc: dict) -> str:
+    """Human-readable tables for the CLI."""
+    out = []
+    scaling = Table(
+        "engine scaling sweep (greedy, datacenter tree)",
+        ["n_jobs", "events", "wall_s", "events_per_s", "jobs_per_s"],
+    )
+    for size, row in doc["scaling"].items():
+        scaling.add_row(
+            int(size), row["events"], row["wall_s"],
+            row["events_per_s"], row["jobs_per_s"],
+        )
+    out.append(scaling.render())
+    if "policies" in doc:
+        micro = Table(
+            f"policy microbenchmarks ({doc['config']['policy_microbench_jobs']} jobs)",
+            ["policy", "events", "wall_s", "events_per_s", "jobs_per_s"],
+        )
+        for name, row in doc["policies"].items():
+            micro.add_row(
+                name, row["events"], row["wall_s"],
+                row["events_per_s"], row["jobs_per_s"],
+            )
+        out.append(micro.render())
+    return "\n\n".join(out)

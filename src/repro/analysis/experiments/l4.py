@@ -22,7 +22,7 @@ from __future__ import annotations
 from repro.analysis.experiments.base import ExperimentResult, register
 from repro.analysis.tables import Table
 from repro.core.assignment import GreedyIdenticalAssignment
-from repro.core.fvalues import outranks as _higher_priority
+from repro.core.fvalues import s_set_volume
 from repro.network.builders import broomstick_tree
 from repro.sim.engine import Engine, SchedulerView
 from repro.sim.metrics import waiting_decomposition
@@ -49,25 +49,9 @@ class _Lemma4Recorder:
         leaf = self.inner.assign(view, job, now)
         if job.id == self.probe_id:
             self.leaf = leaf
-            tree = view.tree
-            instance = view.instance
-            top = tree.top_router(leaf)
-            p_top = instance.processing_time(job, top)
-            vol = p_top  # the job's own contribution to S
-            for jid in view.jobs_through(top):
-                other = view.job(jid)
-                p_i = instance.processing_time(other, top)
-                if _higher_priority(p_i, other, p_top, job):
-                    vol += view.remaining_on(jid, top)
-            self.top_volume = vol
-            p_leaf = instance.processing_time(job, leaf)
-            lvol = p_leaf
-            for jid in view.jobs_through(leaf):
-                other = view.job(jid)
-                p_i = instance.processing_time(other, leaf)
-                if _higher_priority(p_i, other, p_leaf, job):
-                    lvol += view.remaining_on(jid, leaf)
-            self.leaf_volume = lvol
+            top = view.tree.top_router(leaf)
+            self.top_volume = s_set_volume(view, job, top)
+            self.leaf_volume = s_set_volume(view, job, leaf)
         return leaf
 
 

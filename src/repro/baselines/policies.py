@@ -69,23 +69,27 @@ class LeastLoadedAssignment:
     ``R(v)`` plus the total remaining leaf volume of jobs assigned to
     ``v`` plus the job's own path volume.  Congestion-aware but blind to
     SJF order — the natural "join shortest queue" heuristic.
+
+    Both volume terms are O(1) reads of the engine's incremental
+    congestion aggregates
+    (:meth:`~repro.sim.engine.SchedulerView.queue_volume_at` at the
+    root-adjacent node, where the queue is all of ``Q_v``, and
+    :meth:`~repro.sim.engine.SchedulerView.volume_through` at the leaf),
+    so an arrival costs O(leaves) instead of O(leaves × alive).
     """
 
     def assign(self, view: SchedulerView, job: Job, now: float) -> int:
         instance = view.instance
         tree = view.tree
-        top_load: dict[int, float] = {}
-        for top in tree.root_children:
-            top_load[top] = sum(
-                view.remaining_on(jid, top) for jid in view.queue_at(top)
-            )
+        top_load = {top: view.queue_volume_at(top) for top in tree.root_children}
         best_leaf: int | None = None
         best_score = math.inf
         for v in _feasible_leaves(view, job):
-            leaf_load = sum(
-                view.remaining_on(jid, v) for jid in view.jobs_through(v)
+            score = (
+                top_load[tree.top_router(v)]
+                + view.volume_through(v)
+                + instance.path_volume(job, v)
             )
-            score = top_load[tree.top_router(v)] + leaf_load + instance.path_volume(job, v)
             if score < best_score or (score == best_score and (best_leaf is None or v < best_leaf)):
                 best_score = score
                 best_leaf = v

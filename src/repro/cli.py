@@ -13,9 +13,12 @@
 * ``list-experiments`` — show the registry;
 * ``generate`` — write a synthetic instance to a JSON trace for later
   ``run --trace`` calls;
-* ``bound`` — compute lower bounds (LP and combinatorial) for a trace.
+* ``bound`` — compute lower bounds (LP and combinatorial) for a trace;
+* ``bench`` — engine scaling sweep plus policy microbenchmarks, written
+  to ``BENCH_engine.json`` so the perf trajectory is tracked across PRs.
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed``; ``run --profile``
+wraps the simulation in ``cProfile`` for hot-path hunts.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.analysis.tables import Table
 __all__ = ["main", "build_parser"]
 
 _TREES = ("kary", "paths", "caterpillar", "datacenter", "random", "figure1")
+DEFAULT_BENCH_SIZES = (200, 800, 2400)
 _POLICIES = ("greedy", "closest", "random", "least-loaded", "round-robin")
 _SIZES = ("uniform", "pareto", "bimodal")
 
@@ -110,15 +114,28 @@ def _cmd_run(args) -> int:
 
     instance = _build_instance(args)
     policy = _build_policy(args.policy, instance, args.eps, args.seed)
-    result = simulate(
-        instance,
-        policy,
-        SpeedProfile.uniform(args.speed),
-        priority=fifo_priority if args.fifo else sjf_priority,
-        record_segments=args.gantt,
-        until=args.until,
-        collect_counters=args.counters or None,
-    )
+
+    def _simulate():
+        return simulate(
+            instance,
+            policy,
+            SpeedProfile.uniform(args.speed),
+            priority=fifo_priority if args.fifo else sjf_priority,
+            record_segments=args.gantt,
+            until=args.until,
+            collect_counters=args.counters or None,
+        )
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(_simulate)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+    else:
+        result = _simulate()
     print(f"instance : {instance!r}")
     print(f"policy   : {args.policy} ({'fifo' if args.fifo else 'sjf'} nodes)")
     print(f"speed    : {args.speed}")
@@ -276,6 +293,25 @@ def _cmd_plan(args) -> int:
     return 1
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.analysis.bench import run_bench, render_bench
+
+    doc = run_bench(
+        sizes=tuple(args.sizes),
+        repeats=args.repeats,
+        include_policies=not args.no_policies,
+    )
+    print(render_bench(doc))
+    if args.output != "-":
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import render_experiments_markdown
 
@@ -329,6 +365,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--counters",
         action="store_true",
         help="collect and print engine performance counters",
+    )
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the simulation with cProfile and print the top-20 "
+        "cumulative entries to stderr",
     )
     p_run.add_argument("--per-job", action="store_true", help="print per-job table")
     p_run.add_argument("--gantt", action="store_true", help="print ASCII Gantt chart")
@@ -403,6 +445,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_plan.add_argument("--tol", type=float, default=0.05)
     p_plan.set_defaults(func=_cmd_plan)
+
+    p_bench = sub.add_parser(
+        "bench", help="engine scaling sweep + policy microbenchmarks"
+    )
+    p_bench.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_BENCH_SIZES),
+        help="job counts for the scaling sweep",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3, help="runs per configuration (best kept)"
+    )
+    p_bench.add_argument(
+        "--no-policies", action="store_true", help="skip the policy microbenchmarks"
+    )
+    p_bench.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_engine.json",
+        help="JSON output path ('-' = print tables only)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_report = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md from live experiment runs"

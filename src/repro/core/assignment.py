@@ -42,9 +42,10 @@ class GreedyIdenticalAssignment:
 
     Scores leaf ``v`` with ``F(j,v) + (6/ε²)·d_v·p_j`` and dispatches to
     the minimiser.  Since ``F(j,v)`` depends on ``v`` only through
-    ``R(v)``, the policy scores each root-adjacent node once and then
-    only varies the ``d_v`` term across leaves — an ``O(|R|·queue +
-    |L|)`` arrival cost.
+    ``R(v)``, and the ``d_v`` term is monotone in depth, each branch has
+    one precomputable argmin candidate (shallowest leaf, smallest id) —
+    so an arrival costs one ``F`` evaluation plus O(1) per branch
+    instead of O(1) per leaf.
 
     Parameters
     ----------
@@ -56,29 +57,51 @@ class GreedyIdenticalAssignment:
     def __init__(self, eps: float) -> None:
         self.eps = _check_eps(eps)
         self.weight = 6.0 / (eps * eps)
-        #: ``job id -> {leaf: score}`` for the dual-fitting audit.
-        self.last_scores: dict[int, float] | None = None
-        # origin -> tuple of (entry node, ((leaf, steps), ...)); the tree
-        # is immutable, so the layout is computed once per origin
+        self._last_parts: tuple | None = None
+        # origin -> tuple of per-entry records
+        # (entry, ((leaf, steps), ...), min_steps, min_steps_leaf, min_leaf);
+        # the tree is immutable, so the layout is computed once per origin
         # (profiling showed repeated depth()/leaves_under() lookups
         # dominating arrival cost on large instances).
-        self._layout: dict[int, tuple[tuple[int, tuple[tuple[int, int], ...]], ...]] = {}
+        self._layout: dict[
+            int, tuple[tuple[int, tuple[tuple[int, int], ...], int, int, int], ...]
+        ] = {}
+
+    @property
+    def last_scores(self) -> dict[int, float] | None:
+        """``leaf -> score`` of the most recent :meth:`assign` call (for
+        the dual-fitting audit); materialised lazily so the hot path
+        never builds the dict."""
+        parts = self._last_parts
+        if parts is None:
+            return None
+        kind = parts[0]
+        if kind == "dict":
+            return dict(parts[1])
+        _, weight_p, per_entry = parts
+        return {
+            leaf: base + weight_p * steps
+            for base, leaves in per_entry
+            for leaf, steps in leaves
+        }
 
     def _entries_for(self, view: SchedulerView, origin: int):
         layout = self._layout.get(origin)
         if layout is None:
             tree = view.tree
             origin_depth = tree.depth(origin)
-            layout = tuple(
-                (
-                    entry,
-                    tuple(
-                        (leaf, tree.depth(leaf) - origin_depth)
-                        for leaf in tree.leaves_under(entry)
-                    ),
+            records = []
+            for entry in tree.children(origin):
+                leaves = tuple(
+                    (leaf, tree.depth(leaf) - origin_depth)
+                    for leaf in tree.leaves_under(entry)
                 )
-                for entry in tree.children(origin)
-            )
+                min_steps, min_steps_leaf = min(
+                    (steps, leaf) for leaf, steps in leaves
+                )
+                min_leaf = min(leaf for leaf, _ in leaves)
+                records.append((entry, leaves, min_steps, min_steps_leaf, min_leaf))
+            layout = tuple(records)
             self._layout[origin] = layout
         return layout
 
@@ -91,21 +114,34 @@ class GreedyIdenticalAssignment:
         # extension the same estimate prices the origin's children.
         best_leaf: int | None = None
         best_score = math.inf
-        scores: dict[int, float] = {}
         weight_p = self.weight * job.size
-        for entry, leaves in self._entries_for(view, origin):
+        parts: list[tuple[float, tuple[tuple[int, int], ...]]] = []
+        for entry, leaves, min_steps, min_steps_leaf, min_leaf in self._entries_for(
+            view, origin
+        ):
             base = f_top_value(view, job, entry)
-            for leaf, steps in leaves:
-                score = base + weight_p * steps  # steps == d_v at the root
-                scores[leaf] = score
-                if score < best_score or (
-                    score == best_score and (best_leaf is None or leaf < best_leaf)
-                ):
-                    best_score = score
-                    best_leaf = leaf
+            parts.append((base, leaves))
+            if weight_p > 0.0:
+                # score is strictly increasing in steps, so the branch
+                # argmin by (score, leaf) is the (steps, leaf)-minimum.
+                score = base + weight_p * min_steps
+                leaf = min_steps_leaf
+            elif weight_p == 0.0:
+                # all leaves of the branch tie at ``base``
+                score = base
+                leaf = min_leaf
+            else:  # pathological weight: fall back to the full scan
+                score, leaf = min(
+                    (base + weight_p * steps, lf) for lf, steps in leaves
+                )
+            if score < best_score or (
+                score == best_score and (best_leaf is None or leaf < best_leaf)
+            ):
+                best_score = score
+                best_leaf = leaf
         if best_leaf is None:
             raise AssignmentError(f"job {job.id} has no reachable leaf")
-        self.last_scores = scores
+        self._last_parts = ("identical", weight_p, parts)
         return best_leaf
 
 
@@ -113,29 +149,32 @@ class GreedyUnrelatedAssignment:
     """Section 3.4's assignment rule for unrelated endpoints.
 
     Scores leaf ``v`` with ``F(j,v) + F'(j,v) + (6/ε²)·d_v·p_j``,
-    skipping forbidden leaves (``p_{j,v} = ∞``).
+    skipping forbidden leaves (``p_{j,v} = ∞``).  ``F'`` genuinely
+    varies per leaf, so the per-leaf loop is inherent here.
     """
 
     def __init__(self, eps: float) -> None:
         self.eps = _check_eps(eps)
         self.weight = 6.0 / (eps * eps)
-        self.last_scores: dict[int, float] | None = None
-        self._layout: dict[int, tuple[tuple[int, tuple[tuple[int, int], ...]], ...]] = {}
+        self._last_parts: tuple | None = None
+        self._layout: dict[
+            int, tuple[tuple[int, tuple[tuple[int, int], ...], int, int, int], ...]
+        ] = {}
 
+    last_scores = GreedyIdenticalAssignment.last_scores
     _entries_for = GreedyIdenticalAssignment._entries_for
 
     def assign(self, view: SchedulerView, job: Job, now: float) -> int:
         tree = view.tree
-        instance = view.instance
         origin = job.origin if job.origin is not None else tree.root
         best_leaf: int | None = None
         best_score = math.inf
         scores: dict[int, float] = {}
         weight_p = self.weight * job.size
-        for entry, leaves in self._entries_for(view, origin):
+        for entry, leaves, _, _, _ in self._entries_for(view, origin):
             base = f_top_value(view, job, entry)
             for leaf, steps in leaves:
-                if not math.isfinite(instance.processing_time(job, leaf)):
+                if not math.isfinite(job.processing_on_leaf(leaf)):
                     continue
                 score = base + f_prime_value(view, job, leaf) + weight_p * steps
                 scores[leaf] = score
@@ -146,7 +185,7 @@ class GreedyUnrelatedAssignment:
                     best_leaf = leaf
         if best_leaf is None:
             raise AssignmentError(f"job {job.id} has no feasible leaf")
-        self.last_scores = scores
+        self._last_parts = ("dict", scores)
         return best_leaf
 
 

@@ -20,6 +20,15 @@ the dual fitting needs (``γ_{v,j,∞} = F(j,v)``).
 Priority comparisons replicate the SJF order of
 :func:`repro.sim.engine.sjf_priority` exactly — including the release /
 id tie-breaks — so the estimates price the true queueing order.
+
+Performance note: these estimates split ``Q_v`` *by priority relative to
+the arriving job*, which the engine's scalar congestion aggregates
+(:meth:`~repro.sim.engine.SchedulerView.volume_through`) cannot answer,
+so an O(queue) pass is inherent.  The hot paths below therefore read the
+engine's node/job state directly — no per-job ``processing_time`` tree
+walks, no intermediate ``Q_v`` tuples — and keep the historical float
+summation order (heap-array order at root-adjacent nodes, ascending job
+id at leaves) so scores are bit-for-bit stable across releases.
 """
 
 from __future__ import annotations
@@ -27,7 +36,7 @@ from __future__ import annotations
 from repro.sim.engine import SchedulerView
 from repro.workload.job import Job
 
-__all__ = ["f_top_value", "f_value", "f_prime_value", "outranks"]
+__all__ = ["f_top_value", "f_value", "f_prime_value", "s_set_volume", "outranks"]
 
 
 def outranks(p_i: float, job_i: Job, p_j: float, job_j: Job) -> bool:
@@ -52,6 +61,32 @@ def f_top_value(view: SchedulerView, job: Job, top: int) -> float:
     """
     p_j = job.size
     total = p_j  # J_j's own contribution to S_{top,j}
+    eng = view._engine
+    ns = eng._nodes.get(top)
+    if ns is not None and top in eng._root_adjacent:
+        # Hot path: Q_top is exactly the queue at top (nothing upstream
+        # of the first hop), held in the node's heap.
+        states = eng._states
+        r_j = job.release
+        id_j = job.id
+        is_leaf = ns.is_leaf
+        active_id = ns.active_id
+        for _, jid in ns.heap:
+            st = states[jid]
+            other = st.job
+            p_i = st.leaf_time if is_leaf else other.size
+            if (p_i, other.release, other.id) < (p_j, r_j, id_j):
+                if jid == active_id:
+                    rem = ns.active_rem_start - ns.speed * (
+                        eng.now - ns.active_started
+                    )
+                    total += rem if rem > 0.0 else 0.0
+                else:
+                    total += st.remaining
+            elif p_i > p_j:
+                total += p_j
+        return total
+    # General form — arbitrary interior nodes (the origin extension).
     instance = view.instance
     for jid in view.jobs_through(top):
         other = view.job(jid)
@@ -77,15 +112,66 @@ def f_prime_value(view: SchedulerView, job: Job, leaf: int) -> float:
     over the alive jobs assigned to leaf ``v``; includes ``J_j``'s own
     ``p_{j,v}``.
     """
-    instance = view.instance
-    p_jv = instance.processing_time(job, leaf)
+    eng = view._engine
+    alive_here = eng._alive_at_leaf.get(leaf)
+    if alive_here is None:
+        # Non-leaf input: keep the generic (scan-based) definition.
+        instance = view.instance
+        p_jv = instance.processing_time(job, leaf)
+        total = p_jv
+        for jid in view.jobs_through(leaf):
+            other = view.job(jid)
+            p_iv = instance.processing_time(other, leaf)
+            rem = view.remaining_on(jid, leaf)
+            if _higher_priority(p_iv, other, p_jv, job):
+                total += rem
+            elif p_iv > p_jv:
+                total += p_jv * rem / p_iv
+        return total
+    # Hot path: Q_v at a leaf is the alive set assigned to it.
+    p_jv = job.processing_on_leaf(leaf)
     total = p_jv
-    for jid in view.jobs_through(leaf):
-        other = view.job(jid)
-        p_iv = instance.processing_time(other, leaf)
-        rem = view.remaining_on(jid, leaf)
-        if _higher_priority(p_iv, other, p_jv, job):
+    states = eng._states
+    r_j = job.release
+    id_j = job.id
+    ns = eng._nodes[leaf]
+    active_id = ns.active_id
+    now = eng.now
+    for jid in sorted(alive_here):
+        st = states[jid]
+        other = st.job
+        p_iv = st.leaf_time
+        if st.idx == len(st.path) - 1:  # physically at the leaf
+            if jid == active_id:
+                rem = ns.active_rem_start - ns.speed * (now - ns.active_started)
+                if rem < 0.0:
+                    rem = 0.0
+            else:
+                rem = st.remaining
+        else:  # still upstream: full leaf requirement remains
+            rem = p_iv
+        if (p_iv, other.release, other.id) < (p_jv, r_j, id_j):
             total += rem
         elif p_iv > p_jv:
             total += p_jv * rem / p_iv
+    return total
+
+
+def s_set_volume(view: SchedulerView, job: Job, node: int) -> float:
+    """The S-set volume of Lemma 4 at ``node`` for arriving job ``j``:
+
+    ``p_{j,node} + Σ_{J_i ∈ Q_node : J_i outranks J_j} p^A_{i,node}(t)``
+
+    — the job's own requirement plus the remaining higher-priority work
+    routed through ``node``.  Shared by the L4 audit for both the
+    root-adjacent and the leaf phase bounds.
+    """
+    instance = view.instance
+    p_jv = instance.processing_time(job, node)
+    total = p_jv
+    for jid in view.jobs_through(node):
+        other = view.job(jid)
+        p_i = instance.processing_time(other, node)
+        if _higher_priority(p_i, other, p_jv, job):
+            total += view.remaining_on(jid, node)
     return total

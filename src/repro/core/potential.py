@@ -106,16 +106,30 @@ def higher_priority_volume(view: SchedulerView, job_id: int, node: int) -> float
         raise AnalysisError(
             f"job {job_id} does not still need node {node}"
         )
-    instance = view.instance
+    # The set splits Q by priority relative to job ``j``, which the
+    # engine's scalar congestion aggregates cannot answer, so an
+    # O(queue) pass over the node's heap is inherent; everything per
+    # job is read straight off the engine state (no tree walks).
     job = view.job(job_id)
-    p_jv = instance.processing_time(job, node)
+    ns = eng._nodes[node]
+    states = eng._states
+    is_leaf = ns.is_leaf
+    active_id = ns.active_id
+    now = eng.now
+    p_jv = st.leaf_time if is_leaf else job.size
+    r_j, id_j = job.release, job.id
     total = 0.0
-    for jid in view.queue_at(node):
-        if jid == job_id:
-            total += view.remaining_on(jid, node)
-            continue
-        other = view.job(jid)
-        p_iv = instance.processing_time(other, node)
-        if _outranks(p_iv, other, p_jv, job):
-            total += view.remaining_on(jid, node)
+    for _, jid in ns.heap:
+        other_st = states[jid]
+        other = other_st.job
+        if jid != job_id:
+            p_iv = other_st.leaf_time if is_leaf else other.size
+            if not ((p_iv, other.release, other.id) < (p_jv, r_j, id_j)):
+                continue
+        # queued jobs are physically at ``node``: live remaining
+        if jid == active_id:
+            rem = ns.active_rem_start - ns.speed * (now - ns.active_started)
+            total += rem if rem > 0.0 else 0.0
+        else:
+            total += other_st.remaining
     return total

@@ -54,6 +54,13 @@ class EngineCounters:
     drained_finished:
         Finished jobs advanced by the zero-remaining drain (ties at
         identical priority).
+    aggregate_reads:
+        O(1) congestion-aggregate queries answered by the view
+        (``jobs_through_count`` / ``volume_through`` /
+        ``queue_volume_at``).
+    aggregate_updates:
+        Per-node incremental adjustments to the congestion aggregates at
+        the three mutation points (release, hop advance, settle).
     arrival_seconds / completion_seconds:
         Wall-clock spent inside the two event handlers.
     run_seconds:
@@ -69,6 +76,8 @@ class EngineCounters:
     rearm_calls: int = 0
     heap_pushes: int = 0
     drained_finished: int = 0
+    aggregate_reads: int = 0
+    aggregate_updates: int = 0
     arrival_seconds: float = 0.0
     completion_seconds: float = 0.0
     run_seconds: float = 0.0

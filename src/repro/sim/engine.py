@@ -25,6 +25,23 @@ node's *version*; any change to a node's queue bumps the version, so
 stale events are skipped lazily.  Between events every quantity needed
 for the paper's fractional flow time changes affinely, so the integral
 is accumulated exactly (no discretisation error).
+
+Incremental congestion aggregates
+---------------------------------
+The policies and lemma audits repeatedly query the paper's congestion
+quantities — ``|Q_v(t)|``, the remaining volume routed through ``v``,
+and the volume queued at a node.  Scanning the alive set for each query
+costs O(arrivals x leaves x alive) over a run, so the engine maintains
+them *incrementally*: per-node alive counts (``_through_count``),
+remaining through-volumes (``_through_volume``) and queued volumes
+(``_queue_volume``) are adjusted in O(path length) at the three mutation
+points — release (:meth:`Engine._handle_arrival`), hop advance
+(:meth:`Engine._advance_job`) and settle (:meth:`Engine._settle`) — and
+read in O(1) via :meth:`SchedulerView.jobs_through_count`,
+:meth:`SchedulerView.volume_through` and
+:meth:`SchedulerView.queue_volume_at`.  The old alive-set scan survives
+as the debug oracle behind ``check_invariants``.  See
+``docs/architecture.md`` for the maintenance invariants.
 """
 
 from __future__ import annotations
@@ -32,6 +49,7 @@ from __future__ import annotations
 import heapq
 import math
 from collections.abc import Callable
+from heapq import heappop as _heappop, heappush as _heappush
 from time import perf_counter
 from typing import Protocol
 
@@ -47,7 +65,7 @@ from repro.sim.tolerances import (
     CLOCK_EPS,
     DRIFT_RTOL,
     REL_EPS,
-    completion_guard_tol,
+    ULP,
     finished_tol,
 )
 from repro.sim.speed import SpeedProfile
@@ -94,15 +112,38 @@ class AssignmentPolicy(Protocol):
 class _JobState:
     """Mutable runtime state of one released job."""
 
-    __slots__ = ("job", "record", "idx", "remaining", "path", "pos_of")
+    __slots__ = (
+        "job",
+        "record",
+        "idx",
+        "remaining",
+        "path",
+        "pos_of",
+        "leaf_time",
+        "node_key",
+        "leaf_key",
+    )
 
-    def __init__(self, job: Job, record: JobRecord) -> None:
+    def __init__(
+        self, job: Job, record: JobRecord, pos_of: dict[int, int] | None = None
+    ) -> None:
         self.job = job
         self.record = record
         self.path = record.path
-        self.pos_of = {v: i for i, v in enumerate(record.path)}
+        # Shared per-leaf position maps are precomputed by the engine;
+        # direct construction (tests) falls back to building one here.
+        self.pos_of = (
+            pos_of
+            if pos_of is not None
+            else {v: i for i, v in enumerate(record.path)}
+        )
         self.idx = 0
         self.remaining = 0.0
+        self.leaf_time = job.size
+        # Precomputed heap keys for the engine's priority fast path
+        # (``None`` means "call the priority function").
+        self.node_key: tuple | None = None
+        self.leaf_key: tuple | None = None
 
     @property
     def current_node(self) -> int | None:
@@ -151,6 +192,11 @@ class SchedulerView:
     * :meth:`remaining_on` — ``p^A_{i,v}(t)``: the remaining processing
       of job ``i`` on node ``v`` (full if the job has not reached ``v``,
       zero once past it).
+
+    The aggregate reads — :meth:`jobs_through_count`,
+    :meth:`volume_through`, :meth:`queue_volume_at` — answer the same
+    congestion questions in O(1) from the engine's incrementally
+    maintained per-node counters.
     """
 
     __slots__ = ("_engine",)
@@ -180,8 +226,15 @@ class SchedulerView:
 
     # -- dynamic state ---------------------------------------------------
     def queue_at(self, node: int) -> tuple[int, ...]:
-        """Ids of jobs currently available to schedule on ``node``."""
-        return tuple(jid for _, jid in self._engine._nodes[node].heap)
+        """Ids of jobs currently available to schedule on ``node``,
+        sorted by the node's priority key (highest priority first).
+
+        The sort makes the order a documented contract: policies that
+        iterate queues see the actual dispatch order rather than the
+        internal heap-array layout, which is not a priority order and
+        depends on the history of pushes and pops.
+        """
+        return tuple(jid for _, jid in sorted(self._engine._nodes[node].heap))
 
     def active_at(self, node: int) -> int | None:
         """Id of the job being processed on ``node``, if any."""
@@ -194,11 +247,11 @@ class SchedulerView:
         For a root-adjacent node this equals :meth:`queue_at` (nothing is
         upstream of the first hop); for a leaf it is the alive jobs
         assigned to that leaf; in general it is computed by scanning the
-        alive set.
+        alive set.  For the cardinality or total volume alone, prefer the
+        O(1) :meth:`jobs_through_count` / :meth:`volume_through`.
         """
         eng = self._engine
-        tree = eng.instance.tree
-        if tree.node(node).parent == tree.root:
+        if node in eng._root_adjacent:
             return self.queue_at(node)
         if node in eng._alive_at_leaf:
             return tuple(sorted(eng._alive_at_leaf[node]))
@@ -209,6 +262,54 @@ class SchedulerView:
             if pos is not None and st.idx <= pos:
                 out.append(jid)
         return tuple(out)
+
+    # -- O(1) aggregate reads -------------------------------------------
+    def jobs_through_count(self, node: int) -> int:
+        """``|Q_v(t)|`` — the size of :meth:`jobs_through`, in O(1)."""
+        eng = self._engine
+        if eng._counters is not None:
+            eng._counters.aggregate_reads += 1
+        try:
+            return eng._through_count[node]
+        except KeyError:
+            raise TopologyError(f"unknown non-root node id {node}") from None
+
+    def volume_through(self, node: int) -> float:
+        """Total remaining volume of ``Q_v(t)`` on ``node``, in O(1).
+
+        Equals ``sum(remaining_on(j, node) for j in jobs_through(node))``:
+        full processing time for jobs still upstream, live remaining for
+        the job currently at ``node``.  Exactly ``0.0`` when ``Q_v(t)``
+        is empty.
+        """
+        eng = self._engine
+        if eng._counters is not None:
+            eng._counters.aggregate_reads += 1
+        try:
+            if eng._through_count[node] == 0:
+                return 0.0
+        except KeyError:
+            raise TopologyError(f"unknown non-root node id {node}") from None
+        vol = eng._through_volume[node] - eng._live_processed(eng._nodes[node])
+        return vol if vol > 0.0 else 0.0
+
+    def queue_volume_at(self, node: int) -> float:
+        """Total remaining volume physically queued at ``node``, in O(1).
+
+        Equals ``sum(remaining_on(j, node) for j in queue_at(node))``.
+        Exactly ``0.0`` when the queue is empty.
+        """
+        eng = self._engine
+        if eng._counters is not None:
+            eng._counters.aggregate_reads += 1
+        try:
+            ns = eng._nodes[node]
+        except KeyError:
+            raise TopologyError(f"unknown non-root node id {node}") from None
+        if not ns.heap:
+            return 0.0
+        vol = eng._queue_volume[node] - eng._live_processed(ns)
+        return vol if vol > 0.0 else 0.0
 
     def alive_jobs(self) -> tuple[int, ...]:
         """Ids of all released, uncompleted jobs."""
@@ -314,6 +415,39 @@ class Engine:
         self._alive: set[int] = set()
         self._alive_at_leaf: dict[int, set[int]] = {v: set() for v in tree.leaves}
 
+        # Static per-leaf layout, computed once so arrivals cost O(path)
+        # with no tree walks: processing paths, position maps (shared by
+        # every job assigned to the leaf) and path depths (``d_v``).
+        self._root_adjacent = frozenset(tree.root_children)
+        self._leaf_paths: dict[int, tuple[int, ...]] = {
+            leaf: tree.processing_path(leaf) for leaf in tree.leaves
+        }
+        self._leaf_pos: dict[int, dict[int, int]] = {
+            leaf: {v: i for i, v in enumerate(path)}
+            for leaf, path in self._leaf_paths.items()
+        }
+        self._leaf_depth: dict[int, int] = {
+            leaf: len(path) for leaf, path in self._leaf_paths.items()
+        }
+        # (origin, leaf) -> (path, pos_of) for the arbitrary-origin
+        # extension; populated lazily (most workloads are root-origin).
+        self._origin_layouts: dict[tuple[int, int], tuple[tuple[int, ...], dict[int, int]]] = {}
+
+        # Incremental congestion aggregates (see module docstring).
+        self._through_count: dict[int, int] = {v: 0 for v in self._nodes}
+        self._through_volume: dict[int, float] = {v: 0.0 for v in self._nodes}
+        self._queue_volume: dict[int, float] = {v: 0.0 for v in self._nodes}
+
+        # Priority fast path: for the two built-in orderings the heap key
+        # is a pure function of (job, node kind), so it is computed once
+        # per arrival instead of once per push.
+        if priority is sjf_priority:
+            self._prio_kind = 1
+        elif priority is fifo_priority:
+            self._prio_kind = 2
+        else:
+            self._prio_kind = 0
+
         self.now = 0.0
         self._events: list[tuple[float, int, int, int]] = []  # (t, version, seq, node)
         self._seq = 0
@@ -351,10 +485,29 @@ class Engine:
             return max(rem, 0.0)
         return st.remaining
 
+    def _live_processed(self, ns: _NodeState) -> float:
+        """Work done by ``ns``'s active job since arming, not yet settled
+        into the static aggregates (0 when idle)."""
+        if ns.active_id is None:
+            return 0.0
+        elapsed = self.now - ns.active_started
+        if elapsed <= 0.0:
+            return 0.0
+        done = ns.speed * elapsed
+        return done if done < ns.active_rem_start else ns.active_rem_start
+
+    def _processing_on(self, ns: _NodeState, st: _JobState) -> float:
+        """``p_{j,v}`` for a node on the job's path, without tree walks."""
+        return st.leaf_time if ns.is_leaf else st.job.size
+
     def _settle(self, ns: _NodeState) -> None:
         """Fold elapsed processing into the active job's remaining and
         close its schedule segment.  Leaves the node with no active job;
-        callers must follow with :meth:`_rearm`."""
+        callers must follow with :meth:`_rearm`.
+
+        This is the aggregate mutation point for *processing*: the work
+        done since arming leaves the node's through/queued volumes here.
+        """
         if self._counters is not None:
             self._counters.settle_calls += 1
         if ns.active_id is None:
@@ -362,7 +515,17 @@ class Engine:
         st = self._states[ns.active_id]
         elapsed = self.now - ns.active_started
         if elapsed > 0.0:
-            st.remaining = max(ns.active_rem_start - ns.speed * elapsed, 0.0)
+            new_rem = ns.active_rem_start - ns.speed * elapsed
+            if new_rem < 0.0:
+                new_rem = 0.0
+            delta = st.remaining - new_rem  # st.remaining == active_rem_start
+            if delta != 0.0:
+                node_id = ns.node_id
+                self._through_volume[node_id] -= delta
+                self._queue_volume[node_id] -= delta
+                if self._counters is not None:
+                    self._counters.aggregate_updates += 2
+            st.remaining = new_rem
             if self._segments is not None:
                 self._segments.append(
                     ScheduleSegment(ns.node_id, ns.active_id, ns.active_started, self.now)
@@ -388,12 +551,11 @@ class Engine:
         ns.active_rem_start = st.remaining
         finish = self.now + st.remaining / ns.speed
         self._seq += 1
-        heapq.heappush(self._events, (finish, ns.version, self._seq, ns.node_id))
+        _heappush(self._events, (finish, ns.version, self._seq, ns.node_id))
         if self._counters is not None:
             self._counters.heap_pushes += 1
         if ns.is_leaf:
-            p_leaf = self.instance.processing_time(st.job, ns.node_id)
-            self._set_leaf_drain(ns.node_id, ns.speed / p_leaf)
+            self._set_leaf_drain(ns.node_id, ns.speed / st.leaf_time)
 
     def _set_leaf_drain(self, leaf: int, value: float) -> None:
         old = self._leaf_drain[leaf]
@@ -417,11 +579,53 @@ class Engine:
     # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
+    def _enqueue(self, ns: _NodeState, st: _JobState) -> None:
+        """Make ``st`` (just made available) queue on ``ns``, restarting
+        the node only when the newcomer outranks the active job.
+
+        When it does not outrank, the node's schedule is untouched: there
+        is nothing to settle, the pending completion event stays valid
+        (no version bump, so no stale event), and the active job's
+        schedule segment is not split.  This keeps event-heap traffic
+        proportional to actual preemptions instead of all pushes.
+        """
+        key = st.leaf_key if ns.is_leaf else st.node_key
+        if key is None:
+            key = self.priority(self.instance, st.job, ns.node_id)
+        if ns.active_id is not None:
+            if ns.heap[0][0] < key:
+                _heappush(ns.heap, (key, st.job.id))
+                self._queue_volume[ns.node_id] += st.remaining
+                if self._counters is not None:
+                    self._counters.heap_pushes += 1
+                    self._counters.aggregate_updates += 1
+                return
+            self._settle(ns)
+        self._drain_finished_top(ns)
+        _heappush(ns.heap, (key, st.job.id))
+        self._queue_volume[ns.node_id] += st.remaining
+        if self._counters is not None:
+            self._counters.heap_pushes += 1
+            self._counters.aggregate_updates += 1
+        self._rearm(ns)
+
     def _advance_job(self, ns: _NodeState, jid: int) -> None:
         """Pop ``jid`` (the fully-processed heap top of ``ns``) and move it
-        to the next node of its path (or finish it)."""
-        heapq.heappop(ns.heap)
+        to the next node of its path (or finish it).
+
+        This is the *hop advance* aggregate mutation point: the job's
+        residual leaves the node's count/volumes, and its full next-hop
+        requirement enters the next node's queued volume.
+        """
+        _heappop(ns.heap)
         st = self._states[jid]
+        node_id = ns.node_id
+        residual = st.remaining
+        self._through_count[node_id] -= 1
+        self._through_volume[node_id] -= residual
+        self._queue_volume[node_id] -= residual
+        if self._counters is not None:
+            self._counters.aggregate_updates += 3
         st.remaining = 0.0
         st.record.completed_at.append(self.now)
         st.idx += 1
@@ -430,16 +634,9 @@ class Engine:
             self._alive_at_leaf[st.record.leaf].discard(jid)
             return
         nxt = self._nodes[st.path[st.idx]]
-        st.remaining = self.instance.processing_time(st.job, nxt.node_id)
+        st.remaining = self._processing_on(nxt, st)
         st.record.available_at.append(self.now)
-        self._settle(nxt)
-        self._drain_finished_top(nxt)
-        heapq.heappush(
-            nxt.heap, (self.priority(self.instance, st.job, nxt.node_id), jid)
-        )
-        if self._counters is not None:
-            self._counters.heap_pushes += 1
-        self._rearm(nxt)
+        self._enqueue(nxt, st)
 
     def _drain_finished_top(self, ns: _NodeState) -> None:
         """Complete every fully-processed job stranded at the heap top.
@@ -458,52 +655,87 @@ class Engine:
         while ns.heap:
             _, jid = ns.heap[0]
             st = self._states[jid]
-            p = self.instance.processing_time(st.job, ns.node_id)
+            p = self._processing_on(ns, st)
             if st.remaining > finished_tol(p):
                 return
             if self._counters is not None:
                 self._counters.drained_finished += 1
             self._advance_job(ns, jid)
 
-    def _handle_arrival(self, job: Job) -> None:
-        leaf = self.policy.assign(self._view, job, self.now)
+    def _layout_for(
+        self, job: Job, leaf: int
+    ) -> tuple[tuple[int, ...], dict[int, int]]:
+        """The (path, position-map) pair for ``job`` assigned to ``leaf``,
+        validating the assignment exactly as the policy contract demands."""
+        origin = job.origin
         tree = self.instance.tree
-        if leaf not in tree or not tree.node(leaf).is_leaf:
+        if origin is None or origin == tree.root:
+            layout = self._leaf_paths.get(leaf)
+            if layout is None:
+                raise AssignmentError(
+                    f"policy assigned job {job.id} to non-leaf node {leaf!r}"
+                )
+            return layout, self._leaf_pos[leaf]
+        if leaf not in self._leaf_paths:
             raise AssignmentError(
                 f"policy assigned job {job.id} to non-leaf node {leaf!r}"
             )
-        p_leaf = self.instance.processing_time(job, leaf)
+        key = (origin, leaf)
+        cached = self._origin_layouts.get(key)
+        if cached is None:
+            try:
+                path = self.instance.processing_path_for(job, leaf)
+            except TopologyError as exc:
+                raise AssignmentError(
+                    f"policy assigned job {job.id} to leaf {leaf} outside its "
+                    f"origin's subtree: {exc}"
+                ) from exc
+            if not path:
+                raise AssignmentError(
+                    f"job {job.id}: empty processing path to leaf {leaf}"
+                )
+            cached = (path, {v: i for i, v in enumerate(path)})
+            self._origin_layouts[key] = cached
+        return cached
+
+    def _handle_arrival(self, job: Job) -> None:
+        leaf = self.policy.assign(self._view, job, self.now)
+        path, pos_of = self._layout_for(job, leaf)
+        p_leaf = job.processing_on_leaf(leaf)
         if not math.isfinite(p_leaf):
             raise AssignmentError(
                 f"policy assigned job {job.id} to forbidden leaf {leaf} (p=inf)"
             )
-        try:
-            path = self.instance.processing_path_for(job, leaf)
-        except TopologyError as exc:
-            raise AssignmentError(
-                f"policy assigned job {job.id} to leaf {leaf} outside its "
-                f"origin's subtree: {exc}"
-            ) from exc
-        if not path:
-            raise AssignmentError(
-                f"job {job.id}: empty processing path to leaf {leaf}"
-            )
         record = JobRecord(job_id=job.id, release=job.release, leaf=leaf, path=path)
-        st = _JobState(job, record)
+        st = _JobState(job, record, pos_of)
+        st.leaf_time = p_leaf
+        if self._prio_kind == 1:
+            st.node_key = (job.size, job.release, job.id)
+            st.leaf_key = (p_leaf, job.release, job.id)
+        elif self._prio_kind == 2:
+            st.node_key = st.leaf_key = (job.release, job.id)
         self._states[job.id] = st
         self._alive.add(job.id)
         self._alive_at_leaf[leaf].add(job.id)
         self._alive_fraction += 1.0
 
-        first = self._nodes[path[0]]
-        st.remaining = self.instance.processing_time(job, path[0])
-        record.available_at.append(self.now)
-        self._settle(first)
-        self._drain_finished_top(first)
-        heapq.heappush(first.heap, (self.priority(self.instance, job, path[0]), job.id))
+        # Release mutation point: the whole path gains one routed job and
+        # its full per-node requirement.
+        size = job.size
+        tc = self._through_count
+        tv = self._through_volume
+        for v in path:
+            tc[v] += 1
+            tv[v] += size
+        if p_leaf != size:
+            tv[leaf] += p_leaf - size
         if self._counters is not None:
-            self._counters.heap_pushes += 1
-        self._rearm(first)
+            self._counters.aggregate_updates += len(path)
+
+        first = self._nodes[path[0]]
+        st.remaining = self._processing_on(first, st)
+        record.available_at.append(self.now)
+        self._enqueue(first, st)
 
     def _handle_completion(self, ns: _NodeState) -> None:
         jid = ns.active_id
@@ -515,16 +747,80 @@ class Engine:
             self._drain_finished_top(ns)
             self._rearm(ns)
             return
-        self._settle(ns)
+        # Specialised settle + hop advance for the hottest event path:
+        # a valid completion leaves (numerically) zero work behind, so
+        # the job departs this node in one step and its full pre-settle
+        # remaining (== active_rem_start) exits the node's aggregates —
+        # one fused update instead of settle-delta plus residual.
+        counters = self._counters
+        now = self.now
         st = self._states[jid]
-        tol = completion_guard_tol(ns.active_rem_start, ns.speed, self.now)
-        if st.remaining > tol:  # pragma: no cover - numerical guard
-            raise SimulationError(
-                f"completion event fired with {st.remaining} work left "
-                f"(job {jid} on node {ns.node_id})"
+        elapsed = now - ns.active_started
+        new_rem = ns.active_rem_start - ns.speed * elapsed
+        if new_rem > 0.0:  # pragma: no cover - numerical guard
+            # completion_guard_tol(active_rem_start, speed, now), inlined —
+            # keep in sync with repro.sim.tolerances.
+            rs = ns.active_rem_start
+            tol = 1e-7 * rs if rs > 1.0 else 1e-7
+            t_scale = now if now >= 0.0 else -now
+            clock = 256.0 * ULP * ns.speed * (t_scale if t_scale > 1.0 else 1.0)
+            if tol < clock:
+                tol = clock
+            if new_rem > tol:
+                raise SimulationError(
+                    f"completion event fired with {new_rem} work left "
+                    f"(job {jid} on node {ns.node_id})"
+                )
+        if counters is not None:
+            counters.settle_calls += 1
+            counters.aggregate_updates += 3
+        if elapsed > 0.0 and self._segments is not None:
+            self._segments.append(
+                ScheduleSegment(ns.node_id, jid, ns.active_started, now)
             )
-        self._advance_job(ns, jid)
-        self._rearm(ns)
+        node_id = ns.node_id
+        if ns.is_leaf:
+            old = self._leaf_drain[node_id]
+            if old != 0.0:
+                self._drain -= old
+                self._leaf_drain[node_id] = 0.0
+        ns.active_id = None
+        residual = st.remaining  # == active_rem_start: frozen while active
+        self._through_count[node_id] -= 1
+        self._through_volume[node_id] -= residual
+        self._queue_volume[node_id] -= residual
+        _heappop(ns.heap)
+        st.remaining = 0.0
+        st.record.completed_at.append(now)
+        st.idx += 1
+        if st.idx >= len(st.path):
+            self._alive.discard(jid)
+            self._alive_at_leaf[st.record.leaf].discard(jid)
+        else:
+            nxt = self._nodes[st.path[st.idx]]
+            st.remaining = st.leaf_time if nxt.is_leaf else st.job.size
+            st.record.available_at.append(now)
+            self._enqueue(nxt, st)
+        # Inlined _rearm(ns): restart the (possibly new) heap top.
+        ns.version += 1
+        if counters is not None:
+            counters.rearm_calls += 1
+        heap = ns.heap
+        if heap:
+            nxt_jid = heap[0][1]
+            nxt_st = self._states[nxt_jid]
+            ns.active_id = nxt_jid
+            ns.active_started = now
+            rem = nxt_st.remaining
+            ns.active_rem_start = rem
+            self._seq += 1
+            _heappush(
+                self._events, (now + rem / ns.speed, ns.version, self._seq, node_id)
+            )
+            if counters is not None:
+                counters.heap_pushes += 1
+            if ns.is_leaf:
+                self._set_leaf_drain(node_id, ns.speed / nxt_st.leaf_time)
 
     # ------------------------------------------------------------------
     # main loop
@@ -550,38 +846,56 @@ class Engine:
             raise SimulationError(f"until must be >= 0, got {until}")
 
         arrivals = list(self.instance.jobs)
+        releases = [job.release for job in arrivals]
         arr_idx = 0
         n_arr = len(arrivals)
         counters = self._counters
         run_started = perf_counter() if counters is not None else 0.0
+        events = self._events
+        nodes = self._nodes
+        inf = math.inf
+        max_events = self.max_events
 
         while True:
             # Earliest valid completion event.
-            while self._events:
-                t, version, _, node_id = self._events[0]
-                if self._nodes[node_id].version == version:
+            while events:
+                t, version, _, node_id = events[0]
+                if nodes[node_id].version == version:
                     break
-                heapq.heappop(self._events)
+                _heappop(events)
                 if counters is not None:
                     counters.stale_events_skipped += 1
-            next_completion = self._events[0][0] if self._events else math.inf
-            next_arrival = arrivals[arr_idx].release if arr_idx < n_arr else math.inf
+            next_completion = events[0][0] if events else inf
+            next_arrival = releases[arr_idx] if arr_idx < n_arr else inf
             if until is not None and min(next_completion, next_arrival) > until:
                 self._advance(until)
                 break
-            if next_completion is math.inf and next_arrival is math.inf:
+            if next_completion is inf and next_arrival is inf:
                 break
             self._num_events += 1
-            if self._num_events > self.max_events:
+            if self._num_events > max_events:
                 raise SimulationError(
                     f"exceeded max_events={self.max_events}; "
                     "likely a policy or engine bug"
                 )
             phase_started = perf_counter() if counters is not None else 0.0
             if next_completion <= next_arrival:
-                t, version, _, node_id = heapq.heappop(self._events)
-                self._advance(t)
-                self._handle_completion(self._nodes[node_id])
+                t, version, _, node_id = _heappop(events)
+                # Inlined _advance(t): exact affine integral accumulation.
+                dt = t - self.now
+                if dt > 0.0:
+                    drain = self._drain
+                    af = self._alive_fraction
+                    self._frac_integral += af * dt - 0.5 * drain * dt * dt
+                    af -= drain * dt
+                    self._alive_fraction = af if af > 0.0 else 0.0
+                    self._alive_integral += len(self._alive) * dt
+                    self.now = t
+                elif dt < -CLOCK_EPS:
+                    raise SimulationError(
+                        f"time went backwards: {self.now} -> {t}"
+                    )
+                self._handle_completion(nodes[node_id])
                 if counters is not None:
                     counters.events_processed += 1
                     counters.completions += 1
@@ -682,7 +996,48 @@ class Engine:
                 f"alive-fraction drift: tracked {self._alive_fraction}, "
                 f"recomputed {expected}"
             )
+        self._assert_aggregates()
         _ = tree  # reserved for future structural checks
+
+    def _assert_aggregates(self) -> None:
+        """The debug oracle for the incremental congestion aggregates: a
+        brute-force alive-set scan must reproduce every per-node count
+        and (within float-drift tolerance) every volume the O(1) reads
+        report."""
+        count = {v: 0 for v in self._nodes}
+        volume = {v: 0.0 for v in self._nodes}
+        queued = {v: 0.0 for v in self._nodes}
+        for jid in self._alive:
+            st = self._states[jid]
+            live = self._live_remaining(st)
+            for pos in range(st.idx, len(st.path)):
+                v = st.path[pos]
+                count[v] += 1
+                if pos == st.idx:
+                    volume[v] += live
+                    queued[v] += live
+                else:
+                    volume[v] += self._processing_on(self._nodes[v], st)
+        view = self._view
+        for v in self._nodes:
+            if count[v] != self._through_count[v]:
+                raise InvariantViolation(
+                    f"node {v}: tracked through-count {self._through_count[v]}, "
+                    f"scanned {count[v]}"
+                )
+            got = view.volume_through(v)
+            tol = DRIFT_RTOL * max(1.0, volume[v])
+            if abs(got - volume[v]) > tol:
+                raise InvariantViolation(
+                    f"node {v}: volume_through drift: tracked {got}, "
+                    f"scanned {volume[v]}"
+                )
+            got_q = view.queue_volume_at(v)
+            if abs(got_q - queued[v]) > DRIFT_RTOL * max(1.0, queued[v]):
+                raise InvariantViolation(
+                    f"node {v}: queue_volume_at drift: tracked {got_q}, "
+                    f"scanned {queued[v]}"
+                )
 
 
 def simulate(
