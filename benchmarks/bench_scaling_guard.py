@@ -4,22 +4,24 @@ With the incremental congestion aggregates, an arrival costs O(path
 length + branch count) instead of O(leaves x alive), so events/s should
 be roughly flat as the job count grows.  This guard runs the S1 sweep
 (via ``repro bench``'s harness, best-of-N walls to shed scheduler noise)
-and asserts the largest size retains at least ``1/2.5`` of the smallest
-size's throughput.  A quadratic-scan regression shows up as a 3-10x
-drop at 2400 jobs, far past the band.
+and asserts the largest size retains at least ``1/MAX_DEGRADATION`` of
+the smallest size's throughput — the same band ``repro bench --compare``
+enforces against the checked-in baseline.  A quadratic-scan regression
+shows up as a 3-10x drop at 2400 jobs, far past the band.
 
 Marked ``slow`` by the benchmarks conftest, so tier-1 stays fast.
 """
 
 from __future__ import annotations
 
-from repro.analysis.bench import run_bench
-
-MAX_DEGRADATION = 2.5
+from repro.analysis.bench import MAX_DEGRADATION, run_bench
 
 
 def test_throughput_scales_near_linearly():
-    doc = run_bench(sizes=(200, 800, 2400), repeats=3, include_policies=False)
+    doc = run_bench(
+        sizes=(200, 800, 2400), repeats=3,
+        include_policies=False, include_registry=False,
+    )
     rates = {int(size): row["events_per_s"] for size, row in doc["scaling"].items()}
     smallest = rates[min(rates)]
     largest = rates[max(rates)]

@@ -1,6 +1,6 @@
 """Engine benchmark harness behind ``repro bench``.
 
-Two suites, both deterministic in everything except wall-clock:
+Three suites, all deterministic in everything except wall-clock:
 
 * **Scaling sweep** — the S1 workload (datacenter tree, identical jobs,
   the paper's greedy policy) at growing job counts; reports events/s,
@@ -9,12 +9,24 @@ Two suites, both deterministic in everything except wall-clock:
 * **Policy microbenchmarks** — every CLI policy on one mid-size
   instance, so a change to a single policy's arrival cost is visible in
   isolation from the engine.
+* **Registry timing** — the full experiment registry run serially
+  versus through the trial-sharded parallel runner (cache disabled for
+  both), so the sharding speedup is tracked alongside raw engine
+  throughput.  Speedup is bounded by the worker count; on a single-core
+  machine expect ~1x.
 
-``run_bench`` returns a JSON-ready dict (schema ``bench_engine/v1``);
+``run_bench`` returns a JSON-ready dict (schema ``bench_engine/v2``);
 the CLI writes it to ``BENCH_engine.json`` at the repo root so the perf
 trajectory is tracked across PRs.  Each configuration is run ``repeats``
 times and the fastest wall is kept (standard practice for throughput
 benchmarks: the minimum is the least noise-contaminated sample).
+
+``repro bench --compare`` diffs a fresh run against the checked-in
+document via :func:`compare_bench`: any suite entry whose events/s fell
+by more than :data:`MAX_DEGRADATION` (the same band the scaling guard
+test enforces) is a regression and the CLI exits non-zero.  Wall-clock
+sections (the registry timing) are excluded — they are one-shot and
+machine-dependent.
 """
 
 from __future__ import annotations
@@ -23,9 +35,21 @@ from time import perf_counter
 
 from repro.analysis.tables import Table
 
-__all__ = ["run_bench", "render_bench", "DEFAULT_SIZES"]
+__all__ = [
+    "run_bench",
+    "run_registry_bench",
+    "compare_bench",
+    "render_bench",
+    "DEFAULT_SIZES",
+    "MAX_DEGRADATION",
+]
 
-SCHEMA = "bench_engine/v1"
+SCHEMA = "bench_engine/v2"
+
+#: Allowed throughput degradation factor, shared by ``repro bench
+#: --compare`` and ``benchmarks/bench_scaling_guard.py``: anything
+#: slower than ``baseline / MAX_DEGRADATION`` events/s is a regression.
+MAX_DEGRADATION = 2.5
 DEFAULT_SIZES = (200, 800, 2400)
 _MICRO_JOBS = 800
 _LOAD = 0.85
@@ -62,12 +86,74 @@ def _measure(instance, policy_factory, repeats: int) -> dict[str, float]:
     }
 
 
+def run_registry_bench(parallel: int | None = None) -> dict:
+    """Time the full experiment registry serial vs trial-sharded.
+
+    Both runs bypass the cache so they measure computation, not disk.
+    ``parallel`` defaults to the machine's core count.  Returns the
+    ``registry`` section of the bench document.
+    """
+    import os
+
+    from repro.analysis.runner import run_experiments
+
+    workers = parallel if parallel is not None else max(1, os.cpu_count() or 1)
+    t0 = perf_counter()
+    serial = run_experiments(use_cache=False, parallel=1, shard_trials=False)
+    serial_s = perf_counter() - t0
+    t0 = perf_counter()
+    sharded = run_experiments(use_cache=False, parallel=workers, shard_trials=True)
+    sharded_s = perf_counter() - t0
+    return {
+        "experiments": len(serial),
+        "trials": sum(out.trials_total for out in sharded),
+        "workers": workers,
+        "serial_wall_s": serial_s,
+        "sharded_wall_s": sharded_s,
+        "speedup": serial_s / sharded_s if sharded_s > 0 else float("inf"),
+    }
+
+
+def compare_bench(
+    baseline: dict, fresh: dict, threshold: float = MAX_DEGRADATION
+) -> list[dict]:
+    """Throughput regressions of ``fresh`` relative to ``baseline``.
+
+    Compares events/s entry-by-entry across the ``scaling`` and
+    ``policies`` suites (entries present in only one document are
+    ignored, so adding a size or policy never trips the gate); an entry
+    is a regression when it runs more than ``threshold`` times slower.
+    The registry timing is deliberately not compared — it is a one-shot
+    wall-clock measurement, not a best-of-N throughput.
+    """
+    regressions = []
+    for section in ("scaling", "policies"):
+        base = baseline.get(section) or {}
+        new = fresh.get(section) or {}
+        for name in sorted(set(base) & set(new)):
+            before = base[name]["events_per_s"]
+            after = new[name]["events_per_s"]
+            if before > 0 and after < before / threshold:
+                regressions.append(
+                    {
+                        "section": section,
+                        "name": name,
+                        "baseline_events_per_s": before,
+                        "fresh_events_per_s": after,
+                        "slowdown": before / after if after > 0 else float("inf"),
+                    }
+                )
+    return regressions
+
+
 def run_bench(
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     repeats: int = 3,
     include_policies: bool = True,
+    include_registry: bool = True,
+    registry_parallel: int | None = None,
 ) -> dict:
-    """Run both suites; returns the ``bench_engine/v1`` document."""
+    """Run the suites; returns the ``bench_engine/v2`` document."""
     from repro.analysis.experiments.workloads import identical_instance
     from repro.baselines.policies import (
         ClosestLeafAssignment,
@@ -114,6 +200,8 @@ def run_bench(
             name: _measure(micro_instance, factory, repeats)
             for name, factory in policies.items()
         }
+    if include_registry:
+        doc["registry"] = run_registry_bench(registry_parallel)
     return doc
 
 
@@ -141,4 +229,15 @@ def render_bench(doc: dict) -> str:
                 row["events_per_s"], row["jobs_per_s"],
             )
         out.append(micro.render())
+    if "registry" in doc:
+        reg = doc["registry"]
+        registry = Table(
+            "experiment registry: serial vs trial-sharded runner (cache off)",
+            ["experiments", "trials", "workers", "serial_s", "sharded_s", "speedup"],
+        )
+        registry.add_row(
+            reg["experiments"], reg["trials"], reg["workers"],
+            reg["serial_wall_s"], reg["sharded_wall_s"], reg["speedup"],
+        )
+        out.append(registry.render())
     return "\n\n".join(out)

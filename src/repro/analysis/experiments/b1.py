@@ -7,6 +7,8 @@ This experiment quantifies that: a grid of assignment policies × node
 orders across loads, reporting mean flow time, with the crossover load
 at which closest-leaf collapses.
 
+The grid runs one trial per (load, policy, node-order) cell.
+
 Pass criterion: at the highest load the paper's greedy beats closest-leaf
 by at least ``win_factor`` on mean flow time, and SJF beats FIFO for the
 greedy assignment.
@@ -14,61 +16,106 @@ greedy assignment.
 
 from __future__ import annotations
 
-from repro.analysis.experiments.base import ExperimentResult, register
-from repro.analysis.experiments.workloads import identical_instance
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.experiments.grid import TrialSpec, register_grid
 from repro.analysis.tables import Table
-from repro.baselines.policies import (
-    ClosestLeafAssignment,
-    LeastLoadedAssignment,
-    RandomAssignment,
-    RoundRobinAssignment,
-)
-from repro.core.assignment import GreedyIdenticalAssignment
-from repro.network.builders import datacenter_tree
-from repro.sim.engine import fifo_priority, simulate, sjf_priority
-from repro.sim.speed import SpeedProfile
 
 __all__ = ["run"]
 
+_DEFAULTS = dict(
+    n=80,
+    seed=10,
+    eps=0.25,
+    loads=(0.5, 0.8, 0.95),
+    speed=1.25,
+    win_factor=1.1,
+)
 
-@register("B1")
-def run(
-    n: int = 80,
-    seed: int = 10,
-    eps: float = 0.25,
-    loads: tuple[float, ...] = (0.5, 0.8, 0.95),
-    speed: float = 1.25,
-    win_factor: float = 1.1,
-) -> ExperimentResult:
-    """Run the B1 policy grid (see module docstring)."""
+_POLICY_NAMES = ("greedy", "closest", "random", "least-loaded", "round-robin")
+_ORDER_NAMES = ("sjf", "fifo")
+
+
+def _policy_for(name: str, eps: float, seed: int):
+    from repro.baselines.policies import (
+        ClosestLeafAssignment,
+        LeastLoadedAssignment,
+        RandomAssignment,
+        RoundRobinAssignment,
+    )
+    from repro.core.assignment import GreedyIdenticalAssignment
+
+    if name == "greedy":
+        return GreedyIdenticalAssignment(eps)
+    if name == "closest":
+        return ClosestLeafAssignment()
+    if name == "random":
+        return RandomAssignment(seed)
+    if name == "least-loaded":
+        return LeastLoadedAssignment()
+    return RoundRobinAssignment()
+
+
+def _trials(p: dict) -> list[TrialSpec]:
+    return [
+        TrialSpec(
+            "B1",
+            f"load={load!r}|{pname}|{oname}",
+            {
+                "load": load,
+                "policy": pname,
+                "order": oname,
+                "n": p["n"],
+                "seed": p["seed"],
+                "eps": p["eps"],
+                "speed": p["speed"],
+            },
+        )
+        for load in p["loads"]
+        for pname in _POLICY_NAMES
+        for oname in _ORDER_NAMES
+    ]
+
+
+def _run_trial(spec: TrialSpec) -> dict:
+    from repro.analysis.experiments.workloads import identical_instance
+    from repro.network.builders import datacenter_tree
+    from repro.sim.engine import fifo_priority, simulate, sjf_priority
+    from repro.sim.speed import SpeedProfile
+
+    q = spec.params
     tree = datacenter_tree(2, 2, 3)
+    instance = identical_instance(
+        tree, q["n"], load=q["load"], size_kind="bimodal", seed=q["seed"]
+    )
+    order = sjf_priority if q["order"] == "sjf" else fifo_priority
+    result = simulate(
+        instance,
+        _policy_for(q["policy"], q["eps"], q["seed"]),
+        SpeedProfile.uniform(q["speed"]),
+        priority=order,
+    )
+    return {"mean": result.mean_flow_time(), "max": result.max_flow_time()}
+
+
+def _reduce(p: dict, outcomes: list[tuple[TrialSpec, dict]]) -> ExperimentResult:
+    cells = {
+        (s.params["load"], s.params["policy"], s.params["order"]): d
+        for s, d in outcomes
+    }
     table = Table(
         "B1: mean flow time by assignment policy, node order, and load",
         ["load", "policy", "node_order", "mean_flow", "max_flow"],
     )
     mean_at: dict[tuple[float, str, str], float] = {}
-    policies = {
-        "greedy": lambda: GreedyIdenticalAssignment(eps),
-        "closest": ClosestLeafAssignment,
-        "random": lambda: RandomAssignment(seed),
-        "least-loaded": LeastLoadedAssignment,
-        "round-robin": RoundRobinAssignment,
-    }
-    orders = {"sjf": sjf_priority, "fifo": fifo_priority}
-    for load in loads:
-        instance = identical_instance(
-            tree, n, load=load, size_kind="bimodal", seed=seed
-        )
-        for pname, factory in policies.items():
-            for oname, order in orders.items():
-                result = simulate(
-                    instance, factory(), SpeedProfile.uniform(speed), priority=order
-                )
-                mean = result.mean_flow_time()
-                table.add_row(load, pname, oname, mean, result.max_flow_time())
-                mean_at[(load, pname, oname)] = mean
+    for load in p["loads"]:
+        for pname in _POLICY_NAMES:
+            for oname in _ORDER_NAMES:
+                d = cells[(load, pname, oname)]
+                table.add_row(load, pname, oname, d["mean"], d["max"])
+                mean_at[(load, pname, oname)] = d["mean"]
 
-    top = max(loads)
+    top = max(p["loads"])
+    win_factor = p["win_factor"]
     greedy = mean_at[(top, "greedy", "sjf")]
     closest = mean_at[(top, "closest", "sjf")]
     greedy_fifo = mean_at[(top, "greedy", "fifo")]
@@ -89,3 +136,8 @@ def run(
             "the greedy assignment."
         ),
     )
+
+
+run = register_grid(
+    "B1", defaults=_DEFAULTS, trials=_trials, run_trial=_run_trial, reduce=_reduce
+)

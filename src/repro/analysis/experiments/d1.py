@@ -9,6 +9,10 @@ those variables from a recorded run; this experiment checks both halves
 across workloads, settings, and ε, and additionally audits weak duality
 (scaled dual objective ≤ LP*) on instances small enough to solve.
 
+The grid runs one trial per (ε, setting) — the registry's most
+expensive cells (certificate construction plus an exact LP solve), so
+sharding them across workers is where the wall-clock win lives.
+
 Pass criterion: every certificate verifies (max constraint violation
 ≤ 1e-7), every dual objective is positive, and weak duality holds
 wherever the LP was solved.
@@ -16,36 +20,19 @@ wherever the LP was solved.
 
 from __future__ import annotations
 
-from repro.analysis.experiments.base import ExperimentResult, register
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.experiments.grid import TrialSpec, register_grid
 from repro.analysis.tables import Table
-from repro.exceptions import LPError
-from repro.lp.duals_paper import build_dual_certificate
-from repro.lp.primal import solve_primal_lp
-from repro.network.builders import broomstick_tree
-from repro.sim.speed import SpeedProfile
-from repro.workload.arrivals import poisson_arrivals
-from repro.workload.instance import Instance, Setting
-from repro.workload.job import JobSet
-from repro.workload.sizes import geometric_class_sizes
-from repro.workload.unrelated import affinity_matrix
 
 __all__ = ["run"]
 
+_DEFAULTS = dict(
+    n=25,
+    seed=9,
+    eps_values=(0.25, 0.5),
+)
 
-def _instances(n: int, seed: int, eps: float):
-    tree = broomstick_tree(2, 3, 2)
-    sizes = geometric_class_sizes(n, eps, num_classes=3, rng=seed)
-    releases = poisson_arrivals(n, rate=1.2, rng=seed + 1)
-    yield "identical", Instance(
-        tree, JobSet.build(releases, sizes), Setting.IDENTICAL
-    )
-    rows = affinity_matrix(tree.leaves, sizes, rng=seed + 2)
-    rows = [
-        {v: float(geometric_round(p, eps)) for v, p in row.items()} for row in rows
-    ]
-    yield "unrelated", Instance(
-        tree, JobSet.build(releases, sizes, rows), Setting.UNRELATED
-    )
+_SETTINGS = ("identical", "unrelated")
 
 
 def geometric_round(p: float, eps: float) -> float:
@@ -58,13 +45,71 @@ def geometric_round(p: float, eps: float) -> float:
     return (1.0 + eps) ** k
 
 
-@register("D1")
-def run(
-    n: int = 25,
-    seed: int = 9,
-    eps_values: tuple[float, ...] = (0.25, 0.5),
-) -> ExperimentResult:
-    """Run the D1 certificate grid (see module docstring)."""
+def _instance_for(setting: str, n: int, seed: int, eps: float):
+    from repro.network.builders import broomstick_tree
+    from repro.workload.arrivals import poisson_arrivals
+    from repro.workload.instance import Instance, Setting
+    from repro.workload.job import JobSet
+    from repro.workload.sizes import geometric_class_sizes
+    from repro.workload.unrelated import affinity_matrix
+
+    tree = broomstick_tree(2, 3, 2)
+    sizes = geometric_class_sizes(n, eps, num_classes=3, rng=seed)
+    releases = poisson_arrivals(n, rate=1.2, rng=seed + 1)
+    if setting == "identical":
+        return Instance(tree, JobSet.build(releases, sizes), Setting.IDENTICAL)
+    rows = affinity_matrix(tree.leaves, sizes, rng=seed + 2)
+    rows = [
+        {v: float(geometric_round(p, eps)) for v, p in row.items()} for row in rows
+    ]
+    return Instance(tree, JobSet.build(releases, sizes, rows), Setting.UNRELATED)
+
+
+def _trials(p: dict) -> list[TrialSpec]:
+    return [
+        TrialSpec(
+            "D1",
+            f"eps={eps!r}|{setting}",
+            {"eps": eps, "setting": setting, "n": p["n"], "seed": p["seed"]},
+        )
+        for eps in p["eps_values"]
+        for setting in _SETTINGS
+    ]
+
+
+def _run_trial(spec: TrialSpec) -> dict:
+    from repro.exceptions import LPError
+    from repro.lp.duals_paper import build_dual_certificate
+    from repro.lp.primal import solve_primal_lp
+    from repro.sim.speed import SpeedProfile
+
+    q = spec.params
+    instance = _instance_for(q["setting"], q["n"], q["seed"], q["eps"])
+    cert = build_dual_certificate(instance, q["eps"])
+    lp_star = float("nan")
+    weak = "n/a"
+    weak_ok = True
+    try:
+        lp = solve_primal_lp(instance, SpeedProfile.uniform(1.0))
+        lp_star = lp.objective
+        weak_ok = cert.dual_objective_scaled <= lp_star * (1 + 1e-6) + 1e-6
+        weak = "ok" if weak_ok else "VIOLATED"
+    except LPError:
+        pass
+    return {
+        "max_violation": cert.max_violation,
+        "dual_obj_scaled": cert.dual_objective_scaled,
+        "alg_cost": cert.alg_fractional_cost,
+        "beta_cost_ratio": cert.beta_cost_ratio,
+        "lp_star": lp_star,
+        "weak": weak,
+        "weak_ok": weak_ok,
+        "feasible": cert.is_feasible(),
+    }
+
+
+def _reduce(p: dict, outcomes: list[tuple[TrialSpec, dict]]) -> ExperimentResult:
+    cells = {(s.params["eps"], s.params["setting"]): d for s, d in outcomes}
     table = Table(
         "D1: dual-fitting certificates on the broomstick algorithm",
         [
@@ -74,31 +119,16 @@ def run(
     )
     ok = True
     worst_violation = 0.0
-    for eps in eps_values:
-        for setting_name, instance in _instances(n, seed, eps):
-            cert = build_dual_certificate(instance, eps)
-            worst_violation = max(worst_violation, cert.max_violation)
-            lp_star = float("nan")
-            weak = "n/a"
-            try:
-                lp = solve_primal_lp(instance, SpeedProfile.uniform(1.0))
-                lp_star = lp.objective
-                weak_ok = cert.dual_objective_scaled <= lp_star * (1 + 1e-6) + 1e-6
-                weak = "ok" if weak_ok else "VIOLATED"
-                ok = ok and weak_ok
-            except LPError:
-                pass
+    for eps in p["eps_values"]:
+        for setting in _SETTINGS:
+            d = cells[(eps, setting)]
+            worst_violation = max(worst_violation, d["max_violation"])
+            ok = ok and d["weak_ok"]
             table.add_row(
-                setting_name,
-                eps,
-                cert.max_violation,
-                cert.dual_objective_scaled,
-                cert.alg_fractional_cost,
-                cert.beta_cost_ratio,
-                lp_star,
-                weak,
+                setting, eps, d["max_violation"], d["dual_obj_scaled"],
+                d["alg_cost"], d["beta_cost_ratio"], d["lp_star"], d["weak"],
             )
-            if not cert.is_feasible() or cert.dual_objective_scaled <= 0:
+            if not d["feasible"] or d["dual_obj_scaled"] <= 0:
                 ok = False
     return ExperimentResult(
         exp_id="D1",
@@ -113,3 +143,8 @@ def run(
             "dual objective to the exactly solved LP* where tractable."
         ),
     )
+
+
+run = register_grid(
+    "D1", defaults=_DEFAULTS, trials=_trials, run_trial=_run_trial, reduce=_reduce
+)

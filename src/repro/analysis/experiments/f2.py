@@ -6,6 +6,8 @@ every leaf exactly two hops deeper than before.  This experiment runs
 the reduction over assorted trees and audits every structural property
 the construction promises.
 
+The grid runs one trial per audited tree.
+
 Pass criterion, per tree: the image is a broomstick; leaf counts match
 one-to-one; every leaf's depth shift is exactly +2; root-children counts
 match; handles have length ``ℓ + 2`` where ``ℓ`` is the deepest original
@@ -14,31 +16,84 @@ leaf distance in that subtree.
 
 from __future__ import annotations
 
-from repro.analysis.experiments.base import ExperimentResult, register
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.experiments.grid import TrialSpec, register_grid
 from repro.analysis.tables import Table
-from repro.network.broomstick import reduce_to_broomstick
-from repro.network.builders import (
-    caterpillar_tree,
-    datacenter_tree,
-    figure1_tree,
-    kary_tree,
-    random_tree,
-)
 
 __all__ = ["run"]
 
+_DEFAULTS = dict(seed=11)
 
-@register("F2")
-def run(seed: int = 11) -> ExperimentResult:
-    """Run the F2 structural audit (see module docstring)."""
-    trees = {
-        "kary(2,3)": kary_tree(2, 3),
-        "kary(3,2)": kary_tree(3, 2),
-        "caterpillar(5,2)": caterpillar_tree(5, 2),
-        "figure1": figure1_tree(),
-        "random(30)": random_tree(30, rng=seed),
-        "datacenter(3,2,2)": datacenter_tree(3, 2, 2),
+_TREES = (
+    "kary(2,3)",
+    "kary(3,2)",
+    "caterpillar(5,2)",
+    "figure1",
+    "random(30)",
+    "datacenter(3,2,2)",
+)
+
+
+def _tree_for(name: str, seed: int):
+    from repro.network.builders import (
+        caterpillar_tree,
+        datacenter_tree,
+        figure1_tree,
+        kary_tree,
+        random_tree,
+    )
+
+    builders = {
+        "kary(2,3)": lambda: kary_tree(2, 3),
+        "kary(3,2)": lambda: kary_tree(3, 2),
+        "caterpillar(5,2)": lambda: caterpillar_tree(5, 2),
+        "figure1": figure1_tree,
+        "random(30)": lambda: random_tree(30, rng=seed),
+        "datacenter(3,2,2)": lambda: datacenter_tree(3, 2, 2),
     }
+    return builders[name]()
+
+
+def _trials(p: dict) -> list[TrialSpec]:
+    return [TrialSpec("F2", name, {"tree": name, "seed": p["seed"]}) for name in _TREES]
+
+
+def _run_trial(spec: TrialSpec) -> dict:
+    from repro.network.broomstick import reduce_to_broomstick
+
+    tree = _tree_for(spec.params["tree"], spec.params["seed"])
+    red = reduce_to_broomstick(tree)
+    bs = red.broomstick
+    shifts = {red.depth_shift(leaf) for leaf in tree.leaves}
+    handles_ok = True
+    for v0 in tree.root_children:
+        ell = max(tree.depth(leaf) - tree.depth(v0) for leaf in tree.leaves_under(v0))
+        handle = red.handle_of[red.top_map[v0]]
+        if len(handle) != ell + 2:
+            handles_ok = False
+    ok = (
+        bs.is_broomstick()
+        and bs.num_leaves == tree.num_leaves
+        and shifts == {2}
+        and len(bs.root_children) == len(tree.root_children)
+        and handles_ok
+        and len(red.leaf_map) == tree.num_leaves
+        and len(set(red.leaf_map.values())) == tree.num_leaves
+    )
+    return {
+        "nodes": tree.num_nodes,
+        "leaves": tree.num_leaves,
+        "height": tree.height,
+        "bs_nodes": bs.num_nodes,
+        "bs_height": bs.height,
+        "shifts": sorted(shifts),
+        "is_broomstick": bs.is_broomstick(),
+        "ok": ok,
+    }
+
+
+def _reduce(p: dict, outcomes: list[tuple[TrialSpec, dict]]) -> ExperimentResult:
+    cells = {s.params["tree"]: d for s, d in outcomes}
     table = Table(
         "F2: broomstick reduction structural audit",
         [
@@ -47,38 +102,21 @@ def run(seed: int = 11) -> ExperimentResult:
         ],
     )
     all_ok = True
-    for name, tree in trees.items():
-        red = reduce_to_broomstick(tree)
-        bs = red.broomstick
-        shifts = {red.depth_shift(leaf) for leaf in tree.leaves}
-        handles_ok = True
-        for v0 in tree.root_children:
-            ell = max(tree.depth(leaf) - tree.depth(v0) for leaf in tree.leaves_under(v0))
-            handle = red.handle_of[red.top_map[v0]]
-            if len(handle) != ell + 2:
-                handles_ok = False
-        ok = (
-            bs.is_broomstick()
-            and bs.num_leaves == tree.num_leaves
-            and shifts == {2}
-            and len(bs.root_children) == len(tree.root_children)
-            and handles_ok
-            and len(red.leaf_map) == tree.num_leaves
-            and len(set(red.leaf_map.values())) == tree.num_leaves
-        )
-        all_ok = all_ok and ok
+    for name in _TREES:
+        d = cells[name]
+        all_ok = all_ok and d["ok"]
         table.add_row(
-            name, tree.num_nodes, tree.num_leaves, tree.height,
-            bs.num_nodes, bs.height,
-            "/".join(str(s) for s in sorted(shifts)),
-            bs.is_broomstick(), ok,
+            name, d["nodes"], d["leaves"], d["height"],
+            d["bs_nodes"], d["bs_height"],
+            "/".join(str(s) for s in d["shifts"]),
+            d["is_broomstick"], d["ok"],
         )
     return ExperimentResult(
         exp_id="F2",
         title="Figure 2 — the tree-to-broomstick reduction",
         claim="every leaf re-hung on a single handle, exactly 2 hops deeper (Fig 2, Sec 3.3)",
         table=table,
-        metrics={"trees_audited": float(len(trees))},
+        metrics={"trees_audited": float(len(_TREES))},
         passed=all_ok,
         notes=(
             "Handles are built with nodes v_0..v_{l+1} (l+2 nodes), resolving "
@@ -86,3 +124,8 @@ def run(seed: int = 11) -> ExperimentResult:
             "point exists; see the broomstick module docstring."
         ),
     )
+
+
+run = register_grid(
+    "F2", defaults=_DEFAULTS, trials=_trials, run_trial=_run_trial, reduce=_reduce
+)

@@ -6,60 +6,78 @@ to a job ``j`` that still needs ``v``) is at most ``(2/ε)·p_j``.
 The audit attaches an observer to the engine and, at every event,
 evaluates the quantity for every alive job at its current node.
 
+The grid runs one trial per ε (each trial is one observed engine run).
+
 Pass criterion: the maximum observed volume, normalised by ``p_j``,
 never exceeds ``2/ε`` (plus class-rounding tolerance).
 """
 
 from __future__ import annotations
 
-from repro.analysis.experiments.base import ExperimentResult, register
-from repro.analysis.experiments.workloads import burst_instance
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.experiments.grid import TrialSpec, register_grid
 from repro.analysis.tables import Table
-from repro.core.assignment import GreedyIdenticalAssignment
-from repro.core.potential import higher_priority_volume
-from repro.network.builders import star_of_paths
-from repro.sim.engine import Engine, SchedulerView
-from repro.sim.speed import SpeedProfile
 
 __all__ = ["run"]
 
+_DEFAULTS = dict(
+    seed=6,
+    eps_values=(0.25, 0.5),
+)
 
-@register("L2")
-def run(
-    seed: int = 6,
-    eps_values: tuple[float, ...] = (0.25, 0.5),
-) -> ExperimentResult:
-    """Run the L2 audit (see module docstring)."""
+
+def _trials(p: dict) -> list[TrialSpec]:
+    return [
+        TrialSpec("L2", f"eps={eps!r}", {"eps": eps, "seed": p["seed"]})
+        for eps in p["eps_values"]
+    ]
+
+
+def _run_trial(spec: TrialSpec) -> dict:
+    from repro.analysis.experiments.workloads import burst_instance
+    from repro.core.assignment import GreedyIdenticalAssignment
+    from repro.core.potential import higher_priority_volume
+    from repro.network.builders import star_of_paths
+    from repro.sim.engine import Engine, SchedulerView
+    from repro.sim.speed import SpeedProfile
+
+    eps = spec.params["eps"]
+    tree = star_of_paths(3, 4)
+    instance = burst_instance(
+        tree, num_bursts=3, jobs_per_burst=10, gap=20.0, seed=spec.params["seed"]
+    ).rounded(eps)
+    speeds = SpeedProfile.lemma1(eps)
+    state = {"max_norm": 0.0, "checks": 0}
+    top_tier = set(tree.root_children)
+
+    def observe(view: SchedulerView, kind: str, subject: int) -> None:
+        for jid in view.alive_jobs():
+            node = view.current_node_of(jid)
+            if node is None or node in top_tier:
+                continue
+            vol = higher_priority_volume(view, jid, node)
+            p_j = view.job(jid).size
+            state["max_norm"] = max(state["max_norm"], vol / p_j)
+            state["checks"] += 1
+
+    Engine(instance, GreedyIdenticalAssignment(eps), speeds, observer=observe).run()
+    return {"max_norm": state["max_norm"], "checks": state["checks"]}
+
+
+def _reduce(p: dict, outcomes: list[tuple[TrialSpec, dict]]) -> ExperimentResult:
+    cells = {s.params["eps"]: d for s, d in outcomes}
     table = Table(
         "L2: max available higher-priority volume at interior nodes / p_j",
         ["eps", "max_norm_volume", "bound(2/eps)", "events_checked"],
     )
-    tree = star_of_paths(3, 4)
     ok = True
     worst_fraction = 0.0
-    for eps in eps_values:
-        instance = burst_instance(
-            tree, num_bursts=3, jobs_per_burst=10, gap=20.0, seed=seed
-        ).rounded(eps)
-        speeds = SpeedProfile.lemma1(eps)
-        state = {"max_norm": 0.0, "checks": 0}
-        top_tier = set(tree.root_children)
-
-        def observe(view: SchedulerView, kind: str, subject: int) -> None:
-            for jid in view.alive_jobs():
-                node = view.current_node_of(jid)
-                if node is None or node in top_tier:
-                    continue
-                vol = higher_priority_volume(view, jid, node)
-                p_j = view.job(jid).size
-                state["max_norm"] = max(state["max_norm"], vol / p_j)
-                state["checks"] += 1
-
-        Engine(instance, GreedyIdenticalAssignment(eps), speeds, observer=observe).run()
+    for eps in p["eps_values"]:
+        d = cells[eps]
         bound = 2.0 / eps
-        table.add_row(eps, state["max_norm"], bound, state["checks"])
-        worst_fraction = max(worst_fraction, state["max_norm"] / bound)
-        if state["max_norm"] > bound * (1.0 + 1e-9):
+        table.add_row(eps, d["max_norm"], bound, d["checks"])
+        worst_fraction = max(worst_fraction, d["max_norm"] / bound)
+        if d["max_norm"] > bound * (1.0 + 1e-9):
             ok = False
     return ExperimentResult(
         exp_id="L2",
@@ -73,3 +91,8 @@ def run(
             "node (below the top tier). Pass: never exceeds 2/eps."
         ),
     )
+
+
+run = register_grid(
+    "L2", defaults=_DEFAULTS, trials=_trials, run_trial=_run_trial, reduce=_reduce
+)

@@ -13,25 +13,28 @@ The no-more-arrivals hypothesis is honoured by auditing the *last*
 arriving job of single-burst workloads: its three measured phase waits
 must sit below the bounds recorded at its arrival instant.
 
+The grid runs one trial per seed (each a full engine run with the
+recording policy wrapper).
+
 Pass criterion: for every seed, every phase of the last job respects its
 bound.
 """
 
 from __future__ import annotations
 
-from repro.analysis.experiments.base import ExperimentResult, register
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.experiments.grid import TrialSpec, register_grid
 from repro.analysis.tables import Table
-from repro.core.assignment import GreedyIdenticalAssignment
-from repro.core.fvalues import s_set_volume
-from repro.network.builders import broomstick_tree
-from repro.sim.engine import Engine, SchedulerView
-from repro.sim.metrics import waiting_decomposition
-from repro.sim.speed import SpeedProfile
-from repro.workload.instance import Instance, Setting
-from repro.workload.job import Job, JobSet
-from repro.workload.sizes import geometric_class_sizes
+from repro.sim.engine import SchedulerView
+from repro.workload.job import Job
 
 __all__ = ["run"]
+
+_DEFAULTS = dict(
+    n=30,
+    eps=0.5,
+    seeds=(0, 1, 2, 3),
+)
 
 
 class _Lemma4Recorder:
@@ -46,6 +49,8 @@ class _Lemma4Recorder:
         self.leaf: int | None = None
 
     def assign(self, view: SchedulerView, job: Job, now: float) -> int:
+        from repro.core.fvalues import s_set_volume
+
         leaf = self.inner.assign(view, job, now)
         if job.id == self.probe_id:
             self.leaf = leaf
@@ -55,17 +60,51 @@ class _Lemma4Recorder:
         return leaf
 
 
-@register("L4")
-def run(
-    n: int = 30,
-    eps: float = 0.5,
-    seeds: tuple[int, ...] = (0, 1, 2, 3),
-) -> ExperimentResult:
-    """Run the L4 audit (see module docstring)."""
+def _trials(p: dict) -> list[TrialSpec]:
+    return [
+        TrialSpec("L4", f"seed={seed}", {"seed": seed, "n": p["n"], "eps": p["eps"]})
+        for seed in p["seeds"]
+    ]
+
+
+def _run_trial(spec: TrialSpec) -> dict:
+    from repro.core.assignment import GreedyIdenticalAssignment
+    from repro.network.builders import broomstick_tree
+    from repro.sim.engine import Engine
+    from repro.sim.metrics import waiting_decomposition
+    from repro.sim.speed import SpeedProfile
+    from repro.workload.instance import Instance, Setting
+    from repro.workload.job import JobSet
+    from repro.workload.sizes import geometric_class_sizes
+
+    q = spec.params
+    n, eps, seed = q["n"], q["eps"], q["seed"]
     tree = broomstick_tree(2, 4, 2)
     # Lemma 4's speeds: s on the top tier, s(1+eps) below; use s = 1+eps.
     s = 1.0 + eps
     speeds = SpeedProfile(root_children=s, interior=s * (1 + eps), leaves=s * (1 + eps))
+    sizes = geometric_class_sizes(n, eps, num_classes=3, rng=seed)
+    jobs = JobSet.build([0.0] * n, sizes)  # single burst; ids order arrivals
+    instance = Instance(tree, jobs, Setting.IDENTICAL)
+    probe = n - 1  # the last-arriving job: nothing arrives after it
+    recorder = _Lemma4Recorder(GreedyIdenticalAssignment(eps), probe)
+    result = Engine(instance, recorder, speeds).run()
+    assert recorder.leaf is not None
+    breakdown = waiting_decomposition(result, probe)
+    job = jobs.by_id(probe)
+    d_v = instance.tree.d(recorder.leaf)
+    return {
+        "wait_top": breakdown.at_top,
+        "bound_top": recorder.top_volume / s,
+        "wait_interior": breakdown.interior,
+        "bound_interior": 6.0 / (eps * eps) * job.size * d_v,
+        "wait_leaf": breakdown.at_leaf,
+        "bound_leaf": recorder.leaf_volume / (s * (1 + eps)),
+    }
+
+
+def _reduce(p: dict, outcomes: list[tuple[TrialSpec, dict]]) -> ExperimentResult:
+    cells = {s.params["seed"]: d for s, d in outcomes}
     table = Table(
         "L4: last-job phase waits vs Lemma 4 bounds",
         [
@@ -75,35 +114,23 @@ def run(
     )
     ok = True
     worst_frac = 0.0
-    for seed in seeds:
-        sizes = geometric_class_sizes(n, eps, num_classes=3, rng=seed)
-        jobs = JobSet.build([0.0] * n, sizes)  # single burst; ids order arrivals
-        instance = Instance(tree, jobs, Setting.IDENTICAL)
-        probe = n - 1  # the last-arriving job: nothing arrives after it
-        recorder = _Lemma4Recorder(GreedyIdenticalAssignment(eps), probe)
-        result = Engine(instance, recorder, speeds).run()
-        assert recorder.leaf is not None
-        breakdown = waiting_decomposition(result, probe)
-        job = jobs.by_id(probe)
-        d_v = instance.tree.d(recorder.leaf)
-        bound_top = recorder.top_volume / s
-        bound_interior = 6.0 / (eps * eps) * job.size * d_v
-        bound_leaf = recorder.leaf_volume / (s * (1 + eps))
+    for seed in p["seeds"]:
+        d = cells[seed]
         row_ok = (
-            breakdown.at_top <= bound_top + 1e-9
-            and breakdown.interior <= bound_interior + 1e-9
-            and breakdown.at_leaf <= bound_leaf + 1e-9
+            d["wait_top"] <= d["bound_top"] + 1e-9
+            and d["wait_interior"] <= d["bound_interior"] + 1e-9
+            and d["wait_leaf"] <= d["bound_leaf"] + 1e-9
         )
         for measured, bound in (
-            (breakdown.at_top, bound_top),
-            (breakdown.interior, bound_interior),
-            (breakdown.at_leaf, bound_leaf),
+            (d["wait_top"], d["bound_top"]),
+            (d["wait_interior"], d["bound_interior"]),
+            (d["wait_leaf"], d["bound_leaf"]),
         ):
             if bound > 0:
                 worst_frac = max(worst_frac, measured / bound)
         table.add_row(
-            seed, breakdown.at_top, bound_top, breakdown.interior,
-            bound_interior, breakdown.at_leaf, bound_leaf, row_ok,
+            seed, d["wait_top"], d["bound_top"], d["wait_interior"],
+            d["bound_interior"], d["wait_leaf"], d["bound_leaf"], row_ok,
         )
         ok = ok and row_ok
     return ExperimentResult(
@@ -119,3 +146,8 @@ def run(
             "job within its bound on every seed."
         ),
     )
+
+
+run = register_grid(
+    "L4", defaults=_DEFAULTS, trials=_trials, run_trial=_run_trial, reduce=_reduce
+)

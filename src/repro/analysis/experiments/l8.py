@@ -15,29 +15,81 @@ Totals always dominate in our runs.  The pass criterion reflects this:
 identical-setting per-job domination must be exact; unrelated-setting
 totals must dominate and per-job violations must stay rare (< 5% of
 jobs) and small (< 5% relative excess).
+
+The grid runs one trial per (tree, setting) — each a paired
+general-tree/broomstick simulation.
 """
 
 from __future__ import annotations
 
-from repro.analysis.experiments.base import ExperimentResult, register
-from repro.analysis.experiments.workloads import (
-    identical_instance,
-    standard_trees,
-    unrelated_instance,
-)
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.experiments.grid import TrialSpec, register_grid
+from repro.analysis.experiments.workloads import standard_trees
 from repro.analysis.tables import Table
-from repro.core.general_tree import run_general_tree
 
 __all__ = ["run"]
 
+_DEFAULTS = dict(
+    n=40,
+    seed=8,
+    eps=0.25,
+)
 
-@register("L8")
-def run(
-    n: int = 40,
-    seed: int = 8,
-    eps: float = 0.25,
-) -> ExperimentResult:
-    """Run the L8 domination audit (see module docstring)."""
+_SETTINGS = ("identical", "unrelated")
+
+
+def _trials(p: dict) -> list[TrialSpec]:
+    return [
+        TrialSpec(
+            "L8",
+            f"{tree_name}|{setting}",
+            {
+                "tree": tree_name,
+                "setting": setting,
+                "n": p["n"],
+                "seed": p["seed"],
+                "eps": p["eps"],
+            },
+        )
+        for tree_name in standard_trees()
+        for setting in _SETTINGS
+    ]
+
+
+def _run_trial(spec: TrialSpec) -> dict:
+    from repro.analysis.experiments.workloads import (
+        identical_instance,
+        unrelated_instance,
+    )
+    from repro.core.general_tree import run_general_tree
+
+    q = spec.params
+    tree = standard_trees()[q["tree"]]
+    if q["setting"] == "identical":
+        instance = identical_instance(tree, q["n"], load=0.85, seed=q["seed"])
+    else:
+        instance = unrelated_instance(tree, q["n"], load=0.7, seed=q["seed"])
+    run_out = run_general_tree(instance, q["eps"])
+    flows_t = {jid: rec.flow_time for jid, rec in run_out.result.records.items()}
+    flows_tp = {
+        jid: rec.flow_time for jid, rec in run_out.shadow_result.records.items()
+    }
+    violations = [
+        (flows_t[j] - flows_tp[j]) / flows_tp[j]
+        for j in flows_t
+        if flows_t[j] > flows_tp[j] + 1e-6
+    ]
+    return {
+        "total_t": sum(flows_t.values()),
+        "total_tp": sum(flows_tp.values()),
+        "violations": len(violations),
+        "rel_excess": max(violations, default=0.0),
+    }
+
+
+def _reduce(p: dict, outcomes: list[tuple[TrialSpec, dict]]) -> ExperimentResult:
+    n = p["n"]
+    cells = {(s.params["tree"], s.params["setting"]): d for s, d in outcomes}
     table = Table(
         "L8: per-job flow domination, general tree vs broomstick shadow",
         [
@@ -47,39 +99,20 @@ def run(
     )
     ok = True
     worst_rel_excess = 0.0
-    for tree_name, tree in standard_trees().items():
-        for setting in ("identical", "unrelated"):
-            if setting == "identical":
-                instance = identical_instance(tree, n, load=0.85, seed=seed)
-            else:
-                instance = unrelated_instance(tree, n, load=0.7, seed=seed)
-            run_out = run_general_tree(instance, eps)
-            flows_t = {
-                jid: rec.flow_time for jid, rec in run_out.result.records.items()
-            }
-            flows_tp = {
-                jid: rec.flow_time
-                for jid, rec in run_out.shadow_result.records.items()
-            }
-            violations = [
-                (flows_t[j] - flows_tp[j]) / flows_tp[j]
-                for j in flows_t
-                if flows_t[j] > flows_tp[j] + 1e-6
-            ]
-            rel_excess = max(violations, default=0.0)
-            total_t = sum(flows_t.values())
-            total_tp = sum(flows_tp.values())
-            totals_ok = total_t <= total_tp + 1e-6
+    for tree_name in standard_trees():
+        for setting in _SETTINGS:
+            d = cells[(tree_name, setting)]
+            totals_ok = d["total_t"] <= d["total_tp"] + 1e-6
             table.add_row(
-                tree_name, setting, total_t, total_tp,
-                len(violations), rel_excess, totals_ok,
+                tree_name, setting, d["total_t"], d["total_tp"],
+                d["violations"], d["rel_excess"], totals_ok,
             )
-            worst_rel_excess = max(worst_rel_excess, rel_excess)
+            worst_rel_excess = max(worst_rel_excess, d["rel_excess"])
             if setting == "identical":
-                ok = ok and not violations and totals_ok
+                ok = ok and not d["violations"] and totals_ok
             else:
                 ok = ok and totals_ok and (
-                    len(violations) <= max(1, n // 20) and rel_excess < 0.05
+                    d["violations"] <= max(1, n // 20) and d["rel_excess"] < 0.05
                 )
     return ExperimentResult(
         exp_id="L8",
@@ -96,3 +129,8 @@ def run(
             "the preemption mechanism behind them."
         ),
     )
+
+
+run = register_grid(
+    "L8", defaults=_DEFAULTS, trials=_trials, run_trial=_run_trial, reduce=_reduce
+)

@@ -9,6 +9,8 @@ regime: unit jobs pushed down a line (a spine tree), FIFO forwarding
 (which is optimal-ish for max flow on a line) versus SJF, across speeds,
 reporting ℓ₁/ℓ₂/max norms.
 
+The grid runs one trial per (node order, speed) cell.
+
 Expected shape: at ``(1+ε)`` speed the max flow time of FIFO forwarding
 stays within a small constant of the trivial lower bound
 ``max(pipeline latency, backlog drain time)``; SJF matches it on unit
@@ -20,31 +22,49 @@ Pass criterion: at every speed ≥ 1+ε the measured max flow is within
 
 from __future__ import annotations
 
-import math
-
-from repro.analysis.experiments.base import ExperimentResult, register
-from repro.analysis.norms import flow_lk_norm, flow_norm_summary
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.experiments.grid import TrialSpec, register_grid
 from repro.analysis.tables import Table
-from repro.core.assignment import FixedAssignment
-from repro.network.builders import spine_tree
-from repro.sim.engine import fifo_priority, simulate, sjf_priority
-from repro.sim.speed import SpeedProfile
-from repro.workload.arrivals import deterministic_arrivals
-from repro.workload.instance import Instance, Setting
-from repro.workload.job import JobSet
 
 __all__ = ["run"]
 
+_DEFAULTS = dict(
+    n=60,
+    depth=8,
+    eps=0.25,
+    speeds=(1.0, 1.25, 1.5, 2.0),
+    budget=3.0,
+)
 
-@register("M1")
-def run(
-    n: int = 60,
-    depth: int = 8,
-    eps: float = 0.25,
-    speeds: tuple[float, ...] = (1.0, 1.25, 1.5, 2.0),
-    budget: float = 3.0,
-) -> ExperimentResult:
-    """Run the M1 norms probe (see module docstring)."""
+_ORDERS = ("fifo", "sjf")
+
+
+def _trials(p: dict) -> list[TrialSpec]:
+    return [
+        TrialSpec(
+            "M1",
+            f"{order}|s={speed!r}",
+            {"order": order, "speed": speed, "n": p["n"], "depth": p["depth"]},
+        )
+        for order in _ORDERS
+        for speed in p["speeds"]
+    ]
+
+
+def _run_trial(spec: TrialSpec) -> dict:
+    import math
+
+    from repro.analysis.norms import flow_lk_norm, flow_norm_summary
+    from repro.core.assignment import FixedAssignment
+    from repro.network.builders import spine_tree
+    from repro.sim.engine import fifo_priority, simulate, sjf_priority
+    from repro.sim.speed import SpeedProfile
+    from repro.workload.arrivals import deterministic_arrivals
+    from repro.workload.instance import Instance, Setting
+    from repro.workload.job import JobSet
+
+    q = spec.params
+    n, depth, s = q["n"], q["depth"], q["speed"]
     tree = spine_tree(depth)
     leaf = tree.leaves[0]
     # Unit packets injected at 90% of the line's unit capacity.
@@ -53,32 +73,43 @@ def run(
     instance = Instance(
         tree, JobSet.build(releases, sizes), Setting.IDENTICAL, name="line"
     )
+    order = fifo_priority if q["order"] == "fifo" else sjf_priority
+    result = simulate(
+        instance,
+        FixedAssignment({i: leaf for i in range(n)}),
+        SpeedProfile.uniform(s),
+        priority=order,
+    )
+    norms = flow_norm_summary(result)
+    return {
+        "l1": norms["l1"],
+        "l2": norms["l2"],
+        "max": norms["max"],
+        "linf_matches_max": abs(flow_lk_norm(result, math.inf) - norms["max"]) <= 1e-9,
+    }
+
+
+def _reduce(p: dict, outcomes: list[tuple[TrialSpec, dict]]) -> ExperimentResult:
+    eps, budget, depth = p["eps"], p["budget"], p["depth"]
     # Trivial max-flow lower bound: the pipeline latency of one packet.
     latency_lb = (depth + 1) * 1.0  # d nodes x unit size at unit speed
-
+    cells = {(s.params["order"], s.params["speed"]): d for s, d in outcomes}
     table = Table(
         "M1: flow-time norms on a line network (unit packets)",
         ["order", "speed", "l1", "l2", "max", "max/lower_bound"],
     )
     ok = True
     worst_ratio = 0.0
-    for order_name, order in (("fifo", fifo_priority), ("sjf", sjf_priority)):
-        for s in speeds:
-            result = simulate(
-                instance,
-                FixedAssignment({i: leaf for i in range(n)}),
-                SpeedProfile.uniform(s),
-                priority=order,
-            )
-            norms = flow_norm_summary(result)
+    for order_name in _ORDERS:
+        for s in p["speeds"]:
+            d = cells[(order_name, s)]
             lb = latency_lb / s
-            ratio = norms["max"] / lb
-            table.add_row(order_name, s, norms["l1"], norms["l2"], norms["max"], ratio)
+            ratio = d["max"] / lb
+            table.add_row(order_name, s, d["l1"], d["l2"], d["max"], ratio)
             # Norm ordering: max >= l2/sqrt(n)... check the standard chain.
-            l1, l2, mx = norms["l1"], norms["l2"], norms["max"]
-            if not (mx <= l2 + 1e-9 <= l1 + 1e-9):
+            if not (d["max"] <= d["l2"] + 1e-9 <= d["l1"] + 1e-9):
                 ok = False
-            if abs(flow_lk_norm(result, math.inf) - mx) > 1e-9:
+            if not d["linf_matches_max"]:
                 ok = False
             if s >= 1.0 + eps:
                 worst_ratio = max(worst_ratio, ratio)
@@ -97,3 +128,8 @@ def run(
             "and l1 >= l2 >= max orderings hold."
         ),
     )
+
+
+run = register_grid(
+    "M1", defaults=_DEFAULTS, trials=_trials, run_trial=_run_trial, reduce=_reduce
+)

@@ -13,6 +13,11 @@ identical routers and machines.  Absolute constants are not measurable
 Ratios are replicated over ``seeds`` and reported as mean ± the normal
 95% half-width, so the conclusions are not single-draw anecdotes.
 
+The sweep is a trial grid: one trial per (tree, policy, speed, seed)
+cell, each a pure simulation-plus-ratio measurement.  The OPT lower
+bound depends only on (tree, seed), so the memoized bound service
+answers all but the first cell per instance from cache.
+
 Pass criterion: the paper algorithm's mean fractional ratio at the
 highest swept speed is at most ``ratio_budget`` on every topology, and
 at ``s = 1.5`` it beats closest-leaf on all but at most one topology.
@@ -20,31 +25,83 @@ at ``s = 1.5`` it beats closest-leaf on all but at most one topology.
 
 from __future__ import annotations
 
-from repro.analysis.experiments.base import ExperimentResult, register
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.experiments.grid import TrialSpec, register_grid
 from repro.analysis.experiments.workloads import identical_instance, standard_trees
-from repro.analysis.ratios import competitive_report, lower_bound_for
-from repro.analysis.stats import replicate
+from repro.analysis.ratios import competitive_report, lower_bound_cached
+from repro.analysis.stats import summarize
 from repro.analysis.tables import Table
-from repro.baselines.policies import ClosestLeafAssignment
-from repro.core.scheduler import run_paper_algorithm
-from repro.sim.engine import simulate
-from repro.sim.speed import SpeedProfile
 
 __all__ = ["run"]
 
 _SPEEDS = (1.0, 1.1, 1.25, 1.5, 2.0)
 
+_DEFAULTS = dict(
+    n=60,
+    load=0.9,
+    eps=0.25,
+    seeds=(1, 2, 3),
+    speeds=_SPEEDS,
+    ratio_budget=8.0,
+)
 
-@register("T1")
-def run(
-    n: int = 60,
-    load: float = 0.9,
-    eps: float = 0.25,
-    seeds: tuple[int, ...] = (1, 2, 3),
-    speeds: tuple[float, ...] = _SPEEDS,
-    ratio_budget: float = 8.0,
-) -> ExperimentResult:
-    """Run the T1 sweep (see module docstring)."""
+_POLICIES = (("paper", "paper-greedy"), ("closest", "closest-leaf"))
+
+
+def _trials(p: dict) -> list[TrialSpec]:
+    return [
+        TrialSpec(
+            "T1",
+            f"{tree_name}|{policy}|s={speed!r}|seed={seed}",
+            {
+                "tree": tree_name,
+                "policy": policy,
+                "speed": speed,
+                "seed": seed,
+                "n": p["n"],
+                "load": p["load"],
+                "eps": p["eps"],
+            },
+        )
+        for tree_name in standard_trees()
+        for speed in p["speeds"]
+        for policy, _ in _POLICIES
+        for seed in p["seeds"]
+    ]
+
+
+def _run_trial(spec: TrialSpec) -> dict:
+    from repro.baselines.policies import ClosestLeafAssignment
+    from repro.core.scheduler import run_paper_algorithm
+    from repro.sim.engine import simulate
+    from repro.sim.speed import SpeedProfile
+
+    q = spec.params
+    tree = standard_trees()[q["tree"]]
+    instance = identical_instance(
+        tree, q["n"], load=q["load"], size_kind="pareto", seed=q["seed"],
+        name=q["tree"],
+    )
+    bound = lower_bound_cached(instance, prefer_lp=False)
+    profile = SpeedProfile.uniform(q["speed"])
+    if q["policy"] == "paper":
+        result = run_paper_algorithm(instance, q["eps"], profile)
+    else:
+        result = simulate(instance, ClosestLeafAssignment(), profile)
+    rep = competitive_report(q["policy"], instance, result, lower_bound=bound)
+    return {"ratio": rep.fractional_ratio, "bound": bound[1]}
+
+
+def _reduce(p: dict, outcomes: list[tuple[TrialSpec, dict]]) -> ExperimentResult:
+    seeds = tuple(p["seeds"])
+    speeds = tuple(p["speeds"])
+    cells: dict[tuple[str, float, str, int], dict] = {}
+    bound_names: dict[str, set[str]] = {}
+    for spec, payload in outcomes:
+        q = spec.params
+        cells[(q["tree"], q["speed"], q["policy"], q["seed"])] = payload
+        bound_names.setdefault(q["tree"], set()).add(payload["bound"])
+
     table = Table(
         "T1: identical endpoints — fractional-flow ratio vs lower bound "
         f"(mean over {len(seeds)} seeds ± 95% half-width)",
@@ -53,41 +110,22 @@ def run(
     worst_at_top_speed = 0.0
     wins = 0
     comparisons = 0
-    for tree_name, tree in standard_trees().items():
-        bound_names: set[str] = set()
-
-        def ratio_for(policy_name: str, s: float):
-            def measure(seed: int) -> float:
-                instance = identical_instance(
-                    tree, n, load=load, size_kind="pareto", seed=seed, name=tree_name
-                )
-                bound = lower_bound_for(instance, prefer_lp=False)
-                bound_names.add(bound[1])
-                profile = SpeedProfile.uniform(s)
-                if policy_name == "paper":
-                    result = run_paper_algorithm(instance, eps, profile)
-                else:
-                    result = simulate(instance, ClosestLeafAssignment(), profile)
-                rep = competitive_report(
-                    policy_name, instance, result, lower_bound=bound
-                )
-                return rep.fractional_ratio
-
-            return measure
-
+    for tree_name in standard_trees():
+        bounds = "/".join(sorted(bound_names[tree_name]))
         per_speed: dict[float, dict[str, float]] = {}
         for s in speeds:
             row: dict[str, float] = {}
-            for policy_name, label in (("paper", "paper-greedy"), ("closest", "closest-leaf")):
+            for policy, label in _POLICIES:
+                values = [
+                    cells[(tree_name, s, policy, seed)]["ratio"] for seed in seeds
+                ]
                 if len(seeds) >= 2:
-                    rep = replicate(ratio_for(policy_name, s), seeds)
+                    rep = summarize(values)
                     mean, ci = rep.mean, rep.half_width
                 else:
-                    mean, ci = ratio_for(policy_name, s)(seeds[0]), 0.0
-                table.add_row(
-                    tree_name, label, s, mean, ci, "/".join(sorted(bound_names))
-                )
-                row[policy_name] = mean
+                    mean, ci = values[0], 0.0
+                table.add_row(tree_name, label, s, mean, ci, bounds)
+                row[policy] = mean
             per_speed[s] = row
         worst_at_top_speed = max(worst_at_top_speed, per_speed[max(speeds)]["paper"])
         mid = 1.5 if 1.5 in per_speed else max(speeds)
@@ -95,7 +133,7 @@ def run(
         if per_speed[mid]["paper"] <= per_speed[mid]["closest"] * 1.05:
             wins += 1
 
-    passed = worst_at_top_speed <= ratio_budget and wins >= comparisons - 1
+    passed = worst_at_top_speed <= p["ratio_budget"] and wins >= comparisons - 1
     return ExperimentResult(
         exp_id="T1",
         title="identical endpoints: speed-augmented competitiveness",
@@ -110,8 +148,13 @@ def run(
         notes=(
             "ratio = fractional flow / lower bound (best combinatorial; the "
             "bound column lists which bound was binding across seeds). Pass: "
-            f"worst mean paper ratio at the top speed <= {ratio_budget} and "
-            "the greedy beats/matches closest-leaf at s=1.5 on all but at "
+            f"worst mean paper ratio at the top speed <= {p['ratio_budget']} "
+            "and the greedy beats/matches closest-leaf at s=1.5 on all but at "
             "most one topology."
         ),
     )
+
+
+run = register_grid(
+    "T1", defaults=_DEFAULTS, trials=_trials, run_trial=_run_trial, reduce=_reduce
+)

@@ -8,6 +8,9 @@ serves as its own conversion.  Measured shape: for the paper algorithm
 — far below the generic ``1 + 1/ε`` conversion budget — across loads,
 sizes, and ``ε``.
 
+The grid is one trial per (tree, load, ε) cell; each trial is a single
+deterministic run at the theorem's stacked speed.
+
 Pass criterion: ``total/fractional ≤ 1 + 1/ε`` on every configuration
 (the theorem's budget at the swept ε), and ≥ 1 always (fractional flow
 never exceeds total by construction).
@@ -15,42 +18,74 @@ never exceeds total by construction).
 
 from __future__ import annotations
 
-from repro.analysis.experiments.base import ExperimentResult, register
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.experiments.grid import TrialSpec, register_grid
 from repro.analysis.experiments.workloads import identical_instance, standard_trees
 from repro.analysis.tables import Table
-from repro.core.scheduler import run_paper_algorithm
-from repro.sim.speed import SpeedProfile
 
 __all__ = ["run"]
 
+_DEFAULTS = dict(
+    n=60,
+    seed=3,
+    eps_values=(0.1, 0.25, 0.5),
+    loads=(0.6, 0.9),
+)
 
-@register("T3")
-def run(
-    n: int = 60,
-    seed: int = 3,
-    eps_values: tuple[float, ...] = (0.1, 0.25, 0.5),
-    loads: tuple[float, ...] = (0.6, 0.9),
-) -> ExperimentResult:
-    """Run the T3 grid (see module docstring)."""
+_TREES = ("kary(2,3)", "caterpillar(4,2)", "random(24)")
+
+
+def _trials(p: dict) -> list[TrialSpec]:
+    return [
+        TrialSpec(
+            "T3",
+            f"{tree_name}|load={load!r}|eps={eps!r}",
+            {
+                "tree": tree_name,
+                "load": load,
+                "eps": eps,
+                "n": p["n"],
+                "seed": p["seed"],
+            },
+        )
+        for tree_name in _TREES
+        for load in p["loads"]
+        for eps in p["eps_values"]
+    ]
+
+
+def _run_trial(spec: TrialSpec) -> dict:
+    from repro.core.scheduler import run_paper_algorithm
+    from repro.sim.speed import SpeedProfile
+
+    q = spec.params
+    tree = standard_trees()[q["tree"]]
+    eps = q["eps"]
+    instance = identical_instance(
+        tree, q["n"], load=q["load"], size_kind="pareto", seed=q["seed"]
+    ).rounded(eps)
+    result = run_paper_algorithm(
+        instance, eps, SpeedProfile.uniform(1.0 + eps).scaled(1.0 + eps)
+    )
+    return {"total": result.total_flow_time(), "frac": result.fractional_flow}
+
+
+def _reduce(p: dict, outcomes: list[tuple[TrialSpec, dict]]) -> ExperimentResult:
+    cells = {
+        (s.params["tree"], s.params["load"], s.params["eps"]): payload
+        for s, payload in outcomes
+    }
     table = Table(
         "T3: integral vs fractional flow time of the paper algorithm",
         ["tree", "load", "eps", "total_flow", "frac_flow", "total/frac", "budget(1+1/eps)"],
     )
     worst_gap = 0.0
     all_within = True
-    trees = standard_trees()
-    chosen = {k: trees[k] for k in ("kary(2,3)", "caterpillar(4,2)", "random(24)")}
-    for tree_name, tree in chosen.items():
-        for load in loads:
-            for eps in eps_values:
-                instance = identical_instance(
-                    tree, n, load=load, size_kind="pareto", seed=seed
-                ).rounded(eps)
-                result = run_paper_algorithm(
-                    instance, eps, SpeedProfile.uniform(1.0 + eps).scaled(1.0 + eps)
-                )
-                total = result.total_flow_time()
-                frac = result.fractional_flow
+    for tree_name in _TREES:
+        for load in p["loads"]:
+            for eps in p["eps_values"]:
+                payload = cells[(tree_name, load, eps)]
+                total, frac = payload["total"], payload["frac"]
                 gap = total / frac if frac > 0 else float("inf")
                 budget = 1.0 + 1.0 / eps
                 table.add_row(tree_name, load, eps, total, frac, gap, budget)
@@ -70,3 +105,8 @@ def run(
             "which is why the measured gap sits far below the generic budget."
         ),
     )
+
+
+run = register_grid(
+    "T3", defaults=_DEFAULTS, trials=_trials, run_trial=_run_trial, reduce=_reduce
+)

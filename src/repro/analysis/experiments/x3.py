@@ -7,6 +7,8 @@ magnitude?  This ablation sweeps a multiplier ``w`` on the coefficient:
 ``w = 0`` ignores distance entirely (pure congestion chasing), huge
 ``w`` degenerates to closest-leaf (Section 3.1's rejected policy).
 
+The grid runs one trial per multiplier ``w``.
+
 **Ablation finding.**  On branches of different depths at high load,
 total flow time is monotone *non-decreasing* in ``w``: the congestion
 term is what earns the performance, and the worst-case ``6/ε²`` weight
@@ -24,15 +26,19 @@ extreme.
 
 from __future__ import annotations
 
-from repro.analysis.experiments.base import ExperimentResult, register
-from repro.analysis.experiments.workloads import identical_instance
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.experiments.grid import TrialSpec, register_grid
 from repro.analysis.tables import Table
 from repro.core.assignment import GreedyIdenticalAssignment
-from repro.network.builders import tree_from_parent_map
-from repro.sim.engine import simulate
-from repro.sim.speed import SpeedProfile
 
 __all__ = ["run"]
+
+_DEFAULTS = dict(
+    n=70,
+    seed=15,
+    eps=0.5,
+    multipliers=(0.0, 0.25, 1.0, 4.0, 64.0),
+)
 
 
 class _WeightedGreedy(GreedyIdenticalAssignment):
@@ -43,21 +49,14 @@ class _WeightedGreedy(GreedyIdenticalAssignment):
         self.weight = w * 6.0 / (eps * eps)
 
 
-@register("X3")
-def run(
-    n: int = 70,
-    seed: int = 15,
-    eps: float = 0.5,
-    multipliers: tuple[float, ...] = (0.0, 0.25, 1.0, 4.0, 64.0),
-) -> ExperimentResult:
-    """Run the X3 weight ablation (see module docstring).
+def _branchy_tree():
+    """Separate branches of different depths, so the distance and
+    congestion terms genuinely conflict: a shallow branch (1 router + 2
+    machines), a medium one (3 routers), and a deep one (5 routers).
+    High-w policies herd everything into the shallow branch; w=0 ignores
+    the deep branch's longer pipeline."""
+    from repro.network.builders import tree_from_parent_map
 
-    The topology needs *separate branches of different depths* so the
-    distance and congestion terms genuinely conflict: a shallow branch
-    (1 router + 2 machines), a medium one (3 routers), and a deep one
-    (5 routers).  High-w policies herd everything into the shallow
-    branch; w=0 ignores the deep branch's longer pipeline.
-    """
     parent_map: dict[int, int | None] = {0: None}
     nid = 1
     for routers in (1, 3, 5):
@@ -69,26 +68,53 @@ def run(
         for _ in range(2):  # two machines per branch
             parent_map[nid] = prev
             nid += 1
-    tree = tree_from_parent_map(parent_map)
+    return tree_from_parent_map(parent_map)
+
+
+def _trials(p: dict) -> list[TrialSpec]:
+    return [
+        TrialSpec(
+            "X3",
+            f"w={w!r}",
+            {"w": w, "n": p["n"], "seed": p["seed"], "eps": p["eps"]},
+        )
+        for w in p["multipliers"]
+    ]
+
+
+def _run_trial(spec: TrialSpec) -> dict:
+    from repro.analysis.experiments.workloads import identical_instance
+    from repro.sim.engine import simulate
+    from repro.sim.speed import SpeedProfile
+
+    q = spec.params
+    eps = q["eps"]
+    tree = _branchy_tree()
+    instance = identical_instance(
+        tree, q["n"], load=0.95, size_kind="pareto", seed=q["seed"]
+    )
+    result = simulate(
+        instance, _WeightedGreedy(eps, q["w"]), SpeedProfile.uniform(1.0 + eps)
+    )
+    return {
+        "total": result.total_flow_time(),
+        "mean": result.mean_flow_time(),
+        "leaves_used": len({r.leaf for r in result.records.values()}),
+    }
+
+
+def _reduce(p: dict, outcomes: list[tuple[TrialSpec, dict]]) -> ExperimentResult:
+    multipliers = tuple(p["multipliers"])
+    cells = {s.params["w"]: d for s, d in outcomes}
     table = Table(
         "X3: ablating the (6/eps^2) d_v p_j coefficient (multiplier w)",
         ["w", "total_flow", "mean_flow", "distinct_leaves_used"],
     )
     totals: dict[float, float] = {}
     for w in multipliers:
-        instance = identical_instance(
-            tree, n, load=0.95, size_kind="pareto", seed=seed
-        )
-        result = simulate(
-            instance, _WeightedGreedy(eps, w), SpeedProfile.uniform(1.0 + eps)
-        )
-        totals[w] = result.total_flow_time()
-        table.add_row(
-            w,
-            result.total_flow_time(),
-            result.mean_flow_time(),
-            len({r.leaf for r in result.records.values()}),
-        )
+        d = cells[w]
+        totals[w] = d["total"]
+        table.add_row(w, d["total"], d["mean"], d["leaves_used"])
     best = min(totals.values())
     paper = totals[1.0]
     extreme = totals[max(multipliers)]
@@ -113,3 +139,8 @@ def run(
             "distance weight is conservative in the average case."
         ),
     )
+
+
+run = register_grid(
+    "X3", defaults=_DEFAULTS, trials=_trials, run_trial=_run_trial, reduce=_reduce
+)

@@ -7,6 +7,9 @@ breaks.  This exploratory experiment scans the speed interval
 ``[1+ε, 2+ε]`` on the unrelated workloads at high load, asking whether
 any *empirical* degradation appears below ``2+ε``.
 
+The grid runs one trial per (tree, matrix) workload; each trial scans
+the whole speed interval against one memoized lower bound.
+
 **Exploratory finding.**  On every stochastic workload family we sweep,
 the ratio degrades smoothly as speed decreases — there is no cliff at
 ``2``: the algorithm remains well-behaved at ``1+ε`` on these inputs.
@@ -22,48 +25,81 @@ noise.
 
 from __future__ import annotations
 
-from repro.analysis.experiments.base import ExperimentResult, register
+from repro.analysis.experiments.base import ExperimentResult
+from repro.analysis.experiments.grid import TrialSpec, register_grid
 from repro.analysis.experiments.workloads import standard_trees, unrelated_instance
-from repro.analysis.ratios import competitive_report, lower_bound_for
+from repro.analysis.ratios import competitive_report, lower_bound_cached
 from repro.analysis.tables import Table
-from repro.core.scheduler import run_paper_algorithm
-from repro.sim.speed import SpeedProfile
 
 __all__ = ["run"]
 
+_DEFAULTS = dict(
+    n=45,
+    load=0.85,
+    eps=0.25,
+    seed=18,
+    cliff_budget=3.0,
+)
 
-@register("X4")
-def run(
-    n: int = 45,
-    load: float = 0.85,
-    eps: float = 0.25,
-    seed: int = 18,
-    cliff_budget: float = 3.0,
-) -> ExperimentResult:
-    """Run the X4 speed scan (see module docstring)."""
+_TREES = ("kary(2,3)", "datacenter(2,2,3)")
+_MATRICES = ("affinity", "partition")
+
+
+def _trials(p: dict) -> list[TrialSpec]:
+    return [
+        TrialSpec(
+            "X4",
+            f"{tree_name}|{matrix}",
+            {
+                "tree": tree_name,
+                "matrix": matrix,
+                "n": p["n"],
+                "load": p["load"],
+                "eps": p["eps"],
+                "seed": p["seed"],
+            },
+        )
+        for tree_name in _TREES
+        for matrix in _MATRICES
+    ]
+
+
+def _run_trial(spec: TrialSpec) -> dict:
+    from repro.core.scheduler import run_paper_algorithm
+    from repro.sim.speed import SpeedProfile
+
+    q = spec.params
+    eps = q["eps"]
     speeds = (1.0 + eps, 1.5, 1.75, 2.0, 2.0 + eps)
+    tree = standard_trees()[q["tree"]]
+    instance = unrelated_instance(
+        tree, q["n"], load=q["load"], matrix=q["matrix"], seed=q["seed"],
+        name=q["tree"],
+    )
+    bound = lower_bound_cached(instance, prefer_lp=False)
+    ratios: list[float] = []
+    for s in speeds:
+        result = run_paper_algorithm(instance, eps, SpeedProfile.uniform(s))
+        rep = competitive_report("paper", instance, result, lower_bound=bound)
+        ratios.append(rep.fractional_ratio)
+    return {"speeds": list(speeds), "ratios": ratios}
+
+
+def _reduce(p: dict, outcomes: list[tuple[TrialSpec, dict]]) -> ExperimentResult:
+    cliff_budget = p["cliff_budget"]
+    cells = {(s.params["tree"], s.params["matrix"]): d for s, d in outcomes}
     table = Table(
         "X4: unrelated endpoints — ratio across the [1+eps, 2+eps] interval",
         ["tree", "matrix", "speed", "frac_ratio"],
     )
-    trees = standard_trees()
-    chosen = {k: trees[k] for k in ("kary(2,3)", "datacenter(2,2,3)")}
     ok = True
     worst_cliff = 0.0
-    for tree_name, tree in chosen.items():
-        for matrix in ("affinity", "partition"):
-            instance = unrelated_instance(
-                tree, n, load=load, matrix=matrix, seed=seed, name=tree_name
-            )
-            bound = lower_bound_for(instance, prefer_lp=False)
-            ratios: list[float] = []
-            for s in speeds:
-                result = run_paper_algorithm(
-                    instance, eps, SpeedProfile.uniform(s)
-                )
-                rep = competitive_report("paper", instance, result, lower_bound=bound)
-                ratios.append(rep.fractional_ratio)
-                table.add_row(tree_name, matrix, s, rep.fractional_ratio)
+    for tree_name in _TREES:
+        for matrix in _MATRICES:
+            d = cells[(tree_name, matrix)]
+            ratios = d["ratios"]
+            for s, ratio in zip(d["speeds"], ratios):
+                table.add_row(tree_name, matrix, s, ratio)
             cliff = ratios[0] / ratios[-1] if ratios[-1] > 0 else float("inf")
             worst_cliff = max(worst_cliff, cliff)
             if cliff > cliff_budget:
@@ -86,3 +122,8 @@ def run(
             "separate the regimes."
         ),
     )
+
+
+run = register_grid(
+    "X4", defaults=_DEFAULTS, trials=_trials, run_trial=_run_trial, reduce=_reduce
+)

@@ -8,23 +8,43 @@ memoises finished :class:`~repro.analysis.experiments.base.ExperimentResult`
 bundles on disk, so sweeps over bigger trees and more seeds only pay
 for what changed.
 
+Trial sharding
+--------------
+Every experiment is a declarative **trial grid**
+(:mod:`repro.analysis.experiments.grid`): a list of pure trial specs
+plus a deterministic reduce.  With ``shard_trials`` (the default) the
+runner schedules *trials*, not whole experiments, across the worker
+pool — D1's four LP-heavy cells no longer serialise behind each other,
+and T1's 150 simulation cells spread over every core.  Each trial is
+cached individually, so rerunning a sweep with three new seeds pays for
+exactly the new cells.  The reduce step always runs in the parent, in
+spec order, so registry output is bit-identical to the serial path
+(asserted by test).
+
 Determinism
 -----------
 Experiments are already deterministic given their parameters (seeds are
 explicit), but some code paths consult the *global* ``random`` /
-``numpy.random`` state.  To make parallel output bit-identical to
-serial output, every task — serial or in a worker — first reseeds both
-global generators from the task's cache key.  Results therefore do not
-depend on how tasks are interleaved over workers.
+``numpy.random`` state.  Every trial — inline in ``run()``, serial in
+this process, or in a worker — first reseeds both global generators
+from the trial's content digest (see
+:func:`~repro.analysis.experiments.grid.execute_trial`); whole-
+experiment fallback tasks reseed from the task's cache key.  Results
+therefore do not depend on how tasks are interleaved over workers.
 
 Cache layout
 ------------
-``<cache_dir>/<key>.pkl`` where ``key`` is the SHA-256 of the
-canonical JSON of ``(schema version, package version, experiment id,
-parameters)``.  Any parameter change, package version bump, or cache
-schema change misses cleanly; entries are written atomically
-(temp file + rename) so a crashed run never leaves a torn entry, and
-unreadable entries are treated as misses.
+``<cache_dir>/<key>.pkl`` holds finished experiment bundles and
+``<cache_dir>/trials/<key>.pkl`` holds individual trial payloads, where
+``key`` is the SHA-256 of the canonical JSON of ``(schema version,
+package version, experiment id, [trial id,] parameters)``.  Any
+parameter change, package version bump, or cache schema change misses
+cleanly; entries are written atomically (temp file + rename) so a
+crashed run never leaves a torn entry, and unreadable entries are
+treated as misses.  ``<cache_dir>/lp_bounds/`` is the memoized
+lower-bound service's shared disk layer
+(:func:`repro.analysis.ratios.set_lower_bound_disk_cache`), enabled
+whenever the cache is.
 """
 
 from __future__ import annotations
@@ -46,7 +66,9 @@ from repro.sim.counters import EngineCounters
 __all__ = [
     "RunnerOutcome",
     "cache_key",
+    "trial_cache_key",
     "cache_path",
+    "trial_cache_path",
     "clear_cache",
     "run_experiments",
     "summary_table",
@@ -55,7 +77,7 @@ __all__ = [
 ]
 
 #: Bump when the pickled outcome layout changes; invalidates old entries.
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 #: Default on-disk location, relative to the working directory.
 DEFAULT_CACHE_DIR = os.path.join(".cache", "experiments")
@@ -73,16 +95,21 @@ class RunnerOutcome:
         The :class:`ExperimentResult` (identical to a direct
         ``run_experiment`` call with the same parameters).
     cached:
-        Whether the result came from the on-disk cache.
+        Whether the whole result came from cache — the experiment-level
+        entry, or (sharded) every one of its trials.
     wall_seconds:
-        Wall-clock of the *computation* (the cold run's time when
-        ``cached`` — re-reported, not re-measured).
+        Wall-clock of the *computation*: cold-run time for cached
+        entries (re-reported, not re-measured); for a sharded run the
+        sum of per-trial walls plus the reduce.
     key:
-        The content-addressed cache key.
+        The content-addressed experiment-level cache key.
     counters:
         Aggregated :class:`EngineCounters` over every simulation the
         experiment ran, when counter collection was requested (for a
         cache hit: the counters stored by the cold run), else ``None``.
+    trials_total / trials_cached:
+        Grid size and how many of its trials were answered from the
+        trial cache (0/0 for whole-experiment fallback tasks).
     """
 
     exp_id: str
@@ -91,6 +118,8 @@ class RunnerOutcome:
     wall_seconds: float
     key: str
     counters: EngineCounters | None = None
+    trials_total: int = 0
+    trials_cached: int = 0
 
 
 def cache_key(exp_id: str, params: dict | None = None) -> str:
@@ -110,19 +139,48 @@ def cache_key(exp_id: str, params: dict | None = None) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def trial_cache_key(exp_id: str, trial_id: str, params: dict) -> str:
+    """Content hash identifying one trial of one experiment.
+
+    Unlike the trial *digest* (which seeds RNGs and must stay stable
+    across releases), the cache key is salted with the package version
+    so stored payloads never survive a version bump.
+    """
+    from repro import __version__
+
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "exp_id": exp_id,
+            "trial_id": trial_id,
+            "params": params,
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 def cache_path(cache_dir: str | Path, key: str) -> Path:
     return Path(cache_dir) / f"{key}.pkl"
 
 
+def trial_cache_path(cache_dir: str | Path, key: str) -> Path:
+    return Path(cache_dir) / "trials" / f"{key}.pkl"
+
+
 def clear_cache(cache_dir: str | Path = DEFAULT_CACHE_DIR) -> int:
-    """Delete every cache entry; returns the number removed."""
+    """Delete every cache entry (experiment bundles, trial payloads,
+    and memoized LP bounds); returns the number removed."""
     root = Path(cache_dir)
     if not root.is_dir():
         return 0
     removed = 0
-    for entry in root.glob("*.pkl"):
-        entry.unlink(missing_ok=True)
-        removed += 1
+    for pattern in ("*.pkl", "trials/*.pkl", "lp_bounds/*.json"):
+        for entry in root.glob(pattern):
+            entry.unlink(missing_ok=True)
+            removed += 1
     return removed
 
 
@@ -130,8 +188,20 @@ def _seed_for(key: str) -> int:
     return int(key[:16], 16) % 2**32
 
 
-def _execute(exp_id: str, params: dict, key: str, collect_counters: bool):
-    """Run one experiment (in this or a worker process).
+def _set_lp_disk(lp_dir: str | None) -> None:
+    from repro.analysis.ratios import set_lower_bound_disk_cache
+
+    set_lower_bound_disk_cache(lp_dir)
+
+
+def _execute(
+    exp_id: str,
+    params: dict,
+    key: str,
+    collect_counters: bool,
+    lp_dir: str | None = None,
+):
+    """Run one whole experiment (in this or a worker process).
 
     Returns ``(result, counters_dict | None, wall_seconds)``.  Reseeds
     the global RNGs from the task key first so serial and parallel
@@ -142,6 +212,7 @@ def _execute(exp_id: str, params: dict, key: str, collect_counters: bool):
     from repro.analysis.experiments import run_experiment
     from repro.sim import counters as counter_mod
 
+    _set_lp_disk(lp_dir)
     seed = _seed_for(key)
     random.seed(seed)
     np.random.seed(seed)
@@ -159,6 +230,44 @@ def _execute(exp_id: str, params: dict, key: str, collect_counters: bool):
     return result, counters, wall
 
 
+def _execute_trial(
+    exp_id: str,
+    trial_id: str,
+    params: dict,
+    collect_counters: bool,
+    lp_dir: str | None = None,
+):
+    """Run one trial (in this or a worker process).
+
+    Returns ``(payload, counters_dict | None, wall_seconds)``.
+    :func:`~repro.analysis.experiments.grid.execute_trial` reseeds the
+    global RNGs from the trial digest, so the payload is bit-identical
+    no matter which process or in what order the trial runs.
+    """
+    import repro.analysis.experiments  # noqa: F401  (registers the grids)
+    from repro.analysis.experiments.grid import TrialSpec, execute_trial, get_grid
+    from repro.exceptions import AnalysisError
+    from repro.sim import counters as counter_mod
+
+    grid = get_grid(exp_id)
+    if grid is None:
+        raise AnalysisError(f"no trial grid registered for {exp_id!r}")
+    _set_lp_disk(lp_dir)
+    spec = TrialSpec(exp_id, trial_id, params)
+    if collect_counters:
+        counter_mod.enable_global_counters()
+    try:
+        started = perf_counter()
+        payload = execute_trial(grid, spec)
+        wall = perf_counter() - started
+        tallies = counter_mod.global_counters()
+        counters = tallies.as_dict() if tallies is not None else None
+    finally:
+        if collect_counters:
+            counter_mod.disable_global_counters()
+    return payload, counters, wall
+
+
 def _load_cached(path: Path) -> dict | None:
     # Unpickling arbitrary bytes can raise nearly anything (ValueError,
     # ImportError, ...), not just UnpicklingError; any unreadable entry
@@ -168,7 +277,7 @@ def _load_cached(path: Path) -> dict | None:
             entry = pickle.load(fh)
     except Exception:
         return None
-    if not isinstance(entry, dict) or "result" not in entry:
+    if not isinstance(entry, dict):
         return None
     return entry
 
@@ -181,6 +290,17 @@ def _store(path: Path, entry: dict) -> None:
     os.replace(tmp, path)
 
 
+def _merge_counter_dicts(dicts: list[dict | None]) -> dict | None:
+    merged: EngineCounters | None = None
+    for d in dicts:
+        if d is None:
+            continue
+        if merged is None:
+            merged = EngineCounters()
+        merged.merge(EngineCounters.from_dict(d))
+    return merged.as_dict() if merged is not None else None
+
+
 def run_experiments(
     exp_ids: list[str] | None = None,
     params_by_id: dict[str, dict] | None = None,
@@ -189,6 +309,7 @@ def run_experiments(
     cache_dir: str | Path = DEFAULT_CACHE_DIR,
     use_cache: bool = True,
     collect_counters: bool = False,
+    shard_trials: bool = True,
 ) -> list[RunnerOutcome]:
     """Run experiments, possibly in parallel, with result caching.
 
@@ -204,29 +325,43 @@ def run_experiments(
         Worker processes for cache misses; ``<= 1`` runs serially in
         this process.  Outputs are bit-identical either way.
     cache_dir / use_cache:
-        Cache location and switch.  Misses are stored even when hits
-        are being bypassed only if ``use_cache`` is true; with
-        ``use_cache=False`` nothing is read or written.
+        Cache location and switch.  With ``use_cache=False`` nothing is
+        read or written (the LP-bound disk layer is disabled too).
     collect_counters:
         Meter every simulation the experiments run and attach the
         aggregate to each outcome.
+    shard_trials:
+        Decompose grid experiments into their trials and schedule the
+        trials (across all requested experiments at once) over the
+        worker pool, caching each trial payload individually.  With
+        ``False`` every experiment is one opaque task, as in the
+        pre-grid runner.
     """
     from repro.analysis.experiments import all_experiment_ids
+    from repro.analysis.experiments.grid import enumerate_trials, get_grid, merge_params
 
     if exp_ids is None:
         exp_ids = all_experiment_ids()
     params_by_id = params_by_id or {}
+    lp_dir = str(Path(cache_dir) / "lp_bounds") if use_cache else None
+    _set_lp_disk(lp_dir)
     tasks = [
         (eid, params_by_id.get(eid, {}), cache_key(eid, params_by_id.get(eid, {})))
         for eid in exp_ids
     ]
 
     outcomes: dict[int, RunnerOutcome] = {}
-    misses: list[tuple[int, str, dict, str]] = []
+    whole_misses: list[tuple[int, str, dict, str]] = []
+    # i -> sharded-job bookkeeping for experiments resolved trial-wise.
+    grid_jobs: dict[int, dict] = {}
+    # Flat list of trial executions still needed, across all experiments.
+    trial_misses: list[tuple[int, int, str, str, dict, str]] = []
+
     for i, (eid, params, key) in enumerate(tasks):
         entry = _load_cached(cache_path(cache_dir, key)) if use_cache else None
-        if entry is not None:
+        if entry is not None and "result" in entry:
             counters = entry.get("counters")
+            trials_total = int(entry.get("trials_total", 0))
             outcomes[i] = RunnerOutcome(
                 exp_id=eid,
                 result=entry["result"],
@@ -238,26 +373,84 @@ def run_experiments(
                     if counters is not None
                     else None
                 ),
+                trials_total=trials_total,
+                trials_cached=trials_total,
             )
-        else:
-            misses.append((i, eid, params, key))
+            continue
+        grid = get_grid(eid) if shard_trials else None
+        if grid is None:
+            whole_misses.append((i, eid, params, key))
+            continue
+        merged = merge_params(grid, params)
+        specs = enumerate_trials(grid, merged)
+        job = {
+            "eid": eid,
+            "key": key,
+            "grid": grid,
+            "merged": merged,
+            "specs": specs,
+            "payloads": {},
+            "counters": [],
+            "walls": [],
+            "cached_trials": 0,
+        }
+        grid_jobs[i] = job
+        for t, spec in enumerate(specs):
+            tkey = trial_cache_key(eid, spec.trial_id, spec.params)
+            t_entry = (
+                _load_cached(trial_cache_path(cache_dir, tkey)) if use_cache else None
+            )
+            if t_entry is not None and "payload" in t_entry:
+                job["payloads"][t] = t_entry["payload"]
+                job["counters"].append(t_entry.get("counters"))
+                job["walls"].append(t_entry.get("wall_seconds", 0.0))
+                job["cached_trials"] += 1
+            else:
+                trial_misses.append((i, t, eid, spec.trial_id, spec.params, tkey))
 
-    if misses:
+    # -- compute every missing task (trials and whole experiments) -----
+    if trial_misses or whole_misses:
         if parallel > 1:
-            with ProcessPoolExecutor(max_workers=min(parallel, len(misses))) as pool:
-                futures = [
-                    (i, eid, key, pool.submit(_execute, eid, params, key, collect_counters))
-                    for i, eid, params, key in misses
+            workers = min(parallel, len(trial_misses) + len(whole_misses))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                t_futures = [
+                    (i, t, tkey, pool.submit(
+                        _execute_trial, eid, trial_id, params, collect_counters, lp_dir
+                    ))
+                    for i, t, eid, trial_id, params, tkey in trial_misses
                 ]
-                computed = [
-                    (i, eid, key, *future.result()) for i, eid, key, future in futures
+                w_futures = [
+                    (i, eid, key, pool.submit(
+                        _execute, eid, params, key, collect_counters, lp_dir
+                    ))
+                    for i, eid, params, key in whole_misses
                 ]
+                t_computed = [(i, t, tkey, *f.result()) for i, t, tkey, f in t_futures]
+                w_computed = [(i, eid, key, *f.result()) for i, eid, key, f in w_futures]
         else:
-            computed = [
-                (i, eid, key, *_execute(eid, params, key, collect_counters))
-                for i, eid, params, key in misses
+            t_computed = [
+                (i, t, tkey, *_execute_trial(
+                    eid, trial_id, params, collect_counters, lp_dir
+                ))
+                for i, t, eid, trial_id, params, tkey in trial_misses
             ]
-        for i, eid, key, result, counters, wall in computed:
+            w_computed = [
+                (i, eid, key, *_execute(eid, params, key, collect_counters, lp_dir))
+                for i, eid, params, key in whole_misses
+            ]
+
+        for i, t, tkey, payload, counters, wall in t_computed:
+            if use_cache:
+                _store(
+                    trial_cache_path(cache_dir, tkey),
+                    {"payload": payload, "counters": counters, "wall_seconds": wall},
+                )
+            job = grid_jobs[i]
+            job["payloads"][t] = payload
+            job["counters"].append(counters)
+            job["walls"].append(wall)
+
+        for i, eid, key, result, counters, wall in w_computed:
             if use_cache:
                 _store(
                     cache_path(cache_dir, key),
@@ -276,6 +469,39 @@ def run_experiments(
                 ),
             )
 
+    # -- reduce sharded experiments in the parent, in spec order -------
+    for i, job in grid_jobs.items():
+        specs = job["specs"]
+        started = perf_counter()
+        result = job["grid"].reduce(
+            job["merged"], [(spec, job["payloads"][t]) for t, spec in enumerate(specs)]
+        )
+        reduce_wall = perf_counter() - started
+        counters = _merge_counter_dicts(job["counters"])
+        wall = sum(job["walls"]) + reduce_wall
+        if use_cache:
+            _store(
+                cache_path(cache_dir, job["key"]),
+                {
+                    "result": result,
+                    "counters": counters,
+                    "wall_seconds": wall,
+                    "trials_total": len(specs),
+                },
+            )
+        outcomes[i] = RunnerOutcome(
+            exp_id=job["eid"],
+            result=result,
+            cached=job["cached_trials"] == len(specs),
+            wall_seconds=wall,
+            key=job["key"],
+            counters=(
+                EngineCounters.from_dict(counters) if counters is not None else None
+            ),
+            trials_total=len(specs),
+            trials_cached=job["cached_trials"],
+        )
+
     return [outcomes[i] for i in range(len(tasks))]
 
 
@@ -283,14 +509,19 @@ def summary_table(outcomes: list[RunnerOutcome]) -> Table:
     """One row per experiment: verdict, wall time, cache provenance."""
     table = Table(
         "experiment runner summary",
-        ["id", "verdict", "wall_s", "source", "events"],
+        ["id", "verdict", "wall_s", "source", "trials(cached)", "events"],
     )
     for out in outcomes:
+        if out.trials_total:
+            trials = f"{out.trials_total}({out.trials_cached})"
+        else:
+            trials = "-"
         table.add_row(
             out.exp_id,
             "PASS" if out.result.passed else "FAIL",
             out.wall_seconds,
             "cache" if out.cached else "run",
+            trials,
             int(out.counters.events_processed) if out.counters is not None else "-",
         )
     return table

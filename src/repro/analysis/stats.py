@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.exceptions import AnalysisError
 
-__all__ = ["Replication", "replicate", "compare"]
+__all__ = ["Replication", "replicate", "summarize", "compare"]
 
 #: two-sided z values for common confidence levels
 _Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
@@ -70,14 +70,26 @@ def replicate(
     """
     if len(seeds) < 2:
         raise AnalysisError("need at least 2 seeds for a confidence interval")
+    return summarize([measure(s) for s in seeds], level=level)
+
+
+def summarize(values: Sequence[float], *, level: float = 0.95) -> Replication:
+    """Summarise already-measured values exactly as :func:`replicate` would.
+
+    The trial-grid reduce steps use this on payloads computed in worker
+    processes; going through the same float operations as the inline
+    path keeps sharded and serial experiment tables bit-identical.
+    """
+    if len(values) < 2:
+        raise AnalysisError("need at least 2 values for a confidence interval")
     if level not in _Z:
         raise AnalysisError(f"level must be one of {sorted(_Z)}, got {level}")
-    values = np.array([float(measure(s)) for s in seeds])
-    mean = float(values.mean())
-    std = float(values.std(ddof=1))
-    half = _Z[level] * std / math.sqrt(len(values))
+    arr = np.array([float(v) for v in values])
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1))
+    half = _Z[level] * std / math.sqrt(len(arr))
     return Replication(
-        values=tuple(values.tolist()),
+        values=tuple(arr.tolist()),
         mean=mean,
         std=std,
         ci_low=mean - half,

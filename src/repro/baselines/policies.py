@@ -75,25 +75,54 @@ class LeastLoadedAssignment:
     (:meth:`~repro.sim.engine.SchedulerView.queue_volume_at` at the
     root-adjacent node, where the queue is all of ``Q_v``, and
     :meth:`~repro.sim.engine.SchedulerView.volume_through` at the leaf),
-    so an arrival costs O(leaves) instead of O(leaves × alive).
+    so an arrival costs O(leaves) instead of O(leaves × alive).  The
+    tree is immutable, so ``(leaf, R(leaf), d_leaf)`` is precomputed
+    once per origin — the repeated ``top_router``/``d``/feasibility
+    lookups, not the volume reads, dominated arrival cost on large
+    instances.  Jobs without per-leaf sizes score ``d_v · p_j`` for
+    their own path volume directly (every leaf is feasible); only jobs
+    carrying a leaf-size map pay the per-leaf ``p_{j,v}`` lookup and
+    the ``isfinite`` filter.
     """
 
+    def __init__(self) -> None:
+        # origin (None = whole tree) -> ((leaf, R(leaf), d_leaf), ...)
+        # in the same candidate order _feasible_leaves would produce.
+        self._layout: dict[int | None, tuple[tuple[int, int, int], ...]] = {}
+
+    def _layout_for(self, view: SchedulerView, job: Job):
+        tree = view.tree
+        origin = job.origin
+        if origin is None or origin == tree.root or origin not in tree:
+            origin = None
+        layout = self._layout.get(origin)
+        if layout is None:
+            candidates = tree.leaves if origin is None else tree.leaves_under(origin)
+            layout = tuple((v, tree.top_router(v), tree.d(v)) for v in candidates)
+            self._layout[origin] = layout
+        return layout
+
     def assign(self, view: SchedulerView, job: Job, now: float) -> int:
-        instance = view.instance
         tree = view.tree
         top_load = {top: view.queue_volume_at(top) for top in tree.root_children}
+        p = job.size
+        uniform = job.leaf_sizes is None and math.isfinite(p)
         best_leaf: int | None = None
         best_score = math.inf
-        for v in _feasible_leaves(view, job):
-            score = (
-                top_load[tree.top_router(v)]
-                + view.volume_through(v)
-                + instance.path_volume(job, v)
-            )
+        for v, top, d in self._layout_for(view, job):
+            if uniform:
+                own = d * p  # path_volume: (d-1)·p_j + p_{j,v} with p_{j,v} = p_j
+            else:
+                leaf_p = job.processing_on_leaf(v)
+                if not math.isfinite(leaf_p):
+                    continue
+                own = (d - 1) * p + leaf_p
+            score = top_load[top] + view.volume_through(v) + own
             if score < best_score or (score == best_score and (best_leaf is None or v < best_leaf)):
                 best_score = score
                 best_leaf = v
-        assert best_leaf is not None
+        if best_leaf is None:
+            raise AssignmentError(f"job {job.id} has no feasible leaf")
         return best_leaf
 
 

@@ -7,15 +7,17 @@
   table and an ASCII Gantt chart;
 * ``experiment`` — run one or all registered experiments serially and
   print their reports (the same tables the benchmarks regenerate);
-* ``experiments`` — run many experiments through the parallel runner
-  with content-addressed result caching (``--parallel N``,
-  ``--no-cache``, ``--counters``);
+* ``experiments`` — run many experiments through the trial-sharding
+  parallel runner with content-addressed result caching
+  (``--parallel N``, ``--no-cache``, ``--no-shard``, ``--counters``);
 * ``list-experiments`` — show the registry;
 * ``generate`` — write a synthetic instance to a JSON trace for later
   ``run --trace`` calls;
 * ``bound`` — compute lower bounds (LP and combinatorial) for a trace;
-* ``bench`` — engine scaling sweep plus policy microbenchmarks, written
-  to ``BENCH_engine.json`` so the perf trajectory is tracked across PRs.
+* ``bench`` — engine scaling sweep, policy microbenchmarks and registry
+  serial-vs-sharded timing, written to ``BENCH_engine.json`` so the
+  perf trajectory is tracked across PRs; ``--compare`` gates a fresh
+  run against the checked-in document instead.
 
 Every command is deterministic given ``--seed``; ``run --profile``
 wraps the simulation in ``cProfile`` for hot-path hunts.
@@ -215,6 +217,7 @@ def _cmd_experiments(args) -> int:
         cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
         use_cache=not args.no_cache,
         collect_counters=args.counters,
+        shard_trials=not args.no_shard,
     )
     if not args.summary_only:
         for out in outcomes:
@@ -296,14 +299,48 @@ def _cmd_plan(args) -> int:
 def _cmd_bench(args) -> int:
     import json
 
-    from repro.analysis.bench import run_bench, render_bench
+    from repro.analysis.bench import (
+        MAX_DEGRADATION,
+        compare_bench,
+        render_bench,
+        run_bench,
+    )
 
     doc = run_bench(
         sizes=tuple(args.sizes),
         repeats=args.repeats,
         include_policies=not args.no_policies,
+        # A compare run is a gate, not a new baseline: skip the registry
+        # timing (it is excluded from the comparison anyway).
+        include_registry=not args.no_registry and not args.compare,
+        registry_parallel=args.registry_parallel,
     )
     print(render_bench(doc))
+    if args.compare:
+        try:
+            with open(args.output) as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"cannot read baseline {args.output}: {exc}", file=sys.stderr)
+            return 1
+        regressions = compare_bench(baseline, doc)
+        if regressions:
+            table = Table(
+                f"throughput regressions vs {args.output} "
+                f"(> {MAX_DEGRADATION}x slower)",
+                ["section", "name", "baseline_ev_s", "fresh_ev_s", "slowdown"],
+            )
+            for reg in regressions:
+                table.add_row(
+                    reg["section"], reg["name"], reg["baseline_events_per_s"],
+                    reg["fresh_events_per_s"], reg["slowdown"],
+                )
+            print()
+            print(table.render())
+            print(f"FAILED: {len(regressions)} regression(s)", file=sys.stderr)
+            return 1
+        print(f"\nno regressions vs {args.output} (band: {MAX_DEGRADATION}x)")
+        return 0
     if args.output != "-":
         with open(args.output, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
@@ -404,6 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the on-disk result cache entirely",
     )
     p_exps.add_argument(
+        "--no-shard",
+        action="store_true",
+        help="schedule whole experiments instead of individual trials",
+    )
+    p_exps.add_argument(
         "--cache-dir",
         default=None,
         help="cache directory (default: .cache/experiments)",
@@ -461,6 +503,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--no-policies", action="store_true", help="skip the policy microbenchmarks"
+    )
+    p_bench.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="skip the registry serial-vs-sharded timing",
+    )
+    p_bench.add_argument(
+        "--registry-parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="workers for the sharded registry run (default: core count)",
+    )
+    p_bench.add_argument(
+        "--compare",
+        action="store_true",
+        help="compare a fresh run against the checked-in JSON at --output "
+        "instead of overwriting it; exit non-zero on a throughput regression",
     )
     p_bench.add_argument(
         "-o",

@@ -61,6 +61,11 @@ class EngineCounters:
     aggregate_updates:
         Per-node incremental adjustments to the congestion aggregates at
         the three mutation points (release, hop advance, settle).
+    lp_memo_hits / lp_memo_misses:
+        Lookups answered by / solved through the memoized lower-bound
+        service of :mod:`repro.analysis.ratios` (counted only while
+        global collection is on; the LP solver runs outside the engine,
+        so per-run counters never see these).
     arrival_seconds / completion_seconds:
         Wall-clock spent inside the two event handlers.
     run_seconds:
@@ -78,6 +83,8 @@ class EngineCounters:
     drained_finished: int = 0
     aggregate_reads: int = 0
     aggregate_updates: int = 0
+    lp_memo_hits: int = 0
+    lp_memo_misses: int = 0
     arrival_seconds: float = 0.0
     completion_seconds: float = 0.0
     run_seconds: float = 0.0

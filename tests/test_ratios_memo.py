@@ -1,0 +1,202 @@
+"""Property tests for the memoized lower-bound service.
+
+Two invariants carry the whole design: the memo is *transparent*
+(``lower_bound_cached`` returns exactly what a fresh ``lower_bound_for``
+would) and the digest is *faithful* (any change to the instance or the
+solver configuration changes the key, so distinct computations can never
+share an entry).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ratios import (
+    clear_lower_bound_memo,
+    instance_digest,
+    lower_bound_cached,
+    lower_bound_for,
+    lower_bound_memo_stats,
+    set_lower_bound_disk_cache,
+)
+from repro.sim import counters as counter_mod
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import JobSet
+from repro.workload.unrelated import affinity_matrix
+from tests.test_properties import jobs_strategy, tree_strategy
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    """Each test starts with an empty memory layer and no disk layer."""
+    clear_lower_bound_memo()
+    set_lower_bound_disk_cache(None)
+    yield
+    clear_lower_bound_memo()
+    set_lower_bound_disk_cache(None)
+
+
+@st.composite
+def instance_strategy(draw, unrelated=False):
+    tree = draw(tree_strategy())
+    jobs = draw(jobs_strategy(max_jobs=8))
+    if unrelated:
+        rows = affinity_matrix(
+            tree.leaves,
+            [j.size for j in jobs],
+            rng=draw(st.integers(0, 100)),
+        )
+        jobs = JobSet.build(
+            [j.release for j in jobs], [j.size for j in jobs], rows
+        )
+        return Instance(tree, jobs, Setting.UNRELATED, name="prop-unrel")
+    return Instance(tree, jobs, Setting.IDENTICAL, name="prop-ident")
+
+
+# ----------------------------------------------------------------------
+# transparency: memoized == fresh
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(instance=instance_strategy())
+def test_memo_equals_fresh_identical(instance):
+    clear_lower_bound_memo()
+    fresh = lower_bound_for(instance, prefer_lp=False)
+    assert lower_bound_cached(instance, prefer_lp=False) == fresh
+    assert lower_bound_cached(instance, prefer_lp=False) == fresh  # hit path
+    stats = lower_bound_memo_stats()
+    assert (stats["hits"], stats["misses"]) == (1, 1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(instance=instance_strategy(unrelated=True))
+def test_memo_equals_fresh_unrelated(instance):
+    clear_lower_bound_memo()
+    fresh = lower_bound_for(instance, prefer_lp=False)
+    assert lower_bound_cached(instance, prefer_lp=False) == fresh
+
+
+def test_memo_equals_fresh_with_lp():
+    """One small instance through the exact-LP path (kept out of the
+    hypothesis sweep: LP solves are orders of magnitude slower)."""
+    from repro.network.builders import kary_tree
+
+    tree = kary_tree(2, 2)
+    instance = Instance(
+        tree,
+        JobSet.build([0.0, 0.5, 1.0], [1.0, 2.0, 1.5]),
+        Setting.IDENTICAL,
+        name="lp-memo",
+    )
+    fresh = lower_bound_for(instance, prefer_lp=True)
+    assert lower_bound_cached(instance, prefer_lp=True) == fresh
+    assert lower_bound_cached(instance, prefer_lp=True) == fresh
+
+
+# ----------------------------------------------------------------------
+# faithfulness: distinct computations never collide
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    instance=instance_strategy(),
+    job_index=st.integers(0, 7),
+    bump=st.floats(0.001, 1.0, allow_nan=False, allow_infinity=False),
+)
+def test_perturbed_instance_digests_differently(instance, job_index, bump):
+    jobs = list(instance.jobs)
+    job_index %= len(jobs)
+    sizes = [j.size for j in jobs]
+    sizes[job_index] += bump
+    perturbed = Instance(
+        instance.tree,
+        JobSet.build([j.release for j in jobs], sizes),
+        instance.setting,
+        name=instance.name,
+    )
+    assert instance_digest(perturbed) != instance_digest(instance)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=instance_strategy(), b=instance_strategy())
+def test_distinct_instances_digest_distinctly(a, b):
+    same_shape = (
+        sorted(a.tree.parent_map().items()) == sorted(b.tree.parent_map().items())
+        and [(j.release, j.size, j.origin) for j in a.jobs]
+        == [(j.release, j.size, j.origin) for j in b.jobs]
+    )
+    if same_shape:
+        assert instance_digest(a) == instance_digest(b)
+    else:
+        assert instance_digest(a) != instance_digest(b)
+
+
+def test_solver_config_is_part_of_the_key():
+    from repro.network.builders import kary_tree
+
+    instance = Instance(
+        kary_tree(2, 2),
+        JobSet.build([0.0], [1.0]),
+        Setting.IDENTICAL,
+        name="cfg",
+    )
+    base = instance_digest(instance)
+    assert instance_digest(instance, prefer_lp=False) != base
+    assert instance_digest(instance, dt=0.5) != base
+
+
+# ----------------------------------------------------------------------
+# counters + disk layer
+# ----------------------------------------------------------------------
+def test_hit_miss_counted_into_global_counters():
+    from repro.network.builders import kary_tree
+
+    instance = Instance(
+        kary_tree(2, 2),
+        JobSet.build([0.0, 1.0], [2.0, 1.0]),
+        Setting.IDENTICAL,
+        name="counted",
+    )
+    tallies = counter_mod.enable_global_counters()
+    try:
+        lower_bound_cached(instance, prefer_lp=False)
+        lower_bound_cached(instance, prefer_lp=False)
+    finally:
+        counter_mod.disable_global_counters()
+    assert tallies.lp_memo_misses == 1
+    assert tallies.lp_memo_hits == 1
+
+
+def test_disk_layer_survives_memory_clear(tmp_path):
+    from repro.network.builders import kary_tree
+
+    instance = Instance(
+        kary_tree(2, 3),
+        JobSet.build([0.0, 0.5], [1.0, 3.0]),
+        Setting.IDENTICAL,
+        name="disk",
+    )
+    set_lower_bound_disk_cache(tmp_path)
+    first = lower_bound_cached(instance, prefer_lp=False)
+    clear_lower_bound_memo()  # drop the memory layer; disk must answer
+    assert lower_bound_cached(instance, prefer_lp=False) == first
+    stats = lower_bound_memo_stats()
+    assert (stats["hits"], stats["misses"]) == (1, 0)
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    from repro.network.builders import kary_tree
+
+    instance = Instance(
+        kary_tree(2, 3),
+        JobSet.build([0.0], [2.0]),
+        Setting.IDENTICAL,
+        name="disk-corrupt",
+    )
+    set_lower_bound_disk_cache(tmp_path)
+    first = lower_bound_cached(instance, prefer_lp=False)
+    digest = instance_digest(instance, prefer_lp=False)
+    (tmp_path / f"{digest}.json").write_text("{not json")
+    clear_lower_bound_memo()
+    assert lower_bound_cached(instance, prefer_lp=False) == first
+    assert lower_bound_memo_stats()["misses"] == 1

@@ -64,7 +64,7 @@ class TestCacheRoundTrip:
     def test_no_cache_never_touches_disk(self, tmp_path):
         out = run_experiments(FAST_IDS, cache_dir=tmp_path, use_cache=False)
         assert all(not o.cached for o in out)
-        assert list(tmp_path.glob("*.pkl")) == []
+        assert list(tmp_path.rglob("*")) == []
 
     # pickle raises different exceptions depending on which opcode the
     # garbage happens to decode to: b"not a pickle" -> UnpicklingError,
@@ -73,15 +73,26 @@ class TestCacheRoundTrip:
     def test_corrupt_entry_is_a_miss(self, tmp_path, junk):
         first = run_experiments(["F1"], cache_dir=tmp_path)[0]
         cache_path(tmp_path, first.key).write_bytes(junk)
+        # the experiment entry is gone but every trial entry survives, so
+        # the re-run is a trial-cache replay (still reported as cached)
         again = run_experiments(["F1"], cache_dir=tmp_path)[0]
-        assert not again.cached
+        assert again.cached
+        assert again.trials_cached == again.trials_total == first.trials_total
         assert same_payload(first.result, again.result)
-        # and the repaired entry is served on the next read
+        # and the repaired experiment entry is served on the next read
         assert run_experiments(["F1"], cache_dir=tmp_path)[0].cached
+        # with the trial cache wiped too, the run is an honest recompute
+        cache_path(tmp_path, first.key).write_bytes(junk)
+        for entry in (tmp_path / "trials").glob("*.pkl"):
+            entry.write_bytes(junk)
+        cold = run_experiments(["F1"], cache_dir=tmp_path)[0]
+        assert not cold.cached and cold.trials_cached == 0
+        assert same_payload(first.result, cold.result)
 
     def test_clear_cache(self, tmp_path):
         run_experiments(FAST_IDS, cache_dir=tmp_path)
-        assert clear_cache(tmp_path) == len(FAST_IDS)
+        # one experiment entry each plus one entry per trial
+        assert clear_cache(tmp_path) > len(FAST_IDS)
         assert clear_cache(tmp_path) == 0
         assert clear_cache(tmp_path / "missing") == 0
 
@@ -98,7 +109,11 @@ class TestParallelIdentity:
         from tests.test_experiments import QUICK_PARAMS
 
         serial = run_experiments(
-            None, QUICK_PARAMS, parallel=1, cache_dir=tmp_path / "serial"
+            None,
+            QUICK_PARAMS,
+            parallel=1,
+            cache_dir=tmp_path / "serial",
+            shard_trials=False,  # the pre-grid whole-experiment path
         )
         parallel = run_experiments(
             None, QUICK_PARAMS, parallel=4, cache_dir=tmp_path / "parallel"
