@@ -25,7 +25,7 @@ def test_s1_engine_kernel(benchmark):
 
     def run():
         return simulate(
-            instance, GreedyIdenticalAssignment(0.25), SpeedProfile.uniform(1.5)
+            instance, GreedyIdenticalAssignment(0.25), speeds=SpeedProfile.uniform(1.5)
         )
 
     result = benchmark(run)

@@ -1,20 +1,40 @@
-"""Regression guard: engine throughput must scale near-linearly.
+"""Regression guards on raw engine throughput.
 
-With the incremental congestion aggregates, an arrival costs O(path
-length + branch count) instead of O(leaves x alive), so events/s should
-be roughly flat as the job count grows.  This guard runs the S1 sweep
-(via ``repro bench``'s harness, best-of-N walls to shed scheduler noise)
-and asserts the largest size retains at least ``1/MAX_DEGRADATION`` of
-the smallest size's throughput — the same band ``repro bench --compare``
-enforces against the checked-in baseline.  A quadratic-scan regression
-shows up as a 3-10x drop at 2400 jobs, far past the band.
+Two gates, both driven by the S1 sweep harness (best-of-N walls to shed
+scheduler noise):
+
+* **near-linear scaling** — with the incremental congestion aggregates,
+  an arrival costs O(path length + branch count) instead of
+  O(leaves x alive), so events/s must stay roughly flat as the job
+  count grows.  A quadratic-scan regression shows up as a 3-10x drop at
+  2400 jobs, far past the band.
+* **disabled-path overhead** — the observability hooks (counters and
+  the trace recorder) are compiled into the engine but off by default;
+  each hook site must cost one ``is None`` test and nothing more.  The
+  guard compares a fresh hooks-off run against the checked-in
+  ``BENCH_engine.json`` and requires the *best* size to stay within
+  ``MAX_HOOK_OVERHEAD`` of the baseline.  Taking the minimum slowdown
+  across sizes is deliberate: genuine per-event overhead slows every
+  size uniformly, while machine noise rarely depresses all sizes at
+  once, so the min is the noise-robust estimator of the floor.
 
 Marked ``slow`` by the benchmarks conftest, so tier-1 stays fast.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
+import pytest
+
 from repro.analysis.bench import MAX_DEGRADATION, run_bench
+
+#: Allowed fresh-vs-baseline throughput ratio for the hooks-off engine:
+#: the ISSUE's acceptance bar of <5% disabled-path overhead.
+MAX_HOOK_OVERHEAD = 1.05
+
+_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 def test_throughput_scales_near_linearly():
@@ -30,4 +50,26 @@ def test_throughput_scales_near_linearly():
         f"{min(rates)} to {max(rates)} jobs "
         f"({smallest:,.0f} -> {largest:,.0f} events/s); "
         f"allowed: {MAX_DEGRADATION}x"
+    )
+
+
+def test_disabled_hooks_cost_under_five_percent():
+    if not _BASELINE.exists():  # pragma: no cover - fresh checkout only
+        pytest.skip(f"no baseline at {_BASELINE}")
+    baseline = json.loads(_BASELINE.read_text())["scaling"]
+    sizes = tuple(sorted(int(s) for s in baseline))
+    fresh = run_bench(
+        sizes=sizes, repeats=5,
+        include_policies=False, include_registry=False,
+    )["scaling"]
+    slowdowns = {
+        n: baseline[str(n)]["events_per_s"] / fresh[str(n)]["events_per_s"]
+        for n in sizes
+    }
+    floor = min(slowdowns.values())
+    detail = ", ".join(f"{n}: {s:.3f}x" for n, s in sorted(slowdowns.items()))
+    assert floor <= MAX_HOOK_OVERHEAD, (
+        f"hooks-off engine is uniformly >{(MAX_HOOK_OVERHEAD - 1) * 100:.0f}% "
+        f"slower than BENCH_engine.json (per-size slowdown {detail}); "
+        "the disabled instrumentation path is no longer free"
     )

@@ -23,8 +23,8 @@ from repro import (
     bimodal_sizes,
     datacenter_tree,
     poisson_arrivals,
-    simulate,
 )
+from repro.sim import simulate
 from repro.analysis.tables import Table
 from repro.sim.engine import fifo_priority, sjf_priority
 from repro.sim.metrics import waiting_decomposition
@@ -60,7 +60,7 @@ def main() -> None:
     for order_name, order in (("sjf", sjf_priority), ("fifo", fifo_priority)):
         for name, factory in policies.items():
             result = simulate(
-                instance, factory(), SpeedProfile.uniform(1.25), priority=order
+                instance, factory(), speeds=SpeedProfile.uniform(1.25), priority=order
             )
             table.add_row(
                 name,
@@ -74,7 +74,7 @@ def main() -> None:
 
     # Where does a job's time go under the winning policy?
     result = simulate(
-        instance, GreedyIdenticalAssignment(0.25), SpeedProfile.uniform(1.25)
+        instance, GreedyIdenticalAssignment(0.25), speeds=SpeedProfile.uniform(1.25)
     )
     tops = interior = leaf = 0.0
     for jid in result.records:

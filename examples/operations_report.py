@@ -2,19 +2,19 @@
 """Operations view: utilisation, bottlenecks, preemptions, and norms.
 
 Takes the ``mapreduce_shuffle`` scenario (heavy-tailed transfers on a
-datacenter tree), runs the paper's scheduler, and prints the report an
-operator would want: per-tier utilisation, the busiest nodes, how often
-SJF preempts, tail metrics, and a Gantt snapshot of the first busy
-window.
+datacenter tree), runs the paper's scheduler through the stable
+:mod:`repro.api` facade with structured tracing on, and prints the
+report an operator would want: per-tier utilisation, the busiest nodes,
+how often SJF preempts, tail metrics, a per-node trace summary, and a
+Gantt snapshot of the first busy window.
 
 Run:  python examples/operations_report.py
 """
 
-from repro import SpeedProfile, simulate
+from repro import api
 from repro.analysis.norms import flow_norm_summary
 from repro.analysis.profiles import bottleneck_report, node_utilisation
-from repro.core.assignment import GreedyIdenticalAssignment
-from repro.sim.events import EventKind, EventLog
+from repro.obs import trace_summary_table
 from repro.sim.gantt import render_gantt
 from repro.workload.scenarios import mapreduce_shuffle
 
@@ -23,13 +23,22 @@ def main() -> None:
     instance = mapreduce_shuffle(n=120, seed=7)
     print(f"scenario: {instance.name} — {instance.tree!r}")
 
-    log = EventLog()
-    result = simulate(
-        instance,
-        GreedyIdenticalAssignment(eps=0.25),
-        SpeedProfile.uniform(1.25),
+    result = api.trace_run(
+        instance=instance,
+        policy="greedy",
+        eps=0.25,
+        speed=1.25,
+        record_points=True,
+        record_spans=True,
+    )
+    # trace_run records service spans on the trace; the Gantt renderer
+    # wants engine segments, so re-run with segments (same schedule).
+    result_segments = api.simulate(
+        instance=instance,
+        policy="greedy",
+        eps=0.25,
+        speed=1.25,
         record_segments=True,
-        observer=log,
     )
 
     norms = flow_norm_summary(result)
@@ -39,9 +48,9 @@ def main() -> None:
         print(f"  {key:>4}: {norms[key]:.2f}")
 
     print()
-    print(bottleneck_report(result, top=8).render())
+    print(bottleneck_report(result_segments, top=8).render())
 
-    util = node_utilisation(result)
+    util = node_utilisation(result_segments)
     tree = instance.tree
     tiers = {"root-adjacent": [], "router": [], "machine": []}
     for v, u in util.items():
@@ -58,17 +67,27 @@ def main() -> None:
         if values:
             print(f"  {tier:>13}: {sum(values) / len(values):5.1%}")
 
-    preemptions = log.of_kind(EventKind.PREEMPTION)
+    # A (job, node) hop with k service spans was interrupted k-1 times:
+    # under SJF the only way a started job stops before finishing its
+    # hop is a preemption by a shorter job.
+    trace = result.trace
+    hops: dict[tuple[int, int], int] = {}
+    for span in trace.spans_of("service"):
+        hops[(span.job_id, span.node)] = hops.get((span.job_id, span.node), 0) + 1
+    preemptions = sum(k - 1 for k in hops.values())
     print()
     print(
-        f"SJF preemptions: {len(preemptions)} over "
+        f"SJF preemptions: {preemptions} over "
         f"{len(result.records)} jobs "
-        f"({len(preemptions) / len(result.records):.2f} per job)"
+        f"({preemptions / len(result.records):.2f} per job)"
     )
 
     print()
+    print(trace_summary_table(trace).render())
+
+    print()
     print("first 60 time units, busiest pod:")
-    print(render_gantt(result, width=96, until=60.0))
+    print(render_gantt(result_segments, width=96, until=60.0))
 
 
 if __name__ == "__main__":

@@ -22,9 +22,9 @@ from repro import (
     Setting,
     SpeedProfile,
     adversarial_bursts,
-    simulate,
     star_of_paths,
 )
+from repro.sim import simulate
 from repro.analysis.tables import Table
 from repro.sim.metrics import interior_delay, normalized_interior_delay
 
@@ -46,7 +46,7 @@ def main() -> None:
 
     # Lemma 1's configuration: unit speed at the top tier, (1+eps) below.
     result = simulate(
-        instance, GreedyIdenticalAssignment(eps), SpeedProfile.lemma1(eps)
+        instance, GreedyIdenticalAssignment(eps), speeds=SpeedProfile.lemma1(eps)
     )
 
     norm = [normalized_interior_delay(result, j) for j in result.records]
@@ -64,7 +64,9 @@ def main() -> None:
         ["speed", "mean_flow", "max_flow"],
     )
     for s in (1.0, 1.1, 1.25, 1.5, 2.0, 3.0):
-        r = simulate(instance, GreedyIdenticalAssignment(eps), SpeedProfile.uniform(s))
+        r = simulate(
+            instance, GreedyIdenticalAssignment(eps), speeds=SpeedProfile.uniform(s)
+        )
         table.add_row(s, r.mean_flow_time(), r.max_flow_time())
     print()
     print(table.render())

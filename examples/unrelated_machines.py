@@ -21,9 +21,9 @@ from repro import (
     SpeedProfile,
     datacenter_tree,
     poisson_arrivals,
-    simulate,
     uniform_sizes,
 )
+from repro.sim import simulate
 from repro.analysis.ratios import competitive_report, lower_bound_for
 from repro.analysis.tables import Table
 from repro.workload.unrelated import affinity_matrix, restricted_assignment_matrix
@@ -55,7 +55,7 @@ def main() -> None:
             ("greedy-unrelated", lambda: GreedyUnrelatedAssignment(0.25)),
             ("closest/fastest", ClosestLeafAssignment),
         ):
-            result = simulate(instance, factory(), SpeedProfile.uniform(s))
+            result = simulate(instance, factory(), speeds=SpeedProfile.uniform(s))
             rep = competitive_report(name, instance, result, lower_bound=bound)
             table.add_row(name, s, rep.total_flow, rep.ratio)
     print(table.render())
@@ -74,7 +74,9 @@ def main() -> None:
         Setting.UNRELATED,
         name="hot",
     )
-    result = simulate(hot, GreedyUnrelatedAssignment(1.0), SpeedProfile.uniform(1.0))
+    result = simulate(
+        hot, GreedyUnrelatedAssignment(1.0), speeds=SpeedProfile.uniform(1.0)
+    )
     sacrificed = 0
     for jid, rec in result.records.items():
         job = hot.jobs.by_id(jid)

@@ -75,7 +75,6 @@ from repro.sim import (
     SchedulerView,
     SimulationResult,
     SpeedProfile,
-    simulate,
 )
 from repro.core import (
     FixedAssignment,
@@ -105,8 +104,42 @@ from repro.workload.chunking import (
 )
 from repro.sim.gantt import render_gantt
 from repro.analysis.norms import flow_lk_norm, flow_norm_summary
+from repro import api
+from repro.api import build_tree, make_instance, run_experiments, trace_run
+from repro.obs import (
+    GaugeSample,
+    SimulationTrace,
+    TraceConfig,
+    TracePoint,
+    TraceRecorder,
+    TraceSpan,
+)
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    """Deprecation shims for moved top-level entry points.
+
+    ``repro.simulate`` (the engine wrapper with positional options)
+    gave way to the keyword-only :func:`repro.api.simulate`; the old
+    name keeps working for one release but warns.  Import the engine
+    wrapper from :mod:`repro.sim` to keep positional ``instance`` /
+    ``policy`` without a warning.
+    """
+    if name == "simulate":
+        import warnings
+
+        warnings.warn(
+            "importing simulate from the repro top level is deprecated; use "
+            "repro.api.simulate (keyword-only) or repro.sim.simulate",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.sim.engine import simulate
+
+        return simulate
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     # errors
@@ -160,7 +193,20 @@ __all__ = [
     "SchedulerView",
     "SimulationResult",
     "SpeedProfile",
-    "simulate",
+    "simulate",  # deprecated alias (module __getattr__); use repro.api
+    # stable facade
+    "api",
+    "build_tree",
+    "make_instance",
+    "run_experiments",
+    "trace_run",
+    # observability
+    "TraceConfig",
+    "TraceRecorder",
+    "SimulationTrace",
+    "TracePoint",
+    "TraceSpan",
+    "GaugeSample",
     # core
     "sjf_priority",
     "fifo_priority",

@@ -91,7 +91,7 @@ def _run_trial(spec: TrialSpec) -> dict:
     result = simulate(
         instance,
         _policy_for(q["policy"], q["eps"], q["seed"]),
-        SpeedProfile.uniform(q["speed"]),
+        speeds=SpeedProfile.uniform(q["speed"]),
         priority=order,
     )
     return {"mean": result.mean_flow_time(), "max": result.max_flow_time()}

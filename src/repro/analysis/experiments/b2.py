@@ -106,7 +106,7 @@ def _run_trial(spec: TrialSpec) -> dict:
     q = spec.params
     instance = _instance_for(q["scenario"], q["scale"], q["seed"])
     policy = _policy_for(q["policy"], instance, q["eps"], q["seed"])
-    result = simulate(instance, policy, SpeedProfile.uniform(q["speed"]))
+    result = simulate(instance, policy, speeds=SpeedProfile.uniform(q["speed"]))
     norms = flow_norm_summary(result)
     return {"mean": norms["mean"], "p95": norms["p95"], "max": norms["max"]}
 

@@ -60,7 +60,7 @@ def _run_trial(spec: TrialSpec) -> dict:
     ).rounded(eps)
     # Lemma 1's setting: unit speed on the top tier, (1+eps) below.
     speeds = SpeedProfile.lemma1(eps)
-    result = simulate(instance, GreedyIdenticalAssignment(eps), speeds)
+    result = simulate(instance, GreedyIdenticalAssignment(eps), speeds=speeds)
     norms = [normalized_interior_delay(result, jid) for jid in result.records]
     return {"max": max(norms), "mean": sum(norms) / len(norms)}
 

@@ -77,7 +77,7 @@ def _run_trial(spec: TrialSpec) -> dict:
     result = simulate(
         instance,
         FixedAssignment({i: leaf for i in range(n)}),
-        SpeedProfile.uniform(s),
+        speeds=SpeedProfile.uniform(s),
         priority=order,
     )
     norms = flow_norm_summary(result)

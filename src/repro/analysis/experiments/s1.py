@@ -53,7 +53,7 @@ def _run_trial(spec: TrialSpec) -> dict:
     instance = identical_instance(tree, n, load=0.85, seed=q["seed"])
     t0 = time.perf_counter()
     result = simulate(
-        instance, GreedyIdenticalAssignment(q["eps"]), SpeedProfile.uniform(1.5)
+        instance, GreedyIdenticalAssignment(q["eps"]), speeds=SpeedProfile.uniform(1.5)
     )
     wall = time.perf_counter() - t0
     return {

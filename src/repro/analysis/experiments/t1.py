@@ -87,7 +87,7 @@ def _run_trial(spec: TrialSpec) -> dict:
     if q["policy"] == "paper":
         result = run_paper_algorithm(instance, q["eps"], profile)
     else:
-        result = simulate(instance, ClosestLeafAssignment(), profile)
+        result = simulate(instance, ClosestLeafAssignment(), speeds=profile)
     rep = competitive_report(q["policy"], instance, result, lower_bound=bound)
     return {"ratio": rep.fractional_ratio, "bound": bound[1]}
 

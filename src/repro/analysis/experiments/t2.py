@@ -86,7 +86,7 @@ def _run_trial(spec: TrialSpec) -> float:
     if q["policy"] == "paper":
         result = run_paper_algorithm(instance, q["eps"], profile)
     else:
-        result = simulate(instance, ClosestLeafAssignment(), profile)
+        result = simulate(instance, ClosestLeafAssignment(), speeds=profile)
     return competitive_report(
         q["policy"], instance, result, lower_bound=bound
     ).fractional_ratio

@@ -85,7 +85,7 @@ def _run_trial(spec: TrialSpec) -> dict:
     instance = _instance(q["seed"])
     speeds = SpeedProfile.uniform(1.0 + eps)
     if q["mode"] == "baseline":
-        result = simulate(instance, GreedyIdenticalAssignment(eps), speeds)
+        result = simulate(instance, GreedyIdenticalAssignment(eps), speeds=speeds)
         pieces = len(instance.jobs)
         summary = result
     else:
@@ -93,7 +93,7 @@ def _run_trial(spec: TrialSpec) -> dict:
         raw = simulate(
             chunked.instance,
             ChunkedAssignment(chunked, GreedyIdenticalAssignment(eps)),
-            speeds,
+            speeds=speeds,
             priority=chunk_priority(chunked),
         )
         summary = aggregate_chunk_result(chunked, raw)  # raises on split jobs

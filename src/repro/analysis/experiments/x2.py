@@ -88,7 +88,7 @@ def _run_trial(spec: TrialSpec) -> dict:
         name=f"origins/{q['tier']}",
     )
     result = simulate(
-        instance, GreedyIdenticalAssignment(q["eps"]), SpeedProfile.uniform(1.25)
+        instance, GreedyIdenticalAssignment(q["eps"]), speeds=SpeedProfile.uniform(1.25)
     )
     respected = True
     path_lens = []

@@ -94,7 +94,7 @@ def _run_trial(spec: TrialSpec) -> dict:
         tree, q["n"], load=0.95, size_kind="pareto", seed=q["seed"]
     )
     result = simulate(
-        instance, _WeightedGreedy(eps, q["w"]), SpeedProfile.uniform(1.0 + eps)
+        instance, _WeightedGreedy(eps, q["w"]), speeds=SpeedProfile.uniform(1.0 + eps)
     )
     return {
         "total": result.total_flow_time(),

@@ -107,7 +107,9 @@ def min_speed_for_flow(
     frontier: list[PlanPoint] = []
 
     def probe(speed: float) -> bool:
-        result = simulate(instance, policy_factory(), SpeedProfile.uniform(speed))
+        result = simulate(
+            instance, policy_factory(), speeds=SpeedProfile.uniform(speed)
+        )
         value = evaluate(result)
         ok = value <= target
         frontier.append(PlanPoint(speed=speed, value=value, meets_target=ok))

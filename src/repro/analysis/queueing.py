@@ -84,7 +84,7 @@ def simulate_single_node_flow(
     result = simulate(
         instance,
         FixedAssignment({i: leaf for i in range(n)}),
-        speeds,
+        speeds=speeds,
         priority=fifo_priority,
     )
     # Subtract each job's (tiny) leaf service so only the router sojourn

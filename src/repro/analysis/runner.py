@@ -69,15 +69,20 @@ __all__ = [
     "trial_cache_key",
     "cache_path",
     "trial_cache_path",
+    "manifest_path",
     "clear_cache",
     "run_experiments",
     "summary_table",
     "aggregate_counters",
     "DEFAULT_CACHE_DIR",
+    "MANIFEST_SCHEMA",
 ]
 
 #: Bump when the pickled outcome layout changes; invalidates old entries.
-CACHE_SCHEMA = 2
+CACHE_SCHEMA = 3
+
+#: Version tag of the JSON trial manifests (``manifest_dir=``).
+MANIFEST_SCHEMA = "run-manifest/v1"
 
 #: Default on-disk location, relative to the working directory.
 DEFAULT_CACHE_DIR = os.path.join(".cache", "experiments")
@@ -168,6 +173,11 @@ def cache_path(cache_dir: str | Path, key: str) -> Path:
 
 def trial_cache_path(cache_dir: str | Path, key: str) -> Path:
     return Path(cache_dir) / "trials" / f"{key}.pkl"
+
+
+def manifest_path(manifest_dir: str | Path, exp_id: str) -> Path:
+    """Where :func:`run_experiments` writes one experiment's manifest."""
+    return Path(manifest_dir) / f"{exp_id}.manifest.json"
 
 
 def clear_cache(cache_dir: str | Path = DEFAULT_CACHE_DIR) -> int:
@@ -303,13 +313,14 @@ def _merge_counter_dicts(dicts: list[dict | None]) -> dict | None:
 
 def run_experiments(
     exp_ids: list[str] | None = None,
+    *args: dict | None,
     params_by_id: dict[str, dict] | None = None,
-    *,
     parallel: int = 1,
     cache_dir: str | Path = DEFAULT_CACHE_DIR,
     use_cache: bool = True,
     collect_counters: bool = False,
     shard_trials: bool = True,
+    manifest_dir: str | Path | None = None,
 ) -> list[RunnerOutcome]:
     """Run experiments, possibly in parallel, with result caching.
 
@@ -320,7 +331,8 @@ def run_experiments(
         given order.
     params_by_id:
         Optional per-id keyword overrides (defaults: each experiment's
-        own defaults).
+        own defaults).  Keyword-only; the positional form is deprecated
+        (kept for one release with a :class:`DeprecationWarning`).
     parallel:
         Worker processes for cache misses; ``<= 1`` runs serially in
         this process.  Outputs are bit-identical either way.
@@ -336,10 +348,41 @@ def run_experiments(
         worker pool, caching each trial payload individually.  With
         ``False`` every experiment is one opaque task, as in the
         pre-grid runner.
+    manifest_dir:
+        When set, write one ``<exp_id>.manifest.json`` per experiment
+        (see :func:`manifest_path`): verdict, cache key, wall clock,
+        and — for sharded experiments — a per-trial provenance row
+        (trial id, parameters, content digest, cache key, hit/miss,
+        wall).  The manifest is a derived artifact: it never feeds back
+        into caching or results.
     """
     from repro.analysis.experiments import all_experiment_ids
-    from repro.analysis.experiments.grid import enumerate_trials, get_grid, merge_params
+    from repro.analysis.experiments.grid import (
+        enumerate_trials,
+        get_grid,
+        merge_params,
+        trial_digest,
+    )
 
+    if args:
+        import warnings
+
+        if len(args) > 1:
+            raise TypeError(
+                f"run_experiments() takes 1 positional argument but "
+                f"{1 + len(args)} were given (options are keyword-only)"
+            )
+        if params_by_id is not None:
+            raise TypeError(
+                "run_experiments() got params_by_id both positionally and by keyword"
+            )
+        warnings.warn(
+            "passing params_by_id positionally to run_experiments() is "
+            "deprecated and will become keyword-only; use params_by_id=...",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        params_by_id = args[0]
     if exp_ids is None:
         exp_ids = all_experiment_ids()
     params_by_id = params_by_id or {}
@@ -393,6 +436,7 @@ def run_experiments(
             "counters": [],
             "walls": [],
             "cached_trials": 0,
+            "trial_meta": {},
         }
         grid_jobs[i] = job
         for t, spec in enumerate(specs):
@@ -405,6 +449,14 @@ def run_experiments(
                 job["counters"].append(t_entry.get("counters"))
                 job["walls"].append(t_entry.get("wall_seconds", 0.0))
                 job["cached_trials"] += 1
+                job["trial_meta"][t] = {
+                    "trial_id": spec.trial_id,
+                    "params": spec.params,
+                    "digest": trial_digest(spec),
+                    "cache_key": tkey,
+                    "cached": True,
+                    "wall_seconds": t_entry.get("wall_seconds", 0.0),
+                }
             else:
                 trial_misses.append((i, t, eid, spec.trial_id, spec.params, tkey))
 
@@ -449,6 +501,15 @@ def run_experiments(
             job["payloads"][t] = payload
             job["counters"].append(counters)
             job["walls"].append(wall)
+            spec = job["specs"][t]
+            job["trial_meta"][t] = {
+                "trial_id": spec.trial_id,
+                "params": spec.params,
+                "digest": trial_digest(spec),
+                "cache_key": tkey,
+                "cached": False,
+                "wall_seconds": wall,
+            }
 
         for i, eid, key, result, counters, wall in w_computed:
             if use_cache:
@@ -502,7 +563,49 @@ def run_experiments(
             trials_cached=job["cached_trials"],
         )
 
-    return [outcomes[i] for i in range(len(tasks))]
+    ordered = [outcomes[i] for i in range(len(tasks))]
+    if manifest_dir is not None:
+        for i, out in enumerate(ordered):
+            job = grid_jobs.get(i)
+            trials = (
+                [job["trial_meta"][t] for t in sorted(job["trial_meta"])]
+                if job is not None
+                else []
+            )
+            _write_manifest(manifest_dir, out, tasks[i][1], trials)
+    return ordered
+
+
+def _write_manifest(
+    manifest_dir: str | Path,
+    outcome: RunnerOutcome,
+    params: dict,
+    trials: list[dict],
+) -> Path:
+    """Write one experiment's JSON provenance manifest (atomically)."""
+    path = manifest_path(manifest_dir, outcome.exp_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "schema": MANIFEST_SCHEMA,
+        "exp_id": outcome.exp_id,
+        "key": outcome.key,
+        "passed": outcome.result.passed,
+        "cached": outcome.cached,
+        "wall_seconds": outcome.wall_seconds,
+        "params": params,
+        "trials_total": outcome.trials_total,
+        "trials_cached": outcome.trials_cached,
+        # Per-trial rows exist only when the experiment was resolved
+        # trial-wise in this invocation (experiment-level cache hits and
+        # whole-experiment fallbacks have nothing finer to report).
+        "trials": trials,
+    }
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    with open(tmp, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True, default=repr)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
 
 
 def summary_table(outcomes: list[RunnerOutcome]) -> Table:

@@ -39,7 +39,9 @@ def speed_sweep(
     base = base_profile or SpeedProfile.uniform(1.0)
     reports = []
     for s in speeds:
-        result = simulate(instance, policy_factory(), base.scaled(s), priority=priority)
+        result = simulate(
+            instance, policy_factory(), speeds=base.scaled(s), priority=priority
+        )
         reports.append(
             competitive_report(
                 f"{label}@s={s:g}", instance, result, lower_bound=bound
@@ -70,7 +72,7 @@ def run_policy_grid(
             result = simulate(
                 instance,
                 factory(),
-                SpeedProfile.uniform(speed),
+                speeds=SpeedProfile.uniform(speed),
                 priority=prio,
             )
             reports.append(

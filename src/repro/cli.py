@@ -5,6 +5,10 @@
 * ``run`` — build a synthetic instance (or load a JSON trace), schedule
   it with a chosen policy, and print metrics, optionally the per-job
   table and an ASCII Gantt chart;
+* ``trace`` — the same simulation with structured tracing
+  (:mod:`repro.obs`) enabled: export span/gauge records as
+  schema-validated JSONL or Chrome trace JSON (Perfetto-loadable), print
+  a per-node summary, or validate an existing JSONL trace;
 * ``experiment`` — run one or all registered experiments serially and
   print their reports (the same tables the benchmarks regenerate);
 * ``experiments`` — run many experiments through the trial-sharding
@@ -40,48 +44,39 @@ _SIZES = ("uniform", "pareto", "bimodal")
 
 
 def _build_tree(args):
-    from repro.network import builders
+    from repro import api
 
     kind = args.tree
     a, b, c = args.tree_args
-    if kind == "kary":
-        return builders.kary_tree(a, b)
-    if kind == "paths":
-        return builders.star_of_paths(a, b)
-    if kind == "caterpillar":
-        return builders.caterpillar_tree(a, b)
-    if kind == "datacenter":
-        return builders.datacenter_tree(a, b, c)
-    if kind == "random":
-        return builders.random_tree(a, rng=args.seed)
-    return builders.figure1_tree()
+    params_by_kind = {
+        "kary": {"branching": a, "depth": b},
+        "paths": {"num_paths": a, "path_length": b},
+        "caterpillar": {"spine_length": a, "leaves_per_node": b},
+        "datacenter": {"num_pods": a, "racks_per_pod": b, "machines_per_rack": c},
+        "random": {"num_nodes": a, "rng": args.seed},
+        "figure1": {},
+    }
+    return api.build_tree(kind, **params_by_kind[kind])
 
 
 def _build_instance(args):
-    from repro.workload.arrivals import poisson_arrivals
-    from repro.workload.instance import Instance, Setting
-    from repro.workload.job import JobSet
-    from repro.workload.sizes import bimodal_sizes, bounded_pareto_sizes, uniform_sizes
-    from repro.workload.unrelated import affinity_matrix
+    from repro import api
 
     if args.trace:
         from repro.workload.trace_io import load_instance
 
         return load_instance(args.trace)
-    tree = _build_tree(args)
-    if args.size_dist == "uniform":
-        sizes = uniform_sizes(args.jobs, 1.0, 4.0, rng=args.seed)
-    elif args.size_dist == "pareto":
-        sizes = bounded_pareto_sizes(args.jobs, rng=args.seed)
-    else:
-        sizes = bimodal_sizes(args.jobs, rng=args.seed)
-    rate = Instance.poisson_rate_for_load(tree, float(sizes.mean()), args.load)
-    releases = poisson_arrivals(args.jobs, rate, rng=args.seed + 1)
-    if args.unrelated:
-        rows = affinity_matrix(tree.leaves, sizes, rng=args.seed + 2)
-        jobs = JobSet.build(releases, sizes, rows)
-        return Instance(tree, jobs, Setting.UNRELATED, name="cli")
-    return Instance(tree, JobSet.build(releases, sizes), Setting.IDENTICAL, name="cli")
+    # The tree is built here (not inside make_instance) so --tree-args
+    # keep their positional CLI form.
+    return api.make_instance(
+        tree=_build_tree(args),
+        n_jobs=args.jobs,
+        load=args.load,
+        size_dist=args.size_dist,
+        unrelated=args.unrelated,
+        seed=args.seed,
+        name="cli",
+    )
 
 
 def _build_policy(name: str, instance, eps: float, seed: int):
@@ -121,7 +116,7 @@ def _cmd_run(args) -> int:
         return simulate(
             instance,
             policy,
-            SpeedProfile.uniform(args.speed),
+            speeds=SpeedProfile.uniform(args.speed),
             priority=fifo_priority if args.fifo else sjf_priority,
             record_segments=args.gantt,
             until=args.until,
@@ -133,9 +128,17 @@ def _cmd_run(args) -> int:
         import pstats
 
         profiler = cProfile.Profile()
-        result = profiler.runcall(_simulate)
-        stats = pstats.Stats(profiler, stream=sys.stderr)
-        stats.sort_stats("cumulative").print_stats(20)
+        profiler.enable()
+        try:
+            result = _simulate()
+        finally:
+            # Disable and dump even when the simulation raises: the
+            # partial profile is exactly what a hot-path hunt for the
+            # failure needs, and the profiler must never stay enabled
+            # for the rest of the process.
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(20)
     else:
         result = _simulate()
     print(f"instance : {instance!r}")
@@ -181,6 +184,62 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import (
+        trace_summary_table,
+        validate_jsonl,
+        write_chrome,
+        write_jsonl,
+    )
+
+    if args.validate is not None:
+        counts, errors = validate_jsonl(args.validate)
+        for error in errors[:20]:
+            print(error, file=sys.stderr)
+        if errors:
+            print(
+                f"INVALID: {args.validate}: {len(errors)} error(s)", file=sys.stderr
+            )
+            return 1
+        total = sum(counts.values())
+        detail = ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+        print(f"valid trace: {total} records ({detail})")
+        return 0
+
+    from repro import api
+
+    instance = _build_instance(args)
+    result = api.trace_run(
+        instance=instance,
+        policy=args.policy,
+        eps=args.eps,
+        seed=args.seed,
+        speed=args.speed,
+        priority="fifo" if args.fifo else "sjf",
+        gauge_interval=args.gauge_interval,
+        gauge_nodes=tuple(args.gauge_nodes) if args.gauge_nodes else None,
+        record_points=not args.no_points,
+        record_spans=not args.no_spans,
+    )
+    trace = result.trace
+    if args.format == "summary":
+        print(trace_summary_table(trace).render())
+        print(
+            f"\n{len(trace.points)} points, {len(trace.spans)} spans, "
+            f"{len(trace.gauges)} gauge samples "
+            f"(final_time={trace.meta['final_time']:.4f})"
+        )
+        return 0
+    writer = write_jsonl if args.format == "jsonl" else write_chrome
+    if args.output == "-":
+        writer(trace, sys.stdout)
+        return 0
+    count = writer(trace, args.output)
+    unit = "lines" if args.format == "jsonl" else "events"
+    print(f"wrote {count} {unit} to {args.output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from repro.analysis.experiments import all_experiment_ids, run_experiment
 
@@ -218,7 +277,10 @@ def _cmd_experiments(args) -> int:
         use_cache=not args.no_cache,
         collect_counters=args.counters,
         shard_trials=not args.no_shard,
+        manifest_dir=args.manifest,
     )
+    if args.manifest:
+        print(f"wrote {len(outcomes)} trial manifest(s) to {args.manifest}/")
     if not args.summary_only:
         for out in outcomes:
             print(out.result.render())
@@ -337,7 +399,12 @@ def _cmd_bench(args) -> int:
                 )
             print()
             print(table.render())
-            print(f"FAILED: {len(regressions)} regression(s)", file=sys.stderr)
+            failing = sorted({f"{reg['section']}:{reg['name']}" for reg in regressions})
+            print(
+                f"FAILED: {len(regressions)} regression(s) in "
+                f"{', '.join(failing)}",
+                file=sys.stderr,
+            )
             return 1
         print(f"\nno regressions vs {args.output} (band: {MAX_DEGRADATION}x)")
         return 0
@@ -414,6 +481,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--gantt-width", type=int, default=100)
     p_run.set_defaults(func=_cmd_run)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="simulate with structured tracing and export the trace "
+        "(JSONL, Chrome trace format, or a summary table)",
+    )
+    _add_instance_flags(p_trace)
+    p_trace.add_argument("--policy", choices=_POLICIES, default="greedy")
+    p_trace.add_argument("--eps", type=float, default=0.25)
+    p_trace.add_argument("--speed", type=float, default=1.0, help="uniform speed factor")
+    p_trace.add_argument("--fifo", action="store_true", help="FIFO nodes instead of SJF")
+    p_trace.add_argument(
+        "--format",
+        choices=("summary", "jsonl", "chrome"),
+        default="summary",
+        help="summary table, schema-validated JSONL, or Chrome trace "
+        "JSON loadable in Perfetto / about://tracing",
+    )
+    p_trace.add_argument(
+        "-o", "--output", default="-", help="output path ('-' = stdout)"
+    )
+    p_trace.add_argument(
+        "--gauge-interval",
+        type=float,
+        default=None,
+        help="gauge sampling cadence in simulation seconds "
+        "(default: 1/50th of the release span)",
+    )
+    p_trace.add_argument(
+        "--gauge-nodes",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="NODE",
+        help="sample gauges only at these node ids",
+    )
+    p_trace.add_argument(
+        "--no-points", action="store_true", help="skip job-lifecycle points"
+    )
+    p_trace.add_argument(
+        "--no-spans", action="store_true", help="skip service/wait spans"
+    )
+    p_trace.add_argument(
+        "--validate",
+        metavar="PATH",
+        default=None,
+        help="validate an existing JSONL trace against the schema and exit",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
     p_exp = sub.add_parser("experiment", help="run a registered experiment")
     p_exp.add_argument("id", help="experiment id (e.g. T1) or 'all'")
     p_exp.set_defaults(func=_cmd_experiment)
@@ -459,6 +575,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary-only",
         action="store_true",
         help="print only the summary table, not each experiment report",
+    )
+    p_exps.add_argument(
+        "--manifest",
+        metavar="DIR",
+        default=None,
+        help="write one JSON trial manifest per experiment (per-trial "
+        "parameters, cache digests, hit/miss, wall-clock) to DIR",
     )
     p_exps.set_defaults(func=_cmd_experiments)
 

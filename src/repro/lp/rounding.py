@@ -58,7 +58,9 @@ def local_search_assignment(
 
     speeds = SpeedProfile.uniform(1.0)
     current = dict(start)
-    best = simulate(instance, FixedAssignment(current), speeds).total_flow_time()
+    best = simulate(
+        instance, FixedAssignment(current), speeds=speeds
+    ).total_flow_time()
     for _ in range(max_rounds):
         improved = False
         for job in instance.jobs:
@@ -70,7 +72,7 @@ def local_search_assignment(
                 candidate = dict(current)
                 candidate[job.id] = leaf
                 flow = simulate(
-                    instance, FixedAssignment(candidate), speeds
+                    instance, FixedAssignment(candidate), speeds=speeds
                 ).total_flow_time()
                 if flow < best - 1e-9:
                     current = candidate
@@ -146,7 +148,7 @@ def opt_bracket(instance: Instance, *, local_search: bool = False) -> OptBracket
 
     rounded = lp_rounded_assignment(instance, solution)
     candidates["lp-rounded"] = simulate(
-        instance, FixedAssignment(rounded), speeds
+        instance, FixedAssignment(rounded), speeds=speeds
     ).total_flow_time()
     if local_search:
         _, polished = local_search_assignment(instance, rounded, max_rounds=2)
@@ -157,12 +159,12 @@ def opt_bracket(instance: Instance, *, local_search: bool = False) -> OptBracket
         if instance.setting is Setting.IDENTICAL
         else GreedyUnrelatedAssignment(0.5)
     )
-    candidates["greedy"] = simulate(instance, greedy, speeds).total_flow_time()
+    candidates["greedy"] = simulate(instance, greedy, speeds=speeds).total_flow_time()
     candidates["closest"] = simulate(
-        instance, ClosestLeafAssignment(), speeds
+        instance, ClosestLeafAssignment(), speeds=speeds
     ).total_flow_time()
     candidates["least-loaded"] = simulate(
-        instance, LeastLoadedAssignment(), speeds
+        instance, LeastLoadedAssignment(), speeds=speeds
     ).total_flow_time()
 
     source = min(candidates, key=lambda k: candidates[k])

@@ -1,0 +1,240 @@
+"""Trace exporters: JSONL, Chrome trace-event format, summary table.
+
+Three consumers, three shapes:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — the lossless interchange
+  format (one JSON object per line, schema ``trace/v1``, validated by
+  :mod:`repro.obs.schema`); round-trips a
+  :class:`~repro.obs.trace.SimulationTrace` exactly.
+* :func:`to_chrome` / :func:`write_chrome` — the Chrome trace-event JSON
+  loadable in ``about://tracing`` or `Perfetto <https://ui.perfetto.dev>`_:
+  one thread per tree node showing service spans, one thread per job
+  showing its hop timeline (waits included), and counter tracks for the
+  sampled gauges.  Simulation seconds are mapped to microseconds.
+* :func:`trace_summary_table` — a per-node
+  :class:`~repro.analysis.tables.Table` (busy time, utilization, span
+  and sample counts) for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.analysis.tables import Table
+from repro.obs.schema import TRACE_SCHEMA, validate_line
+from repro.obs.trace import GaugeSample, SimulationTrace, TracePoint, TraceSpan
+
+__all__ = [
+    "jsonl_lines",
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome",
+    "write_chrome",
+    "trace_summary_table",
+]
+
+#: Simulation seconds -> Chrome trace microseconds.
+_US = 1_000_000.0
+
+
+def jsonl_lines(trace: SimulationTrace) -> Iterator[str]:
+    """The trace as schema-``trace/v1`` JSONL lines (meta line first)."""
+    meta = dict(trace.meta)
+    meta["type"] = "meta"
+    meta["schema"] = TRACE_SCHEMA
+    yield json.dumps(meta, sort_keys=True)
+    for p in trace.points:
+        yield json.dumps(
+            {"type": "point", "kind": p.kind, "t": p.time, "job": p.job_id,
+             "node": p.node},
+            sort_keys=True,
+        )
+    for s in trace.spans:
+        yield json.dumps(
+            {"type": "span", "kind": s.kind, "start": s.start, "end": s.end,
+             "job": s.job_id, "node": s.node},
+            sort_keys=True,
+        )
+    for g in trace.gauges:
+        yield json.dumps(
+            {"type": "gauge", "t": g.time, "node": g.node,
+             "queue_depth": g.queue_depth, "queue_volume": g.queue_volume,
+             "through_count": g.through_count, "busy_s": g.busy_s,
+             "utilization": g.utilization},
+            sort_keys=True,
+        )
+
+
+def write_jsonl(trace: SimulationTrace, path: str | Path | IO[str]) -> int:
+    """Write the trace as JSONL; returns the number of lines written."""
+    if hasattr(path, "write"):
+        n = 0
+        for line in jsonl_lines(trace):
+            path.write(line + "\n")
+            n += 1
+        return n
+    with open(path, "w") as fh:
+        return write_jsonl(trace, fh)
+
+
+def read_jsonl(path: str | Path | IO[str]) -> SimulationTrace:
+    """Load a JSONL trace back into a :class:`SimulationTrace`.
+
+    Every line is validated against the schema; the first schema
+    violation raises ``ValueError`` naming the offending line.
+    """
+    if not hasattr(path, "read"):
+        with open(path) as fh:
+            return read_jsonl(fh)
+    meta: dict = {}
+    points: list[TracePoint] = []
+    spans: list[TraceSpan] = []
+    gauges: list[GaugeSample] = []
+    for lineno, raw in enumerate(path, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            obj = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON: {exc}") from exc
+        error = validate_line(obj, first=(lineno == 1))
+        if error is not None:
+            raise ValueError(f"line {lineno}: {error}")
+        kind = obj["type"]
+        if kind == "meta":
+            meta = {
+                k: v for k, v in obj.items() if k not in ("type", "schema")
+            }
+        elif kind == "point":
+            points.append(
+                TracePoint(obj["kind"], obj["t"], obj["job"], obj["node"])
+            )
+        elif kind == "span":
+            spans.append(
+                TraceSpan(obj["kind"], obj["start"], obj["end"], obj["job"],
+                          obj["node"])
+            )
+        else:  # gauge
+            gauges.append(
+                GaugeSample(
+                    time=obj["t"], node=obj["node"],
+                    queue_depth=obj["queue_depth"],
+                    queue_volume=obj["queue_volume"],
+                    through_count=obj["through_count"],
+                    busy_s=obj["busy_s"], utilization=obj["utilization"],
+                )
+            )
+    return SimulationTrace(meta=meta, points=points, spans=spans, gauges=gauges)
+
+
+def to_chrome(trace: SimulationTrace) -> dict:
+    """The trace as a Chrome trace-event document (Perfetto-loadable).
+
+    Layout: pid 1 ("tree nodes") has one thread per node carrying its
+    service spans plus ``queue``/``volume`` counter tracks from the
+    gauges; pid 2 ("jobs") has one thread per job carrying its per-hop
+    service and wait spans.  ``ts``/``dur`` are simulation seconds
+    scaled to microseconds.
+    """
+    events: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": 1,
+         "args": {"name": "tree nodes"}},
+        {"ph": "M", "name": "process_name", "pid": 2, "args": {"name": "jobs"}},
+    ]
+    nodes = sorted({s.node for s in trace.spans} | {g.node for g in trace.gauges})
+    for v in nodes:
+        events.append(
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": v,
+             "args": {"name": f"node {v}"}}
+        )
+    jobs = sorted({s.job_id for s in trace.spans} | {p.job_id for p in trace.points})
+    for j in jobs:
+        events.append(
+            {"ph": "M", "name": "thread_name", "pid": 2, "tid": j,
+             "args": {"name": f"job {j}"}}
+        )
+    for s in trace.spans:
+        if s.kind == "service":
+            events.append(
+                {"ph": "X", "cat": "service", "name": f"job {s.job_id}",
+                 "pid": 1, "tid": s.node, "ts": s.start * _US,
+                 "dur": s.duration * _US, "args": {"job": s.job_id}}
+            )
+            events.append(
+                {"ph": "X", "cat": "service", "name": f"node {s.node}",
+                 "pid": 2, "tid": s.job_id, "ts": s.start * _US,
+                 "dur": s.duration * _US, "args": {"node": s.node}}
+            )
+        elif s.kind == "queue_wait":
+            events.append(
+                {"ph": "X", "cat": "wait", "name": f"wait@{s.node}",
+                 "pid": 2, "tid": s.job_id, "ts": s.start * _US,
+                 "dur": s.duration * _US, "args": {"node": s.node}}
+            )
+    for p in trace.points:
+        if p.kind in ("arrival", "finish"):
+            events.append(
+                {"ph": "i", "cat": "lifecycle", "name": p.kind, "pid": 2,
+                 "tid": p.job_id, "ts": p.time * _US, "s": "t",
+                 "args": {"node": p.node}}
+            )
+    for g in trace.gauges:
+        events.append(
+            {"ph": "C", "name": f"node {g.node} queue", "pid": 1,
+             "ts": g.time * _US,
+             "args": {"depth": g.queue_depth, "through": g.through_count}}
+        )
+        events.append(
+            {"ph": "C", "name": f"node {g.node} volume", "pid": 1,
+             "ts": g.time * _US, "args": {"queued": g.queue_volume}}
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA, **trace.meta},
+    }
+
+
+def write_chrome(trace: SimulationTrace, path: str | Path | IO[str]) -> int:
+    """Write the Chrome trace JSON; returns the number of trace events."""
+    doc = to_chrome(trace)
+    if hasattr(path, "write"):
+        json.dump(doc, path)
+    else:
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+    return len(doc["traceEvents"])
+
+
+def trace_summary_table(trace: SimulationTrace) -> Table:
+    """Per-node roll-up: service time, mean utilization, span/sample
+    counts, peak queue depth."""
+    final = trace.meta.get("final_time") or 0.0
+    nodes = sorted(
+        {s.node for s in trace.spans if s.kind == "service"}
+        | {g.node for g in trace.gauges}
+    )
+    table = Table(
+        "trace summary (per node)",
+        ["node", "service_s", "busy_frac", "services", "waits", "peak_queue"],
+    )
+    waits_by_node: dict[int, int] = {}
+    for s in trace.spans:
+        if s.kind == "queue_wait":
+            waits_by_node[s.node] = waits_by_node.get(s.node, 0) + 1
+    for v in nodes:
+        services = [s for s in trace.spans if s.kind == "service" and s.node == v]
+        busy = sum(s.duration for s in services)
+        peak = max((g.queue_depth for g in trace.gauges if g.node == v), default=0)
+        table.add_row(
+            v,
+            busy,
+            busy / final if final > 0 else 0.0,
+            len(services),
+            waits_by_node.get(v, 0),
+            peak,
+        )
+    return table

@@ -1,0 +1,172 @@
+"""The ``trace/v1`` JSONL schema and its validator.
+
+A JSONL trace is a sequence of JSON objects, one per line:
+
+* line 1 — the **meta** line::
+
+      {"type": "meta", "schema": "trace/v1", "instance": str,
+       "jobs": int, "nodes": int, "gauge_interval": float|null,
+       "final_time": float}
+
+* **point** lines — job-lifecycle instants::
+
+      {"type": "point", "kind": "arrival"|"available"|"hop_complete"|"finish",
+       "t": float, "job": int, "node": int}
+
+* **span** lines — intervals (``end >= start``)::
+
+      {"type": "span", "kind": "service"|"queue_wait"|"job",
+       "start": float, "end": float, "job": int, "node": int}
+
+* **gauge** lines — sampled per-node state::
+
+      {"type": "gauge", "t": float, "node": int, "queue_depth": int,
+       "queue_volume": float, "through_count": int, "busy_s": float,
+       "utilization": float}
+
+Unknown keys are rejected so producers cannot silently drift from the
+documented schema; see ``docs/observability.md`` for field semantics.
+:func:`validate_jsonl` checks a whole file and is what the CI trace-smoke
+job and ``repro trace --validate`` run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.obs.trace import POINT_KINDS, SPAN_KINDS
+
+__all__ = ["TRACE_SCHEMA", "validate_line", "validate_jsonl"]
+
+#: Bump on any field change; readers reject other versions.
+TRACE_SCHEMA = "trace/v1"
+
+_META_REQUIRED = {"type", "schema", "instance", "jobs", "nodes",
+                  "gauge_interval", "final_time"}
+_POINT_KEYS = {"type", "kind", "t", "job", "node"}
+_SPAN_KEYS = {"type", "kind", "start", "end", "job", "node"}
+_GAUGE_KEYS = {"type", "t", "node", "queue_depth", "queue_volume",
+               "through_count", "busy_s", "utilization"}
+
+
+def _is_num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def _is_int(x) -> bool:
+    return isinstance(x, int) and not isinstance(x, bool)
+
+
+def _check_keys(obj: dict, required: set[str]) -> str | None:
+    missing = required - obj.keys()
+    if missing:
+        return f"missing keys: {sorted(missing)}"
+    extra = obj.keys() - required
+    if extra:
+        return f"unknown keys: {sorted(extra)}"
+    return None
+
+
+def validate_line(obj: object, *, first: bool = False) -> str | None:
+    """Validate one parsed JSONL object; returns an error string or
+    ``None``.  ``first=True`` additionally requires the meta line."""
+    if not isinstance(obj, dict):
+        return "line is not a JSON object"
+    kind = obj.get("type")
+    if first and kind != "meta":
+        return "first line must be the meta record"
+    if kind == "meta":
+        if not first:
+            return "meta record allowed only on the first line"
+        err = _check_keys(obj, _META_REQUIRED)
+        if err:
+            return err
+        if obj["schema"] != TRACE_SCHEMA:
+            return f"schema {obj['schema']!r} != {TRACE_SCHEMA!r}"
+        if not _is_int(obj["jobs"]) or not _is_int(obj["nodes"]):
+            return "jobs/nodes must be integers"
+        gi = obj["gauge_interval"]
+        if gi is not None and not _is_num(gi):
+            return "gauge_interval must be a number or null"
+        if not _is_num(obj["final_time"]):
+            return "final_time must be a number"
+        return None
+    if kind == "point":
+        err = _check_keys(obj, _POINT_KEYS)
+        if err:
+            return err
+        if obj["kind"] not in POINT_KINDS:
+            return f"unknown point kind {obj['kind']!r}"
+        if not _is_num(obj["t"]):
+            return "t must be a number"
+        if not _is_int(obj["job"]) or not _is_int(obj["node"]):
+            return "job/node must be integers"
+        return None
+    if kind == "span":
+        err = _check_keys(obj, _SPAN_KEYS)
+        if err:
+            return err
+        if obj["kind"] not in SPAN_KINDS:
+            return f"unknown span kind {obj['kind']!r}"
+        if not _is_num(obj["start"]) or not _is_num(obj["end"]):
+            return "start/end must be numbers"
+        if obj["end"] < obj["start"]:
+            return f"span ends before it starts ({obj['end']} < {obj['start']})"
+        if not _is_int(obj["job"]) or not _is_int(obj["node"]):
+            return "job/node must be integers"
+        return None
+    if kind == "gauge":
+        err = _check_keys(obj, _GAUGE_KEYS)
+        if err:
+            return err
+        if not _is_num(obj["t"]):
+            return "t must be a number"
+        if not _is_int(obj["node"]):
+            return "node must be an integer"
+        if not _is_int(obj["queue_depth"]) or not _is_int(obj["through_count"]):
+            return "queue_depth/through_count must be integers"
+        if obj["queue_depth"] < 0 or obj["through_count"] < 0:
+            return "queue_depth/through_count must be >= 0"
+        for key in ("queue_volume", "busy_s", "utilization"):
+            if not _is_num(obj[key]):
+                return f"{key} must be a number"
+            if obj[key] < 0:
+                return f"{key} must be >= 0"
+        return None
+    return f"unknown record type {kind!r}"
+
+
+def validate_jsonl(path: str | Path | IO[str]) -> tuple[dict[str, int], list[str]]:
+    """Validate a whole JSONL trace file.
+
+    Returns ``(counts, errors)`` where ``counts`` maps record type to
+    occurrences and ``errors`` lists ``"line N: why"`` strings (empty
+    for a valid file).
+    """
+    if not hasattr(path, "read"):
+        with open(path) as fh:
+            return validate_jsonl(fh)
+    counts: dict[str, int] = {}
+    errors: list[str] = []
+    saw_any = False
+    for lineno, raw in enumerate(path, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        saw_any = True
+        try:
+            obj = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON: {exc}")
+            continue
+        error = validate_line(obj, first=(lineno == 1))
+        if error is not None:
+            errors.append(f"line {lineno}: {error}")
+            continue
+        kind = obj["type"]
+        counts[kind] = counts.get(kind, 0) + 1
+    if not saw_any:
+        errors.append("line 1: empty trace (missing meta line)")
+    return counts, errors

@@ -1,0 +1,405 @@
+"""Structured simulation tracing: span records and per-node gauges.
+
+:class:`TraceRecorder` is the engine-side collector behind the
+observability layer.  It is wired into
+:class:`~repro.sim.engine.Engine` through the same off-by-default
+pattern as :class:`~repro.sim.counters.EngineCounters`: every hook site
+costs one ``is None`` test when tracing is disabled, and the engine's
+behaviour (event order, completion times, registry output) is identical
+with tracing on or off — the recorder only observes.
+
+What gets recorded
+------------------
+* **Points** — instants in the job lifecycle: ``arrival`` (dispatch to a
+  leaf), ``available`` (the job reached a node of its path),
+  ``hop_complete`` (it finished processing there) and ``finish`` (it
+  completed on its leaf).
+* **Service spans** — maximal (node, job) processing intervals, the same
+  intervals ``record_segments`` captures, but recorded independently so
+  tracing does not force segment retention on the result.
+* **Gauges** — sampled per-node state at a configurable cadence
+  (``gauge_interval``): queue depth, queued volume, the paper's
+  ``|Q_v(t)|`` through-count, and the exact busy time / utilization of
+  the window ending at the sample.  Samples taken at an event time use
+  the *pre-event* state (the state that held on the half-open interval
+  ending at the sample).
+
+:meth:`TraceRecorder.build` assembles a :class:`SimulationTrace`: the
+raw points and service spans plus *derived* spans — per-hop ``queue_wait``
+gaps (intervals a job sat at a node without being processed, including
+preemption gaps) and whole-job ``job`` spans (release to completion).
+Exporters live in :mod:`repro.obs.export`; the JSONL schema is
+documented and validated by :mod:`repro.obs.schema`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "TraceConfig",
+    "TracePoint",
+    "TraceSpan",
+    "GaugeSample",
+    "SimulationTrace",
+    "TraceRecorder",
+    "POINT_KINDS",
+    "SPAN_KINDS",
+]
+
+#: Valid ``TracePoint.kind`` values.
+POINT_KINDS = ("arrival", "available", "hop_complete", "finish")
+
+#: Valid ``TraceSpan.kind`` values.
+SPAN_KINDS = ("service", "queue_wait", "job")
+
+#: Gaps shorter than this fraction of the hop duration are not emitted
+#: as ``queue_wait`` spans (float noise between back-to-back segments).
+_GAP_RTOL = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class TraceConfig:
+    """Tracing switches.
+
+    Attributes
+    ----------
+    gauge_interval:
+        Cadence (simulation seconds) of the per-node gauge samples;
+        ``None`` disables gauges entirely.
+    gauge_nodes:
+        Nodes to sample (``None`` = every non-root node).
+    record_points:
+        Record job-lifecycle points (arrival/available/hop_complete/
+        finish).
+    record_spans:
+        Record per-(node, job) service spans.
+    """
+
+    gauge_interval: float | None = None
+    gauge_nodes: tuple[int, ...] | None = None
+    record_points: bool = True
+    record_spans: bool = True
+
+    def __post_init__(self) -> None:
+        if self.gauge_interval is not None and not (self.gauge_interval > 0.0):
+            raise ValueError(
+                f"gauge_interval must be positive, got {self.gauge_interval}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class TracePoint:
+    """One instant in a job's lifecycle.
+
+    ``node`` is the assigned leaf for ``arrival``/``finish`` points and
+    the path node involved otherwise.
+    """
+
+    kind: str
+    time: float
+    job_id: int
+    node: int
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSpan:
+    """One interval: ``service`` (node processed job), ``queue_wait``
+    (job sat at node unprocessed) or ``job`` (release to completion;
+    ``node`` is the assigned leaf)."""
+
+    kind: str
+    start: float
+    end: float
+    job_id: int
+    node: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class GaugeSample:
+    """Per-node state at one sample time.
+
+    ``busy_s`` is the exact processing time the node performed in the
+    window ``(prev_sample, time]`` and ``utilization`` is that divided
+    by the window length; both are exact (service is piecewise linear
+    between events), so summing ``busy_s`` over a node's samples
+    reproduces its total service time.
+    """
+
+    time: float
+    node: int
+    queue_depth: int
+    queue_volume: float
+    through_count: int
+    busy_s: float
+    utilization: float
+
+
+@dataclass
+class SimulationTrace:
+    """The assembled trace of one simulation run.
+
+    Attributes
+    ----------
+    meta:
+        Run metadata: schema id, instance name, job/node counts, the
+        gauge cadence and the final simulation time.
+    points / spans / gauges:
+        The records, each in time order (spans by start time).
+    """
+
+    meta: dict
+    points: list[TracePoint] = field(default_factory=list)
+    spans: list[TraceSpan] = field(default_factory=list)
+    gauges: list[GaugeSample] = field(default_factory=list)
+
+    # -- queries --------------------------------------------------------
+    def points_of(self, kind: str) -> list[TracePoint]:
+        """All points of one kind, in time order."""
+        return [p for p in self.points if p.kind == kind]
+
+    def spans_of(self, kind: str) -> list[TraceSpan]:
+        """All spans of one kind."""
+        return [s for s in self.spans if s.kind == kind]
+
+    def spans_for_job(self, job_id: int) -> list[TraceSpan]:
+        """Every span mentioning one job."""
+        return [s for s in self.spans if s.job_id == job_id]
+
+    def node_busy_s(self, node: int) -> float:
+        """Total service time one node performed (from service spans)."""
+        return sum(
+            s.duration for s in self.spans if s.kind == "service" and s.node == node
+        )
+
+    def gauges_for(self, node: int) -> list[GaugeSample]:
+        """Gauge samples of one node, in time order."""
+        return [g for g in self.gauges if g.node == node]
+
+    def __len__(self) -> int:
+        return len(self.points) + len(self.spans) + len(self.gauges)
+
+
+class TraceRecorder:
+    """Low-overhead engine hook collecting a :class:`SimulationTrace`.
+
+    Pass one as ``tracer=`` to :class:`~repro.sim.engine.Engine` (or
+    :func:`~repro.sim.engine.simulate` /
+    :func:`repro.api.trace_run`); after the run the assembled trace is
+    available on ``SimulationResult.trace``.  A recorder observes
+    exactly one engine run; reusing one raises
+    :class:`~repro.exceptions.SimulationError`.
+    """
+
+    def __init__(self, config: TraceConfig | None = None, **kwargs) -> None:
+        if config is not None and kwargs:
+            raise TypeError("pass either a TraceConfig or keyword switches, not both")
+        self.config = config if config is not None else TraceConfig(**kwargs)
+        self._engine = None
+        self._built: SimulationTrace | None = None
+        # raw records
+        self._points: list[TracePoint] = []
+        self._service: list[TraceSpan] = []
+        self._gauges: list[GaugeSample] = []
+        # gauge state
+        self._interval = self.config.gauge_interval
+        self._sample_k = 1  # index of the next cadence point
+        self._last_sample_t = 0.0
+        self._busy_acc: dict[int, float] = {}
+        self._busy_at_last: dict[int, float] = {}
+        self._gauge_ids: tuple[int, ...] = ()
+        self._record_points = self.config.record_points
+        self._record_spans = self.config.record_spans
+
+    # -- engine protocol ------------------------------------------------
+    def attach(self, engine) -> None:
+        """Bind to an engine (called from ``Engine.__init__``)."""
+        if self._engine is not None:
+            raise SimulationError(
+                "a TraceRecorder can only observe one Engine run; build a new one"
+            )
+        self._engine = engine
+        node_ids = tuple(engine._nodes)
+        if self.config.gauge_nodes is not None:
+            unknown = set(self.config.gauge_nodes) - set(node_ids)
+            if unknown:
+                raise SimulationError(
+                    f"gauge_nodes contains unknown node ids: {sorted(unknown)}"
+                )
+            node_ids = tuple(self.config.gauge_nodes)
+        self._gauge_ids = node_ids
+        self._busy_acc = {v: 0.0 for v in engine._nodes}
+        self._busy_at_last = {v: 0.0 for v in node_ids}
+
+    def on_arrival(self, time: float, job_id: int, leaf: int) -> None:
+        if self._record_points:
+            self._points.append(TracePoint("arrival", time, job_id, leaf))
+
+    def on_available(self, time: float, job_id: int, node: int) -> None:
+        if self._record_points:
+            self._points.append(TracePoint("available", time, job_id, node))
+
+    def on_hop_complete(self, time: float, job_id: int, node: int) -> None:
+        if self._record_points:
+            self._points.append(TracePoint("hop_complete", time, job_id, node))
+
+    def on_finish(self, time: float, job_id: int, leaf: int) -> None:
+        if self._record_points:
+            self._points.append(TracePoint("finish", time, job_id, leaf))
+
+    def on_service(self, node: int, job_id: int, start: float, end: float) -> None:
+        """A maximal (node, job) processing interval just closed."""
+        if end > start:
+            self._busy_acc[node] += end - start
+            if self._record_spans:
+                self._service.append(TraceSpan("service", start, end, job_id, node))
+
+    def before_advance(self, t: float) -> None:
+        """Emit gauge samples at every cadence point up to (and
+        including) ``t``, using the pre-event state.
+
+        Called from the engine's main loop just before simulated time
+        advances to the next event at ``t``; between events every
+        sampled quantity is either constant (queue membership) or linear
+        (busy time), so the samples are exact.
+        """
+        if self._interval is None:
+            return
+        next_t = self._sample_k * self._interval
+        while next_t <= t:
+            self._sample(next_t)
+            self._sample_k += 1
+            next_t = self._sample_k * self._interval
+
+    def finalize(self, now: float) -> None:
+        """Close the trace at the end of the run: emit cadence points
+        the final advance stepped past plus one trailing partial-window
+        sample at ``now``, so busy time integrates to the exact total."""
+        if self._interval is not None:
+            self.before_advance(now)
+            if now > self._last_sample_t:
+                self._sample(now)
+
+    # -- internals ------------------------------------------------------
+    def _cum_busy(self, node: int, at: float) -> float:
+        """Exact cumulative busy time of ``node`` up to time ``at``
+        (settled spans plus the in-flight partial)."""
+        eng = self._engine
+        total = self._busy_acc[node]
+        ns = eng._nodes[node]
+        if ns.active_id is not None and at > ns.active_started:
+            total += at - ns.active_started
+        return total
+
+    def _sample(self, at: float) -> None:
+        eng = self._engine
+        window = at - self._last_sample_t
+        for v in self._gauge_ids:
+            ns = eng._nodes[v]
+            depth = len(ns.heap)
+            if depth:
+                qvol = eng._queue_volume[v] - eng._live_processed(ns)
+                if qvol < 0.0:
+                    qvol = 0.0
+            else:
+                qvol = 0.0
+            cum = self._cum_busy(v, at)
+            busy = cum - self._busy_at_last[v]
+            if busy < 0.0:  # pragma: no cover - float guard
+                busy = 0.0
+            self._busy_at_last[v] = cum
+            self._gauges.append(
+                GaugeSample(
+                    time=at,
+                    node=v,
+                    queue_depth=depth,
+                    queue_volume=qvol,
+                    through_count=eng._through_count[v],
+                    busy_s=busy,
+                    utilization=busy / window if window > 0.0 else 0.0,
+                )
+            )
+        self._last_sample_t = at
+
+    @property
+    def record_count(self) -> int:
+        """Raw records collected so far (points + spans + gauges)."""
+        return len(self._points) + len(self._service) + len(self._gauges)
+
+    # -- assembly -------------------------------------------------------
+    def build(self, final_time: float) -> SimulationTrace:
+        """Assemble the :class:`SimulationTrace` (idempotent)."""
+        if self._built is not None:
+            return self._built
+        eng = self._engine
+        instance = eng.instance if eng is not None else None
+        meta = {
+            "instance": getattr(instance, "name", None) or "unnamed",
+            "jobs": len(instance.jobs) if instance is not None else 0,
+            "nodes": len(eng._nodes) if eng is not None else 0,
+            "gauge_interval": self._interval,
+            "final_time": final_time,
+        }
+        spans = list(self._service)
+        spans.extend(self._derived_spans())
+        spans.sort(key=lambda s: (s.start, s.end, s.node, s.job_id, s.kind))
+        self._built = SimulationTrace(
+            meta=meta,
+            points=sorted(self._points, key=lambda p: (p.time, p.job_id)),
+            spans=spans,
+            gauges=self._gauges,
+        )
+        return self._built
+
+    def _derived_spans(self) -> list[TraceSpan]:
+        """``queue_wait`` gaps per (job, hop) and whole-``job`` spans,
+        derived from the recorded points and service spans."""
+        if not self._record_points:
+            return []
+        available: dict[tuple[int, int], float] = {}
+        completed: dict[tuple[int, int], float] = {}
+        arrived: dict[int, tuple[float, int]] = {}
+        finished: dict[int, float] = {}
+        for p in self._points:
+            if p.kind == "available":
+                available[(p.job_id, p.node)] = p.time
+            elif p.kind == "hop_complete":
+                completed[(p.job_id, p.node)] = p.time
+            elif p.kind == "arrival":
+                arrived[p.job_id] = (p.time, p.node)
+            elif p.kind == "finish":
+                finished[p.job_id] = p.time
+        service_by_hop: dict[tuple[int, int], list[TraceSpan]] = {}
+        if self._record_spans:
+            for s in self._service:
+                service_by_hop.setdefault((s.job_id, s.node), []).append(s)
+        out: list[TraceSpan] = []
+        for jid, (release, leaf) in arrived.items():
+            end = finished.get(jid)
+            if end is not None:
+                out.append(TraceSpan("job", release, end, jid, leaf))
+        if not self._record_spans:
+            return out
+        for key, avail in available.items():
+            jid, node = key
+            hop_end = completed.get(key)
+            if hop_end is None:
+                hop_end = math.inf  # job still in flight at the horizon
+            tol = _GAP_RTOL * max(1.0, hop_end - avail if hop_end < math.inf else 1.0)
+            cursor = avail
+            for s in sorted(service_by_hop.get(key, ()), key=lambda s: s.start):
+                if s.start - cursor > tol:
+                    out.append(TraceSpan("queue_wait", cursor, s.start, jid, node))
+                cursor = max(cursor, s.end)
+            if hop_end < math.inf and hop_end - cursor > tol:
+                # trailing wait can only come from zero-work drains; keep
+                # the timeline gap explicit rather than silently absorbed
+                out.append(TraceSpan("queue_wait", cursor, hop_end, jid, node))
+        return out

@@ -66,6 +66,10 @@ class EngineCounters:
         service of :mod:`repro.analysis.ratios` (counted only while
         global collection is on; the LP solver runs outside the engine,
         so per-run counters never see these).
+    trace_records:
+        Trace records (points + spans + gauge samples) collected when a
+        :class:`~repro.obs.trace.TraceRecorder` was attached; 0 when
+        tracing was off.
     arrival_seconds / completion_seconds:
         Wall-clock spent inside the two event handlers.
     run_seconds:
@@ -85,6 +89,7 @@ class EngineCounters:
     aggregate_updates: int = 0
     lp_memo_hits: int = 0
     lp_memo_misses: int = 0
+    trace_records: int = 0
     arrival_seconds: float = 0.0
     completion_seconds: float = 0.0
     run_seconds: float = 0.0

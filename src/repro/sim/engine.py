@@ -48,10 +48,14 @@ from __future__ import annotations
 
 import heapq
 import math
+import warnings
 from collections.abc import Callable
 from heapq import heappop as _heappop, heappush as _heappush
 from time import perf_counter
-from typing import Protocol
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> analysis)
+    from repro.obs.trace import TraceRecorder
 
 from repro.exceptions import (
     AssignmentError,
@@ -380,6 +384,14 @@ class Engine:
         ``None`` (the default), collection follows the process-wide
         switch (:func:`~repro.sim.counters.enable_global_counters`);
         disabled collection costs nothing in the hot path.
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder` collecting the
+        structured simulation trace (job-lifecycle spans and sampled
+        per-node gauges; see :mod:`repro.obs`).  Purely observational —
+        schedules and results are bit-identical with tracing on or off —
+        and, like counters, the disabled path costs one ``is None`` test
+        per hook site.  The assembled trace is surfaced on
+        ``SimulationResult.trace``.
     """
 
     def __init__(
@@ -394,6 +406,7 @@ class Engine:
         max_events: int = 10_000_000,
         observer: Callable[["SchedulerView", str, int], None] | None = None,
         collect_counters: bool | None = None,
+        tracer: "TraceRecorder | None" = None,
     ) -> None:
         self.instance = instance
         self.policy = policy
@@ -471,6 +484,9 @@ class Engine:
         self._counters: EngineCounters | None = (
             EngineCounters(runs=1) if collect_counters else None
         )
+        self._tracer = tracer
+        if tracer is not None:
+            tracer.attach(self)
 
     # ------------------------------------------------------------------
     # internal helpers
@@ -529,6 +545,10 @@ class Engine:
             if self._segments is not None:
                 self._segments.append(
                     ScheduleSegment(ns.node_id, ns.active_id, ns.active_started, self.now)
+                )
+            if self._tracer is not None:
+                self._tracer.on_service(
+                    ns.node_id, ns.active_id, ns.active_started, self.now
                 )
         else:
             st.remaining = ns.active_rem_start
@@ -629,13 +649,20 @@ class Engine:
         st.remaining = 0.0
         st.record.completed_at.append(self.now)
         st.idx += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.on_hop_complete(self.now, jid, node_id)
         if st.done:
             self._alive.discard(jid)
             self._alive_at_leaf[st.record.leaf].discard(jid)
+            if tracer is not None:
+                tracer.on_finish(self.now, jid, st.record.leaf)
             return
         nxt = self._nodes[st.path[st.idx]]
         st.remaining = self._processing_on(nxt, st)
         st.record.available_at.append(self.now)
+        if tracer is not None:
+            tracer.on_available(self.now, jid, nxt.node_id)
         self._enqueue(nxt, st)
 
     def _drain_finished_top(self, ns: _NodeState) -> None:
@@ -735,6 +762,9 @@ class Engine:
         first = self._nodes[path[0]]
         st.remaining = self._processing_on(first, st)
         record.available_at.append(self.now)
+        if self._tracer is not None:
+            self._tracer.on_arrival(self.now, job.id, leaf)
+            self._tracer.on_available(self.now, job.id, path[0])
         self._enqueue(first, st)
 
     def _handle_completion(self, ns: _NodeState) -> None:
@@ -778,6 +808,9 @@ class Engine:
             self._segments.append(
                 ScheduleSegment(ns.node_id, jid, ns.active_started, now)
             )
+        tracer = self._tracer
+        if tracer is not None and elapsed > 0.0:
+            tracer.on_service(ns.node_id, jid, ns.active_started, now)
         node_id = ns.node_id
         if ns.is_leaf:
             old = self._leaf_drain[node_id]
@@ -793,13 +826,19 @@ class Engine:
         st.remaining = 0.0
         st.record.completed_at.append(now)
         st.idx += 1
+        if tracer is not None:
+            tracer.on_hop_complete(now, jid, node_id)
         if st.idx >= len(st.path):
             self._alive.discard(jid)
             self._alive_at_leaf[st.record.leaf].discard(jid)
+            if tracer is not None:
+                tracer.on_finish(now, jid, st.record.leaf)
         else:
             nxt = self._nodes[st.path[st.idx]]
             st.remaining = st.leaf_time if nxt.is_leaf else st.job.size
             st.record.available_at.append(now)
+            if tracer is not None:
+                tracer.on_available(now, jid, nxt.node_id)
             self._enqueue(nxt, st)
         # Inlined _rearm(ns): restart the (possibly new) heap top.
         ns.version += 1
@@ -850,6 +889,7 @@ class Engine:
         arr_idx = 0
         n_arr = len(arrivals)
         counters = self._counters
+        tracer = self._tracer
         run_started = perf_counter() if counters is not None else 0.0
         events = self._events
         nodes = self._nodes
@@ -881,6 +921,8 @@ class Engine:
             phase_started = perf_counter() if counters is not None else 0.0
             if next_completion <= next_arrival:
                 t, version, _, node_id = _heappop(events)
+                if tracer is not None:
+                    tracer.before_advance(t)
                 # Inlined _advance(t): exact affine integral accumulation.
                 dt = t - self.now
                 if dt > 0.0:
@@ -903,6 +945,8 @@ class Engine:
                 if self._observer is not None:
                     self._observer(self._view, "completion", node_id)
             else:
+                if tracer is not None:
+                    tracer.before_advance(next_arrival)
                 self._advance(next_arrival)
                 job_id = arrivals[arr_idx].id
                 self._handle_arrival(arrivals[arr_idx])
@@ -921,6 +965,12 @@ class Engine:
             # segments cover exactly [0, until].
             for ns in self._nodes.values():
                 self._settle(ns)
+        trace = None
+        if tracer is not None:
+            tracer.finalize(self.now)
+            trace = tracer.build(self.now)
+            if counters is not None:
+                counters.trace_records += len(trace)
         if counters is not None:
             counters.run_seconds += perf_counter() - run_started
             aggregate = global_counters()
@@ -935,6 +985,7 @@ class Engine:
             num_events=self._num_events,
             segments=self._segments,
             counters=counters,
+            trace=trace,
         )
         if until is None:
             result.verify_complete()
@@ -1043,16 +1094,39 @@ class Engine:
 def simulate(
     instance: Instance,
     policy: AssignmentPolicy,
+    *args: SpeedProfile | None,
     speeds: SpeedProfile | None = None,
-    *,
     priority: PriorityFn = sjf_priority,
     record_segments: bool = False,
     check_invariants: bool = False,
     observer: Callable[[SchedulerView, str, int], None] | None = None,
     until: float | None = None,
     collect_counters: bool | None = None,
+    tracer: "TraceRecorder | None" = None,
 ) -> SimulationResult:
-    """Convenience wrapper: build an :class:`Engine` and run it."""
+    """Convenience wrapper: build an :class:`Engine` and run it.
+
+    .. deprecated:: 1.0
+        Passing ``speeds`` positionally is deprecated (the
+        :mod:`repro.api` facade makes every option keyword-only); use
+        ``speeds=...``.  The positional form is kept for one release and
+        emits a :class:`DeprecationWarning`.
+    """
+    if args:
+        if len(args) > 1:
+            raise TypeError(
+                f"simulate() takes 2 positional arguments but {2 + len(args)} "
+                "were given (options are keyword-only)"
+            )
+        if speeds is not None:
+            raise TypeError("simulate() got speeds both positionally and by keyword")
+        warnings.warn(
+            "passing speeds positionally to simulate() is deprecated and will "
+            "become keyword-only; use simulate(instance, policy, speeds=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        speeds = args[0]
     return Engine(
         instance,
         policy,
@@ -1062,4 +1136,5 @@ def simulate(
         check_invariants=check_invariants,
         observer=observer,
         collect_counters=collect_counters,
+        tracer=tracer,
     ).run(until=until)

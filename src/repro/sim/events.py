@@ -68,9 +68,26 @@ class EventLog:
     Instances are callables matching the engine's observer signature;
     pass one as ``observer=`` to :class:`~repro.sim.engine.Engine` or
     :func:`~repro.sim.engine.simulate`.
+
+    .. deprecated:: 1.0
+        Superseded by the structured tracing layer (:mod:`repro.obs`):
+        a :class:`~repro.obs.trace.TraceRecorder` captures the same
+        timeline (plus service spans and gauges) from exact engine
+        hooks instead of observer-side inference, and exports to JSONL
+        / Chrome trace format.  ``EventLog`` keeps working for one
+        release and emits a :class:`DeprecationWarning` on construction.
     """
 
     def __init__(self) -> None:
+        import warnings
+
+        warnings.warn(
+            "EventLog is deprecated; use repro.obs.TraceRecorder (pass "
+            "tracer=... to the engine, or repro.api.trace_run) for "
+            "structured traces",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.events: list[TraceEvent] = []
         self._active: dict[int, int | None] = {}
         self._job_positions: dict[int, int | None] = {}

@@ -113,6 +113,10 @@ class SimulationResult:
         :class:`~repro.sim.counters.EngineCounters` for the run when the
         engine collected them (``collect_counters=True`` or the global
         switch), else ``None``.
+    trace:
+        The structured :class:`~repro.obs.trace.SimulationTrace` when a
+        :class:`~repro.obs.trace.TraceRecorder` was attached
+        (``tracer=...``), else ``None``.
     """
 
     instance: Instance
@@ -123,6 +127,7 @@ class SimulationResult:
     num_events: int
     segments: list[ScheduleSegment] | None = None
     counters: EngineCounters | None = None
+    trace: "SimulationTrace | None" = None
 
     # ------------------------------------------------------------------
     def assignment(self) -> dict[int, int]:

@@ -27,20 +27,20 @@ def policy():
 
 class TestBisection:
     def test_plan_meets_target(self, instance):
-        base = simulate(instance, policy(), SpeedProfile.uniform(1.0))
+        base = simulate(instance, policy(), speeds=SpeedProfile.uniform(1.0))
         target = base.mean_flow_time() * 0.5
         plan = min_speed_for_flow(instance, policy, target, tol=0.02)
         assert plan.feasible
-        check = simulate(instance, policy(), SpeedProfile.uniform(plan.speed))
+        check = simulate(instance, policy(), speeds=SpeedProfile.uniform(plan.speed))
         assert check.mean_flow_time() <= target + 1e-9
 
     def test_plan_is_near_minimal(self, instance):
-        base = simulate(instance, policy(), SpeedProfile.uniform(1.0))
+        base = simulate(instance, policy(), speeds=SpeedProfile.uniform(1.0))
         target = base.mean_flow_time() * 0.5
         plan = min_speed_for_flow(instance, policy, target, tol=0.02)
         # Slightly below the found speed must miss the target.
         slower = simulate(
-            instance, policy(), SpeedProfile.uniform(max(plan.speed - 0.1, 1.0))
+            instance, policy(), speeds=SpeedProfile.uniform(max(plan.speed - 0.1, 1.0))
         )
         assert slower.mean_flow_time() > target or plan.speed <= 1.0 + 0.1
 
@@ -55,7 +55,7 @@ class TestBisection:
         assert plan.speed == float("inf")
 
     def test_frontier_records_probes(self, instance):
-        base = simulate(instance, policy(), SpeedProfile.uniform(1.0))
+        base = simulate(instance, policy(), speeds=SpeedProfile.uniform(1.0))
         plan = min_speed_for_flow(
             instance, policy, base.mean_flow_time() * 0.6, tol=0.1
         )
@@ -64,12 +64,12 @@ class TestBisection:
         assert speeds[0] == 1.0 and speeds[1] == 16.0
 
     def test_max_flow_metric(self, instance):
-        base = simulate(instance, policy(), SpeedProfile.uniform(1.0))
+        base = simulate(instance, policy(), speeds=SpeedProfile.uniform(1.0))
         plan = min_speed_for_flow(
             instance, policy, base.max_flow_time() * 0.5, metric="max_flow", tol=0.05
         )
         assert plan.feasible
-        check = simulate(instance, policy(), SpeedProfile.uniform(plan.speed))
+        check = simulate(instance, policy(), speeds=SpeedProfile.uniform(plan.speed))
         assert check.max_flow_time() <= base.max_flow_time() * 0.5 + 1e-9
 
 

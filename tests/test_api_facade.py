@@ -1,0 +1,272 @@
+"""The ``repro.api`` facade: parity with the deep modules it fronts.
+
+Every facade function must produce the same objects the deep-module
+call forms produce (bit-identical where the computation is
+deterministic), resolve its string shorthands correctly, and raise the
+package's typed exceptions for bad inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import api
+from repro.exceptions import (
+    AssignmentError,
+    SimulationError,
+    TopologyError,
+    WorkloadError,
+)
+
+
+class TestBuildTree:
+    def test_every_kind_dispatches(self):
+        from repro.network import builders
+
+        cases = {
+            "kary": (dict(branching=2, depth=2), builders.kary_tree),
+            "paths": (dict(num_paths=3, path_length=2), builders.star_of_paths),
+            "caterpillar": (
+                dict(spine_length=3, leaves_per_node=2),
+                builders.caterpillar_tree,
+            ),
+            "spine": (dict(depth=3), builders.spine_tree),
+            "broomstick": (
+                dict(num_tops=2, handle_length=2, bristles=3),
+                builders.broomstick_tree,
+            ),
+            "datacenter": (
+                dict(num_pods=2, racks_per_pod=2, machines_per_rack=2),
+                builders.datacenter_tree,
+            ),
+            "random": (dict(num_nodes=10, rng=3), builders.random_tree),
+            "figure1": ({}, builders.figure1_tree),
+        }
+        assert set(cases) | {"parent_map"} == set(api.TREE_KINDS)
+        for kind, (params, deep) in cases.items():
+            facade = api.build_tree(kind, **params)
+            expected = deep(**params)
+            assert facade.parent_map() == expected.parent_map(), kind
+            assert facade.leaves == expected.leaves, kind
+
+    def test_parent_map_kind(self):
+        tree = api.build_tree(
+            "parent_map", parent_map={0: None, 1: 0, 2: 1, 3: 1}
+        )
+        assert sorted(tree.leaves) == [2, 3]
+
+    def test_unknown_kind_raises_topology_error(self):
+        with pytest.raises(TopologyError, match="unknown tree kind"):
+            api.build_tree("mesh")
+
+    def test_bad_params_raise_type_error(self):
+        with pytest.raises(TypeError):
+            api.build_tree("kary", branching=2)  # missing depth
+
+
+class TestMakeInstance:
+    def test_deterministic_given_seed(self):
+        a = api.make_instance(n_jobs=20, seed=5)
+        b = api.make_instance(n_jobs=20, seed=5)
+        assert [(j.release, j.size) for j in a.jobs] == [
+            (j.release, j.size) for j in b.jobs
+        ]
+        c = api.make_instance(n_jobs=20, seed=6)
+        assert [(j.release, j.size) for j in a.jobs] != [
+            (j.release, j.size) for j in c.jobs
+        ]
+
+    def test_matches_deep_generator_calls(self):
+        from repro.workload.arrivals import poisson_arrivals
+        from repro.workload.instance import Instance
+        from repro.workload.sizes import uniform_sizes
+
+        tree = api.build_tree("kary", branching=2, depth=2)
+        inst = api.make_instance(tree=tree, n_jobs=15, load=0.8, seed=11)
+        sizes = uniform_sizes(15, 1.0, 4.0, rng=11)
+        rate = Instance.poisson_rate_for_load(tree, float(sizes.mean()), 0.8)
+        releases = poisson_arrivals(15, rate, rng=12)
+        assert [j.size for j in inst.jobs] == pytest.approx(list(sizes))
+        assert [j.release for j in inst.jobs] == pytest.approx(list(releases))
+
+    def test_every_size_dist(self):
+        for dist in api.SIZE_DISTS:
+            inst = api.make_instance(n_jobs=10, size_dist=dist, seed=1)
+            assert len(inst.jobs) == 10
+            assert all(j.size > 0 for j in inst.jobs)
+
+    def test_unknown_size_dist_raises(self):
+        with pytest.raises(WorkloadError, match="unknown size_dist"):
+            api.make_instance(size_dist="zipf")
+
+    def test_unrelated_setting(self):
+        from repro.workload.instance import Setting
+
+        inst = api.make_instance(n_jobs=8, unrelated=True, seed=2)
+        assert inst.setting is Setting.UNRELATED
+
+    def test_name_flows_to_instance(self):
+        assert api.make_instance(n_jobs=3, name="probe").name == "probe"
+
+
+class TestSimulateParity:
+    def test_matches_deep_engine_call(self):
+        from repro.core.assignment import GreedyIdenticalAssignment
+        from repro.sim.engine import simulate as deep_simulate
+
+        inst = api.make_instance(n_jobs=25, seed=3)
+        shallow = api.simulate(instance=inst, policy="greedy", eps=0.5)
+        deep = deep_simulate(inst, GreedyIdenticalAssignment(0.5))
+        assert shallow.total_flow_time() == deep.total_flow_time()
+        for jid, rec in shallow.records.items():
+            assert deep.records[jid].completion == rec.completion
+            assert deep.records[jid].leaf == rec.leaf
+
+    def test_policy_object_passes_through(self):
+        from repro.baselines.policies import LeastLoadedAssignment
+
+        inst = api.make_instance(n_jobs=10, seed=1)
+        a = api.simulate(instance=inst, policy=LeastLoadedAssignment())
+        b = api.simulate(instance=inst, policy="least-loaded")
+        assert a.total_flow_time() == b.total_flow_time()
+
+    def test_every_policy_name_resolves(self):
+        inst = api.make_instance(n_jobs=6, seed=4)
+        for name in api.POLICY_NAMES:
+            result = api.simulate(instance=inst, policy=name)
+            result.verify_complete()
+
+    def test_greedy_resolves_by_setting(self):
+        inst = api.make_instance(n_jobs=6, unrelated=True, seed=4)
+        api.simulate(instance=inst, policy="greedy").verify_complete()
+
+    def test_unknown_policy_raises(self):
+        inst = api.make_instance(n_jobs=3)
+        with pytest.raises(AssignmentError, match="unknown policy"):
+            api.simulate(instance=inst, policy="lottery")
+
+    def test_speed_shorthand_matches_profile(self):
+        from repro.sim.speed import SpeedProfile
+
+        inst = api.make_instance(n_jobs=12, seed=9)
+        a = api.simulate(instance=inst, speed=1.5)
+        b = api.simulate(instance=inst, speeds=SpeedProfile.uniform(1.5))
+        assert a.total_flow_time() == b.total_flow_time()
+
+    def test_speed_and_speeds_conflict(self):
+        from repro.sim.speed import SpeedProfile
+
+        inst = api.make_instance(n_jobs=3)
+        with pytest.raises(SimulationError, match="not both"):
+            api.simulate(
+                instance=inst, speed=2.0, speeds=SpeedProfile.uniform(2.0)
+            )
+
+    def test_priority_strings_and_callable(self):
+        from repro.sim.engine import fifo_priority
+
+        inst = api.make_instance(n_jobs=10, seed=2)
+        by_name = api.simulate(instance=inst, priority="fifo")
+        by_fn = api.simulate(instance=inst, priority=fifo_priority)
+        assert by_name.total_flow_time() == by_fn.total_flow_time()
+        sjf = api.simulate(instance=inst, priority="sjf")
+        default = api.simulate(instance=inst)
+        assert sjf.total_flow_time() == default.total_flow_time()
+
+    def test_unknown_priority_raises(self):
+        inst = api.make_instance(n_jobs=3)
+        with pytest.raises(SimulationError, match="unknown priority"):
+            api.simulate(instance=inst, priority="lifo")
+
+    def test_keyword_only(self):
+        inst = api.make_instance(n_jobs=3)
+        with pytest.raises(TypeError):
+            api.simulate(inst)  # noqa: the facade is keyword-only by design
+
+
+class TestTraceRun:
+    def test_trace_attached_and_result_unchanged(self):
+        inst = api.make_instance(n_jobs=20, seed=8)
+        plain = api.simulate(instance=inst)
+        traced = api.trace_run(instance=inst)
+        assert plain.trace is None
+        assert traced.trace is not None
+        assert traced.total_flow_time() == plain.total_flow_time()
+
+    def test_auto_gauge_interval_from_release_span(self):
+        inst = api.make_instance(n_jobs=20, seed=8)
+        releases = [j.release for j in inst.jobs]
+        span = max(releases) - min(releases)
+        traced = api.trace_run(instance=inst)
+        assert traced.trace.meta["gauge_interval"] == pytest.approx(span / 50.0)
+        assert traced.trace.gauges
+
+    def test_explicit_gauge_interval(self):
+        inst = api.make_instance(n_jobs=10, seed=1)
+        traced = api.trace_run(instance=inst, gauge_interval=2.0)
+        times = sorted({g.time for g in traced.trace.gauges})
+        # every sample time is a cadence point k*2.0 except the trailing
+        # partial-window sample at the final time
+        final = traced.trace.meta["final_time"]
+        for t in times:
+            assert t == pytest.approx(2.0 * round(t / 2.0)) or t == final
+
+    def test_single_release_disables_gauges(self):
+        from repro.workload.instance import Instance, Setting
+        from repro.workload.job import Job, JobSet
+
+        tree = api.build_tree("spine", depth=2)
+        jobs = JobSet([Job(id=0, release=0.0, size=1.0)])
+        inst = Instance(tree, jobs, Setting.IDENTICAL)
+        traced = api.trace_run(instance=inst)
+        assert traced.trace.meta["gauge_interval"] is None
+        assert traced.trace.gauges == []
+
+    def test_record_switches(self):
+        inst = api.make_instance(n_jobs=8, seed=3)
+        no_points = api.trace_run(instance=inst, record_points=False)
+        assert no_points.trace.points == []
+        no_spans = api.trace_run(instance=inst, record_spans=False)
+        assert no_spans.trace.spans_of("service") == []
+
+
+class TestRunExperimentsFacade:
+    def test_forwards_to_runner(self, tmp_path):
+        outcomes = api.run_experiments(
+            exp_ids=["F1"], cache_dir=tmp_path
+        )
+        assert len(outcomes) == 1
+        assert outcomes[0].exp_id == "F1"
+        assert outcomes[0].result.passed
+
+    def test_manifest_dir(self, tmp_path):
+        from repro.analysis.runner import manifest_path
+
+        api.run_experiments(
+            exp_ids=["F1"],
+            cache_dir=tmp_path / "cache",
+            manifest_dir=tmp_path / "manifests",
+        )
+        assert manifest_path(tmp_path / "manifests", "F1").exists()
+
+
+class TestTopLevelSurface:
+    def test_facade_reexported(self):
+        assert repro.api is api
+        assert repro.build_tree is api.build_tree
+        assert repro.make_instance is api.make_instance
+        assert repro.trace_run is api.trace_run
+        assert repro.run_experiments is api.run_experiments
+
+    def test_obs_reexported(self):
+        from repro.obs import SimulationTrace, TraceConfig, TraceRecorder
+
+        assert repro.SimulationTrace is SimulationTrace
+        assert repro.TraceConfig is TraceConfig
+        assert repro.TraceRecorder is TraceRecorder
+
+    def test_all_covers_facade(self):
+        for name in ("api", "build_tree", "make_instance", "trace_run",
+                     "run_experiments", "TraceRecorder", "SimulationTrace"):
+            assert name in repro.__all__

@@ -1,0 +1,183 @@
+"""CLI coverage for the observability surface: ``repro trace`` (all
+three formats plus ``--validate``), the ``run --profile`` failure path,
+``bench --compare`` regression naming, and ``experiments --manifest``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTraceSummary:
+    def test_summary_format(self, capsys):
+        code = main(["trace", "--jobs", "15", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace summary (per node)" in out
+        assert "points" in out and "gauge samples" in out
+
+    def test_policy_speed_and_fifo_flags(self, capsys):
+        code = main(
+            ["trace", "--jobs", "8", "--policy", "least-loaded",
+             "--speed", "1.5", "--fifo"]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_no_points_no_spans(self, capsys):
+        code = main(
+            ["trace", "--jobs", "8", "--no-points", "--no-spans",
+             "--gauge-interval", "1.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 points, 0 spans" in out
+
+
+class TestTraceJsonl:
+    def test_writes_valid_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            ["trace", "--jobs", "15", "--format", "jsonl", "-o", str(path)]
+        )
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "wrote" in err and "lines" in err
+        from repro.obs.schema import validate_jsonl
+
+        counts, errors = validate_jsonl(path)
+        assert errors == []
+        assert counts["meta"] == 1 and counts["point"] > 0
+
+    def test_stdout_output(self, capsys):
+        code = main(["trace", "--jobs", "5", "--format", "jsonl", "-o", "-"])
+        out = capsys.readouterr().out
+        assert code == 0
+        first = json.loads(out.splitlines()[0])
+        assert first["type"] == "meta"
+
+
+class TestTraceChrome:
+    def test_writes_chrome_json(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main(
+            ["trace", "--jobs", "15", "--format", "chrome", "-o", str(path)]
+        )
+        assert code == 0
+        assert "events" in capsys.readouterr().err
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"M", "X", "i", "C"}
+
+
+class TestTraceValidate:
+    def test_valid_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        main(["trace", "--jobs", "10", "--format", "jsonl", "-o", str(path)])
+        capsys.readouterr()
+        code = main(["trace", "--validate", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "valid trace" in out
+
+    def test_invalid_file_exits_nonzero_naming_lines(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        main(["trace", "--jobs", "10", "--format", "jsonl", "-o", str(path)])
+        capsys.readouterr()
+        lines = path.read_text().splitlines()
+        lines[2] = '{"type": "mystery"}'
+        path.write_text("\n".join(lines) + "\n")
+        code = main(["trace", "--validate", str(path)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "line 3" in err
+        assert "INVALID" in err
+
+
+class TestRunProfile:
+    def test_profile_prints_stats(self, capsys):
+        code = main(["run", "--jobs", "8", "--profile"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "cumulative" in captured.err  # cProfile table on stderr
+        assert "total flow time" in captured.out
+
+    def test_profile_emits_partial_stats_on_raise(self, capsys, monkeypatch):
+        import repro.sim.engine as engine
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("mid-run failure")
+
+        monkeypatch.setattr(engine, "simulate", boom)
+        with pytest.raises(RuntimeError, match="mid-run failure"):
+            main(["run", "--jobs", "8", "--profile"])
+        # the profiler was disabled and its partial stats still dumped
+        assert "cumulative" in capsys.readouterr().err
+
+
+class TestBenchCompare:
+    def test_regression_exit_names_section(self, tmp_path, capsys):
+        baseline = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--sizes", "30", "--repeats", "1", "--no-policies",
+             "--no-registry", "-o", str(baseline)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        # inflate the baseline so the fresh run is a guaranteed regression
+        doc = json.loads(baseline.read_text())
+        for row in doc["scaling"].values():
+            row["events_per_s"] *= 1e6
+        baseline.write_text(json.dumps(doc))
+        code = main(
+            ["bench", "--sizes", "30", "--repeats", "1", "--no-policies",
+             "--no-registry", "-o", str(baseline), "--compare"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAILED" in captured.err
+        assert "scaling:30" in captured.err  # the failing section:name
+        assert "regression" in captured.err
+
+    def test_clean_compare_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "bench.json"
+        args = ["bench", "--sizes", "30", "--repeats", "1", "--no-policies",
+                "--no-registry", "-o", str(baseline)]
+        assert main(args) == 0
+        capsys.readouterr()
+        # a fresh run against its own numbers is within any sane band
+        code = main(args + ["--compare"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no regressions" in out
+
+    def test_missing_baseline_is_an_error(self, tmp_path, capsys):
+        code = main(
+            ["bench", "--sizes", "30", "--repeats", "1", "--no-policies",
+             "--no-registry", "-o", str(tmp_path / "absent.json"),
+             "--compare"]
+        )
+        assert code == 1
+        assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestExperimentsManifest:
+    def test_manifest_written_per_experiment(self, tmp_path, capsys):
+        manifest_dir = tmp_path / "manifests"
+        code = main(
+            ["experiments", "F1", "--cache-dir", str(tmp_path / "cache"),
+             "--manifest", str(manifest_dir), "--summary-only"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trial manifest" in out
+        doc = json.loads((manifest_dir / "F1.manifest.json").read_text())
+        assert doc["schema"] == "run-manifest/v1"
+        assert doc["exp_id"] == "F1"
+        assert doc["trials_total"] == len(doc["trials"])
+        for trial in doc["trials"]:
+            assert {"trial_id", "params", "digest", "cache_key", "cached",
+                    "wall_seconds"} <= set(trial)

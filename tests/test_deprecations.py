@@ -1,0 +1,141 @@
+"""The deprecation shims: every legacy call form still works, emits
+exactly one :class:`DeprecationWarning`, and produces the same result as
+its replacement.  These tests pin the one-release compatibility window
+promised by the API redesign."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.sim.engine import simulate
+from repro.sim.speed import SpeedProfile
+
+
+def _instance():
+    return api.make_instance(n_jobs=8, seed=2)
+
+
+def _policy():
+    from repro.core.assignment import GreedyIdenticalAssignment
+
+    return GreedyIdenticalAssignment(0.5)
+
+
+def assert_warns_once(record, match):
+    hits = [w for w in record if match in str(w.message)]
+    assert len(hits) == 1, [str(w.message) for w in record]
+    assert all(issubclass(w.category, DeprecationWarning) for w in hits)
+
+
+class TestTopLevelSimulate:
+    def test_attribute_access_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="top level is deprecated"):
+            fn = repro.simulate
+        assert fn is simulate
+
+    def test_each_access_warns_once(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            repro.simulate
+        assert_warns_once(record, "top level is deprecated")
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_an_api
+
+    def test_listed_in_all_for_star_import_compat(self):
+        assert "simulate" in repro.__all__
+
+
+class TestPositionalSpeeds:
+    def test_warns_once_and_matches_keyword_form(self):
+        inst = _instance()
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            legacy = simulate(inst, _policy(), SpeedProfile.uniform(1.5))
+        assert_warns_once(record, "positionally")
+        modern = simulate(inst, _policy(), speeds=SpeedProfile.uniform(1.5))
+        assert legacy.total_flow_time() == modern.total_flow_time()
+
+    def test_keyword_form_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            simulate(_instance(), _policy(), speeds=SpeedProfile.uniform(1.0))
+            simulate(_instance(), _policy())
+
+    def test_both_forms_conflict(self):
+        with pytest.raises(TypeError, match="both"):
+            simulate(
+                _instance(),
+                _policy(),
+                SpeedProfile.uniform(1.0),
+                speeds=SpeedProfile.uniform(1.0),
+            )
+
+    def test_extra_positionals_rejected(self):
+        with pytest.raises(TypeError):
+            simulate(
+                _instance(),
+                _policy(),
+                SpeedProfile.uniform(1.0),
+                object(),
+            )
+
+
+class TestPositionalRunnerParams:
+    def test_warns_once_and_matches_keyword_form(self, tmp_path):
+        from repro.analysis.runner import run_experiments
+        from tests.test_experiments import QUICK_PARAMS
+
+        params = {"F1": QUICK_PARAMS.get("F1", {})}
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            legacy = run_experiments(
+                ["F1"], params, cache_dir=tmp_path / "a"
+            )
+        assert_warns_once(record, "positionally")
+        modern = run_experiments(
+            ["F1"], params_by_id=params, cache_dir=tmp_path / "b"
+        )
+        assert legacy[0].key == modern[0].key
+        assert legacy[0].result.render() == modern[0].result.render()
+
+    def test_both_forms_conflict(self, tmp_path):
+        from repro.analysis.runner import run_experiments
+
+        with pytest.raises(TypeError, match="both"):
+            run_experiments(["F1"], {}, params_by_id={}, cache_dir=tmp_path)
+
+
+class TestEventLog:
+    def test_constructor_warns_once(self):
+        from repro.sim.events import EventLog
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            log = EventLog()
+        assert_warns_once(record, "EventLog is deprecated")
+        assert log.events == []
+
+    def test_still_functions_as_observer(self):
+        from repro.sim.events import EventKind, EventLog
+
+        with pytest.warns(DeprecationWarning):
+            log = EventLog()
+        result = simulate(_instance(), _policy(), observer=log)
+        finishes = log.of_kind(EventKind.FINISH)
+        assert sorted(e.job_id for e in finishes) == sorted(result.records)
+
+
+def test_modern_surface_is_warning_free(tmp_path):
+    """The blessed call forms never trip a DeprecationWarning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        inst = api.make_instance(n_jobs=6, seed=1)
+        api.simulate(instance=inst)
+        api.trace_run(instance=inst)
+        api.run_experiments(exp_ids=["F1"], cache_dir=tmp_path)

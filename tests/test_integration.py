@@ -20,9 +20,9 @@ from repro import (
     reduce_to_broomstick,
     run_general_tree,
     run_paper_algorithm,
-    simulate,
     uniform_sizes,
 )
+from repro.sim import simulate
 from repro.analysis.ratios import competitive_report, lower_bound_for
 from repro.lp.duals_paper import build_dual_certificate
 from repro.lp.primal import solve_primal_lp
@@ -46,7 +46,9 @@ class TestFullPipelineIdentical:
 
         eps = 0.25
         alg = run_paper_algorithm(instance, eps, SpeedProfile.uniform(1.0))
-        base = simulate(instance, ClosestLeafAssignment(), SpeedProfile.uniform(1.0))
+        base = simulate(
+            instance, ClosestLeafAssignment(), speeds=SpeedProfile.uniform(1.0)
+        )
         # closest-leaf funnels everything to one subtree; greedy must win
         # comfortably on this congested instance.
         assert alg.total_flow_time() < base.total_flow_time()

@@ -57,7 +57,7 @@ class TestLocalSearch:
         leaves = small_identical.tree.leaves
         start = {j: leaves[0] for j in small_identical.jobs.ids}  # worst pile-up
         start_flow = simulate(
-            small_identical, FixedAssignment(start), SpeedProfile.uniform(1.0)
+            small_identical, FixedAssignment(start), speeds=SpeedProfile.uniform(1.0)
         ).total_flow_time()
         improved, flow = local_search_assignment(small_identical, start)
         assert flow <= start_flow

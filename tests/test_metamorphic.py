@@ -92,12 +92,12 @@ class TestScaling:
         ra = simulate(
             Instance(t, JobSet(jobs_a), Setting.IDENTICAL),
             GreedyIdenticalAssignment(0.5),
-            SpeedProfile.uniform(1.0),
+            speeds=SpeedProfile.uniform(1.0),
         )
         rb = simulate(
             Instance(t, JobSet(jobs_b), Setting.IDENTICAL),
             GreedyIdenticalAssignment(0.5),
-            SpeedProfile.uniform(c),
+            speeds=SpeedProfile.uniform(c),
         )
         assert ra.assignment() == rb.assignment()
         for jid in ra.records:

@@ -1,0 +1,219 @@
+"""Tests for the trace exporters and the ``trace/v1`` schema validator."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import api
+from repro.obs.export import (
+    jsonl_lines,
+    read_jsonl,
+    to_chrome,
+    trace_summary_table,
+    write_chrome,
+    write_jsonl,
+)
+from repro.obs.schema import TRACE_SCHEMA, validate_jsonl, validate_line
+
+
+@pytest.fixture(scope="module")
+def trace():
+    result = api.trace_run(
+        instance=api.make_instance(n_jobs=25, seed=4),
+        gauge_interval=1.0,
+    )
+    return result.trace
+
+
+class TestJsonlRoundTrip:
+    def test_meta_line_first(self, trace):
+        first = json.loads(next(iter(jsonl_lines(trace))))
+        assert first["type"] == "meta"
+        assert first["schema"] == TRACE_SCHEMA
+        assert first["jobs"] == trace.meta["jobs"]
+
+    def test_round_trip_is_lossless(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        n = write_jsonl(trace, path)
+        assert n == len(trace) + 1  # records + meta line
+        back = read_jsonl(path)
+        assert back.meta == trace.meta
+        assert back.points == trace.points
+        assert back.spans == trace.spans
+        assert back.gauges == trace.gauges
+
+    def test_file_object_round_trip(self, trace):
+        buf = io.StringIO()
+        write_jsonl(trace, buf)
+        buf.seek(0)
+        assert read_jsonl(buf).points == trace.points
+
+    def test_read_rejects_tampered_line(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(trace, path)
+        lines = path.read_text().splitlines()
+        bad = json.loads(lines[1])
+        bad["surprise"] = 1
+        lines[1] = json.dumps(bad)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 2.*unknown keys"):
+            read_jsonl(path)
+
+    def test_read_rejects_garbage_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match="line 1.*not valid JSON"):
+            read_jsonl(path)
+
+
+class TestValidator:
+    META = {
+        "type": "meta", "schema": TRACE_SCHEMA, "instance": "x",
+        "jobs": 1, "nodes": 2, "gauge_interval": None, "final_time": 3.0,
+    }
+
+    def test_valid_records(self):
+        assert validate_line(self.META, first=True) is None
+        point = {"type": "point", "kind": "arrival", "t": 0.0, "job": 1,
+                 "node": 2}
+        assert validate_line(point) is None
+        span = {"type": "span", "kind": "service", "start": 0.0, "end": 1.0,
+                "job": 1, "node": 2}
+        assert validate_line(span) is None
+        gauge = {"type": "gauge", "t": 1.0, "node": 2, "queue_depth": 0,
+                 "queue_volume": 0.0, "through_count": 0, "busy_s": 0.5,
+                 "utilization": 0.5}
+        assert validate_line(gauge) is None
+
+    def test_first_line_must_be_meta(self):
+        point = {"type": "point", "kind": "arrival", "t": 0.0, "job": 1,
+                 "node": 2}
+        assert "meta" in validate_line(point, first=True)
+        assert "first line" in validate_line(self.META, first=False)
+
+    def test_schema_version_pinned(self):
+        doc = dict(self.META, schema="trace/v2")
+        assert "trace/v2" in validate_line(doc, first=True)
+
+    def test_bool_is_not_an_int(self):
+        point = {"type": "point", "kind": "arrival", "t": 0.0, "job": True,
+                 "node": 2}
+        assert "integers" in validate_line(point)
+        gauge = {"type": "gauge", "t": 1.0, "node": 2, "queue_depth": False,
+                 "queue_volume": 0.0, "through_count": 0, "busy_s": 0.5,
+                 "utilization": 0.5}
+        assert "integers" in validate_line(gauge)
+
+    def test_span_must_not_end_before_start(self):
+        span = {"type": "span", "kind": "service", "start": 2.0, "end": 1.0,
+                "job": 1, "node": 2}
+        assert "ends before" in validate_line(span)
+
+    def test_unknown_kinds_rejected(self):
+        point = {"type": "point", "kind": "teleport", "t": 0.0, "job": 1,
+                 "node": 2}
+        assert "point kind" in validate_line(point)
+        span = {"type": "span", "kind": "nap", "start": 0.0, "end": 1.0,
+                "job": 1, "node": 2}
+        assert "span kind" in validate_line(span)
+        assert "record type" in validate_line({"type": "blob"})
+
+    def test_negative_gauge_rejected(self):
+        gauge = {"type": "gauge", "t": 1.0, "node": 2, "queue_depth": 0,
+                 "queue_volume": -0.1, "through_count": 0, "busy_s": 0.5,
+                 "utilization": 0.5}
+        assert ">= 0" in validate_line(gauge)
+
+    def test_validate_jsonl_counts(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(trace, path)
+        counts, errors = validate_jsonl(path)
+        assert errors == []
+        assert counts["meta"] == 1
+        assert counts["point"] == len(trace.points)
+        assert counts["span"] == len(trace.spans)
+        assert counts["gauge"] == len(trace.gauges)
+
+    def test_validate_jsonl_reports_line_numbers(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(trace, path)
+        lines = path.read_text().splitlines()
+        lines[3] = '{"type": "mystery"}'
+        path.write_text("\n".join(lines) + "\n")
+        _, errors = validate_jsonl(path)
+        assert len(errors) == 1
+        assert errors[0].startswith("line 4:")
+
+    def test_empty_file_invalid(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        _, errors = validate_jsonl(path)
+        assert errors and "empty trace" in errors[0]
+
+
+class TestChrome:
+    def test_document_structure(self, trace):
+        doc = to_chrome(trace)
+        assert doc["otherData"]["schema"] == TRACE_SCHEMA
+        events = doc["traceEvents"]
+        assert {e["ph"] for e in events} <= {"M", "X", "i", "C"}
+        # required keys per phase (Perfetto chokes on missing ts/pid)
+        for e in events:
+            assert "pid" in e and "name" in e
+            if e["ph"] != "M":
+                assert "ts" in e and e["ts"] >= 0
+
+    def test_event_counts_match_trace(self, trace):
+        events = to_chrome(trace)["traceEvents"]
+        by_ph = {}
+        for e in events:
+            by_ph.setdefault(e["ph"], []).append(e)
+        services = trace.spans_of("service")
+        waits = trace.spans_of("queue_wait")
+        # service spans appear on both the node and the job timeline
+        assert len(by_ph["X"]) == 2 * len(services) + len(waits)
+        instants = trace.points_of("arrival") + trace.points_of("finish")
+        assert len(by_ph["i"]) == len(instants)
+        assert len(by_ph["C"]) == 2 * len(trace.gauges)
+
+    def test_microsecond_scaling(self, trace):
+        events = to_chrome(trace)["traceEvents"]
+        span = trace.spans_of("service")[0]
+        xs = [e for e in events if e["ph"] == "X" and e["pid"] == 1]
+        first = min(xs, key=lambda e: e["ts"])
+        assert first["ts"] == pytest.approx(
+            min(s.start for s in trace.spans_of("service")) * 1e6
+        )
+        assert span.duration > 0  # sanity: durations scale the same way
+
+    def test_write_chrome_loadable_json(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome(trace, path)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == count
+
+
+class TestSummaryTable:
+    def test_per_node_rollup(self, trace):
+        table = trace_summary_table(trace)
+        text = table.render()
+        assert "service_s" in text and "peak_queue" in text
+        nodes = [int(v) for v in table.column("node")]  # cells render as str
+        assert nodes == sorted(nodes)
+        for node, service_s in zip(nodes, table.column("service_s")):
+            assert float(service_s) == pytest.approx(
+                trace.node_busy_s(node), abs=1e-4
+            )
+
+    def test_busy_frac_normalised_by_final_time(self, trace):
+        table = trace_summary_table(trace)
+        final = trace.meta["final_time"]
+        for service_s, frac in zip(
+            table.column("service_s"), table.column("busy_frac")
+        ):
+            assert float(frac) == pytest.approx(
+                float(service_s) / final, abs=1e-4
+            )

@@ -92,7 +92,7 @@ def test_simulation_invariants_random_policy(tree, jobs, seed):
     result = simulate(
         instance,
         RandomAssignment(seed),
-        SpeedProfile.uniform(1.0),
+        speeds=SpeedProfile.uniform(1.0),
         record_segments=True,
         check_invariants=True,
     )
@@ -128,7 +128,7 @@ def test_speed_scaling_preserves_validity(tree, jobs, factor):
     result = simulate(
         instance,
         LeastLoadedAssignment(),
-        SpeedProfile.uniform(factor),
+        speeds=SpeedProfile.uniform(factor),
         record_segments=True,
     )
     validate_schedule(result)

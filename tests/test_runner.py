@@ -7,11 +7,13 @@ from time import perf_counter
 import pytest
 
 from repro.analysis.runner import (
+    MANIFEST_SCHEMA,
     RunnerOutcome,
     aggregate_counters,
     cache_key,
     cache_path,
     clear_cache,
+    manifest_path,
     run_experiments,
     summary_table,
 )
@@ -110,13 +112,16 @@ class TestParallelIdentity:
 
         serial = run_experiments(
             None,
-            QUICK_PARAMS,
+            params_by_id=QUICK_PARAMS,
             parallel=1,
             cache_dir=tmp_path / "serial",
             shard_trials=False,  # the pre-grid whole-experiment path
         )
         parallel = run_experiments(
-            None, QUICK_PARAMS, parallel=4, cache_dir=tmp_path / "parallel"
+            None,
+            params_by_id=QUICK_PARAMS,
+            parallel=4,
+            cache_dir=tmp_path / "parallel",
         )
         assert [o.exp_id for o in serial] == [o.exp_id for o in parallel]
         for s, p in zip(serial, parallel):
@@ -138,15 +143,89 @@ class TestParallelIdentity:
         ids = ["T1", "T2", "D1"]  # the slowest quick-size experiments
         params = {i: QUICK_PARAMS[i] for i in ids}
         started = perf_counter()
-        run_experiments(ids, params, cache_dir=tmp_path)
+        run_experiments(ids, params_by_id=params, cache_dir=tmp_path)
         cold_wall = perf_counter() - started
         started = perf_counter()
-        warm = run_experiments(ids, params, cache_dir=tmp_path)
+        warm = run_experiments(ids, params_by_id=params, cache_dir=tmp_path)
         warm_wall = perf_counter() - started
         assert all(o.cached for o in warm)
         assert warm_wall < 0.25 * cold_wall, (
             f"warm {warm_wall:.3f}s vs cold {cold_wall:.3f}s"
         )
+
+
+class TestManifests:
+    def _load(self, manifest_dir, exp_id):
+        import json
+
+        return json.loads(manifest_path(manifest_dir, exp_id).read_text())
+
+    def test_cold_sharded_run_records_every_trial(self, tmp_path):
+        mdir = tmp_path / "manifests"
+        out = run_experiments(
+            ["F1"], cache_dir=tmp_path / "cache", manifest_dir=mdir
+        )[0]
+        doc = self._load(mdir, "F1")
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert doc["exp_id"] == "F1"
+        assert doc["key"] == out.key
+        assert doc["passed"] == out.result.passed
+        assert not doc["cached"]
+        assert doc["trials_total"] == out.trials_total == len(doc["trials"])
+        assert doc["trials_cached"] == 0
+        for trial in doc["trials"]:
+            assert not trial["cached"]
+            assert trial["wall_seconds"] >= 0.0
+            assert trial["cache_key"] and trial["digest"]
+            assert isinstance(trial["params"], dict)
+        assert len({t["trial_id"] for t in doc["trials"]}) == len(doc["trials"])
+
+    def test_experiment_cache_hit_has_no_trial_rows(self, tmp_path):
+        mdir = tmp_path / "manifests"
+        run_experiments(["F1"], cache_dir=tmp_path / "cache")
+        warm = run_experiments(
+            ["F1"], cache_dir=tmp_path / "cache", manifest_dir=mdir
+        )[0]
+        assert warm.cached
+        doc = self._load(mdir, "F1")
+        assert doc["cached"]
+        # resolved from the experiment entry: nothing finer to report
+        assert doc["trials"] == []
+
+    def test_trial_cache_replay_marks_trials_cached(self, tmp_path):
+        cache = tmp_path / "cache"
+        mdir = tmp_path / "manifests"
+        first = run_experiments(["F1"], cache_dir=cache)[0]
+        # drop the experiment entry, keep the trial entries: the re-run
+        # replays trial-by-trial and the manifest shows every hit
+        cache_path(cache, first.key).unlink()
+        run_experiments(["F1"], cache_dir=cache, manifest_dir=mdir)
+        doc = self._load(mdir, "F1")
+        assert doc["trials"] and all(t["cached"] for t in doc["trials"])
+        assert doc["trials_cached"] == len(doc["trials"])
+
+    def test_whole_experiment_path_has_no_trial_rows(self, tmp_path):
+        mdir = tmp_path / "manifests"
+        run_experiments(
+            ["F1"],
+            cache_dir=tmp_path / "cache",
+            shard_trials=False,
+            manifest_dir=mdir,
+        )
+        doc = self._load(mdir, "F1")
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert doc["trials"] == []
+
+    def test_manifest_is_derived_not_consulted(self, tmp_path):
+        """Deleting manifests never changes results or cache behaviour."""
+        cache = tmp_path / "cache"
+        mdir = tmp_path / "manifests"
+        first = run_experiments(["F1"], cache_dir=cache, manifest_dir=mdir)[0]
+        manifest_path(mdir, "F1").unlink()
+        again = run_experiments(["F1"], cache_dir=cache, manifest_dir=mdir)[0]
+        assert again.cached
+        assert same_payload(first.result, again.result)
+        assert manifest_path(mdir, "F1").exists()
 
 
 class TestCountersThroughRunner:

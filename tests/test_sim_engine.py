@@ -31,7 +31,7 @@ def run_chain(jobs, speeds=None, priority=None, **kw):
     kwargs = dict(record_segments=True, check_invariants=True, **kw)
     if priority is not None:
         kwargs["priority"] = priority
-    return simulate(instance, policy, speeds, **kwargs)
+    return simulate(instance, policy, speeds=speeds, **kwargs)
 
 
 class TestSingleJob:

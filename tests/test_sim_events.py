@@ -12,6 +12,13 @@ from repro.workload.instance import Instance, Setting
 from repro.workload.job import Job, JobSet
 
 
+# EventLog is deprecated in favour of repro.obs (see test_deprecations);
+# these tests cover its behaviour during the compat release.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:EventLog is deprecated:DeprecationWarning"
+)
+
+
 def run_with_log(jobs, priority=None):
     tree = spine_tree(1)
     instance = Instance(tree, JobSet(jobs), Setting.IDENTICAL)

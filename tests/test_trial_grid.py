@@ -99,7 +99,7 @@ def test_sharded_runner_matches_direct_run(exp_id, tmp_path):
     direct = run_experiment(exp_id, **QUICK_PARAMS[exp_id])
     sharded = run_experiments(
         [exp_id],
-        {exp_id: QUICK_PARAMS[exp_id]},
+        params_by_id={exp_id: QUICK_PARAMS[exp_id]},
         cache_dir=tmp_path,
         shard_trials=True,
     )[0]
@@ -115,11 +115,11 @@ def test_partial_rerun_reuses_trial_cache(tmp_path):
     """Extending a sweep only pays for the new cells: L2 at one eps,
     then at two, hits the first eps's trial entry."""
     small = run_experiments(
-        ["L2"], {"L2": {"eps_values": (0.5,)}}, cache_dir=tmp_path
+        ["L2"], params_by_id={"L2": {"eps_values": (0.5,)}}, cache_dir=tmp_path
     )[0]
     assert (small.trials_total, small.trials_cached) == (1, 0)
     grown = run_experiments(
-        ["L2"], {"L2": {"eps_values": (0.5, 0.25)}}, cache_dir=tmp_path
+        ["L2"], params_by_id={"L2": {"eps_values": (0.5, 0.25)}}, cache_dir=tmp_path
     )[0]
     assert (grown.trials_total, grown.trials_cached) == (2, 1)
     # the grown result matches a fresh uncached run cell-for-cell
