@@ -21,7 +21,12 @@
 * ``bench`` — engine scaling sweep, policy microbenchmarks and registry
   serial-vs-sharded timing, written to ``BENCH_engine.json`` so the
   perf trajectory is tracked across PRs; ``--compare`` gates a fresh
-  run against the checked-in document instead.
+  run against the checked-in document instead;
+* ``fuzz`` — differential fuzzing (:mod:`repro.testing`): run the
+  engine against independent reference oracles over seeded instance
+  grids, shrink any disagreement and persist it to the crash corpus;
+  ``--replay DIGEST`` re-runs a saved repro, ``--list`` shows the
+  corpus.
 
 Every command is deterministic given ``--seed``; ``run --profile``
 wraps the simulation in ``cProfile`` for hot-path hunts.
@@ -416,6 +421,102 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    import json
+
+    from repro.testing import (
+        DEFAULT_CORPUS_DIR,
+        list_corpus,
+        replay,
+        run_fuzz,
+    )
+
+    corpus_dir = args.corpus or DEFAULT_CORPUS_DIR
+
+    if args.list:
+        entries = list_corpus(corpus_dir)
+        if args.json:
+            print(json.dumps(entries, indent=2, sort_keys=True))
+            return 0
+        if not entries:
+            print(f"corpus {corpus_dir} is empty")
+            return 0
+        table = Table(
+            f"crash corpus ({corpus_dir})", ["digest", "checks", "jobs", "label"]
+        )
+        for entry in entries:
+            table.add_row(
+                entry["digest"],
+                ",".join(entry["checks"]),
+                entry["n_jobs"],
+                entry["label"] or "",
+            )
+        print(table.render())
+        return 0
+
+    if args.replay is not None:
+        report = replay(args.replay, corpus_dir)
+        if args.json:
+            print(json.dumps(report.to_doc(), indent=2, sort_keys=True))
+        else:
+            print(f"digest   : {report.digest}")
+            print(f"case     : {report.label}")
+            print(f"recorded : {', '.join(report.recorded_checks) or '(none)'}")
+            print(f"failing  : {', '.join(report.failing_checks) or '(none)'}")
+            for failure in report.failures:
+                print(f"  [{failure.check}] {failure.message}")
+            print(f"reproduced: {report.reproduced}")
+        # A repro that still reproduces is a live bug: fail the process
+        # so CI replay jobs stay red until the engine is fixed.
+        return 1 if report.reproduced else 0
+
+    def ticker(cases_run: int, failures: int) -> None:
+        if cases_run % 100 == 0:
+            print(
+                f"  {cases_run} cases, {failures} failure(s)", file=sys.stderr
+            )
+
+    summary = run_fuzz(
+        seed=args.seed,
+        max_cases=args.max_cases,
+        budget_seconds=args.budget_seconds,
+        corpus_dir=corpus_dir,
+        shrink=not args.no_shrink,
+        progress=ticker if not args.json else None,
+    )
+    if args.json:
+        print(json.dumps(summary.to_doc(), indent=2, sort_keys=True))
+        return 0 if summary.ok else 1
+    print(
+        f"fuzz: seed={summary.seed} cases={summary.cases_run} "
+        f"elapsed={summary.elapsed_seconds:.1f}s "
+        f"(stopped by {summary.stopped_by})"
+    )
+    if summary.ok:
+        print("no disagreements found")
+        return 0
+    for rec in summary.failures:
+        shrunk = (
+            f"shrunk {rec.n_jobs_original} -> {rec.n_jobs_shrunk} jobs "
+            f"in {rec.shrink_steps} step(s)"
+            if rec.shrink_steps
+            else f"{rec.n_jobs_shrunk} jobs (not shrunk)"
+        )
+        print(f"\nFAIL {rec.digest}  [{', '.join(rec.failing_checks)}]")
+        print(f"  case   : {rec.original_label}")
+        print(f"  size   : {shrunk}")
+        if rec.path:
+            print(f"  saved  : {rec.path}")
+            print(f"  replay : repro fuzz --replay {rec.digest}")
+        for failure in rec.failures[:4]:
+            print(f"  [{failure.check}] {failure.message}")
+    print(
+        f"\n{len(summary.failures)} failing case(s) written to {corpus_dir}",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import render_experiments_markdown
 
@@ -652,6 +753,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON output path ('-' = print tables only)",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: engine vs reference oracles, with "
+        "shrinking and an on-disk crash corpus",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0, help="case-stream seed")
+    p_fuzz.add_argument(
+        "--max-cases",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N cases (default 500 when no budget is given)",
+    )
+    p_fuzz.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="stop after S seconds of wall clock",
+    )
+    p_fuzz.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="crash corpus directory (default: .fuzz-corpus)",
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="DIGEST",
+        help="re-run one saved repro (digest, unique prefix, or path) "
+        "instead of fuzzing; exits 1 if it still reproduces",
+    )
+    p_fuzz.add_argument(
+        "--list", action="store_true", help="list corpus entries and exit"
+    )
+    p_fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="persist failing cases without minimising them first",
+    )
+    p_fuzz.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable summary document",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_report = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md from live experiment runs"

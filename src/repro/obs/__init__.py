@@ -34,6 +34,7 @@ from repro.obs.trace import (
     TracePoint,
     TraceRecorder,
     TraceSpan,
+    crosscheck_trace,
 )
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "TracePoint",
     "TraceSpan",
     "GaugeSample",
+    "crosscheck_trace",
     "jsonl_lines",
     "write_jsonl",
     "read_jsonl",

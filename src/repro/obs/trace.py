@@ -46,6 +46,7 @@ __all__ = [
     "GaugeSample",
     "SimulationTrace",
     "TraceRecorder",
+    "crosscheck_trace",
     "POINT_KINDS",
     "SPAN_KINDS",
 ]
@@ -185,6 +186,68 @@ class SimulationTrace:
 
     def __len__(self) -> int:
         return len(self.points) + len(self.spans) + len(self.gauges)
+
+
+def crosscheck_trace(result) -> list[str]:
+    """Cross-check a run's trace against its other outputs.
+
+    Takes a :class:`~repro.sim.result.SimulationResult` produced with
+    both ``tracer=`` and ``record_segments=True`` and returns a list of
+    human-readable discrepancy descriptions (empty when consistent):
+
+    * every completed job has exactly one ``finish`` point, at the
+      record's completion time;
+    * ``arrival`` points land on the assigned leaf at the job's release;
+    * the multiset of ``service`` spans equals the multiset of recorded
+      segments (tracing must not perturb or re-derive the schedule);
+    * per-node busy time from spans matches segment totals.
+
+    Used by the fuzzing battery (:mod:`repro.testing.checks`); exact
+    equality is intentional — both sides quote the same engine floats.
+    """
+    problems: list[str] = []
+    trace = result.trace
+    if trace is None:
+        return ["result has no trace; run with tracer="]
+    finishes = {p.job_id: p for p in trace.points_of("finish")}
+    if len(finishes) != len(trace.points_of("finish")):
+        problems.append("duplicate finish points")
+    for jid, rec in result.records.items():
+        if not rec.finished:
+            continue
+        p = finishes.get(jid)
+        if p is None:
+            problems.append(f"job {jid}: completed but no finish point")
+        elif p.time != rec.completion:
+            problems.append(
+                f"job {jid}: finish point at {p.time}, record says {rec.completion}"
+            )
+        elif p.node != rec.path[-1]:
+            problems.append(
+                f"job {jid}: finish point on node {p.node}, leaf is {rec.path[-1]}"
+            )
+    arrivals = {p.job_id: p for p in trace.points_of("arrival")}
+    for jid, rec in result.records.items():
+        p = arrivals.get(jid)
+        if p is None:
+            problems.append(f"job {jid}: no arrival point")
+        elif p.node != rec.path[-1]:
+            problems.append(
+                f"job {jid}: arrival point on node {p.node}, leaf is {rec.path[-1]}"
+            )
+    if result.segments is not None:
+        seg_set = sorted(
+            (s.start, s.end, s.job_id, s.node) for s in result.segments
+        )
+        span_set = sorted(
+            (s.start, s.end, s.job_id, s.node) for s in trace.spans_of("service")
+        )
+        if seg_set != span_set:
+            problems.append(
+                f"service spans ({len(span_set)}) differ from recorded "
+                f"segments ({len(seg_set)})"
+            )
+    return problems
 
 
 class TraceRecorder:

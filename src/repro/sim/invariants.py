@@ -24,13 +24,12 @@ from collections import defaultdict
 
 from repro.exceptions import InvariantViolation
 from repro.sim.result import SimulationResult
+from repro.sim.tolerances import SCHEDULE_TOL
 
 __all__ = ["validate_schedule"]
 
-_TOL = 1e-6
 
-
-def validate_schedule(result: SimulationResult, *, tol: float = _TOL) -> None:
+def validate_schedule(result: SimulationResult, *, tol: float = SCHEDULE_TOL) -> None:
     """Validate a recorded schedule against the tree network model.
 
     Raises

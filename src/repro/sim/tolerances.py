@@ -35,6 +35,7 @@ __all__ = [
     "REMAINING_ATOL",
     "REMAINING_RTOL",
     "DRIFT_RTOL",
+    "SCHEDULE_TOL",
     "ULP",
     "finished_tol",
     "completion_guard_tol",
@@ -59,6 +60,15 @@ REMAINING_RTOL = 1e-12
 
 #: Relative slack for the alive-fraction bookkeeping cross-check.
 DRIFT_RTOL = 1e-6
+
+#: Default tolerance for post-hoc schedule validation
+#: (:func:`repro.sim.invariants.validate_schedule`).  Segment endpoints
+#: are recorded event times, so their error is clock-scale, but work
+#: conservation sums many ``duration * speed`` products; ``1e-6`` (the
+#: historical value, now sourced here instead of a hard-coded literal)
+#: leaves headroom for that accumulation while staying far below any
+#: real scheduling discrepancy.
+SCHEDULE_TOL = 1e-6
 
 
 def finished_tol(processing_time: float) -> float:

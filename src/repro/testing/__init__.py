@@ -1,0 +1,80 @@
+"""Correctness tooling: reference oracles, fuzzing, shrinking, corpus.
+
+The engine has accumulated three fast paths (incremental congestion
+aggregates, the specialised completion path, trial sharding) whose
+correctness rests on checks that used to live ad hoc in ``tests/``.
+This package turns them into an always-on differential-fuzzing
+subsystem:
+
+* :mod:`repro.testing.reference` — the fixed-step (``dt``) reference
+  simulator, promoted out of ``tests/test_differential.py``;
+* :mod:`repro.testing.exact` — a second, independent *exact* oracle:
+  an event-free recursive replay that resolves each node's preemptive
+  priority schedule analytically, in topological order;
+* :mod:`repro.testing.generate` — a seeded instance generator over
+  topology × arrival × size × policy × speed grids, biased toward the
+  boundary regimes the paper cares about (ties, zero-remaining drains,
+  equal priorities, speeds near zero, broomstick shapes);
+* :mod:`repro.testing.checks` / :mod:`repro.testing.metamorphic` — the
+  per-case check battery (oracle agreement, ``validate_schedule``,
+  counters/trace cross-consistency, metamorphic transformations);
+* :mod:`repro.testing.shrink` — a deterministic failure minimiser;
+* :mod:`repro.testing.corpus` / :mod:`repro.testing.replay` — the
+  on-disk, content-addressed crash corpus and its loader;
+* :mod:`repro.testing.fuzz` — the driver behind ``repro fuzz``.
+
+The oracle hierarchy, corpus layout, and triage workflow are documented
+in ``docs/testing.md``.
+"""
+
+from repro.testing.checks import ALL_CHECKS, CheckFailure, run_checks
+from repro.testing.corpus import (
+    DEFAULT_CORPUS_DIR,
+    case_digest,
+    list_corpus,
+    load_repro,
+    save_repro,
+)
+from repro.testing.exact import exact_replay
+from repro.testing.fuzz import FuzzFailureRecord, FuzzSummary, run_fuzz
+from repro.testing.generate import (
+    CaseConfig,
+    FuzzCase,
+    build_case,
+    iter_cases,
+)
+from repro.testing.metamorphic import RELATIONS, run_relations
+from repro.testing.reference import (
+    assert_engine_matches_reference,
+    reference_simulate,
+)
+from repro.testing.replay import ReplayReport, replay, replay_case
+from repro.testing.shrink import ShrinkResult, shrink_case
+
+__all__ = [
+    "ALL_CHECKS",
+    "CheckFailure",
+    "run_checks",
+    "DEFAULT_CORPUS_DIR",
+    "case_digest",
+    "list_corpus",
+    "load_repro",
+    "save_repro",
+    "exact_replay",
+    "FuzzFailureRecord",
+    "FuzzSummary",
+    "run_fuzz",
+    "CaseConfig",
+    "FuzzCase",
+    "build_case",
+    "iter_cases",
+    "RELATIONS",
+    "run_relations",
+    "assert_engine_matches_reference",
+    "reference_simulate",
+    "ReplayReport",
+    "replay",
+    "replay_case",
+    "ShrinkResult",
+    "shrink_case",
+]

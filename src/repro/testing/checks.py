@@ -1,0 +1,255 @@
+"""The per-case check battery.
+
+:func:`run_checks` runs one case through every layer of the oracle
+hierarchy (``docs/testing.md``) and returns the failures:
+
+1. **engine** — the run itself must succeed, with per-event internal
+   invariant assertions enabled.
+2. **exact_oracle** — completions must match the event-free recursive
+   replay (:mod:`repro.testing.exact`) to ``1e-9`` relative.
+3. **dt_reference** — on small, well-separated cases, completions must
+   match the fixed-step simulator (:mod:`repro.testing.reference`)
+   within its ``O(dt)`` error band.  Gated because near-tie cases
+   legitimately diverge: a single tick decides which of two almost-equal
+   jobs runs first, which is a rounding artefact, not an engine bug.
+4. **validate_schedule** — the recorded segments must satisfy the
+   post-hoc model invariants (:mod:`repro.sim.invariants`).
+5. **trace_consistency** — the structured trace must agree with the
+   records and segments (:func:`repro.obs.trace.crosscheck_trace`), and
+   tracing must not perturb completions (traced vs untraced runs are
+   compared bitwise).
+6. **counters** — engine performance counters must be arithmetically
+   consistent with the run (completion events at least one per job,
+   zero heap leftovers).
+7. **metamorphic** — the symmetry relations of
+   :mod:`repro.testing.metamorphic`.
+
+Every failure carries the check name, so the shrinker can preserve *the
+same* failure while minimising (``repro.testing.shrink``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import TreeSchedError
+from repro.obs.trace import TraceRecorder, crosscheck_trace
+from repro.sim.engine import simulate
+from repro.sim.invariants import validate_schedule
+from repro.testing.exact import exact_replay
+from repro.testing.generate import FuzzCase
+from repro.testing.metamorphic import run_relations
+from repro.testing.reference import reference_simulate
+
+__all__ = ["ALL_CHECKS", "CheckFailure", "run_checks"]
+
+#: Relative tolerance for exact-oracle agreement: both sides use the
+#: same arithmetic forms, so observed disagreement is ~1 ulp; anything
+#: beyond 1e-9 is a real divergence.
+_EXACT_RTOL = 1e-9
+
+#: dt-reference gate: only cases small and well-separated enough that
+#: the fixed-step simulator's tick rounding cannot flip a decision.
+_DT_MAX_JOBS = 8
+_DT_SIZE_FAMILIES = ("uniform", "pareto")
+_DT_ARRIVAL_FAMILIES = ("poisson", "bursts")
+
+ALL_CHECKS = (
+    "engine",
+    "exact_oracle",
+    "dt_reference",
+    "validate_schedule",
+    "trace_consistency",
+    "counters",
+    "metamorphic",
+)
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One failed check on one case."""
+
+    check: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.check}] {self.message}"
+
+
+def _rel_diff(a: float, b: float) -> float:
+    return abs(a - b) / max(1.0, abs(a), abs(b))
+
+
+def run_checks(
+    case: FuzzCase, *, dt: float = 0.01, checks=None
+) -> list[CheckFailure]:
+    """Run the battery on one case; returns the failures (empty = pass).
+
+    ``checks`` restricts the battery to a subset of :data:`ALL_CHECKS`
+    (the ``engine`` run always happens — everything depends on it).
+    """
+    selected = set(ALL_CHECKS if checks is None else checks)
+    unknown = selected - set(ALL_CHECKS)
+    if unknown:
+        raise ValueError(f"unknown checks: {sorted(unknown)}")
+    failures: list[CheckFailure] = []
+
+    tracer = TraceRecorder(gauge_interval=None)
+    try:
+        base = simulate(
+            case.instance,
+            case.policy(),
+            speeds=case.speeds(),
+            priority=case.priority_fn(),
+            record_segments=True,
+            check_invariants=True,
+            collect_counters=True,
+            tracer=tracer,
+        )
+    except (TreeSchedError, AssertionError) as exc:
+        return [CheckFailure("engine", f"{type(exc).__name__}: {exc}")]
+    if len(base.records) != len(case.instance.jobs):
+        return [
+            CheckFailure(
+                "engine",
+                f"only {len(base.records)} of {len(case.instance.jobs)} "
+                "jobs completed",
+            )
+        ]
+    assignment = base.assignment()
+
+    if "exact_oracle" in selected:
+        try:
+            oracle = exact_replay(
+                case.instance,
+                assignment,
+                speeds=case.speeds(),
+                priority=case.priority_fn(),
+            )
+        except TreeSchedError as exc:
+            failures.append(
+                CheckFailure("exact_oracle", f"oracle raised {exc}")
+            )
+        else:
+            for jid, rec in base.records.items():
+                if jid not in oracle:
+                    failures.append(
+                        CheckFailure("exact_oracle", f"job {jid} missing")
+                    )
+                elif _rel_diff(oracle[jid], rec.completion) > _EXACT_RTOL:
+                    failures.append(
+                        CheckFailure(
+                            "exact_oracle",
+                            f"job {jid}: engine {rec.completion!r}, "
+                            f"exact replay {oracle[jid]!r}",
+                        )
+                    )
+
+    if "dt_reference" in selected and _dt_applicable(case):
+        # Escalation ladder: a tick can flip a scheduling decision when
+        # two event times are within the reference's accumulated error,
+        # cascading far beyond the per-hop tolerance.  Such artefacts
+        # vanish as dt shrinks (the error band tightens 5x per rung);
+        # a genuine engine bug stays put.  Only a disagreement that
+        # survives every rung is reported.
+        for rung, step in enumerate((dt, dt / 5.0, dt / 25.0)):
+            tol = _dt_tol(case, base, step)
+            reference = reference_simulate(
+                case.instance, assignment, dt=step, speeds=case.speeds()
+            )
+            disagreements = []
+            for jid, rec in base.records.items():
+                got = reference.get(jid)
+                if got is None:
+                    disagreements.append(f"job {jid} never completed")
+                elif abs(got - rec.completion) > tol:
+                    disagreements.append(
+                        f"job {jid}: engine {rec.completion}, reference "
+                        f"{got} (dt {step}, tol {tol})"
+                    )
+            if not disagreements:
+                break
+        else:
+            for message in disagreements:
+                failures.append(CheckFailure("dt_reference", message))
+
+    if "validate_schedule" in selected:
+        try:
+            validate_schedule(base)
+        except TreeSchedError as exc:
+            failures.append(CheckFailure("validate_schedule", str(exc)))
+
+    if "trace_consistency" in selected:
+        for problem in crosscheck_trace(base):
+            failures.append(CheckFailure("trace_consistency", problem))
+        untraced = simulate(
+            case.instance,
+            case.policy(),
+            speeds=case.speeds(),
+            priority=case.priority_fn(),
+        )
+        for jid, rec in base.records.items():
+            if untraced.records[jid].completion != rec.completion:
+                failures.append(
+                    CheckFailure(
+                        "trace_consistency",
+                        f"job {jid}: tracing changed completion "
+                        f"{untraced.records[jid].completion!r} -> "
+                        f"{rec.completion!r}",
+                    )
+                )
+
+    if "counters" in selected and base.counters is not None:
+        c = base.counters
+        n = len(case.instance.jobs)
+        if c.runs != 1:
+            failures.append(CheckFailure("counters", f"runs = {c.runs}, not 1"))
+        if c.events_processed != c.arrivals + c.completions:
+            failures.append(
+                CheckFailure(
+                    "counters",
+                    f"events_processed {c.events_processed} != arrivals "
+                    f"{c.arrivals} + completions {c.completions}",
+                )
+            )
+        if c.arrivals != n:
+            failures.append(
+                CheckFailure(
+                    "counters", f"{c.arrivals} arrival events for {n} jobs"
+                )
+            )
+        if base.trace is not None and c.trace_records != len(base.trace):
+            failures.append(
+                CheckFailure(
+                    "counters",
+                    f"trace_records {c.trace_records} != trace size "
+                    f"{len(base.trace)}",
+                )
+            )
+
+    if "metamorphic" in selected:
+        for name, problems in run_relations(case, base).items():
+            for problem in problems:
+                failures.append(CheckFailure("metamorphic", problem))
+
+    return failures
+
+
+def _dt_applicable(case: FuzzCase) -> bool:
+    cfg = case.config
+    return (
+        len(case.instance.jobs) <= _DT_MAX_JOBS
+        and cfg.priority == "sjf"  # the reference hard-codes SJF keys
+        and cfg.sizes in _DT_SIZE_FAMILIES
+        and cfg.arrivals in _DT_ARRIVAL_FAMILIES
+        and not case.shrunk  # shrinking moves sizes onto tie-heavy grids
+    )
+
+
+def _dt_tol(case: FuzzCase, base, dt: float) -> float:
+    from repro.sim.speed import SpeedProfile
+
+    profile = case.speeds() or SpeedProfile.uniform(1.0)
+    top_speed = max(profile.speeds_for(case.instance.tree).values())
+    longest = max(len(rec.path) for rec in base.records.values())
+    return dt * (longest + 4) * max(1.0, top_speed) + 1e-9

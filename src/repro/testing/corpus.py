@@ -1,0 +1,145 @@
+"""The on-disk crash corpus.
+
+Every failure the fuzzer finds is persisted as one JSON document under
+``.fuzz-corpus/`` (by default), named by a content digest so re-finding
+the same minimised case is idempotent and the corpus deduplicates
+itself.  Documents are the ``treesched-fuzz-repro`` format, version 1:
+
+.. code-block:: json
+
+    {
+      "format": "treesched-fuzz-repro",
+      "version": 1,
+      "digest": "a1b2c3d4e5f60718",
+      "failures": [{"check": "exact_oracle", "message": "..."}],
+      "case": { ... FuzzCase document, instance embedded ... },
+      "original_label": "spine2/tied/equal/...",
+      "shrunk_from": 9
+    }
+
+The embedded case is self-contained — the instance rides along verbatim
+(the :mod:`repro.workload.trace_io` format), so a repro loads and runs
+even after the generator grids change.  ``repro fuzz --replay DIGEST``
+re-runs one; digest prefixes are accepted the way git abbreviates ids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.exceptions import WorkloadError
+from repro.testing.generate import FuzzCase
+
+__all__ = [
+    "DEFAULT_CORPUS_DIR",
+    "case_digest",
+    "save_repro",
+    "load_repro",
+    "list_corpus",
+]
+
+DEFAULT_CORPUS_DIR = Path(".fuzz-corpus")
+
+_FORMAT = "treesched-fuzz-repro"
+_VERSION = 1
+_DIGEST_LEN = 16
+
+
+def case_digest(case: FuzzCase) -> str:
+    """Content digest of a case (16 hex chars of SHA-256 over the
+    canonical JSON of its document)."""
+    canonical = json.dumps(case.to_doc(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:_DIGEST_LEN]
+
+
+def save_repro(
+    case: FuzzCase,
+    failures,
+    corpus_dir: str | Path = DEFAULT_CORPUS_DIR,
+    *,
+    original_label: str | None = None,
+    shrunk_from: int | None = None,
+) -> Path:
+    """Write one repro document; returns its path.
+
+    ``failures`` is the list of :class:`~repro.testing.checks.CheckFailure`
+    (or anything with ``check``/``message`` attributes).  Writing the
+    same case twice is a no-op thanks to content addressing.
+    """
+    corpus = Path(corpus_dir)
+    corpus.mkdir(parents=True, exist_ok=True)
+    digest = case_digest(case)
+    doc = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "digest": digest,
+        "failures": [
+            {"check": f.check, "message": f.message} for f in failures
+        ],
+        "case": case.to_doc(),
+        "original_label": original_label or case.config.label(),
+        "shrunk_from": shrunk_from,
+    }
+    path = corpus / f"{digest}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _read_doc(path: Path) -> dict:
+    doc = json.loads(path.read_text())
+    if doc.get("format") != _FORMAT:
+        raise WorkloadError(f"{path}: not a {_FORMAT} document")
+    if doc.get("version") != _VERSION:
+        raise WorkloadError(
+            f"{path}: unsupported version {doc.get('version')!r}"
+        )
+    return doc
+
+
+def load_repro(
+    ref: str | Path, corpus_dir: str | Path = DEFAULT_CORPUS_DIR
+) -> tuple[FuzzCase, dict]:
+    """Load a repro by digest, unique digest prefix, or file path.
+
+    Returns ``(case, document)``; the document keeps the recorded
+    failures and provenance fields.
+    """
+    ref_path = Path(ref)
+    if ref_path.suffix == ".json" and ref_path.exists():
+        doc = _read_doc(ref_path)
+        return FuzzCase.from_doc(doc["case"]), doc
+    corpus = Path(corpus_dir)
+    matches = sorted(corpus.glob(f"{ref}*.json")) if corpus.is_dir() else []
+    if not matches:
+        raise WorkloadError(f"no corpus entry matches {ref!r} in {corpus}")
+    if len(matches) > 1:
+        names = ", ".join(p.stem for p in matches)
+        raise WorkloadError(f"ambiguous digest prefix {ref!r}: {names}")
+    doc = _read_doc(matches[0])
+    return FuzzCase.from_doc(doc["case"]), doc
+
+
+def list_corpus(corpus_dir: str | Path = DEFAULT_CORPUS_DIR) -> list[dict]:
+    """Summaries of every corpus entry (sorted by digest): digest,
+    failing checks, job count and provenance label."""
+    corpus = Path(corpus_dir)
+    out = []
+    if not corpus.is_dir():
+        return out
+    for path in sorted(corpus.glob("*.json")):
+        try:
+            doc = _read_doc(path)
+        except (WorkloadError, json.JSONDecodeError):
+            continue
+        out.append(
+            {
+                "digest": doc["digest"],
+                "checks": sorted({f["check"] for f in doc["failures"]}),
+                "n_jobs": len(doc["case"]["instance"]["jobs"]),
+                "label": doc.get("original_label"),
+                "path": str(path),
+            }
+        )
+    return out

@@ -1,0 +1,159 @@
+"""The exact oracle: event-free recursive replay over path segments.
+
+The second, independent reference implementation of the Section-2 model.
+Where the event engine interleaves all nodes through one global event
+heap (with versioned completion events, lazy staleness, settle algebra
+and a fused completion fast path), this oracle exploits a structural
+property of store-and-forward tree scheduling instead:
+
+    a node's schedule depends on upstream nodes only through the times
+    jobs become available on it, and availability flows strictly
+    root-to-leaf.
+
+So the replay resolves nodes *recursively in topological order*: for
+each node (shallowest first) it gathers the jobs whose processing path
+crosses it — each with an availability time already resolved on the
+previous hop — and solves the node's preemptive-priority single-machine
+schedule analytically, sweeping availability boundaries with exact
+arithmetic.  No global event heap, no versioning, no fixed time step:
+completions are exact up to float rounding, which makes disagreement
+with the engine beyond ~1e-9 relative a genuine bug in one of the two.
+
+By construction the two implementations disagree about *how* to compute
+the schedule; they may only agree about the schedule itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.sim.engine import PriorityFn, sjf_priority
+from repro.sim.speed import SpeedProfile
+from repro.sim.tolerances import finished_tol
+from repro.workload.instance import Instance
+
+__all__ = ["exact_replay"]
+
+
+def _node_priority_schedule(
+    entries: list[tuple[float, tuple, int, float]], speed: float
+) -> dict[int, float]:
+    """Exact preemptive-priority schedule of one node.
+
+    ``entries`` holds ``(available_at, priority_key, job_id, work)``;
+    smaller keys run first, a newly available job preempts the running
+    one only if it outranks it (keys are unique, so ties cannot arise).
+    Returns ``job id -> completion time on this node``.
+
+    One ordering rule matters at event collisions: a job whose work has
+    hit zero at time ``t`` is *complete* at ``t``, even when a
+    higher-priority job becomes available at the same instant.  The
+    drain loop below enforces it — the model-level counterpart of the
+    engine's zero-remaining drain (``Engine._drain_finished_top``);
+    without it a finished job would be re-queued behind the newcomer
+    and its completion (plus everything downstream) would come out
+    late.  Exact collisions are common under power-of-two sizes on
+    shared release instants, not a pathological corner.
+    """
+    pending = sorted(entries)
+    completions: dict[int, float] = {}
+    ready: list[tuple[tuple, int]] = []  # (key, job id)
+    remaining: dict[int, float] = {}
+    ftol: dict[int, float] = {}
+    i, n = 0, len(pending)
+    t = 0.0
+    while i < n or ready:
+        # Complete leaders finished exactly at t before admitting
+        # simultaneous arrivals that would outrank them.
+        while ready:
+            _, jid = ready[0]
+            if remaining[jid] > ftol[jid]:
+                break
+            heapq.heappop(ready)
+            completions[jid] = t + remaining[jid] / speed
+            del remaining[jid]
+        if not ready and i < n and pending[i][0] > t:
+            t = pending[i][0]
+        while i < n and pending[i][0] <= t:
+            avail, key, jid, work = pending[i]
+            heapq.heappush(ready, (key, jid))
+            remaining[jid] = work
+            ftol[jid] = finished_tol(work)
+            i += 1
+        if not ready:
+            continue
+        _, jid = ready[0]
+        finish = t + remaining[jid] / speed
+        next_avail = pending[i][0] if i < n else math.inf
+        if finish <= next_avail:
+            completions[jid] = finish
+            heapq.heappop(ready)
+            del remaining[jid]
+            t = finish
+        else:
+            # Run the leader up to the next availability boundary, then
+            # re-evaluate; the mid-flight residual uses the same
+            # ``rem - speed * elapsed`` form as the engine's settle, so
+            # matching schedules yield (near) bitwise-equal floats.
+            remaining[jid] -= speed * (next_avail - t)
+            t = next_avail
+    return completions
+
+
+def exact_replay(
+    instance: Instance,
+    assignment: dict[int, int],
+    *,
+    speeds: SpeedProfile | None = None,
+    priority: PriorityFn = sjf_priority,
+) -> dict[int, float]:
+    """Exact completion times under a fixed assignment.
+
+    Parameters mirror the engine's: ``assignment`` maps every job id to
+    its leaf, ``speeds`` defaults to unit speed, ``priority`` to SJF.
+    Returns ``job id -> completion time`` (on the assigned leaf).
+    """
+    tree = instance.tree
+    profile = speeds or SpeedProfile.uniform(1.0)
+
+    paths = {
+        job.id: instance.processing_path_for(job, assignment[job.id])
+        for job in instance.jobs
+    }
+    # available[jid] is the job's availability on its *next* unresolved
+    # hop; hop[jid] indexes that hop.
+    available = {job.id: job.release for job in instance.jobs}
+    hop = {job.id: 0 for job in instance.jobs}
+
+    # Nodes resolve in topological (depth) order: every predecessor of a
+    # hop lies strictly closer to the root, so by the time a node is
+    # visited all of its availability inputs are final.
+    used_nodes = sorted(
+        {v for path in paths.values() for v in path}, key=tree.d
+    )
+    by_job = {job.id: job for job in instance.jobs}
+    completions: dict[int, float] = {}
+    for node in used_nodes:
+        speed = profile.speed_of(tree, node)
+        entries = []
+        for jid, path in paths.items():
+            if hop[jid] < len(path) and path[hop[jid]] == node:
+                job = by_job[jid]
+                entries.append(
+                    (
+                        available[jid],
+                        priority(instance, job, node),
+                        jid,
+                        instance.processing_time(job, node),
+                    )
+                )
+        if not entries:
+            continue
+        node_completions = _node_priority_schedule(entries, speed)
+        for jid, done in node_completions.items():
+            hop[jid] += 1
+            available[jid] = done
+            if hop[jid] == len(paths[jid]):
+                completions[jid] = done
+    return completions

@@ -1,0 +1,184 @@
+"""The fuzz driver: generate → check → shrink → persist.
+
+:func:`run_fuzz` pulls cases from the deterministic stream of
+:func:`repro.testing.generate.iter_cases`, runs the full battery of
+:mod:`repro.testing.checks` on each, and on failure minimises the case
+with :mod:`repro.testing.shrink` (preserving the *set of failing
+checks*, not exact messages) before writing it to the crash corpus.
+
+The run is bounded by whichever of ``max_cases`` / ``budget_seconds``
+trips first; both unset means ``max_cases=500``.  For a fixed seed and
+``budget_seconds=None`` the whole run — cases, failures, shrunk repro
+documents, digests — is deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.testing.checks import ALL_CHECKS, CheckFailure, run_checks
+from repro.testing.corpus import DEFAULT_CORPUS_DIR, case_digest, save_repro
+from repro.testing.generate import iter_cases
+from repro.testing.shrink import shrink_case
+
+__all__ = ["FuzzFailureRecord", "FuzzSummary", "run_fuzz"]
+
+
+@dataclass
+class FuzzFailureRecord:
+    """One failing case, after shrinking."""
+
+    digest: str
+    original_label: str
+    failing_checks: tuple[str, ...]
+    n_jobs_original: int
+    n_jobs_shrunk: int
+    shrink_steps: int
+    path: str | None
+    failures: list[CheckFailure] = field(default_factory=list)
+
+    def to_doc(self) -> dict:
+        return {
+            "digest": self.digest,
+            "original_label": self.original_label,
+            "failing_checks": list(self.failing_checks),
+            "n_jobs_original": self.n_jobs_original,
+            "n_jobs_shrunk": self.n_jobs_shrunk,
+            "shrink_steps": self.shrink_steps,
+            "path": self.path,
+            "failures": [
+                {"check": f.check, "message": f.message} for f in self.failures
+            ],
+        }
+
+
+@dataclass
+class FuzzSummary:
+    """Machine-readable outcome of one fuzz run."""
+
+    seed: int
+    cases_run: int
+    elapsed_seconds: float
+    failures: list[FuzzFailureRecord] = field(default_factory=list)
+    stopped_by: str = "max_cases"  # or "budget"
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_doc(self) -> dict:
+        return {
+            "seed": self.seed,
+            "cases_run": self.cases_run,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "stopped_by": self.stopped_by,
+            "ok": self.ok,
+            "failures": [f.to_doc() for f in self.failures],
+        }
+
+
+def run_fuzz(
+    *,
+    seed: int = 0,
+    max_cases: int | None = None,
+    budget_seconds: float | None = None,
+    corpus_dir: str | Path | None = DEFAULT_CORPUS_DIR,
+    checks=None,
+    shrink: bool = True,
+    shrink_attempts: int = 400,
+    progress=None,
+) -> FuzzSummary:
+    """Run the fuzzer; returns a :class:`FuzzSummary`.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the case stream (the whole run is a function of it).
+    max_cases / budget_seconds:
+        Stop after this many cases / this much wall clock, whichever
+        comes first; with neither given, 500 cases.
+    corpus_dir:
+        Where shrunk failures are written (``None`` disables writing).
+    checks:
+        Restrict the battery to a subset of
+        :data:`repro.testing.checks.ALL_CHECKS`.
+    shrink:
+        Minimise failing cases before persisting.
+    shrink_attempts:
+        Predicate-call bound per shrink.
+    progress:
+        Optional callable ``(cases_run, failures_so_far)`` invoked after
+        every case (the CLI's live ticker).
+    """
+    if max_cases is None and budget_seconds is None:
+        max_cases = 500
+    selected = tuple(ALL_CHECKS if checks is None else checks)
+    started = time.monotonic()
+    summary = FuzzSummary(seed=seed, cases_run=0, elapsed_seconds=0.0)
+    for case in iter_cases(seed, max_cases):
+        if (
+            budget_seconds is not None
+            and time.monotonic() - started >= budget_seconds
+        ):
+            summary.stopped_by = "budget"
+            break
+        failures = run_checks(case, checks=selected)
+        summary.cases_run += 1
+        if failures:
+            summary.failures.append(
+                _handle_failure(
+                    case,
+                    failures,
+                    selected,
+                    corpus_dir,
+                    shrink,
+                    shrink_attempts,
+                )
+            )
+        if progress is not None:
+            progress(summary.cases_run, len(summary.failures))
+    summary.elapsed_seconds = time.monotonic() - started
+    return summary
+
+
+def _handle_failure(
+    case, failures, selected, corpus_dir, shrink, shrink_attempts
+) -> FuzzFailureRecord:
+    original_label = case.config.label()
+    n_original = len(case.instance.jobs)
+    target_checks = {f.check for f in failures}
+    shrink_steps = 0
+    if shrink:
+
+        def still_fails(candidate) -> bool:
+            got = {f.check for f in run_checks(candidate, checks=selected)}
+            return bool(got & target_checks)
+
+        result = shrink_case(case, still_fails, max_attempts=shrink_attempts)
+        if result.steps:
+            case = result.case
+            shrink_steps = result.steps
+            failures = run_checks(case, checks=selected)
+    path = None
+    if corpus_dir is not None:
+        path = str(
+            save_repro(
+                case,
+                failures,
+                corpus_dir,
+                original_label=original_label,
+                shrunk_from=n_original if shrink_steps else None,
+            )
+        )
+    return FuzzFailureRecord(
+        digest=case_digest(case),
+        original_label=original_label,
+        failing_checks=tuple(sorted({f.check for f in failures})),
+        n_jobs_original=n_original,
+        n_jobs_shrunk=len(case.instance.jobs),
+        shrink_steps=shrink_steps,
+        path=path,
+        failures=list(failures),
+    )

@@ -1,0 +1,196 @@
+"""Metamorphic relations: model-level symmetries the engine must obey.
+
+Each relation transforms an instance in a way whose effect on the
+schedule is *provable from the Section-2 model alone*, re-runs the
+engine on the transformed instance, and compares against the prediction.
+Unlike the oracles, these need no second implementation — the engine is
+checked against itself under symmetry — so they catch bugs the oracles
+share (a misreading of the model reproduced faithfully twice).
+
+All relations freeze the base run's assignment (via
+:class:`~repro.core.assignment.FixedAssignment`) so they test the
+*scheduling* model, not policy decisions, which are under no obligation
+to be symmetric.
+
+Soundness notes (the restrictions are load-bearing):
+
+* ``relabel`` and ``scale`` predict bitwise equality: doubling ids
+  preserves every tie-break order, and doubling sizes *and* speeds
+  cancels exactly in binary floating point (``2p / 2s == p / s``).
+* ``time_shift`` predicts an exact shift of the schedule, checked to
+  ``1e-9`` because the shift rides through sums that may re-round.
+* ``speed_monotonicity`` is restricted to **FIFO** priority.  Under SJF
+  the relation is *false* in general: speeding a node up can let a
+  small job reach a downstream node earlier, preempt a big job there,
+  and delay it past its original completion.  FIFO never reorders, so
+  completions are a monotone ``max``/``+``/``/`` recursion in speed.
+* ``drop_lowest`` is restricted to **SJF on identical endpoints** and
+  removes the job with the globally largest ``(size, release, id)``
+  key.  That job ranks last at *every* node, and under preemptive
+  priority a lower-ranked job is invisible to higher-ranked ones, so
+  every other completion must be bitwise unchanged.  Dropping any
+  *other* job is not predictable this way (removal anomalies are real).
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import FixedAssignment
+from repro.sim.engine import simulate
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance
+from repro.workload.job import Job, JobSet
+
+__all__ = ["RELATIONS", "run_relations"]
+
+_SHIFT = 4.0
+_SHIFT_TOL = 1e-9
+_MONO_TOL = 1e-9
+
+
+def _with_jobs(instance: Instance, jobs: list[Job]) -> Instance:
+    return Instance(instance.tree, JobSet(jobs), instance.setting, instance.name)
+
+
+def _rerun(case, instance, assignment, *, speeds="inherit"):
+    if speeds == "inherit":
+        speeds = case.speeds()
+    return simulate(
+        instance,
+        FixedAssignment(assignment),
+        speeds=speeds,
+        priority=case.priority_fn(),
+    )
+
+
+def _compare(base, other, *, id_map=None, shift=0.0, tol=0.0, name=""):
+    problems: list[str] = []
+    for jid, rec in base.records.items():
+        ojid = jid if id_map is None else id_map[jid]
+        orec = other.records.get(ojid)
+        if orec is None or not orec.finished:
+            problems.append(f"{name}: job {jid} missing from transformed run")
+            continue
+        want = rec.completion + shift
+        if abs(orec.completion - want) > tol:
+            problems.append(
+                f"{name}: job {jid} expected completion {want}, got "
+                f"{orec.completion} (diff {orec.completion - want:.3e})"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# relations
+# ---------------------------------------------------------------------------
+def relabel(case, base) -> list[str]:
+    """Doubling every job id (order-preserving) changes nothing."""
+    inst = case.instance
+    jobs = [
+        Job(j.id * 2, j.release, j.size, j.leaf_sizes, j.origin) for j in inst.jobs
+    ]
+    assignment = {jid * 2: leaf for jid, leaf in base.assignment().items()}
+    other = _rerun(case, _with_jobs(inst, jobs), assignment)
+    return _compare(
+        base, other, id_map={j: 2 * j for j in base.records}, name="relabel"
+    )
+
+
+def time_shift(case, base) -> list[str]:
+    """Shifting every release by a constant shifts the schedule by it."""
+    inst = case.instance
+    jobs = [
+        Job(j.id, j.release + _SHIFT, j.size, j.leaf_sizes, j.origin)
+        for j in inst.jobs
+    ]
+    other = _rerun(case, _with_jobs(inst, jobs), base.assignment())
+    return _compare(base, other, shift=_SHIFT, tol=_SHIFT_TOL, name="time_shift")
+
+
+def scale(case, base) -> list[str]:
+    """Doubling all sizes and all speeds cancels bitwise."""
+    inst = case.instance
+    jobs = []
+    for j in inst.jobs:
+        leaf_sizes = None
+        if j.leaf_sizes is not None:
+            leaf_sizes = {v: p * 2.0 for v, p in j.leaf_sizes.items()}
+        jobs.append(Job(j.id, j.release, j.size * 2.0, leaf_sizes, j.origin))
+    profile = case.speeds() or SpeedProfile.uniform(1.0)
+    other = _rerun(
+        case, _with_jobs(inst, jobs), base.assignment(), speeds=profile.scaled(2.0)
+    )
+    return _compare(base, other, name="scale")
+
+
+def speed_monotonicity(case, base) -> list[str]:
+    """FIFO only: doubling every speed never delays any completion."""
+    if case.config.priority != "fifo":
+        return []
+    profile = case.speeds() or SpeedProfile.uniform(1.0)
+    other = _rerun(case, case.instance, base.assignment(), speeds=profile.scaled(2.0))
+    problems = []
+    for jid, rec in base.records.items():
+        orec = other.records.get(jid)
+        if orec is None or not orec.finished:
+            problems.append(f"speed_monotonicity: job {jid} missing")
+            continue
+        if orec.completion > rec.completion + _MONO_TOL:
+            problems.append(
+                f"speed_monotonicity: job {jid} slower on faster network "
+                f"({rec.completion} -> {orec.completion})"
+            )
+    return problems
+
+
+def drop_lowest(case, base) -> list[str]:
+    """SJF/identical only: removing the globally lowest-priority job
+    leaves every other completion bitwise unchanged."""
+    inst = case.instance
+    if case.config.priority != "sjf" or inst.setting.value != "identical":
+        return []
+    if len(inst.jobs) < 2:
+        return []
+    victim = max(inst.jobs, key=lambda j: (j.size, j.release, j.id))
+    jobs = [j for j in inst.jobs if j.id != victim.id]
+    assignment = {
+        jid: leaf for jid, leaf in base.assignment().items() if jid != victim.id
+    }
+    other = _rerun(case, _with_jobs(inst, jobs), assignment)
+    problems = []
+    for jid, rec in base.records.items():
+        if jid == victim.id:
+            continue
+        orec = other.records.get(jid)
+        if orec is None or not orec.finished:
+            problems.append(f"drop_lowest: job {jid} missing")
+            continue
+        if orec.completion != rec.completion:
+            problems.append(
+                f"drop_lowest: job {jid} moved {rec.completion} -> "
+                f"{orec.completion} after removing unrelated job {victim.id}"
+            )
+    return problems
+
+
+#: name -> relation; each takes ``(case, base_result)`` and returns
+#: failure descriptions (empty = relation holds).
+RELATIONS = {
+    "relabel": relabel,
+    "time_shift": time_shift,
+    "scale": scale,
+    "speed_monotonicity": speed_monotonicity,
+    "drop_lowest": drop_lowest,
+}
+
+
+def run_relations(case, base, names=None) -> dict[str, list[str]]:
+    """Run the (selected) relations; returns ``name -> problems`` for
+    relations that failed."""
+    out: dict[str, list[str]] = {}
+    for name, fn in RELATIONS.items():
+        if names is not None and name not in names:
+            continue
+        problems = fn(case, base)
+        if problems:
+            out[name] = problems
+    return out

@@ -1,0 +1,117 @@
+"""The fixed-step (``dt``) reference simulator.
+
+This is the canonical brute-force oracle, promoted out of
+``tests/test_differential.py``.  It shares *no code or design* with the
+event engine: it steps time in small fixed increments, re-deriving the
+active job of every node from scratch each tick (highest SJF priority
+among jobs physically present).  Its completions converge to the event
+engine's as ``dt → 0``; agreement across random instances is therefore
+strong evidence that the engine's event algebra (settling, versioned
+events, preemption, the zero-remaining drain rule) implements the model
+and not an artefact of its own bookkeeping.
+
+Because its error accumulates ~``dt`` per node transition it sits in
+the middle of the oracle hierarchy (``docs/testing.md``): coarser than
+:mod:`repro.testing.exact` but structurally the most alien to the
+engine, which is exactly what makes its agreement meaningful.
+"""
+
+from __future__ import annotations
+
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance
+
+__all__ = ["reference_simulate", "assert_engine_matches_reference"]
+
+
+def reference_simulate(
+    instance: Instance,
+    assignment: dict[int, int],
+    dt: float = 0.002,
+    *,
+    speeds: SpeedProfile | None = None,
+    max_time: float = 10_000.0,
+) -> dict[int, float]:
+    """Fixed-step reference: returns ``job id -> completion time``.
+
+    At each tick every node independently serves the highest-priority
+    ``(p, release, id)`` job currently resident, removing ``speed * dt``
+    work; a job moves on the tick its remaining hits zero.  ``speeds``
+    defaults to unit speed everywhere (the historical behaviour).
+    """
+    tree = instance.tree
+    jobs = list(instance.jobs)
+    profile = speeds or SpeedProfile.uniform(1.0)
+    node_speed = profile.speeds_for(tree)
+    state = {}
+    for job in jobs:
+        path = instance.processing_path_for(job, assignment[job.id])
+        state[job.id] = {
+            "job": job,
+            "path": path,
+            "idx": -1,  # not yet released
+            "rem": 0.0,
+        }
+    completions: dict[int, float] = {}
+    t = 0.0
+    while len(completions) < len(jobs) and t < max_time:
+        # admit
+        for s in state.values():
+            if s["idx"] == -1 and s["job"].release <= t + 1e-12:
+                s["idx"] = 0
+                s["rem"] = instance.processing_time(s["job"], s["path"][0])
+        # pick the active job per node (fresh each tick)
+        active: dict[int, dict] = {}
+        for s in state.values():
+            if s["idx"] < 0 or s["job"].id in completions:
+                continue
+            node = s["path"][s["idx"]]
+            p = instance.processing_time(s["job"], node)
+            key = (p, s["job"].release, s["job"].id)
+            if node not in active or key < active[node]["key"]:
+                active[node] = {"state": s, "key": key}
+        # advance
+        for node, entry in active.items():
+            s = entry["state"]
+            s["rem"] -= node_speed[node] * dt
+            if s["rem"] <= 1e-12:
+                s["idx"] += 1
+                if s["idx"] >= len(s["path"]):
+                    completions[s["job"].id] = t + dt
+                else:
+                    s["rem"] = instance.processing_time(
+                        s["job"], s["path"][s["idx"]]
+                    )
+        t += dt
+    return completions
+
+
+def assert_engine_matches_reference(
+    instance: Instance,
+    assignment: dict[int, int],
+    dt: float = 0.002,
+    *,
+    speeds: SpeedProfile | None = None,
+) -> None:
+    """Run both simulators and raise ``AssertionError`` on disagreement.
+
+    The tolerance scales with ``dt`` times the path length (the
+    reference's error accumulates roughly one tick per node transition)
+    and with the fastest node speed.
+    """
+    from repro.core.assignment import FixedAssignment
+    from repro.sim.engine import simulate
+
+    engine = simulate(instance, FixedAssignment(assignment), speeds=speeds)
+    reference = reference_simulate(instance, assignment, dt=dt, speeds=speeds)
+    assert set(reference) == set(engine.records)
+    profile = speeds or SpeedProfile.uniform(1.0)
+    top_speed = max(profile.speeds_for(instance.tree).values())
+    for jid, rec in engine.records.items():
+        # Reference error accumulates ~dt per node transition.
+        tol = dt * (len(rec.path) + 4) * max(1.0, top_speed) + 1e-9
+        if abs(reference[jid] - rec.completion) > tol:
+            raise AssertionError(
+                f"job {jid}: engine {rec.completion}, reference {reference[jid]} "
+                f"(tol {tol})"
+            )

@@ -1,0 +1,217 @@
+"""Deterministic case minimisation.
+
+:func:`shrink_case` takes a failing :class:`~repro.testing.generate.FuzzCase`
+and a predicate ("does this candidate still fail the same way?") and
+greedily applies reduction passes until none makes progress:
+
+1. **drop jobs** — remove the first/second half of the job list, then
+   individual jobs, lowest id first;
+2. **prune subtrees** — delete whole root-child subtrees the failing
+   behaviour does not need (re-keying unrelated leaf maps, rejecting
+   candidates whose fixed assignment points into the pruned region);
+3. **simplify releases** — all to zero, then halved (rounded);
+4. **simplify sizes** — all to 1.0, then halved toward 1.0 (rounded).
+
+Everything is RNG-free and the passes run in a fixed order, so for a
+fixed predicate the result is a pure function of the input case —
+re-running a shrink reproduces the repro byte-for-byte.  Rounding to
+``1e-6`` granularity keeps shrunk floats short and printable without
+masking tolerance-scale bugs (which live at ``1e-9`` and below and are
+preserved by the *structure* of the case, not its sixth decimal).
+
+Candidates that violate model validation (e.g. an unrelated job losing
+its last finite leaf) are rejected, not errors.  The predicate is never
+allowed to see an invalid instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable
+
+from repro.exceptions import TreeSchedError
+from repro.network.tree import TreeNetwork
+from repro.testing.generate import FuzzCase
+from repro.workload.instance import Instance
+from repro.workload.job import Job, JobSet
+
+__all__ = ["ShrinkResult", "shrink_case"]
+
+#: Rounding granularity for simplified releases/sizes.
+_GRAIN = 6
+
+#: A halving pass only counts as progress if the value moved by at
+#: least this much — stops asymptotic crawls toward the target.
+_PROGRESS = 1e-3
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink run."""
+
+    case: FuzzCase
+    steps: int  # accepted reductions
+    attempts: int  # predicate evaluations
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.case.instance.jobs)
+
+
+def _rebuild(
+    case: FuzzCase,
+    jobs: Iterable[Job],
+    tree: TreeNetwork | None = None,
+) -> FuzzCase | None:
+    """A candidate case with the given jobs (and optionally tree), or
+    ``None`` when the combination is invalid."""
+    jobs = list(jobs)
+    if not jobs:
+        return None
+    inst = case.instance
+    try:
+        candidate_inst = Instance(
+            tree if tree is not None else inst.tree,
+            JobSet(jobs),
+            inst.setting,
+            inst.name,
+        )
+    except TreeSchedError:
+        return None
+    fixed = case.fixed_assignment
+    if fixed is not None:
+        kept = {j.id for j in jobs}
+        fixed = {jid: leaf for jid, leaf in fixed.items() if jid in kept}
+        leaves = set(candidate_inst.tree.leaves)
+        if any(leaf not in leaves for leaf in fixed.values()):
+            return None
+    return replace(case, instance=candidate_inst, fixed_assignment=fixed, shrunk=True)
+
+
+def _drop_jobs(case: FuzzCase):
+    jobs = list(case.instance.jobs)
+    n = len(jobs)
+    if n > 3:
+        yield _rebuild(case, jobs[n // 2 :])
+        yield _rebuild(case, jobs[: n // 2])
+    for i in range(n):
+        yield _rebuild(case, jobs[:i] + jobs[i + 1 :])
+
+
+def _prune_subtrees(case: FuzzCase):
+    tree = case.instance.tree
+    if len(tree.root_children) < 2:
+        return
+    parents = tree.parent_map()
+    for child in tree.root_children:
+        doomed = set(tree.subtree_node_ids(child))
+        pruned = {v: p for v, p in parents.items() if v not in doomed}
+        try:
+            candidate_tree = TreeNetwork(pruned)
+        except TreeSchedError:
+            continue
+        remaining = set(candidate_tree.leaves)
+        jobs = []
+        for job in case.instance.jobs:
+            if job.leaf_sizes is None:
+                jobs.append(job)
+                continue
+            kept = {v: p for v, p in job.leaf_sizes.items() if v in remaining}
+            try:
+                jobs.append(job.with_leaf_sizes(kept))
+            except TreeSchedError:
+                jobs = None
+                break
+        if jobs is None:
+            continue
+        yield _rebuild(case, jobs, candidate_tree)
+
+
+def _simplify_releases(case: FuzzCase):
+    jobs = list(case.instance.jobs)
+    if any(j.release != 0.0 for j in jobs):
+        yield _rebuild(
+            case, (Job(j.id, 0.0, j.size, j.leaf_sizes, j.origin) for j in jobs)
+        )
+        halved = [
+            Job(j.id, round(j.release / 2.0, _GRAIN), j.size, j.leaf_sizes, j.origin)
+            for j in jobs
+        ]
+        if any(
+            abs(a.release - b.release) > _PROGRESS for a, b in zip(halved, jobs)
+        ):
+            yield _rebuild(case, halved)
+
+
+def _toward_one(x: float) -> float:
+    return round(1.0 + (x - 1.0) / 2.0, _GRAIN)
+
+
+def _simplify_sizes(case: FuzzCase):
+    jobs = list(case.instance.jobs)
+    if any(j.size != 1.0 for j in jobs):
+        unit = []
+        for j in jobs:
+            leaf_sizes = None
+            if j.leaf_sizes is not None:
+                leaf_sizes = {v: (p if p == float("inf") else 1.0)
+                              for v, p in j.leaf_sizes.items()}
+            unit.append(Job(j.id, j.release, 1.0, leaf_sizes, j.origin))
+        yield _rebuild(case, unit)
+        halved = []
+        for j in jobs:
+            leaf_sizes = None
+            if j.leaf_sizes is not None:
+                leaf_sizes = {
+                    v: (p if p == float("inf") else _toward_one(p))
+                    for v, p in j.leaf_sizes.items()
+                }
+            halved.append(
+                Job(j.id, j.release, _toward_one(j.size), leaf_sizes, j.origin)
+            )
+        if any(abs(a.size - b.size) > _PROGRESS for a, b in zip(halved, jobs)):
+            yield _rebuild(case, halved)
+
+
+_PASSES = (_drop_jobs, _prune_subtrees, _simplify_releases, _simplify_sizes)
+
+
+def shrink_case(
+    case: FuzzCase,
+    predicate: Callable[[FuzzCase], bool],
+    *,
+    max_attempts: int = 2000,
+) -> ShrinkResult:
+    """Greedily minimise ``case`` while ``predicate`` keeps returning
+    ``True``.
+
+    ``predicate(case)`` itself must be ``True`` on entry (the caller
+    found a failure); it is not re-evaluated on the input.  Terminates
+    when a full sweep of all passes accepts nothing, or after
+    ``max_attempts`` predicate calls.
+    """
+    current = case
+    steps = 0
+    attempts = 0
+    progressed = True
+    while progressed and attempts < max_attempts:
+        progressed = False
+        for make_candidates in _PASSES:
+            # Re-generate candidates from the *current* case after every
+            # acceptance so passes always see the latest minimum.
+            accepted = True
+            while accepted and attempts < max_attempts:
+                accepted = False
+                for candidate in make_candidates(current):
+                    if candidate is None:
+                        continue
+                    attempts += 1
+                    if predicate(candidate):
+                        current = candidate
+                        steps += 1
+                        accepted = True
+                        progressed = True
+                        break
+                    if attempts >= max_attempts:
+                        break
+    return ShrinkResult(case=current, steps=steps, attempts=attempts)

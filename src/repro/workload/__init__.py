@@ -15,12 +15,14 @@ from repro.workload.arrivals import (
     bursty_arrivals,
     deterministic_arrivals,
     poisson_arrivals,
+    tied_arrivals,
 )
 from repro.workload.sizes import (
     bimodal_sizes,
     bounded_pareto_sizes,
     class_index,
     geometric_class_sizes,
+    near_tie_sizes,
     round_to_classes,
     uniform_sizes,
 )
@@ -47,9 +49,11 @@ __all__ = [
     "batch_arrivals",
     "bursty_arrivals",
     "adversarial_bursts",
+    "tied_arrivals",
     "uniform_sizes",
     "bounded_pareto_sizes",
     "bimodal_sizes",
+    "near_tie_sizes",
     "geometric_class_sizes",
     "round_to_classes",
     "class_index",

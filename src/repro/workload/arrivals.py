@@ -27,6 +27,7 @@ __all__ = [
     "batch_arrivals",
     "bursty_arrivals",
     "adversarial_bursts",
+    "tied_arrivals",
 ]
 
 
@@ -147,3 +148,28 @@ def adversarial_bursts(
             offsets = np.sort(rng.uniform(0.0, jitter, size=jobs_per_burst))
             times.extend((start + offsets).tolist())
     return np.asarray(times, dtype=float)
+
+
+def tied_arrivals(
+    n: int,
+    num_distinct: int = 3,
+    spacing: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """``n`` arrivals spread over only ``num_distinct`` release instants.
+
+    Each job lands uniformly on one of ``num_distinct`` evenly spaced
+    instants (``0, spacing, 2*spacing, ...``), so many jobs share exact
+    release times.  This is the boundary regime for simultaneous-event
+    handling (settle-then-drain ordering, identical ``(p, release)``
+    priority prefixes) and is used by the fuzzing grids in
+    :mod:`repro.testing.generate`.
+    """
+    _check_n(n)
+    if num_distinct < 1:
+        raise WorkloadError(f"num_distinct must be >= 1, got {num_distinct}")
+    if spacing < 0:
+        raise WorkloadError(f"spacing must be >= 0, got {spacing}")
+    rng = np.random.default_rng(rng)
+    slots = rng.integers(num_distinct, size=n)
+    return np.sort(slots.astype(float) * spacing)

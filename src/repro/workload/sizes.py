@@ -11,6 +11,7 @@ rounded instances dominate the original work-wise) and
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -20,6 +21,7 @@ __all__ = [
     "uniform_sizes",
     "bounded_pareto_sizes",
     "bimodal_sizes",
+    "near_tie_sizes",
     "geometric_class_sizes",
     "round_to_classes",
     "class_index",
@@ -85,6 +87,37 @@ def bimodal_sizes(
     rng = np.random.default_rng(rng)
     mask = rng.random(size=n) < large_fraction
     return np.where(mask, float(large), float(small))
+
+
+def near_tie_sizes(
+    n: int,
+    bases: Sequence[float] = (1.0, 2.0),
+    jitter: float = 1e-7,
+    tie_fraction: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """``n`` sizes drawn from ``bases``, half exact and half nudged by
+    ``±jitter``.
+
+    The boundary regime for SJF tie-breaking: exact duplicates exercise
+    the ``(release, id)`` tie chain, near-duplicates exercise priority
+    comparisons that differ in the last few ulps — the inputs most
+    likely to expose a mixed-tolerance or drain-ordering bug in the
+    engine.  Used by the fuzzing grids in :mod:`repro.testing.generate`.
+    """
+    if n < 0:
+        raise WorkloadError(f"n must be >= 0, got {n}")
+    if not bases or any(b <= 0 for b in bases):
+        raise WorkloadError(f"bases must be positive and non-empty, got {bases}")
+    if jitter < 0:
+        raise WorkloadError(f"jitter must be >= 0, got {jitter}")
+    if not 0.0 <= tie_fraction <= 1.0:
+        raise WorkloadError(f"tie_fraction must be in [0,1], got {tie_fraction}")
+    rng = np.random.default_rng(rng)
+    out = rng.choice(np.asarray(bases, dtype=float), size=n)
+    nudge = rng.random(size=n) >= tie_fraction
+    sign = np.where(rng.random(size=n) < 0.5, -1.0, 1.0)
+    return np.where(nudge, out + sign * jitter, out)
 
 
 def geometric_class_sizes(

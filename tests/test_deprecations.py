@@ -139,3 +139,56 @@ def test_modern_surface_is_warning_free(tmp_path):
         api.simulate(instance=inst)
         api.trace_run(instance=inst)
         api.run_experiments(exp_ids=["F1"], cache_dir=tmp_path)
+
+
+class TestRemovalPath:
+    """The shims above go away in the next API-cleanup PR.  These tests
+    make that removal mechanical: the modern surfaces are proven clean
+    under warnings-as-errors (so deleting the shims cannot break blessed
+    callers), and one canary per shim fails loudly the moment the shim
+    disappears — its failure message is the removal checklist."""
+
+    def test_fuzz_surface_is_warning_free(self, tmp_path):
+        # The fuzzing subsystem must never lean on a deprecated call
+        # form: it has to survive the shim removal unchanged.
+        from repro.testing import run_fuzz
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            summary = run_fuzz(
+                seed=3, max_cases=20, corpus_dir=tmp_path / "corpus"
+            )
+        assert summary.cases_run == 20
+        assert summary.ok
+
+    def test_eventlog_shim_canary(self):
+        """CANARY — this failing means the EventLog shim was removed.
+
+        Finish the removal by deleting, in the same commit:
+          * class ``EventLog`` in ``src/repro/sim/events.py``,
+          * its re-export in ``src/repro/sim/__init__.py`` (import line
+            and the ``__all__`` entry),
+          * ``TestEventLog`` in this file, and
+          * this canary.
+        """
+        from repro.sim import events
+
+        assert hasattr(events, "EventLog"), self.test_eventlog_shim_canary.__doc__
+        assert "EventLog" in events.__all__
+
+    def test_eventlog_shim_points_at_replacement(self):
+        """The deprecation message must name the supported replacement
+        so downstream users migrating at removal time know where to go."""
+        from repro.sim.events import EventLog
+
+        with pytest.warns(DeprecationWarning, match="repro.obs.TraceRecorder"):
+            EventLog()
+
+    def test_top_level_simulate_shim_canary(self):
+        """CANARY — this failing means the lazy top-level ``repro.simulate``
+        shim was removed.  Delete ``TestTopLevelSimulate`` and this
+        canary alongside it (and the ``__getattr__`` hook plus the
+        ``__all__`` entry in ``src/repro/__init__.py``)."""
+        assert "simulate" in repro.__all__
+        with pytest.warns(DeprecationWarning):
+            assert repro.simulate is simulate

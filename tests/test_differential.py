@@ -1,91 +1,33 @@
 """Differential testing: the event engine vs a brute-force reference.
 
-The reference simulator below shares *no code or design* with the
-engine: it steps time in small fixed increments, re-deriving the active
-job of every node from scratch each tick (highest SJF priority among
-jobs physically present).  Its completions converge to the event
-engine's as ``dt → 0``; agreement across random instances is therefore
-strong evidence that the engine's event algebra (settling, versioned
-events, preemption, the zero-remaining drain rule) implements the model
-and not an artefact of its own bookkeeping.
+The reference simulator (now :mod:`repro.testing.reference`, promoted
+out of this file so the fuzzing subsystem can reuse it) shares *no code
+or design* with the engine: it steps time in small fixed increments,
+re-deriving the active job of every node from scratch each tick.  Its
+completions converge to the event engine's as ``dt → 0``; agreement
+across random instances is therefore strong evidence that the engine's
+event algebra (settling, versioned events, preemption, the
+zero-remaining drain rule) implements the model and not an artefact of
+its own bookkeeping.
+
+These tests keep the original hand-picked scenarios and the hypothesis
+sweep; the broader seeded-grid exploration lives in ``repro fuzz``.
 """
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.assignment import FixedAssignment
 from repro.network.builders import spine_tree, star_of_paths
-from repro.sim.engine import simulate
+from repro.testing.reference import (
+    assert_engine_matches_reference,
+    reference_simulate,
+)
 from repro.workload.instance import Instance, Setting
 from repro.workload.job import Job, JobSet
 
-
-def reference_simulate(instance, assignment, dt=0.002):
-    """Fixed-step reference: returns job id -> completion time.
-
-    One unit-speed processor per non-root node; at each tick every node
-    independently serves the highest-priority (p, release, id) job
-    currently resident; a job moves on the tick its remaining hits zero.
-    """
-    tree = instance.tree
-    jobs = list(instance.jobs)
-    state = {}
-    for job in jobs:
-        path = tree.processing_path(assignment[job.id])
-        state[job.id] = {
-            "job": job,
-            "path": path,
-            "idx": -1,  # not yet released
-            "rem": 0.0,
-        }
-    completions: dict[int, float] = {}
-    t = 0.0
-    max_t = 10_000.0
-    while len(completions) < len(jobs) and t < max_t:
-        # admit
-        for s in state.values():
-            if s["idx"] == -1 and s["job"].release <= t + 1e-12:
-                s["idx"] = 0
-                s["rem"] = instance.processing_time(s["job"], s["path"][0])
-        # pick the active job per node (fresh each tick)
-        active: dict[int, dict] = {}
-        for s in state.values():
-            if s["idx"] < 0 or s["job"].id in completions:
-                continue
-            node = s["path"][s["idx"]]
-            p = instance.processing_time(s["job"], node)
-            key = (p, s["job"].release, s["job"].id)
-            if node not in active or key < active[node]["key"]:
-                active[node] = {"state": s, "key": key}
-        # advance
-        for node, entry in active.items():
-            s = entry["state"]
-            s["rem"] -= dt  # unit speeds in this reference
-            if s["rem"] <= 1e-12:
-                s["idx"] += 1
-                if s["idx"] >= len(s["path"]):
-                    completions[s["job"].id] = t + dt
-                else:
-                    s["rem"] = instance.processing_time(
-                        s["job"], s["path"][s["idx"]]
-                    )
-        t += dt
-    return completions
-
-
-def assert_engine_matches_reference(instance, assignment, dt=0.002):
-    engine = simulate(instance, FixedAssignment(assignment))
-    reference = reference_simulate(instance, assignment, dt=dt)
-    assert set(reference) == set(engine.records)
-    for jid, rec in engine.records.items():
-        # Reference error accumulates ~dt per node transition.
-        tol = dt * (len(rec.path) + 4) + 1e-9
-        assert reference[jid] == pytest.approx(rec.completion, abs=tol), (
-            f"job {jid}: engine {rec.completion}, reference {reference[jid]}"
-        )
+__all__ = ["reference_simulate"]  # re-export kept for older imports
 
 
 class TestHandPickedScenarios:

@@ -1,0 +1,75 @@
+"""End-to-end proof the fuzzer catches a real engine bug.
+
+The injected bug disables :meth:`Engine._drain_finished_top` — exactly
+the zero-remaining drain rule PR 1 fixed.  Without it, a job whose
+remaining work hits zero at an event collision is re-queued behind a
+simultaneously arriving higher-priority job and completes late.  The
+fuzzer must (a) catch the bug within its default budget at seed 0,
+(b) shrink the witness to a handful of jobs, (c) persist it to the
+corpus, and (d) replay it: reproducing while the bug is present, clean
+once it is fixed.
+
+This is the acceptance test of the whole subsystem — if the generator's
+collision regime, the exact oracle's drain semantics, the shrinker, or
+the corpus round-trip regress, it fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.testing import replay, run_fuzz
+
+MAX_CASES = 500
+SHRUNK_JOB_CEILING = 6
+
+
+@pytest.fixture
+def broken_drain(monkeypatch):
+    """Disable the drain-finished-ties rule for the duration of a test."""
+    monkeypatch.setattr(Engine, "_drain_finished_top", lambda self, ns: None)
+
+
+@pytest.mark.slow
+def test_injected_drain_bug_is_caught_shrunk_and_replayable(
+    broken_drain, tmp_path, monkeypatch
+):
+    corpus = tmp_path / "corpus"
+    summary = run_fuzz(seed=0, max_cases=MAX_CASES, corpus_dir=corpus)
+
+    assert not summary.ok, (
+        f"fuzzer missed the injected drain bug in {MAX_CASES} cases"
+    )
+    assert summary.cases_run == MAX_CASES
+
+    best = min(summary.failures, key=lambda rec: rec.n_jobs_shrunk)
+    assert best.n_jobs_shrunk <= SHRUNK_JOB_CEILING, (
+        f"witness only shrank to {best.n_jobs_shrunk} jobs"
+    )
+    for rec in summary.failures:
+        assert rec.path is not None
+        assert (corpus / f"{rec.digest}.json").exists()
+        assert rec.failing_checks, rec
+
+    # With the bug still present every saved repro reproduces...
+    report = replay(best.digest, corpus)
+    assert report.reproduced
+    assert set(report.failing_checks) & set(best.failing_checks)
+
+    # ...and with the engine restored, none do: the corpus entry now
+    # documents a fixed bug, which is exactly how triage reads it.
+    monkeypatch.undo()
+    report = replay(best.digest, corpus)
+    assert not report.reproduced
+
+
+def test_broken_engine_caught_quickly(broken_drain, tmp_path):
+    """A cheaper smoke version: the dedicated collision sub-stream means
+    the bug cannot hide for long even in a short run."""
+    summary = run_fuzz(
+        seed=0, max_cases=220, corpus_dir=tmp_path / "corpus", shrink=False
+    )
+    assert not summary.ok
+    assert all("exact_oracle" in rec.failing_checks or rec.failing_checks
+               for rec in summary.failures)

@@ -1,0 +1,109 @@
+"""The content-addressed crash corpus (`repro.testing.corpus`).
+
+Digests are the corpus's identity scheme: stable across processes,
+prefix-addressable like git ids, and collision-resistant enough that
+writing the same minimised case twice is a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.testing.checks import CheckFailure
+from repro.testing.corpus import (
+    case_digest,
+    list_corpus,
+    load_repro,
+    save_repro,
+)
+from repro.testing.generate import CaseConfig, build_case
+
+_FAILURES = [CheckFailure("exact_oracle", "job 0: engine 2.0, oracle 3.0")]
+
+
+def _case(seed: int = 1):
+    return build_case(
+        CaseConfig(
+            seed=seed, topology="spine2", n_jobs=4,
+            arrivals="poisson", sizes="uniform",
+        )
+    )
+
+
+class TestDigest:
+    def test_shape_and_stability(self):
+        digest = case_digest(_case())
+        assert len(digest) == 16
+        assert int(digest, 16) >= 0  # hex
+        assert digest == case_digest(_case())
+
+    def test_distinct_cases_distinct_digests(self):
+        assert case_digest(_case(1)) != case_digest(_case(2))
+
+
+class TestSaveLoad:
+    def test_round_trip_by_digest(self, tmp_path):
+        case = _case()
+        path = save_repro(case, _FAILURES, tmp_path)
+        assert path.parent == tmp_path
+        loaded, doc = load_repro(case_digest(case), tmp_path)
+        assert case_digest(loaded) == case_digest(case)
+        assert doc["failures"] == [
+            {"check": "exact_oracle", "message": _FAILURES[0].message}
+        ]
+
+    def test_load_by_prefix_and_path(self, tmp_path):
+        case = _case()
+        path = save_repro(case, _FAILURES, tmp_path)
+        digest = case_digest(case)
+        by_prefix, _ = load_repro(digest[:6], tmp_path)
+        by_path, _ = load_repro(path, tmp_path)
+        assert case_digest(by_prefix) == digest
+        assert case_digest(by_path) == digest
+
+    def test_rewrite_is_idempotent(self, tmp_path):
+        case = _case()
+        first = save_repro(case, _FAILURES, tmp_path)
+        second = save_repro(case, _FAILURES, tmp_path)
+        assert first == second
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_missing_and_ambiguous_refs(self, tmp_path):
+        save_repro(_case(1), _FAILURES, tmp_path)
+        save_repro(_case(2), _FAILURES, tmp_path)
+        with pytest.raises(WorkloadError, match="no corpus entry"):
+            load_repro("ffffffffffffffff", tmp_path)
+        # The empty prefix matches every entry.
+        with pytest.raises(WorkloadError, match="ambiguous"):
+            load_repro("", tmp_path)
+
+    def test_foreign_document_rejected(self, tmp_path):
+        bogus = tmp_path / "deadbeefdeadbeef.json"
+        bogus.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(WorkloadError, match="not a"):
+            load_repro("deadbeefdeadbeef", tmp_path)
+
+
+class TestListCorpus:
+    def test_summaries(self, tmp_path):
+        case = _case()
+        save_repro(case, _FAILURES, tmp_path, shrunk_from=9)
+        entries = list_corpus(tmp_path)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["digest"] == case_digest(case)
+        assert entry["checks"] == ["exact_oracle"]
+        assert entry["n_jobs"] == 4
+        assert entry["label"] == case.config.label()
+
+    def test_empty_or_missing_dir(self, tmp_path):
+        assert list_corpus(tmp_path) == []
+        assert list_corpus(tmp_path / "nope") == []
+
+    def test_garbage_files_skipped(self, tmp_path):
+        (tmp_path / "junk.json").write_text("{not json")
+        save_repro(_case(), _FAILURES, tmp_path)
+        assert len(list_corpus(tmp_path)) == 1

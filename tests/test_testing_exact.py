@@ -1,0 +1,137 @@
+"""The exact oracle (`repro.testing.exact`) vs the event engine.
+
+Two independent implementations of the Section-2 model must produce the
+same completions up to float rounding; the collision regime (power-of-two
+sizes on shared release instants under non-unit speeds) is pinned
+explicitly because it exercises the drain-finished-ties rule, the
+subtlest piece of tie-breaking both implementations must share.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import FixedAssignment
+from repro.network.tree import TreeNetwork
+from repro.sim.engine import simulate
+from repro.testing.checks import run_checks
+from repro.testing.exact import exact_replay
+from repro.testing.generate import CaseConfig, build_case
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job, JobSet
+
+_RTOL = 1e-9
+
+
+def _assert_agrees(instance, assignment, *, speeds=None):
+    engine = simulate(instance, FixedAssignment(assignment), speeds=speeds)
+    oracle = exact_replay(instance, assignment, speeds=speeds)
+    assert set(oracle) == set(engine.records)
+    for jid, rec in engine.records.items():
+        scale = max(1.0, abs(rec.completion))
+        assert abs(oracle[jid] - rec.completion) <= _RTOL * scale, (
+            f"job {jid}: engine {rec.completion}, oracle {oracle[jid]}"
+        )
+
+
+class TestDrainSemantics:
+    def test_finished_job_completes_before_simultaneous_arrival(self):
+        # Job 0's remaining hits exactly zero at t=2, the same instant
+        # the shorter (higher-SJF-priority) job 1 is released.  The
+        # model says job 0 is complete at 2.0 — it must not be re-queued
+        # behind the newcomer.  (Single machine below the root: the
+        # one-node path isolates the per-node tie-breaking.)
+        tree = TreeNetwork({0: None, 1: 0}, allow_leaf_under_root=True)
+        leaf = tree.leaves[0]
+        jobs = JobSet(
+            [
+                Job(id=0, release=0.0, size=2.0),
+                Job(id=1, release=2.0, size=1.0),
+            ]
+        )
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        assignment = {0: leaf, 1: leaf}
+        oracle = exact_replay(instance, assignment)
+        assert oracle[0] == pytest.approx(2.0, abs=1e-12)
+        assert oracle[1] == pytest.approx(3.0, abs=1e-12)
+        _assert_agrees(instance, assignment)
+
+    def test_chained_exact_finishes(self):
+        # A cascade: each job finishes exactly when the next (smaller)
+        # one arrives, so every boundary is a drain event.
+        tree = TreeNetwork({0: None, 1: 0}, allow_leaf_under_root=True)
+        leaf = tree.leaves[0]
+        jobs = JobSet(
+            [
+                Job(id=0, release=0.0, size=4.0),
+                Job(id=1, release=4.0, size=2.0),
+                Job(id=2, release=6.0, size=1.0),
+            ]
+        )
+        instance = Instance(tree, jobs, Setting.IDENTICAL)
+        assignment = {j.id: leaf for j in jobs}
+        oracle = exact_replay(instance, assignment)
+        assert oracle == pytest.approx({0: 4.0, 1: 6.0, 2: 7.0})
+        _assert_agrees(instance, assignment)
+
+
+class TestAgainstEngine:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_cases(self, seed):
+        case = build_case(
+            CaseConfig(
+                seed=100 + seed,
+                topology="kary_2x2",
+                n_jobs=7,
+                arrivals="poisson",
+                sizes="uniform",
+            )
+        )
+        failures = run_checks(case, checks=("engine", "exact_oracle"))
+        assert not failures, [f.message for f in failures]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_collision_regime(self, seed):
+        # The empirically mapped brink-of-completion trigger space:
+        # power-of-two sizes, shared integer releases, non-unit speeds.
+        case = build_case(
+            CaseConfig(
+                seed=500 + seed,
+                topology="spine4",
+                n_jobs=12,
+                arrivals="integer_grid" if seed % 2 else "tied",
+                sizes="powers",
+                policy="closest",
+                speed="tiered" if seed % 2 else "fast",
+            )
+        )
+        failures = run_checks(case, checks=("engine", "exact_oracle"))
+        assert not failures, [f.message for f in failures]
+
+    def test_fifo_priority(self):
+        case = build_case(
+            CaseConfig(
+                seed=42,
+                topology="caterpillar",
+                n_jobs=8,
+                arrivals="bursts",
+                sizes="near_tie",
+                priority="fifo",
+            )
+        )
+        failures = run_checks(case, checks=("engine", "exact_oracle"))
+        assert not failures, [f.message for f in failures]
+
+    def test_unrelated_setting(self):
+        case = build_case(
+            CaseConfig(
+                seed=17,
+                topology="paths_2x1",
+                n_jobs=6,
+                arrivals="poisson",
+                sizes="pareto",
+                setting="unrelated",
+            )
+        )
+        failures = run_checks(case, checks=("engine", "exact_oracle"))
+        assert not failures, [f.message for f in failures]

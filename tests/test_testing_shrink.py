@@ -1,0 +1,124 @@
+"""Properties of the deterministic shrinker.
+
+The shrinker's contract (`repro.testing.shrink`) is checked against
+*synthetic* failure predicates — pure functions of the candidate case,
+independent of any engine bug — so the properties hold regardless of
+what the fuzzer happens to find:
+
+* the returned case still satisfies the predicate (failure preserved);
+* it terminates within its attempt budget;
+* it is a pure function of its input (deterministic, no hidden RNG).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.testing.corpus import case_digest
+from repro.testing.generate import CaseConfig, build_case
+from repro.testing.shrink import shrink_case
+
+
+def _config(seed: int, n_jobs: int, topology: str = "spine2", **kw) -> CaseConfig:
+    kw.setdefault("arrivals", "poisson")
+    kw.setdefault("sizes", "uniform")
+    return CaseConfig(seed=seed, topology=topology, n_jobs=n_jobs, **kw)
+
+
+def _case(seed: int, n_jobs: int, topology: str = "spine2"):
+    return build_case(_config(seed, n_jobs, topology))
+
+
+class TestSyntheticPredicates:
+    def test_min_jobs_predicate_shrinks_to_floor(self):
+        case = _case(seed=7, n_jobs=10)
+
+        def at_least_three(candidate) -> bool:
+            return len(candidate.instance.jobs) >= 3
+
+        result = shrink_case(case, at_least_three)
+        assert at_least_three(result.case)
+        assert result.n_jobs == 3
+        assert result.case.shrunk
+
+    def test_size_predicate_preserved(self):
+        case = _case(seed=11, n_jobs=9)
+        threshold = sorted(j.size for j in case.instance.jobs)[-2]
+
+        def has_big_job(candidate) -> bool:
+            return any(j.size > threshold for j in candidate.instance.jobs)
+
+        assert has_big_job(case)
+        result = shrink_case(case, has_big_job)
+        assert has_big_job(result.case)
+        assert result.n_jobs <= len(case.instance.jobs)
+
+    def test_never_satisfiable_leaves_case_untouched(self):
+        case = _case(seed=3, n_jobs=6)
+        result = shrink_case(case, lambda candidate: False)
+        assert result.steps == 0
+        assert case_digest(result.case) == case_digest(case)
+
+    def test_releases_simplify_toward_zero(self):
+        case = _case(seed=5, n_jobs=8)
+
+        def enough_jobs(candidate) -> bool:
+            return len(candidate.instance.jobs) >= 2
+
+        result = shrink_case(case, enough_jobs)
+        # With no release-dependent predicate the release-flattening
+        # pass should win: everything lands at time zero.
+        assert all(j.release == 0.0 for j in result.case.instance.jobs)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), n_jobs=st.integers(4, 12), floor=st.integers(1, 4))
+def test_predicate_preserved_and_bounded(seed, n_jobs, floor):
+    case = _case(seed=seed, n_jobs=n_jobs)
+
+    def predicate(candidate) -> bool:
+        return len(candidate.instance.jobs) >= floor
+
+    result = shrink_case(case, predicate, max_attempts=300)
+    assert predicate(result.case)
+    assert result.attempts <= 300
+    assert result.n_jobs <= n_jobs
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000), n_jobs=st.integers(4, 10))
+def test_shrink_is_deterministic(seed, n_jobs):
+    def predicate(candidate) -> bool:
+        return len(candidate.instance.jobs) >= 2
+
+    docs = []
+    for _ in range(2):
+        case = _case(seed=seed, n_jobs=n_jobs)
+        result = shrink_case(case, predicate)
+        docs.append(json.dumps(result.case.to_doc(), sort_keys=True))
+    assert docs[0] == docs[1]
+
+
+def test_attempt_budget_is_respected():
+    case = _case(seed=9, n_jobs=12)
+    calls = 0
+
+    def counting(candidate) -> bool:
+        nonlocal calls
+        calls += 1
+        return len(candidate.instance.jobs) >= 2
+
+    shrink_case(case, counting, max_attempts=25)
+    assert calls <= 25
+
+
+def test_fixed_assignment_stays_consistent():
+    case = build_case(_config(13, 9, "paths_3x2", policy="fixed"))
+    result = shrink_case(case, lambda c: len(c.instance.jobs) >= 2)
+    kept = {j.id for j in result.case.instance.jobs}
+    assert set(result.case.fixed_assignment) == kept
+    leaves = set(result.case.instance.tree.leaves)
+    assert set(result.case.fixed_assignment.values()) <= leaves
