@@ -118,29 +118,6 @@ from repro.obs import (
 __version__ = "1.0.0"
 
 
-def __getattr__(name: str):
-    """Deprecation shims for moved top-level entry points.
-
-    ``repro.simulate`` (the engine wrapper with positional options)
-    gave way to the keyword-only :func:`repro.api.simulate`; the old
-    name keeps working for one release but warns.  Import the engine
-    wrapper from :mod:`repro.sim` to keep positional ``instance`` /
-    ``policy`` without a warning.
-    """
-    if name == "simulate":
-        import warnings
-
-        warnings.warn(
-            "importing simulate from the repro top level is deprecated; use "
-            "repro.api.simulate (keyword-only) or repro.sim.simulate",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.sim.engine import simulate
-
-        return simulate
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
 __all__ = [
     # errors
     "TreeSchedError",
@@ -193,7 +170,6 @@ __all__ = [
     "SchedulerView",
     "SimulationResult",
     "SpeedProfile",
-    "simulate",  # deprecated alias (module __getattr__); use repro.api
     # stable facade
     "api",
     "build_tree",

@@ -3,19 +3,23 @@
 Three suites, all deterministic in everything except wall-clock:
 
 * **Scaling sweep** — the S1 workload (datacenter tree, identical jobs,
-  the paper's greedy policy) at growing job counts; reports events/s,
-  jobs/s and wall seconds per size.  Near-linear scaling here is the
-  acceptance bar for the incremental congestion aggregates.
+  the paper's greedy policy) at growing job counts, per engine backend
+  (``python`` and ``numpy``); reports events/s, jobs/s and wall seconds
+  per size.  Near-linear scaling here is the acceptance bar for the
+  incremental congestion aggregates; the backend ratio tracks progress
+  toward the 1M ev/s target.
 * **Policy microbenchmarks** — every CLI policy on one mid-size
-  instance, so a change to a single policy's arrival cost is visible in
-  isolation from the engine.
+  instance, per backend, so a change to a single policy's arrival cost
+  is visible in isolation from the engine.
 * **Registry timing** — the full experiment registry run serially
   versus through the trial-sharded parallel runner (cache disabled for
   both), so the sharding speedup is tracked alongside raw engine
   throughput.  Speedup is bounded by the worker count; on a single-core
-  machine expect ~1x.
+  machine the comparison is skipped (marked ``"skipped": "workers==1"``)
+  — a serial-vs-serial "speedup" would only measure scheduler noise.
 
-``run_bench`` returns a JSON-ready dict (schema ``bench_engine/v2``);
+``run_bench`` returns a JSON-ready dict (schema ``bench_engine/v3``:
+the ``scaling`` and ``policies`` suites nest one section per backend);
 the CLI writes it to ``BENCH_engine.json`` at the repo root so the perf
 trajectory is tracked across PRs.  Each configuration is run ``repeats``
 times and the fastest wall is kept (standard practice for throughput
@@ -40,11 +44,15 @@ __all__ = [
     "run_registry_bench",
     "compare_bench",
     "render_bench",
+    "BENCH_BACKENDS",
     "DEFAULT_SIZES",
     "MAX_DEGRADATION",
 ]
 
-SCHEMA = "bench_engine/v2"
+SCHEMA = "bench_engine/v3"
+
+#: Engine backends the scaling and policy suites run on.
+BENCH_BACKENDS = ("python", "numpy")
 
 #: Allowed throughput degradation factor, shared by ``repro bench
 #: --compare`` and ``benchmarks/bench_scaling_guard.py``: anything
@@ -58,24 +66,36 @@ _EPS = 0.25
 _SPEED = 1.5
 
 
-def _bench_once(instance, policy_factory) -> tuple[float, int]:
-    """One timed simulation; returns (wall seconds, events)."""
-    from repro.sim.engine import Engine
+def _bench_once(instance, policy_factory, backend: str) -> tuple[float, int]:
+    """One timed simulation on ``backend``; returns (wall seconds,
+    events).  Construction (array precomputation, layouts) happens
+    outside the timer for both backends — the suites measure event
+    throughput, not setup."""
     from repro.sim.speed import SpeedProfile
 
-    engine = Engine(instance, policy_factory(), SpeedProfile.uniform(_SPEED))
+    speeds = SpeedProfile.uniform(_SPEED)
+    if backend == "numpy":
+        from repro.sim.backends.numpy_backend import NumpyEngine
+
+        engine = NumpyEngine(instance, policy_factory(), speeds)
+    else:
+        from repro.sim.engine import Engine
+
+        engine = Engine(instance, policy_factory(), speeds)
     t0 = perf_counter()
     result = engine.run()
     wall = perf_counter() - t0
     return wall, result.num_events
 
 
-def _measure(instance, policy_factory, repeats: int) -> dict[str, float]:
+def _measure(
+    instance, policy_factory, repeats: int, backend: str = "python"
+) -> dict[str, float]:
     n = len(instance.jobs)
     best_wall = float("inf")
     events = 0
     for _ in range(repeats):
-        wall, events = _bench_once(instance, policy_factory)
+        wall, events = _bench_once(instance, policy_factory, backend)
         if wall < best_wall:
             best_wall = wall
     return {
@@ -101,6 +121,27 @@ def run_registry_bench(parallel: int | None = None) -> dict:
     t0 = perf_counter()
     serial = run_experiments(use_cache=False, parallel=1, shard_trials=False)
     serial_s = perf_counter() - t0
+    if workers <= 1:
+        # A sharded run on one worker is the serial run with extra
+        # queueing; its "speedup" would only report scheduler noise.
+        # Serial outcomes carry no trial counts, so enumerate the grids
+        # directly for the (informational) trials column.
+        from repro.analysis.experiments.grid import enumerate_trials, get_grid
+
+        trials = 0
+        for out in serial:
+            grid = get_grid(out.exp_id)
+            if grid is not None:
+                trials += len(enumerate_trials(grid, dict(grid.defaults)))
+        return {
+            "experiments": len(serial),
+            "trials": trials,
+            "workers": workers,
+            "serial_wall_s": serial_s,
+            "sharded_wall_s": None,
+            "speedup": None,
+            "skipped": "workers==1",
+        }
     t0 = perf_counter()
     sharded = run_experiments(use_cache=False, parallel=workers, shard_trials=True)
     sharded_s = perf_counter() - t0
@@ -114,22 +155,39 @@ def run_registry_bench(parallel: int | None = None) -> dict:
     }
 
 
+def _flatten_measures(section: object, prefix: tuple[str, ...] = ()) -> dict:
+    """``name -> measurement`` pairs of a suite section, where a
+    measurement is any dict carrying ``events_per_s``.  Walks nested
+    per-backend layouts (``bench_engine/v3``: ``backend/size``) and flat
+    ones (``v2``: ``size``) alike, so ``--compare`` works across schema
+    generations."""
+    out: dict[str, dict] = {}
+    if isinstance(section, dict):
+        if "events_per_s" in section:
+            out["/".join(prefix)] = section
+        else:
+            for key in sorted(section):
+                out.update(_flatten_measures(section[key], prefix + (str(key),)))
+    return out
+
+
 def compare_bench(
     baseline: dict, fresh: dict, threshold: float = MAX_DEGRADATION
 ) -> list[dict]:
     """Throughput regressions of ``fresh`` relative to ``baseline``.
 
     Compares events/s entry-by-entry across the ``scaling`` and
-    ``policies`` suites (entries present in only one document are
-    ignored, so adding a size or policy never trips the gate); an entry
-    is a regression when it runs more than ``threshold`` times slower.
-    The registry timing is deliberately not compared — it is a one-shot
+    ``policies`` suites — per backend in the ``bench_engine/v3`` nested
+    layout (entries present in only one document are ignored, so adding
+    a size, policy or backend never trips the gate); an entry is a
+    regression when it runs more than ``threshold`` times slower.  The
+    registry timing is deliberately not compared — it is a one-shot
     wall-clock measurement, not a best-of-N throughput.
     """
     regressions = []
     for section in ("scaling", "policies"):
-        base = baseline.get(section) or {}
-        new = fresh.get(section) or {}
+        base = _flatten_measures(baseline.get(section) or {})
+        new = _flatten_measures(fresh.get(section) or {})
         for name in sorted(set(base) & set(new)):
             before = base[name]["events_per_s"]
             after = new[name]["events_per_s"]
@@ -152,8 +210,9 @@ def run_bench(
     include_policies: bool = True,
     include_registry: bool = True,
     registry_parallel: int | None = None,
+    backends: tuple[str, ...] = BENCH_BACKENDS,
 ) -> dict:
-    """Run the suites; returns the ``bench_engine/v2`` document."""
+    """Run the suites; returns the ``bench_engine/v3`` document."""
     from repro.analysis.experiments.workloads import identical_instance
     from repro.baselines.policies import (
         ClosestLeafAssignment,
@@ -167,10 +226,16 @@ def run_bench(
     tree = datacenter_tree(3, 3, 4)
     greedy = lambda: GreedyIdenticalAssignment(_EPS)  # noqa: E731
 
-    scaling: dict[str, dict[str, float]] = {}
-    for n in sizes:
-        instance = identical_instance(tree, n, load=_LOAD, seed=_SEED)
-        scaling[str(n)] = _measure(instance, greedy, repeats)
+    instances = {
+        n: identical_instance(tree, n, load=_LOAD, seed=_SEED) for n in sizes
+    }
+    scaling: dict[str, dict[str, dict[str, float]]] = {
+        backend: {
+            str(n): _measure(instances[n], greedy, repeats, backend)
+            for n in sizes
+        }
+        for backend in backends
+    }
 
     doc = {
         "schema": SCHEMA,
@@ -181,6 +246,7 @@ def run_bench(
             "eps": _EPS,
             "speed": _SPEED,
             "repeats": repeats,
+            "backends": list(backends),
             "policy_microbench_jobs": _MICRO_JOBS,
         },
         "scaling": scaling,
@@ -197,8 +263,11 @@ def run_bench(
             tree, _MICRO_JOBS, load=_LOAD, seed=_SEED
         )
         doc["policies"] = {
-            name: _measure(micro_instance, factory, repeats)
-            for name, factory in policies.items()
+            backend: {
+                name: _measure(micro_instance, factory, repeats, backend)
+                for name, factory in policies.items()
+            }
+            for backend in backends
         }
     if include_registry:
         doc["registry"] = run_registry_bench(registry_parallel)
@@ -210,24 +279,26 @@ def render_bench(doc: dict) -> str:
     out = []
     scaling = Table(
         "engine scaling sweep (greedy, datacenter tree)",
-        ["n_jobs", "events", "wall_s", "events_per_s", "jobs_per_s"],
+        ["backend", "n_jobs", "events", "wall_s", "events_per_s", "jobs_per_s"],
     )
-    for size, row in doc["scaling"].items():
-        scaling.add_row(
-            int(size), row["events"], row["wall_s"],
-            row["events_per_s"], row["jobs_per_s"],
-        )
+    for backend, rows in doc["scaling"].items():
+        for size, row in rows.items():
+            scaling.add_row(
+                backend, int(size), row["events"], row["wall_s"],
+                row["events_per_s"], row["jobs_per_s"],
+            )
     out.append(scaling.render())
     if "policies" in doc:
         micro = Table(
             f"policy microbenchmarks ({doc['config']['policy_microbench_jobs']} jobs)",
-            ["policy", "events", "wall_s", "events_per_s", "jobs_per_s"],
+            ["backend", "policy", "events", "wall_s", "events_per_s", "jobs_per_s"],
         )
-        for name, row in doc["policies"].items():
-            micro.add_row(
-                name, row["events"], row["wall_s"],
-                row["events_per_s"], row["jobs_per_s"],
-            )
+        for backend, rows in doc["policies"].items():
+            for name, row in rows.items():
+                micro.add_row(
+                    backend, name, row["events"], row["wall_s"],
+                    row["events_per_s"], row["jobs_per_s"],
+                )
         out.append(micro.render())
     if "registry" in doc:
         reg = doc["registry"]
@@ -235,9 +306,12 @@ def render_bench(doc: dict) -> str:
             "experiment registry: serial vs trial-sharded runner (cache off)",
             ["experiments", "trials", "workers", "serial_s", "sharded_s", "speedup"],
         )
+        skipped = reg.get("skipped")
         registry.add_row(
             reg["experiments"], reg["trials"], reg["workers"],
-            reg["serial_wall_s"], reg["sharded_wall_s"], reg["speedup"],
+            reg["serial_wall_s"],
+            reg["sharded_wall_s"] if reg["sharded_wall_s"] is not None else "-",
+            reg["speedup"] if reg["speedup"] is not None else f"skipped ({skipped})",
         )
         out.append(registry.render())
     return "\n\n".join(out)

@@ -313,7 +313,7 @@ def _merge_counter_dicts(dicts: list[dict | None]) -> dict | None:
 
 def run_experiments(
     exp_ids: list[str] | None = None,
-    *args: dict | None,
+    *,
     params_by_id: dict[str, dict] | None = None,
     parallel: int = 1,
     cache_dir: str | Path = DEFAULT_CACHE_DIR,
@@ -331,8 +331,8 @@ def run_experiments(
         given order.
     params_by_id:
         Optional per-id keyword overrides (defaults: each experiment's
-        own defaults).  Keyword-only; the positional form is deprecated
-        (kept for one release with a :class:`DeprecationWarning`).
+        own defaults).  Keyword-only (the positional form was removed
+        after its one-release deprecation window).
     parallel:
         Worker processes for cache misses; ``<= 1`` runs serially in
         this process.  Outputs are bit-identical either way.
@@ -364,25 +364,6 @@ def run_experiments(
         trial_digest,
     )
 
-    if args:
-        import warnings
-
-        if len(args) > 1:
-            raise TypeError(
-                f"run_experiments() takes 1 positional argument but "
-                f"{1 + len(args)} were given (options are keyword-only)"
-            )
-        if params_by_id is not None:
-            raise TypeError(
-                "run_experiments() got params_by_id both positionally and by keyword"
-            )
-        warnings.warn(
-            "passing params_by_id positionally to run_experiments() is "
-            "deprecated and will become keyword-only; use params_by_id=...",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        params_by_id = args[0]
     if exp_ids is None:
         exp_ids = all_experiment_ids()
     params_by_id = params_by_id or {}

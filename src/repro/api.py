@@ -267,6 +267,7 @@ def simulate(
     speed: float = 1.0,
     speeds: "SpeedProfile | None" = None,
     priority=None,
+    backend: str | None = None,
     record_segments: bool = False,
     check_invariants: bool = False,
     until: float | None = None,
@@ -291,18 +292,24 @@ def simulate(
         :class:`~repro.sim.speed.SpeedProfile` (not both).
     priority:
         ``"sjf"`` (default), ``"fifo"`` or a custom priority callable.
+    backend:
+        ``"python"`` (the reference engine) or ``"numpy"`` (the
+        vectorized SoA kernel); ``None`` reads the ``REPRO_BACKEND``
+        environment variable, defaulting to ``"python"``.  See
+        :mod:`repro.sim.backends` for when the numpy kernel falls back.
     record_segments / check_invariants / until / collect_counters / tracer:
         Forwarded to the engine; see
         :class:`~repro.sim.engine.Engine`.
     """
     from repro.exceptions import SimulationError
-    from repro.sim import engine
+    from repro.sim import backends
 
     if speeds is not None and speed != 1.0:
         raise SimulationError("pass either speed or speeds, not both")
-    return engine.simulate(
+    return backends.simulate(
         instance,
         _resolve_policy(policy, instance, eps, seed),
+        backend=backend,
         speeds=_resolve_speeds(speeds, speed),
         priority=_resolve_priority(priority),
         record_segments=record_segments,

@@ -40,9 +40,33 @@ class ClosestLeafAssignment:
     In the identical setting this is simply the closest leaf; in the
     unrelated setting it additionally prefers fast machines.  Ties break
     by leaf id.
+
+    Uniform-size jobs have ``P_{v,j} = d_v · p_j``, so for ``p_j > 0``
+    the ``(P_{v,j}, v)`` argmin is the static ``(d_v, v)`` minimum —
+    cached once per origin instead of rescanning every feasible leaf
+    and recomputing ``path_volume`` per arrival.  Jobs carrying a
+    per-leaf size map (or degenerate sizes) keep the full scan, whose
+    tie-breaking the cache reproduces exactly.
     """
 
+    def __init__(self) -> None:
+        # origin key (None = whole tree) -> (d_v, v)-argmin leaf
+        self._closest: dict[int | None, int] = {}
+
     def assign(self, view: SchedulerView, job: Job, now: float) -> int:
+        tree = view.tree
+        if job.leaf_sizes is None and math.isfinite(job.size) and job.size > 0.0:
+            origin = job.origin
+            if origin is None or origin == tree.root or origin not in tree:
+                origin = None
+            best = self._closest.get(origin)
+            if best is None:
+                candidates = (
+                    tree.leaves if origin is None else tree.leaves_under(origin)
+                )
+                best = min(candidates, key=lambda v: (tree.d(v), v))
+                self._closest[origin] = best
+            return best
         instance = view.instance
         return min(
             _feasible_leaves(view, job),

@@ -481,6 +481,7 @@ def _cmd_fuzz(args) -> int:
         max_cases=args.max_cases,
         budget_seconds=args.budget_seconds,
         corpus_dir=corpus_dir,
+        backends=args.backends,
         shrink=not args.no_shrink,
         progress=ticker if not args.json else None,
     )
@@ -789,6 +790,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.add_argument(
         "--list", action="store_true", help="list corpus entries and exit"
+    )
+    p_fuzz.add_argument(
+        "--backends",
+        action="store_true",
+        help="also replay every case on the vectorised numpy backend "
+        "and require agreement with the reference engine",
     )
     p_fuzz.add_argument(
         "--no-shrink",

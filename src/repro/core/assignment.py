@@ -66,6 +66,8 @@ class GreedyIdenticalAssignment:
         self._layout: dict[
             int, tuple[tuple[int, tuple[tuple[int, int], ...], int, int, int], ...]
         ] = {}
+        # origin -> tuple of entry node ids, for the batched F hook
+        self._tops: dict[int, tuple[int, ...]] = {}
 
     @property
     def last_scores(self) -> dict[int, float] | None:
@@ -78,6 +80,13 @@ class GreedyIdenticalAssignment:
         kind = parts[0]
         if kind == "dict":
             return dict(parts[1])
+        if kind == "identical":
+            _, weight_p, bases, records = parts
+            return {
+                leaf: base + weight_p * steps
+                for base, rec in zip(bases, records)
+                for leaf, steps in rec[1]
+            }
         _, weight_p, per_entry = parts
         return {
             leaf: base + weight_p * steps
@@ -103,6 +112,7 @@ class GreedyIdenticalAssignment:
                 records.append((entry, leaves, min_steps, min_steps_leaf, min_leaf))
             layout = tuple(records)
             self._layout[origin] = layout
+            self._tops[origin] = tuple(rec[0] for rec in records)
         return layout
 
     def assign(self, view: SchedulerView, job: Job, now: float) -> int:
@@ -115,33 +125,43 @@ class GreedyIdenticalAssignment:
         best_leaf: int | None = None
         best_score = math.inf
         weight_p = self.weight * job.size
-        parts: list[tuple[float, tuple[tuple[int, int], ...]]] = []
-        for entry, leaves, min_steps, min_steps_leaf, min_leaf in self._entries_for(
-            view, origin
-        ):
-            base = f_top_value(view, job, entry)
-            parts.append((base, leaves))
-            if weight_p > 0.0:
-                # score is strictly increasing in steps, so the branch
-                # argmin by (score, leaf) is the (steps, leaf)-minimum.
-                score = base + weight_p * min_steps
-                leaf = min_steps_leaf
-            elif weight_p == 0.0:
-                # all leaves of the branch tie at ``base``
-                score = base
-                leaf = min_leaf
-            else:  # pathological weight: fall back to the full scan
-                score, leaf = min(
-                    (base + weight_p * steps, lf) for lf, steps in leaves
-                )
-            if score < best_score or (
-                score == best_score and (best_leaf is None or leaf < best_leaf)
-            ):
-                best_score = score
-                best_leaf = leaf
+        records = self._entries_for(view, origin)
+        # Batched F evaluation when the view offers it (the numpy
+        # kernel's hook); scores are bit-identical to the per-entry
+        # form, just one amortised call instead of len(records).
+        hook = getattr(view, "_f_top_values", None)
+        bases = hook(job, self._tops[origin]) if hook is not None else None
+        if bases is None:
+            bases = [f_top_value(view, job, rec[0]) for rec in records]
+        if weight_p > 0.0:
+            # score is strictly increasing in steps, so the branch
+            # argmin by (score, leaf) is the (steps, leaf)-minimum.
+            for base, rec in zip(bases, records):
+                score = base + weight_p * rec[2]
+                if score < best_score or (
+                    score == best_score
+                    and (best_leaf is None or rec[3] < best_leaf)
+                ):
+                    best_score = score
+                    best_leaf = rec[3]
+        else:
+            for base, rec in zip(bases, records):
+                if weight_p == 0.0:
+                    # all leaves of the branch tie at ``base``
+                    score = base
+                    leaf = rec[4]
+                else:  # pathological weight: fall back to the full scan
+                    score, leaf = min(
+                        (base + weight_p * steps, lf) for lf, steps in rec[1]
+                    )
+                if score < best_score or (
+                    score == best_score and (best_leaf is None or leaf < best_leaf)
+                ):
+                    best_score = score
+                    best_leaf = leaf
         if best_leaf is None:
             raise AssignmentError(f"job {job.id} has no reachable leaf")
-        self._last_parts = ("identical", weight_p, parts)
+        self._last_parts = ("identical", weight_p, bases, records)
         return best_leaf
 
 
@@ -160,6 +180,7 @@ class GreedyUnrelatedAssignment:
         self._layout: dict[
             int, tuple[tuple[int, tuple[tuple[int, int], ...], int, int, int], ...]
         ] = {}
+        self._tops: dict[int, tuple[int, ...]] = {}
 
     last_scores = GreedyIdenticalAssignment.last_scores
     _entries_for = GreedyIdenticalAssignment._entries_for

@@ -19,7 +19,7 @@ from repro.sim.counters import (
     reset_global_counters,
 )
 from repro.sim.engine import Engine, SchedulerView, simulate
-from repro.sim.events import EventKind, EventLog, TraceEvent
+from repro.sim.events import EventKind, TraceEvent
 from repro.sim.gantt import render_gantt
 from repro.sim.result import JobRecord, ScheduleSegment, SimulationResult
 from repro.sim.metrics import (
@@ -51,7 +51,6 @@ __all__ = [
     "max_stretch",
     "interior_delay",
     "waiting_decomposition",
-    "EventLog",
     "EventKind",
     "TraceEvent",
     "render_gantt",

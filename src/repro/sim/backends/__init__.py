@@ -1,0 +1,133 @@
+"""Engine backend registry and dispatch.
+
+Two implementations of the Section-2 semantics live behind one call
+surface:
+
+* ``"python"`` — the reference :class:`~repro.sim.engine.Engine`: one
+  global event heap, per-event observer/tracer/counter hooks, bounded
+  horizons.  Always available; always correct.
+* ``"numpy"`` — the structure-of-arrays kernel
+  (:mod:`repro.sim.backends.numpy_backend`): batch-precomputed job
+  columns, int-encoded priority heaps, lazily-synced per-node sweeps.
+  Several times faster on event-dense workloads, but it has no global
+  event order, so options defined in terms of one (``observer``,
+  ``tracer``, ``until``, engine counters) silently fall back to the
+  python engine — results are equivalent either way, only the execution
+  strategy differs.
+
+Selection: the ``backend=`` keyword on :func:`simulate` (and on
+:func:`repro.api.simulate`), defaulting to the :data:`ENV_VAR`
+environment variable ``REPRO_BACKEND``, defaulting to ``"python"``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceRecorder
+
+from repro.exceptions import SimulationError
+from repro.sim import engine as _engine
+from repro.sim.backends.numpy_backend import NumpyEngine, NumpyView, simulate_numpy
+from repro.sim.counters import global_counters
+from repro.sim.engine import (
+    AssignmentPolicy,
+    PriorityFn,
+    SchedulerView,
+    sjf_priority,
+)
+from repro.sim.result import SimulationResult
+from repro.sim.speed import SpeedProfile
+from repro.workload.instance import Instance
+
+__all__ = [
+    "BACKENDS",
+    "ENV_VAR",
+    "resolve_backend",
+    "simulate",
+    "NumpyEngine",
+    "NumpyView",
+    "simulate_numpy",
+]
+
+#: The selectable engine backends.
+BACKENDS = ("python", "numpy")
+
+#: Environment variable holding the default backend name.
+ENV_VAR = "REPRO_BACKEND"
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """The effective backend name: explicit argument, else the
+    ``REPRO_BACKEND`` environment variable, else ``"python"``."""
+    if backend is None:
+        backend = os.environ.get(ENV_VAR) or "python"
+    if backend not in BACKENDS:
+        raise SimulationError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def _numpy_applicable(
+    observer: object,
+    tracer: object,
+    until: float | None,
+    collect_counters: bool | None,
+) -> bool:
+    """Whether the numpy kernel can serve this call (see module doc)."""
+    if observer is not None or tracer is not None or until is not None:
+        return False
+    if collect_counters or (collect_counters is None and global_counters() is not None):
+        return False
+    return True
+
+
+def simulate(
+    instance: Instance,
+    policy: AssignmentPolicy,
+    *,
+    backend: str | None = None,
+    speeds: SpeedProfile | None = None,
+    priority: PriorityFn = sjf_priority,
+    record_segments: bool = False,
+    check_invariants: bool = False,
+    observer: Callable[[SchedulerView, str, int], None] | None = None,
+    until: float | None = None,
+    collect_counters: bool | None = None,
+    tracer: "TraceRecorder | None" = None,
+) -> SimulationResult:
+    """Simulate on the selected backend.
+
+    Accepts the full engine option surface; when ``backend="numpy"`` is
+    combined with an option the kernel cannot honour (observer, tracer,
+    ``until``, counters), the call transparently runs on the python
+    engine instead — the schedule is the same either way.
+    """
+    backend = resolve_backend(backend)
+    if backend == "numpy" and _numpy_applicable(
+        observer, tracer, until, collect_counters
+    ):
+        return simulate_numpy(
+            instance,
+            policy,
+            speeds=speeds,
+            priority=priority,
+            record_segments=record_segments,
+            check_invariants=check_invariants,
+        )
+    return _engine.simulate(
+        instance,
+        policy,
+        speeds=speeds,
+        priority=priority,
+        record_segments=record_segments,
+        check_invariants=check_invariants,
+        observer=observer,
+        until=until,
+        collect_counters=collect_counters,
+        tracer=tracer,
+    )

@@ -1,0 +1,1415 @@
+"""The vectorized structure-of-arrays (SoA) event kernel.
+
+The python :class:`~repro.sim.engine.Engine` interleaves every node's
+events through one global heap, paying per-event dict lookups, object
+attribute traffic and version bookkeeping.  This backend replays the
+*same schedule* with a different execution strategy:
+
+* **SoA job state** — releases, sizes, ids, priority ranks, per-node
+  finished-tolerances are batch-precomputed into numpy arrays once per
+  run (``np.lexsort`` replaces per-push key tuples); the mutation-heavy
+  columns (remaining work, hop index, per-job record lists) are dense
+  python-list mirrors indexed by job *index*, not id.
+* **Encoded priority heaps** — for the built-in orderings the heap key
+  is a single int (the job's rank in the total priority order), so heap
+  sifts compare machine ints instead of 3-tuples of floats.  Generic
+  priority callables and unrelated-leaf queues keep ``(key, job_id)``
+  tuples, exactly like the engine.
+* **Batched per-node sweeps** — there is no global event heap.  Each
+  node keeps a time-sorted pending list of admissions fed by its single
+  parent (availability flows strictly root-to-leaf in the
+  store-and-forward model) plus a ``node_next`` cache of its earliest
+  outstanding event, and :meth:`NumpyEngine._advance_node` runs the
+  node forward through *all* of its completions and admissions up to a
+  time limit in one tight loop.  During the arrival phase a node is
+  touched only when its ``node_next`` has actually been reached — a
+  policy query over an idle node costs one float compare; after the
+  last arrival every node drains to infinity in one preorder pass.
+* **Lazy congestion aggregates** — the O(1) ``volume_through`` /
+  ``queue_volume_at`` counters are built (from the alive set) the first
+  time a policy reads them and maintained incrementally from then on;
+  policies that never read them (greedy, closest) pay nothing.
+
+Equivalence to the engine is by construction, not by tolerance: the
+kernel reproduces the engine's run accounting verbatim — settle only
+when a newcomer outranks the running job, completion predicted as
+``run_start + remaining/speed``, residuals of drained finished jobs
+dropped at the admission instant, completions processed before
+equal-time admissions — so per-node heap contents, run boundaries and
+completion times are bit-identical on drain-free runs and agree to
+``SCHEDULE_TOL`` in general.  The differential-fuzz battery
+(``repro fuzz --backends``) enforces this against the reference and
+exact-replay oracles.
+
+The one quantity that is *not* schedule-determined is ``num_events``:
+when two hop completions on adjacent nodes land on the same instant,
+the engine either counts both or folds the downstream one into the
+upstream cascade (an uncounted drain whose scheduled event goes stale)
+depending on event-heap insertion order.  The kernel counts each
+fused completion it processes, so the two counters can differ by the
+number of such same-instant collisions; the recorded schedules do not.
+
+What this backend does *not* support (the dispatcher in
+:mod:`repro.sim.backends` falls back to the python engine): per-event
+``observer`` callbacks, ``tracer`` hooks, bounded horizons (``until``)
+and engine counters — all are defined in terms of the global event
+order the batched sweeps deliberately avoid.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop as _heappop, heappush as _heappush
+
+import numpy as np
+
+from repro.exceptions import (
+    AssignmentError,
+    SimulationError,
+    TopologyError,
+)
+from repro.sim.engine import AssignmentPolicy, PriorityFn, fifo_priority, sjf_priority
+from repro.sim.result import JobRecord, ScheduleSegment, SimulationResult
+from repro.sim.speed import SpeedProfile
+from repro.sim.tolerances import REMAINING_ATOL, REMAINING_RTOL
+from repro.workload.instance import Instance, Setting
+from repro.workload.job import Job
+
+__all__ = ["NumpyEngine", "NumpyView", "simulate_numpy"]
+
+_INF = math.inf
+
+
+class NumpyView:
+    """The :class:`~repro.sim.engine.SchedulerView` surface over the
+    numpy kernel.
+
+    Queries sync exactly the nodes whose state they expose (ancestors
+    first — a node's admissions come from its parent), so policies see
+    the same time-``t`` state the engine's globally-ordered loop would
+    show them.  The ``_f_top_value`` / ``_f_prime_value`` methods are
+    the fast-path hooks :mod:`repro.core.fvalues` picks up via
+    ``getattr``; they return ``None`` for inputs outside their fast
+    path, which sends the caller to the generic public-method form.
+    """
+
+    __slots__ = ("_k",)
+
+    def __init__(self, kernel: "NumpyEngine") -> None:
+        self._k = kernel
+
+    # -- static context -------------------------------------------------
+    @property
+    def instance(self) -> Instance:
+        return self._k.instance
+
+    @property
+    def tree(self):
+        return self._k.instance.tree
+
+    @property
+    def speeds(self) -> SpeedProfile:
+        return self._k.speeds
+
+    @property
+    def now(self) -> float:
+        return self._k.now
+
+    def speed_of(self, node: int) -> float:
+        return self._k._speed_l[self._k._ni_of[node]]
+
+    # -- dynamic state ---------------------------------------------------
+    def queue_at(self, node: int) -> tuple[int, ...]:
+        k = self._k
+        ni = k._ni_of[node]
+        k._sync_chain(ni)
+        heap = k._heaps[ni]
+        if k._enc_l[ni]:
+            by_rank = k._by_rank
+            id_l = k._id_l
+            return tuple(id_l[by_rank[rk]] for rk in sorted(heap))
+        return tuple(jid for _, jid in sorted(heap))
+
+    def active_at(self, node: int) -> int | None:
+        k = self._k
+        ni = k._ni_of[node]
+        k._sync_chain(ni)
+        a = k._actives[ni]
+        return k._id_l[a] if a >= 0 else None
+
+    def jobs_through(self, node: int) -> tuple[int, ...]:
+        k = self._k
+        if node in k._root_adjacent_ids:
+            return self.queue_at(node)
+        if node in k._alive_at_leaf:
+            k._sync_chain(k._ni_of[node])
+            return tuple(sorted(k._alive_at_leaf[node]))
+        k._sync_all()
+        out = []
+        for jid in k._alive:
+            i = k._idx_of_id[jid]
+            pos = k._pos_of_l[i].get(node)
+            if pos is not None and k._hop_l[i] <= pos:
+                out.append(jid)
+        return tuple(out)
+
+    # -- O(1) aggregate reads -------------------------------------------
+    def jobs_through_count(self, node: int) -> int:
+        k = self._k
+        ni = k._ni_of.get(node)
+        if ni is None:
+            raise TopologyError(f"unknown non-root node id {node}")
+        k._ensure_aggregates()
+        k._sync_chain(ni)
+        return k._through_count[ni]
+
+    def volume_through(self, node: int) -> float:
+        k = self._k
+        ni = k._ni_of.get(node)
+        if ni is None:
+            raise TopologyError(f"unknown non-root node id {node}")
+        k._ensure_aggregates()
+        k._sync_chain(ni)
+        if k._through_count[ni] == 0:
+            return 0.0
+        vol = k._through_volume[ni] - k._live_processed(ni)
+        return vol if vol > 0.0 else 0.0
+
+    def queue_volume_at(self, node: int) -> float:
+        k = self._k
+        ni = k._ni_of.get(node)
+        if ni is None:
+            raise TopologyError(f"unknown non-root node id {node}")
+        k._ensure_aggregates()
+        k._sync_chain(ni)
+        if not k._heaps[ni]:
+            return 0.0
+        vol = k._queue_volume[ni] - k._live_processed(ni)
+        return vol if vol > 0.0 else 0.0
+
+    def alive_jobs(self) -> tuple[int, ...]:
+        self._k._sync_all()
+        return tuple(sorted(self._k._alive))
+
+    def job(self, job_id: int) -> Job:
+        return self._k._jobs_l[self._k._idx_of_id[job_id]]
+
+    def assigned_leaf(self, job_id: int) -> int:
+        return self._k._leaf_l[self._k._idx_of_id[job_id]]
+
+    def current_node_of(self, job_id: int) -> int | None:
+        k = self._k
+        i = k._idx_of_id[job_id]
+        k._sync_path(i)
+        hop = k._hop_l[i]
+        path = k._path_ids_l[i]
+        return path[hop] if hop < len(path) else None
+
+    def remaining_on(self, job_id: int, node: int) -> float:
+        k = self._k
+        i = k._idx_of_id[job_id]
+        k._sync_path(i)
+        pos = k._pos_of_l[i].get(node)
+        hop = k._hop_l[i]
+        if pos is None or hop > pos or hop >= len(k._path_ids_l[i]):
+            return 0.0
+        if hop < pos:
+            return k.instance.processing_time(k._jobs_l[i], node)
+        return k._live_remaining(i)
+
+    def live_remaining(self, job_id: int) -> float:
+        k = self._k
+        i = k._idx_of_id[job_id]
+        k._sync_path(i)
+        return k._live_remaining(i)
+
+    # -- fvalues fast-path hooks ----------------------------------------
+    def _f_top_values(self, job: Job, tops) -> list[float] | None:
+        """Batched ``F(j, ·)`` over one arrival's candidate entry nodes.
+
+        :class:`~repro.core.assignment.GreedyIdenticalAssignment` scores
+        every root-adjacent branch per arrival; evaluating them in one
+        call amortises the per-call prologue (index lookups, rank/size
+        column fetches) the per-entry hook pays ``len(tops)`` times.
+        Covers the SJF-priority encoded-heap case only — there a heap
+        entry *is* the job's SJF rank, so the priority test against the
+        arriving job is a single int compare — and returns ``None``
+        otherwise, sending the caller to the per-entry form.  Summation
+        stays in heap-array order, so every score is bit-identical to
+        :func:`repro.core.fvalues.f_top_value` on either backend.
+        """
+        k = self._k
+        nis = k._ftv_nis.get(tops, False)
+        if nis is False:
+            nis = None
+            if k._prio_kind == 1:
+                ni_of = k._ni_of
+                root_adjacent = k._root_adjacent_nis
+                enc_l = k._enc_l
+                resolved = []
+                for top in tops:
+                    ni = ni_of.get(top)
+                    if ni is None or ni not in root_adjacent or not enc_l[ni]:
+                        break
+                    resolved.append(ni)
+                else:
+                    nis = tuple(resolved)
+            k._ftv_nis[tops] = nis
+        if nis is None:
+            return None
+        now = k.now
+        node_next = k._node_next
+        heaps = k._heaps
+        p_j = job.size
+        out = []
+        r_j = -1  # rank columns fetched lazily: most heaps are empty
+        for ni in nis:
+            if node_next[ni] <= now:  # root-adjacent: the chain is (ni,)
+                k._advance_node(ni, now)
+            total = p_j
+            heap = heaps[ni]
+            if heap:
+                if r_j < 0:
+                    rank = k._rank  # == _sjf_rank for prio_kind 1
+                    r_j = rank[k._idx_of_id[job.id]]
+                    rem = k._rem_l
+                    by_rank = k._by_rank
+                    size_by_rank = k._size_by_rank
+                    p_leaf_l = k._p_leaf_l
+                    actives = k._actives
+                    is_leaf_l = k._is_leaf_l
+                active = actives[ni]
+                if active >= 0:
+                    live = k._arems[ni] - k._speed_l[ni] * (now - k._astarts[ni])
+                    if live < 0.0:
+                        live = 0.0
+                    arank = rank[active]
+                else:
+                    live = 0.0
+                    arank = -1
+                if is_leaf_l[ni]:
+                    for e in heap:
+                        if e < r_j:
+                            total += live if e == arank else rem[by_rank[e]]
+                        elif p_leaf_l[by_rank[e]] > p_j:
+                            total += p_j
+                else:
+                    for e in heap:
+                        if e < r_j:
+                            total += live if e == arank else rem[by_rank[e]]
+                        elif size_by_rank[e] > p_j:
+                            total += p_j
+            out.append(total)
+        return out
+
+    def _f_top_value(self, job: Job, top: int) -> float | None:
+        """``F(j, ·)`` at root-adjacent ``top`` — the greedy hot path.
+
+        Iterates the node's heap in *array order* (which matches the
+        engine's, push for push) comparing precomputed SJF ranks, so the
+        float summation order — and hence the score — is bit-identical
+        to :func:`repro.core.fvalues.f_top_value` on the engine.
+        """
+        k = self._k
+        ni = k._ni_of.get(top)
+        if ni is None or ni not in k._root_adjacent_nis:
+            return None
+        is_leaf = k._is_leaf_l[ni]
+        if is_leaf and not k._identical:
+            return None  # per-leaf sizes: the global SJF rank is invalid
+        now = k.now
+        if k._node_next[ni] <= now:  # root-adjacent: the chain is (ni,)
+            k._advance_node(ni, now)
+        sjf_rank = k._sjf_rank
+        r_j = sjf_rank[k._idx_of_id[job.id]]
+        p_j = job.size
+        total = p_j
+        heap = k._heaps[ni]
+        if not heap:
+            return total
+        rem = k._rem_l
+        active = k._actives[ni]
+        live = 0.0
+        if active >= 0:
+            # The engine recomputes this inside its loop; every input is
+            # loop-invariant, so hoisting it is float-identical.
+            live = k._arems[ni] - k._speed_l[ni] * (now - k._astarts[ni])
+            if live < 0.0:
+                live = 0.0
+        size_l = k._size_l
+        p_leaf_l = k._p_leaf_l
+        if k._enc_l[ni]:
+            by_rank = k._by_rank
+            if is_leaf:
+                for e in heap:
+                    i = by_rank[e]
+                    if sjf_rank[i] < r_j:
+                        total += live if i == active else rem[i]
+                    elif p_leaf_l[i] > p_j:
+                        total += p_j
+            else:
+                for e in heap:
+                    i = by_rank[e]
+                    if sjf_rank[i] < r_j:
+                        total += live if i == active else rem[i]
+                    elif size_l[i] > p_j:
+                        total += p_j
+        else:
+            idx_of_id = k._idx_of_id
+            for e in heap:
+                i = idx_of_id[e[1]]
+                if sjf_rank[i] < r_j:
+                    total += live if i == active else rem[i]
+                else:
+                    p_i = p_leaf_l[i] if is_leaf else size_l[i]
+                    if p_i > p_j:
+                        total += p_j
+        return total
+
+    def _f_prime_value(self, job: Job, leaf: int) -> float | None:
+        """``F'(j, v)`` over the alive set assigned to ``leaf``, in
+        ascending-id order — the engine hot path's summation order."""
+        k = self._k
+        alive_here = k._alive_at_leaf.get(leaf)
+        if alive_here is None:
+            return None
+        ni = k._ni_of[leaf]
+        k._sync_chain(ni)
+        p_jv = job.processing_on_leaf(leaf)
+        total = p_jv
+        r_j = job.release
+        id_j = job.id
+        idx_of_id = k._idx_of_id
+        rem = k._rem_l
+        p_leaf_l = k._p_leaf_l
+        hop_l = k._hop_l
+        path_ni_l = k._path_ni_l
+        active = k._actives[ni]
+        live = 0.0
+        if active >= 0:
+            live = k._arems[ni] - k._speed_l[ni] * (k.now - k._astarts[ni])
+            if live < 0.0:
+                live = 0.0
+        jobs_l = k._jobs_l
+        for jid in sorted(alive_here):
+            i = idx_of_id[jid]
+            other = jobs_l[i]
+            p_iv = p_leaf_l[i]
+            if hop_l[i] == len(path_ni_l[i]) - 1:  # physically at the leaf
+                r = live if i == active else rem[i]
+            else:  # still upstream: full leaf requirement remains
+                r = p_iv
+            if (p_iv, other.release, other.id) < (p_jv, r_j, id_j):
+                total += r
+            elif p_iv > p_jv:
+                total += p_jv * r / p_iv
+        return total
+
+
+class NumpyEngine:
+    """One simulation run on the SoA kernel.
+
+    Accepts the same (keyword-only) construction surface as the subset
+    of :class:`~repro.sim.engine.Engine` options the backend supports;
+    unsupported options are rejected by :func:`simulate_numpy` /
+    :func:`repro.sim.backends.simulate` before reaching here.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        policy: AssignmentPolicy,
+        speeds: SpeedProfile | None = None,
+        *,
+        priority: PriorityFn = sjf_priority,
+        record_segments: bool = False,
+        check_invariants: bool = False,
+        max_events: int = 10_000_000,
+    ) -> None:
+        self.instance = instance
+        self.policy = policy
+        self.speeds = speeds or SpeedProfile.uniform(1.0)
+        self.priority = priority
+        self.record_segments = record_segments
+        self.check_invariants = check_invariants
+        self.max_events = max_events
+        self.now = 0.0
+
+        tree = instance.tree
+        root = tree.root
+        # Dense node index in preorder (parents before children) — the
+        # topological order every full sweep uses.
+        order = [v for v in tree.node_ids if v != root]
+        self._node_order = order
+        n_nodes = len(order)
+        ni_of = {v: i for i, v in enumerate(order)}
+        self._ni_of = ni_of
+        self._nid_l = order
+        self._is_leaf_l = [tree.node(v).is_leaf for v in order]
+        self._speed_l = [self.speeds.speed_of(tree, v) for v in order]
+        self._root_adjacent_ids = frozenset(tree.root_children)
+        self._root_adjacent_nis = frozenset(ni_of[v] for v in tree.root_children)
+        # Ancestor chain (root-adjacent .. node, inclusive), as dense
+        # indices — the sync order for any single-node query.
+        chain_of: list[tuple[int, ...]] = [()] * n_nodes
+        for v in order:
+            ni = ni_of[v]
+            p = tree.parent(v)
+            chain_of[ni] = (ni,) if p == root else chain_of[ni_of[p]] + (ni,)
+        self._chain_of = chain_of
+
+        # Per-node sweep state.  ``_node_next`` caches each node's
+        # earliest outstanding event time (min of the active run's
+        # finish and the pending head): a sync is one float compare
+        # unless the node actually has work due.
+        self._pendings: list[list] = [[] for _ in range(n_nodes)]
+        self._pis = [0] * n_nodes
+        self._heaps: list[list] = [[] for _ in range(n_nodes)]
+        self._actives = [-1] * n_nodes
+        self._astarts = [0.0] * n_nodes
+        self._arems = [0.0] * n_nodes
+        self._node_next = [_INF] * n_nodes
+
+        # Incremental congestion aggregates (same maintenance points as
+        # the engine: release, settle, hop advance) — built lazily by
+        # :meth:`_ensure_aggregates` on first use; ``None`` until then.
+        self._through_count: list[int] | None = None
+        self._through_volume: list[float] | None = None
+        self._queue_volume: list[float] | None = None
+
+        # ---- SoA job columns (batch-precomputed with numpy) ----------
+        jobs = list(instance.jobs)
+        n = len(jobs)
+        self._jobs_l = jobs
+        rel = np.array([j.release for j in jobs], dtype=float)
+        size = np.array([j.size for j in jobs], dtype=float)
+        ids = np.array([j.id for j in jobs], dtype=np.int64)
+        self._rel_l = rel.tolist()
+        self._size_l = size.tolist()
+        self._id_l = ids.tolist()
+        self._idx_of_id = {jid: i for i, jid in enumerate(self._id_l)}
+        self._ftol_size_l = np.maximum(REMAINING_ATOL, REMAINING_RTOL * size).tolist()
+
+        if priority is sjf_priority:
+            self._prio_kind = 1
+        elif priority is fifo_priority:
+            self._prio_kind = 2
+        else:
+            self._prio_kind = 0
+        self._identical = instance.setting is Setting.IDENTICAL
+
+        # Total priority orders as integer ranks.  The SJF rank doubles
+        # as the fvalues comparison order regardless of the node policy.
+        sjf_order = np.lexsort((ids, rel, size))
+        sjf_rank = np.empty(n, dtype=np.int64)
+        sjf_rank[sjf_order] = np.arange(n)
+        self._sjf_rank = sjf_rank.tolist()
+        if self._prio_kind == 2:
+            fifo_order = np.lexsort((ids, rel))
+            fifo_rank = np.empty(n, dtype=np.int64)
+            fifo_rank[fifo_order] = np.arange(n)
+            self._rank = fifo_rank.tolist()
+            self._by_rank = fifo_order.tolist()
+            self._size_by_rank = size[fifo_order].tolist()
+        else:
+            self._rank = self._sjf_rank
+            self._by_rank = sjf_order.tolist()
+            self._size_by_rank = size[sjf_order].tolist()
+        # Which nodes may use the encoded (int-rank) heap: the rank is a
+        # per-run constant total order, valid wherever the node key is a
+        # pure function of the job — everywhere for fifo, and everywhere
+        # but unrelated leaves for sjf.  Generic callables always take
+        # the tuple path.
+        if self._prio_kind == 2:
+            self._enc_l = [True] * n_nodes
+        elif self._prio_kind == 1:
+            self._enc_l = [
+                (not leaf) or self._identical for leaf in self._is_leaf_l
+            ]
+        else:
+            self._enc_l = [False] * n_nodes
+
+        # Mutable job columns (python-list mirrors of the SoA layout).
+        self._rem_l = [0.0] * n
+        self._hop_l = [0] * n
+        self._leaf_l = [-1] * n
+        self._p_leaf_l = [0.0] * n
+        self._ftol_leaf_l = [0.0] * n
+        self._path_ids_l: list[tuple[int, ...]] = [()] * n
+        self._path_ni_l: list[tuple[int, ...]] = [()] * n
+        self._pathlen_l = [0] * n
+        self._pos_of_l: list[dict[int, int]] = [{}] * n
+        # Availability/completion timelines, pre-seeded at construction:
+        # a job's first availability is exactly its release instant, so
+        # the arrival path never touches either list.
+        self._avail_l: list[list[float]] = [[r] for r in self._rel_l]
+        self._comp_l: list[list[float]] = [[] for _ in range(n)]
+        # Fractional-flow accounting: deficit_j = ∫ (1 - frac_j(t)) dt
+        # accumulated at the job's leaf; prev_end is the end of the last
+        # accounted leaf interval (starts at leaf availability).
+        self._deficit_l = [0.0] * n
+        self._prev_end_l = [0.0] * n
+
+        self._alive: set[int] = set()
+        self._alive_at_leaf: dict[int, set[int]] = {v: set() for v in tree.leaves}
+
+        # Static per-leaf layouts + lazily cached origin layouts,
+        # validated exactly as the engine's policy contract demands.
+        self._leaf_layouts: dict[int, tuple[tuple[int, ...], tuple[int, ...], dict[int, int]]] = {}
+        for leaf in tree.leaves:
+            path = tree.processing_path(leaf)
+            self._leaf_layouts[leaf] = (
+                path,
+                tuple(ni_of[v] for v in path),
+                {v: i for i, v in enumerate(path)},
+            )
+        self._origin_layouts: dict[tuple[int, int], tuple[tuple[int, ...], tuple[int, ...], dict[int, int]]] = {}
+        # tops-tuple -> dense entry indices (or None = outside the fast
+        # path), memoising the batched-F hook's validity precheck; the
+        # policy passes the same cached tuple every arrival.
+        self._ftv_nis: dict[tuple[int, ...], tuple[int, ...] | None] = {}
+
+        self._num_events = 0
+        self._segments: list[ScheduleSegment] | None = (
+            [] if (record_segments or check_invariants) else None
+        )
+        self._view = NumpyView(self)
+        self._finished = False
+
+        # One-load prologue for the hot sweeps: every stable container
+        # the per-event loops touch, unpacked in a single statement
+        # instead of ~30 attribute lookups per call.  All entries are
+        # mutated in place, never rebound (the lazily-built aggregates,
+        # which *are* rebound, stay out).
+        self._hot = (
+            self._pendings, self._pis, self._heaps, self._actives,
+            self._astarts, self._arems, self._speed_l, self._node_next,
+            self._by_rank, self._idx_of_id, self._rem_l, self._hop_l,
+            self._path_ni_l, self._size_l, self._id_l, self._rel_l,
+            self._rank, self._p_leaf_l, self._is_leaf_l, self._enc_l,
+            self._prev_end_l, self._deficit_l, self._comp_l,
+            self._avail_l, self._alive, self._alive_at_leaf,
+            self._leaf_l, self._ftol_leaf_l, self._ftol_size_l,
+            self._nid_l, self._segments, self._pathlen_l,
+        )
+
+    # ------------------------------------------------------------------
+    # helpers shared with the view
+    # ------------------------------------------------------------------
+    def _live_processed(self, ni: int) -> float:
+        if self._actives[ni] < 0:
+            return 0.0
+        elapsed = self.now - self._astarts[ni]
+        if elapsed <= 0.0:
+            return 0.0
+        done = self._speed_l[ni] * elapsed
+        arem = self._arems[ni]
+        return done if done < arem else arem
+
+    def _live_remaining(self, i: int) -> float:
+        hop = self._hop_l[i]
+        if hop >= len(self._path_ni_l[i]):
+            return 0.0
+        ni = self._path_ni_l[i][hop]
+        if self._actives[ni] == i:
+            r = self._arems[ni] - self._speed_l[ni] * (self.now - self._astarts[ni])
+            return r if r > 0.0 else 0.0
+        return self._rem_l[i]
+
+    def _sync_chain(self, ni: int) -> None:
+        t = self.now
+        node_next = self._node_next
+        for a in self._chain_of[ni]:
+            if node_next[a] <= t:
+                self._advance_node(a, t)
+
+    def _sync_path(self, i: int) -> None:
+        t = self.now
+        node_next = self._node_next
+        for a in self._path_ni_l[i]:
+            if node_next[a] <= t:
+                self._advance_node(a, t)
+
+    def _sync_all(self) -> None:
+        t = self.now
+        node_next = self._node_next
+        for ni in range(len(self._nid_l)):
+            if node_next[ni] <= t:
+                self._advance_node(ni, t)
+
+    def _ensure_aggregates(self) -> None:
+        """Build the O(1) congestion aggregates on first use.
+
+        Rebuilt from the alive set at a globally-synced instant; from
+        then on every advance/admission maintains them incrementally at
+        the engine's own mutation points.  Policies that read them do so
+        on every arrival (the first included, when no work has been
+        processed yet), so the maintained floats match the engine's
+        increment-for-increment.
+        """
+        if self._through_count is not None:
+            return
+        self._sync_all()
+        n_nodes = len(self._nid_l)
+        tc = [0] * n_nodes
+        tv = [0.0] * n_nodes
+        qv = [0.0] * n_nodes
+        idx_of_id = self._idx_of_id
+        hop_l = self._hop_l
+        path_ni_l = self._path_ni_l
+        rem = self._rem_l
+        size_l = self._size_l
+        p_leaf_l = self._p_leaf_l
+        is_leaf_l = self._is_leaf_l
+        for jid in self._alive:
+            i = idx_of_id[jid]
+            path = path_ni_l[i]
+            h = hop_l[i]
+            qv[path[h]] += rem[i]
+            for pos in range(h, len(path)):
+                ni = path[pos]
+                tc[ni] += 1
+                if pos == h:
+                    tv[ni] += rem[i]
+                else:
+                    tv[ni] += p_leaf_l[i] if is_leaf_l[ni] else size_l[i]
+        self._through_count = tc
+        self._through_volume = tv
+        self._queue_volume = qv
+
+    # ------------------------------------------------------------------
+    # emission key (generic-priority path only; the built-in orderings
+    # are inlined at the emission sites)
+    # ------------------------------------------------------------------
+    def _key_for(self, ni: int, i: int):
+        """The heap key of job index ``i`` on node ``ni``."""
+        if self._enc_l[ni]:
+            return self._rank[i]
+        if self._prio_kind == 1:  # unrelated leaf
+            return (self._p_leaf_l[i], self._rel_l[i], self._id_l[i])
+        return self.priority(self.instance, self._jobs_l[i], self._nid_l[ni])
+
+    # ------------------------------------------------------------------
+    # the batched per-node sweep
+    # ------------------------------------------------------------------
+    def _advance_node(self, ni: int, limit: float) -> None:
+        """Run node ``ni`` through every completion and admission up to
+        and including ``limit`` (ancestors must already be synced there).
+
+        Run accounting replicates :class:`~repro.sim.engine.Engine`
+        verbatim: the active run is settled only when an admission
+        outranks it; a completion fires at ``run_start + rem/speed``
+        (ties with admissions resolve completion-first, matching the
+        engine's ``next_completion <= next_arrival``); finished residuals
+        at the heap top are drained — completed at the admission
+        instant, residual dropped — before the newcomer is pushed.
+        """
+        (pendings, pis, heaps, actives, astarts, arems, speed_l,
+         node_next, by_rank, idx_of_id, rem, hop_l, path_ni_l, size_l,
+         id_l, rel_l, rank, p_leaf_l, is_leaf_l, enc_l, prev_end,
+         deficit, comp, avail, alive, alive_at_leaf, leaf_l,
+         ftol_leaf_l, ftol_size_l, nid_l, segs, pathlen_l) = self._hot
+        pend = pendings[ni]
+        pi = pis[ni]
+        heap = heaps[ni]
+        active = actives[ni]
+        astart = astarts[ni]
+        arem = arems[ni]
+        speed = speed_l[ni]
+        is_leaf = is_leaf_l[ni]
+        enc = enc_l[ni]
+        nid = nid_l[ni]
+        tc = self._through_count
+        agg = tc is not None
+        if agg:
+            tv = self._through_volume
+            qv = self._queue_volume
+        pk1 = self._prio_kind == 1
+        ftol = ftol_leaf_l if is_leaf else ftol_size_l
+        npend = len(pend)
+        num_events = self._num_events
+        max_events = self.max_events
+
+        if pi >= npend:
+            # Completion-only sweep.  With no outstanding admissions —
+            # true on every call for root-adjacent nodes, whose parent
+            # is the infinite-capacity root and so never emits — none
+            # can appear mid-loop either (emissions land on *other*
+            # nodes), so the pending/t_next machinery vanishes.  The
+            # completion body below is a verbatim copy of the general
+            # loop's (same float ops in the same order: bit-parity with
+            # the reference engine depends on it).
+            while active >= 0:
+                finish = astart + arem / speed
+                if finish > limit:
+                    break
+                _heappop(heap)
+                if segs is not None and finish > astart:
+                    segs.append(
+                        ScheduleSegment(nid, id_l[active], astart, finish)
+                    )
+                if agg:
+                    residual = rem[active]
+                    tc[ni] -= 1
+                    tv[ni] -= residual
+                    qv[ni] -= residual
+                rem[active] = 0.0
+                comp[active].append(finish)
+                if is_leaf:
+                    pl = p_leaf_l[active]
+                    deficit[active] += (pl - arem) / pl * (
+                        astart - prev_end[active]
+                    ) + (2.0 * pl - arem) / (2.0 * pl) * (finish - astart)
+                h = hop_l[active] + 1
+                hop_l[active] = h
+                if h < pathlen_l[active]:
+                    nxt = path_ni_l[active][h]
+                    if is_leaf_l[nxt]:
+                        rem[active] = p_leaf_l[active]
+                        prev_end[active] = finish
+                    else:
+                        rem[active] = size_l[active]
+                    avail[active].append(finish)
+                    if enc_l[nxt]:
+                        if (
+                            actives[nxt] < 0
+                            and not heaps[nxt]
+                            and pis[nxt] >= len(pendings[nxt])
+                        ):
+                            heaps[nxt].append(rank[active])
+                            actives[nxt] = active
+                            astarts[nxt] = finish
+                            r = rem[active]
+                            arems[nxt] = r
+                            node_next[nxt] = finish + r / speed_l[nxt]
+                            if agg:
+                                qv[nxt] += r
+                        else:
+                            pendings[nxt].append(
+                                (finish, rank[active], active)
+                            )
+                            if finish < node_next[nxt]:
+                                node_next[nxt] = finish
+                    elif pk1:
+                        pendings[nxt].append(
+                            (
+                                finish,
+                                (p_leaf_l[active], rel_l[active], id_l[active]),
+                                active,
+                            )
+                        )
+                        if finish < node_next[nxt]:
+                            node_next[nxt] = finish
+                    else:
+                        pendings[nxt].append(
+                            (finish, self._key_for(nxt, active), active)
+                        )
+                        if finish < node_next[nxt]:
+                            node_next[nxt] = finish
+                else:
+                    jid = id_l[active]
+                    alive.discard(jid)
+                    alive_at_leaf[leaf_l[active]].discard(jid)
+                num_events += 1
+                if heap:
+                    top = heap[0]
+                    active = by_rank[top] if enc else idx_of_id[top[1]]
+                    astart = finish
+                    arem = rem[active]
+                else:
+                    active = -1
+            actives[ni] = active
+            astarts[ni] = astart
+            arems[ni] = arem
+            self._num_events = num_events
+            if num_events > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; "
+                    "likely a policy or engine bug"
+                )
+            node_next[ni] = astart + arem / speed if active >= 0 else _INF
+            return
+
+        while True:
+            t_next = pend[pi][0] if pi < npend else _INF
+            if active >= 0:
+                finish = astart + arem / speed
+                if finish <= t_next and finish <= limit:
+                    # -- completion (fused settle + hop advance) -------
+                    _heappop(heap)
+                    if segs is not None and finish > astart:
+                        segs.append(
+                            ScheduleSegment(nid, id_l[active], astart, finish)
+                        )
+                    if agg:
+                        residual = rem[active]  # == arem: frozen while active
+                        tc[ni] -= 1
+                        tv[ni] -= residual
+                        qv[ni] -= residual
+                    rem[active] = 0.0
+                    comp[active].append(finish)
+                    if is_leaf:
+                        pl = p_leaf_l[active]
+                        deficit[active] += (pl - arem) / pl * (
+                            astart - prev_end[active]
+                        ) + (2.0 * pl - arem) / (2.0 * pl) * (finish - astart)
+                    h = hop_l[active] + 1
+                    hop_l[active] = h
+                    if h < pathlen_l[active]:
+                        nxt = path_ni_l[active][h]
+                        if is_leaf_l[nxt]:
+                            rem[active] = p_leaf_l[active]
+                            prev_end[active] = finish
+                        else:
+                            rem[active] = size_l[active]
+                        avail[active].append(finish)
+                        if enc_l[nxt]:
+                            if (
+                                actives[nxt] < 0
+                                and not heaps[nxt]
+                                and pis[nxt] >= len(pendings[nxt])
+                            ):
+                                # Fused admission: the child is idle with
+                                # every prior admission consumed, so the
+                                # push-settle-drain-rearm round trip
+                                # degenerates to placing the run directly
+                                # (state-identical, minus a pending-list
+                                # append and a later sweep wake-up).
+                                heaps[nxt].append(rank[active])
+                                actives[nxt] = active
+                                astarts[nxt] = finish
+                                r = rem[active]
+                                arems[nxt] = r
+                                node_next[nxt] = finish + r / speed_l[nxt]
+                                if agg:
+                                    qv[nxt] += r
+                            else:
+                                pendings[nxt].append(
+                                    (finish, rank[active], active)
+                                )
+                                if finish < node_next[nxt]:
+                                    node_next[nxt] = finish
+                        elif pk1:
+                            pendings[nxt].append(
+                                (
+                                    finish,
+                                    (p_leaf_l[active], rel_l[active], id_l[active]),
+                                    active,
+                                )
+                            )
+                            if finish < node_next[nxt]:
+                                node_next[nxt] = finish
+                        else:
+                            pendings[nxt].append(
+                                (finish, self._key_for(nxt, active), active)
+                            )
+                            if finish < node_next[nxt]:
+                                node_next[nxt] = finish
+                    else:
+                        jid = id_l[active]
+                        alive.discard(jid)
+                        alive_at_leaf[leaf_l[active]].discard(jid)
+                    num_events += 1
+                    # Inlined rearm *without* drain: a pre-finished new
+                    # top completes via its own (immediate) completion.
+                    if heap:
+                        top = heap[0]
+                        active = by_rank[top] if enc else idx_of_id[top[1]]
+                        astart = finish
+                        arem = rem[active]
+                    else:
+                        active = -1
+                    continue
+            if t_next > limit or pi >= npend:
+                break
+            # -- admission --------------------------------------------
+            t, key, i = pend[pi]
+            pi += 1
+            if active < 0:
+                if not heap:
+                    # Idle, fully-drained node (the common drain shape at
+                    # sub-critical load): the newcomer starts at once —
+                    # push-drain-rearm degenerates to a plain append.
+                    heap.append(key if enc else (key, id_l[i]))
+                    if agg:
+                        qv[ni] += rem[i]
+                    active = i
+                    astart = t
+                    arem = rem[i]
+                    continue
+            elif (heap[0] if enc else heap[0][0]) < key:
+                # The incumbent outranks the newcomer: plain push,
+                # the run continues unbroken (no settle, no segment
+                # split) — the engine's non-preempting enqueue.
+                _heappush(heap, key if enc else (key, id_l[i]))
+                if agg:
+                    qv[ni] += rem[i]
+                continue
+            else:
+                # Settle the preempted run.
+                elapsed = t - astart
+                if elapsed > 0.0:
+                    new_rem = arem - speed * elapsed
+                    if new_rem < 0.0:
+                        new_rem = 0.0
+                    if agg:
+                        delta = arem - new_rem
+                        if delta != 0.0:
+                            tv[ni] -= delta
+                            qv[ni] -= delta
+                    rem[active] = new_rem
+                    if segs is not None:
+                        segs.append(ScheduleSegment(nid, id_l[active], astart, t))
+                    if is_leaf:
+                        pl = p_leaf_l[active]
+                        deficit[active] += (pl - arem) / pl * (
+                            astart - prev_end[active]
+                        ) + (2.0 * pl - arem - new_rem) / (2.0 * pl) * (t - astart)
+                        prev_end[active] = t
+                else:
+                    rem[active] = arem
+                active = -1
+            # Drain finished jobs stranded at the heap top.
+            while heap:
+                top = heap[0]
+                ti = by_rank[top] if enc else idx_of_id[top[1]]
+                if rem[ti] > ftol[ti]:
+                    break
+                _heappop(heap)
+                residual = rem[ti]
+                if agg:
+                    tc[ni] -= 1
+                    tv[ni] -= residual
+                    qv[ni] -= residual
+                rem[ti] = 0.0
+                comp[ti].append(t)
+                if is_leaf:
+                    pl = p_leaf_l[ti]
+                    deficit[ti] += (pl - residual) / pl * (t - prev_end[ti])
+                hop_l[ti] += 1
+                h = hop_l[ti]
+                if h < pathlen_l[ti]:
+                    nxt = path_ni_l[ti][h]
+                    if is_leaf_l[nxt]:
+                        rem[ti] = p_leaf_l[ti]
+                        prev_end[ti] = t
+                    else:
+                        rem[ti] = size_l[ti]
+                    avail[ti].append(t)
+                    if enc_l[nxt]:
+                        if (
+                            actives[nxt] < 0
+                            and not heaps[nxt]
+                            and pis[nxt] >= len(pendings[nxt])
+                        ):
+                            # Fused admission (see the completion branch).
+                            heaps[nxt].append(rank[ti])
+                            actives[nxt] = ti
+                            astarts[nxt] = t
+                            r = rem[ti]
+                            arems[nxt] = r
+                            node_next[nxt] = t + r / speed_l[nxt]
+                            if agg:
+                                qv[nxt] += r
+                        else:
+                            pendings[nxt].append((t, rank[ti], ti))
+                            if t < node_next[nxt]:
+                                node_next[nxt] = t
+                    elif pk1:
+                        pendings[nxt].append(
+                            (t, (p_leaf_l[ti], rel_l[ti], id_l[ti]), ti)
+                        )
+                        if t < node_next[nxt]:
+                            node_next[nxt] = t
+                    else:
+                        pendings[nxt].append((t, self._key_for(nxt, ti), ti))
+                        if t < node_next[nxt]:
+                            node_next[nxt] = t
+                else:
+                    jid = id_l[ti]
+                    alive.discard(jid)
+                    alive_at_leaf[leaf_l[ti]].discard(jid)
+            # Push the newcomer and rearm the (possibly new) top.
+            _heappush(heap, key if enc else (key, id_l[i]))
+            if agg:
+                qv[ni] += rem[i]
+            top = heap[0]
+            active = by_rank[top] if enc else idx_of_id[top[1]]
+            astart = t
+            arem = rem[active]
+
+        pis[ni] = pi
+        actives[ni] = active
+        astarts[ni] = astart
+        arems[ni] = arem
+        self._num_events = num_events
+        # The runaway backstop, hoisted out of the completion loop: a
+        # single call's iteration count is bounded (emissions go to
+        # *other* nodes), so checking at the call boundary still trips
+        # on any global cascade, just without a per-event compare.
+        if num_events > max_events:
+            raise SimulationError(
+                f"exceeded max_events={max_events}; "
+                "likely a policy or engine bug"
+            )
+        # Recompute the node's next-event time: both candidates are
+        # strictly past ``limit`` now (the loop consumed everything due).
+        if active >= 0:
+            nn = astart + arem / speed
+            if pi < npend and pend[pi][0] < nn:
+                nn = pend[pi][0]
+        elif pi < npend:
+            nn = pend[pi][0]
+        else:
+            nn = _INF
+        node_next[ni] = nn
+
+    # ------------------------------------------------------------------
+    # direct admission (arrivals)
+    # ------------------------------------------------------------------
+    def _admit_now(self, ni: int, t: float, i: int) -> None:
+        """Admit job index ``i`` on node ``ni`` at the current instant
+        ``t`` — the node must already be synced to ``t``.
+
+        This is the arrival-side twin of :meth:`_advance_node`'s
+        admission branch (the engine's ``_enqueue``): plain push when
+        the incumbent outranks the newcomer, else settle, drain
+        finished top residuals, push, rearm.  Bypassing the pending
+        list keeps it reserved for parent emissions, which arrive
+        pre-sorted — no insertion sorting anywhere.
+        """
+        heap = self._heaps[ni]
+        enc = self._enc_l[ni]
+        rem = self._rem_l
+        id_l = self._id_l
+        agg = self._through_count is not None
+        if enc:
+            key = self._rank[i]
+            entry = key
+        else:
+            if self._prio_kind == 1:  # unrelated leaf
+                key = (self._p_leaf_l[i], self._rel_l[i], id_l[i])
+            else:
+                key = self.priority(self.instance, self._jobs_l[i], self._nid_l[ni])
+            entry = (key, id_l[i])
+        active = self._actives[ni]
+        speed = self._speed_l[ni]
+        is_leaf = self._is_leaf_l[ni]
+        if active >= 0:
+            astart = self._astarts[ni]
+            arem = self._arems[ni]
+            if (heap[0] if enc else heap[0][0]) < key:
+                # Incumbent outranks the newcomer: run continues
+                # unbroken, so the node's next event is unchanged.
+                _heappush(heap, entry)
+                if agg:
+                    self._queue_volume[ni] += rem[i]
+                return
+            # Settle the preempted run.
+            elapsed = t - astart
+            if elapsed > 0.0:
+                new_rem = arem - speed * elapsed
+                if new_rem < 0.0:
+                    new_rem = 0.0
+                if agg:
+                    delta = arem - new_rem
+                    if delta != 0.0:
+                        self._through_volume[ni] -= delta
+                        self._queue_volume[ni] -= delta
+                rem[active] = new_rem
+                if self._segments is not None:
+                    self._segments.append(
+                        ScheduleSegment(self._nid_l[ni], id_l[active], astart, t)
+                    )
+                if is_leaf:
+                    pl = self._p_leaf_l[active]
+                    self._deficit_l[active] += (pl - arem) / pl * (
+                        astart - self._prev_end_l[active]
+                    ) + (2.0 * pl - arem - new_rem) / (2.0 * pl) * (t - astart)
+                    self._prev_end_l[active] = t
+            else:
+                rem[active] = arem
+        by_rank = self._by_rank
+        idx_of_id = self._idx_of_id
+        # Drain finished jobs stranded at the heap top.
+        if heap:
+            ftol = self._ftol_leaf_l if is_leaf else self._ftol_size_l
+            node_next = self._node_next
+            while heap:
+                top = heap[0]
+                ti = by_rank[top] if enc else idx_of_id[top[1]]
+                if rem[ti] > ftol[ti]:
+                    break
+                _heappop(heap)
+                residual = rem[ti]
+                if agg:
+                    self._through_count[ni] -= 1
+                    self._through_volume[ni] -= residual
+                    self._queue_volume[ni] -= residual
+                rem[ti] = 0.0
+                self._comp_l[ti].append(t)
+                if is_leaf:
+                    pl = self._p_leaf_l[ti]
+                    self._deficit_l[ti] += (
+                        (pl - residual) / pl * (t - self._prev_end_l[ti])
+                    )
+                self._hop_l[ti] += 1
+                h = self._hop_l[ti]
+                path = self._path_ni_l[ti]
+                if h < len(path):
+                    nxt = path[h]
+                    if self._is_leaf_l[nxt]:
+                        rem[ti] = self._p_leaf_l[ti]
+                        self._prev_end_l[ti] = t
+                    else:
+                        rem[ti] = self._size_l[ti]
+                    self._avail_l[ti].append(t)
+                    self._pendings[nxt].append((t, self._key_for(nxt, ti), ti))
+                    if t < node_next[nxt]:
+                        node_next[nxt] = t
+                else:
+                    jid = id_l[ti]
+                    self._alive.discard(jid)
+                    self._alive_at_leaf[self._leaf_l[ti]].discard(jid)
+        # Push the newcomer and rearm the (possibly new) top.
+        _heappush(heap, entry)
+        if agg:
+            self._queue_volume[ni] += rem[i]
+        top = heap[0]
+        active = by_rank[top] if enc else idx_of_id[top[1]]
+        self._actives[ni] = active
+        self._astarts[ni] = t
+        arem = rem[active]
+        self._arems[ni] = arem
+        nn = t + arem / speed
+        pend = self._pendings[ni]
+        pi = self._pis[ni]
+        if pi < len(pend) and pend[pi][0] < nn:
+            nn = pend[pi][0]
+        self._node_next[ni] = nn
+
+    # ------------------------------------------------------------------
+    # arrivals
+    # ------------------------------------------------------------------
+    def _layout_for(
+        self, job: Job, leaf: int
+    ) -> tuple[tuple[int, ...], tuple[int, ...], dict[int, int]]:
+        origin = job.origin
+        tree = self.instance.tree
+        if origin is None or origin == tree.root:
+            layout = self._leaf_layouts.get(leaf)
+            if layout is None:
+                raise AssignmentError(
+                    f"policy assigned job {job.id} to non-leaf node {leaf!r}"
+                )
+            return layout
+        if leaf not in self._leaf_layouts:
+            raise AssignmentError(
+                f"policy assigned job {job.id} to non-leaf node {leaf!r}"
+            )
+        key = (origin, leaf)
+        cached = self._origin_layouts.get(key)
+        if cached is None:
+            try:
+                path = self.instance.processing_path_for(job, leaf)
+            except TopologyError as exc:
+                raise AssignmentError(
+                    f"policy assigned job {job.id} to leaf {leaf} outside its "
+                    f"origin's subtree: {exc}"
+                ) from exc
+            if not path:
+                raise AssignmentError(
+                    f"job {job.id}: empty processing path to leaf {leaf}"
+                )
+            cached = (
+                path,
+                tuple(self._ni_of[v] for v in path),
+                {v: i for i, v in enumerate(path)},
+            )
+            self._origin_layouts[key] = cached
+        return cached
+
+    def _handle_arrival(self, job: Job) -> None:
+        now = self.now
+        leaf = self.policy.assign(self._view, job, now)
+        origin = job.origin
+        if origin is None or origin == self.instance.tree.root:
+            layout = self._leaf_layouts.get(leaf)
+            if layout is None:
+                raise AssignmentError(
+                    f"policy assigned job {job.id} to non-leaf node {leaf!r}"
+                )
+            path_ids, path_ni, pos_of = layout
+        else:
+            path_ids, path_ni, pos_of = self._layout_for(job, leaf)
+        p_leaf = (
+            job.size if job.leaf_sizes is None else job.processing_on_leaf(leaf)
+        )
+        if not math.isfinite(p_leaf):
+            raise AssignmentError(
+                f"policy assigned job {job.id} to forbidden leaf {leaf} (p=inf)"
+            )
+        (pendings, pis, heaps, actives, astarts, arems, speed_l,
+         node_next, by_rank, idx_of_id, rem, hop_l, path_ni_l, size_l,
+         id_l, rel_l, rank, p_leaf_l, is_leaf_l, enc_l, prev_end,
+         deficit, comp, avail, alive, alive_at_leaf, leaf_l,
+         ftol_leaf_l, ftol_size_l, nid_l, segs, pathlen_l) = self._hot
+        jid = job.id
+        i = idx_of_id[jid]
+        leaf_l[i] = leaf
+        p_leaf_l[i] = p_leaf
+        ftol = REMAINING_RTOL * p_leaf
+        ftol_leaf_l[i] = ftol if ftol > REMAINING_ATOL else REMAINING_ATOL
+        self._path_ids_l[i] = path_ids
+        path_ni_l[i] = path_ni
+        pathlen_l[i] = len(path_ni)
+        self._pos_of_l[i] = pos_of
+        # hop/avail/comp need no writes here: hop is 0 from construction
+        # (a kernel runs once) and avail/comp are pre-seeded with
+        # [release] / [] — this instant's exact values.
+        alive.add(jid)
+        alive_at_leaf[leaf].add(jid)
+
+        # Release mutation point for the congestion aggregates.
+        tc = self._through_count
+        if tc is not None:
+            size = job.size
+            tv = self._through_volume
+            for ni in path_ni:
+                tc[ni] += 1
+                tv[ni] += size
+            if p_leaf != size:
+                tv[path_ni[-1]] += p_leaf - size
+
+        first = path_ni[0]
+        if is_leaf_l[first]:
+            rem[i] = p_leaf
+            prev_end[i] = now
+        else:
+            rem[i] = job.size
+        for a in self._chain_of[first]:
+            if node_next[a] <= now:
+                self._advance_node(a, now)
+        # Inlined fast admission paths (the two cases that dominate the
+        # arrival phase); anything involving settles or finished-top
+        # drains goes through the full :meth:`_admit_now`.
+        if enc_l[first]:
+            active = actives[first]
+            heap = heaps[first]
+            if active >= 0:
+                key = rank[i]
+                if heap[0] < key:
+                    # Incumbent outranks the newcomer: plain push, run
+                    # continues unbroken, node_next unchanged.
+                    _heappush(heap, key)
+                    if tc is not None:
+                        self._queue_volume[first] += rem[i]
+                    return
+            elif not heap:
+                # Idle, fully-drained node: the newcomer starts at once.
+                heap.append(rank[i])
+                actives[first] = i
+                astarts[first] = now
+                r = rem[i]
+                arems[first] = r
+                if tc is not None:
+                    self._queue_volume[first] += r
+                nn = now + r / speed_l[first]
+                pend = pendings[first]
+                pi = pis[first]
+                if pi < len(pend) and pend[pi][0] < nn:
+                    nn = pend[pi][0]
+                node_next[first] = nn
+                return
+        self._admit_now(first, now, i)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, *, until: float | None = None) -> SimulationResult:
+        if self._finished:
+            raise SimulationError("a NumpyEngine instance can only run once")
+        self._finished = True
+        if until is not None:
+            raise SimulationError(
+                "the numpy backend does not support bounded horizons; "
+                "use backend='python' for until=..."
+            )
+
+        handle = self._handle_arrival
+        for job in self._jobs_l:
+            self.now = job.release
+            handle(job)
+        # Arrivals count as events exactly as on the engine; adding them
+        # in one step keeps the final total identical while sparing the
+        # loop a counter read-modify-write per job.
+        self._num_events += len(self._jobs_l)
+
+        # Final drain: preorder guarantees every node's parent empties
+        # first, so one pass completes all in-flight work.
+        for ni in range(len(self._nid_l)):
+            self._advance_node(ni, _INF)
+
+        # Per-job exact integrals, summed in arrival order.
+        frac = 0.0
+        alive_integral = 0.0
+        records: dict[int, JobRecord] = {}
+        for i, job in enumerate(self._jobs_l):
+            rec = JobRecord(
+                job_id=job.id,
+                release=job.release,
+                leaf=self._leaf_l[i],
+                path=self._path_ids_l[i],
+                available_at=self._avail_l[i],
+                completed_at=self._comp_l[i],
+            )
+            records[job.id] = rec
+            if len(self._comp_l[i]) == len(self._path_ids_l[i]) and self._comp_l[i]:
+                flow = self._comp_l[i][-1] - job.release
+                alive_integral += flow
+                frac += flow - self._deficit_l[i]
+
+        # The lazy sweeps append segments in per-node batches, not global
+        # event order; canonicalize so the output is stable and easy to
+        # diff against the python engine's (same multiset, sorted).
+        if self._segments is not None:
+            self._segments.sort(key=lambda s: (s.start, s.end, s.node, s.job_id))
+        result = SimulationResult(
+            instance=self.instance,
+            speeds=self.speeds,
+            records=records,
+            fractional_flow=frac,
+            alive_integral=alive_integral,
+            num_events=self._num_events,
+            segments=self._segments,
+            counters=None,
+            trace=None,
+        )
+        result.verify_complete()
+        if self.check_invariants:
+            from repro.sim.invariants import validate_schedule
+
+            validate_schedule(result)
+        if not self.record_segments:
+            result.segments = None
+        return result
+
+
+def simulate_numpy(
+    instance: Instance,
+    policy: AssignmentPolicy,
+    *,
+    speeds: SpeedProfile | None = None,
+    priority: PriorityFn = sjf_priority,
+    record_segments: bool = False,
+    check_invariants: bool = False,
+) -> SimulationResult:
+    """Build a :class:`NumpyEngine` and run it to completion."""
+    return NumpyEngine(
+        instance,
+        policy,
+        speeds,
+        priority=priority,
+        record_segments=record_segments,
+        check_invariants=check_invariants,
+    ).run()

@@ -48,7 +48,6 @@ from __future__ import annotations
 
 import heapq
 import math
-import warnings
 from collections.abc import Callable
 from heapq import heappop as _heappop, heappush as _heappush
 from time import perf_counter
@@ -1094,7 +1093,7 @@ class Engine:
 def simulate(
     instance: Instance,
     policy: AssignmentPolicy,
-    *args: SpeedProfile | None,
+    *,
     speeds: SpeedProfile | None = None,
     priority: PriorityFn = sjf_priority,
     record_segments: bool = False,
@@ -1106,27 +1105,10 @@ def simulate(
 ) -> SimulationResult:
     """Convenience wrapper: build an :class:`Engine` and run it.
 
-    .. deprecated:: 1.0
-        Passing ``speeds`` positionally is deprecated (the
-        :mod:`repro.api` facade makes every option keyword-only); use
-        ``speeds=...``.  The positional form is kept for one release and
-        emits a :class:`DeprecationWarning`.
+    Every option is keyword-only, matching the :mod:`repro.api` facade
+    (the positional ``speeds`` form was removed after its one-release
+    deprecation window).
     """
-    if args:
-        if len(args) > 1:
-            raise TypeError(
-                f"simulate() takes 2 positional arguments but {2 + len(args)} "
-                "were given (options are keyword-only)"
-            )
-        if speeds is not None:
-            raise TypeError("simulate() got speeds both positionally and by keyword")
-        warnings.warn(
-            "passing speeds positionally to simulate() is deprecated and will "
-            "become keyword-only; use simulate(instance, policy, speeds=...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        speeds = args[0]
     return Engine(
         instance,
         policy,

@@ -1,18 +1,10 @@
-"""Structured event logs for simulation runs.
+"""Typed timeline vocabulary for simulation traces.
 
-:class:`EventLog` is an engine observer that records a typed timeline —
-arrivals (with the dispatched leaf), per-node handoffs, completions, and
-inferred preemptions — and offers query helpers.  Useful for debugging
-policies, for teaching walkthroughs, and as the data source for trace
-assertions in tests that care about *when* things happened rather than
-only aggregate metrics.
-
-Usage::
-
-    log = EventLog()
-    result = simulate(instance, policy, observer=log)
-    log.events                      # the full timeline
-    log.preemptions_at(node_id)     # who bumped whom, when
+:class:`EventKind` and :class:`TraceEvent` describe what happened at a
+timeline entry — arrivals, per-node handoffs, completions, and
+preemptions.  The structured tracing layer (:mod:`repro.obs`) records
+these from exact engine hooks; the old observer-side ``EventLog``
+recorder was removed after its one-release deprecation window.
 """
 
 from __future__ import annotations
@@ -20,10 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.sim.engine import SchedulerView
-from repro.sim.tolerances import finished_tol
-
-__all__ = ["EventKind", "TraceEvent", "EventLog"]
+__all__ = ["EventKind", "TraceEvent"]
 
 
 class EventKind(enum.Enum):
@@ -60,108 +49,3 @@ class TraceEvent:
     job_id: int
     node: int
     other_job: int | None = None
-
-
-class EventLog:
-    """Engine observer producing a typed event timeline (see module doc).
-
-    Instances are callables matching the engine's observer signature;
-    pass one as ``observer=`` to :class:`~repro.sim.engine.Engine` or
-    :func:`~repro.sim.engine.simulate`.
-
-    .. deprecated:: 1.0
-        Superseded by the structured tracing layer (:mod:`repro.obs`):
-        a :class:`~repro.obs.trace.TraceRecorder` captures the same
-        timeline (plus service spans and gauges) from exact engine
-        hooks instead of observer-side inference, and exports to JSONL
-        / Chrome trace format.  ``EventLog`` keeps working for one
-        release and emits a :class:`DeprecationWarning` on construction.
-    """
-
-    def __init__(self) -> None:
-        import warnings
-
-        warnings.warn(
-            "EventLog is deprecated; use repro.obs.TraceRecorder (pass "
-            "tracer=... to the engine, or repro.api.trace_run) for "
-            "structured traces",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.events: list[TraceEvent] = []
-        self._active: dict[int, int | None] = {}
-        self._job_positions: dict[int, int | None] = {}
-
-    # -- observer protocol ----------------------------------------------
-    def __call__(self, view: SchedulerView, kind: str, subject: int) -> None:
-        now = view.now
-        if kind == "arrival":
-            node = view.current_node_of(subject)
-            if node is not None:
-                self.events.append(
-                    TraceEvent(now, EventKind.ARRIVAL, subject, node)
-                )
-        elif kind == "completion":
-            self._record_progress(view, now)
-        self._record_preemptions(view, now)
-
-    def _record_progress(self, view: SchedulerView, now: float) -> None:
-        for jid in list(self._job_positions):
-            if jid not in view.alive_jobs():
-                # finished since last event
-                leaf = view.assigned_leaf(jid)
-                self.events.append(TraceEvent(now, EventKind.FINISH, jid, leaf))
-                del self._job_positions[jid]
-        for jid in view.alive_jobs():
-            node = view.current_node_of(jid)
-            prev = self._job_positions.get(jid)
-            if prev is not None and node != prev:
-                self.events.append(TraceEvent(now, EventKind.HANDOFF, jid, prev))
-            self._job_positions[jid] = node
-
-    def _record_preemptions(self, view: SchedulerView, now: float) -> None:
-        for jid in view.alive_jobs():
-            node = view.current_node_of(jid)
-            self._job_positions.setdefault(jid, node)
-        # Detect active-job changes where the displaced job is still at
-        # the node with work left: a preemption.
-        seen_nodes = {view.current_node_of(j) for j in view.alive_jobs()}
-        seen_nodes.discard(None)
-        for node in seen_nodes:
-            active = view.active_at(node)
-            prev = self._active.get(node)
-            if (
-                prev is not None
-                and active is not None
-                and active != prev
-                and prev in view.alive_jobs()
-                and view.current_node_of(prev) == node
-                and view.live_remaining(prev)
-                > finished_tol(view.instance.processing_time(view.job(prev), node))
-            ):
-                self.events.append(
-                    TraceEvent(now, EventKind.PREEMPTION, prev, node, other_job=active)
-                )
-            self._active[node] = active
-
-    # -- queries ----------------------------------------------------------
-    def of_kind(self, kind: EventKind) -> list[TraceEvent]:
-        """All events of one kind, in time order."""
-        return [e for e in self.events if e.kind is kind]
-
-    def for_job(self, job_id: int) -> list[TraceEvent]:
-        """All events mentioning a job (as subject or preemptor)."""
-        return [
-            e for e in self.events if e.job_id == job_id or e.other_job == job_id
-        ]
-
-    def preemptions_at(self, node: int) -> list[TraceEvent]:
-        """Preemption events on one node."""
-        return [
-            e
-            for e in self.events
-            if e.kind is EventKind.PREEMPTION and e.node == node
-        ]
-
-    def __len__(self) -> int:
-        return len(self.events)

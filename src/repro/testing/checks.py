@@ -23,6 +23,11 @@ hierarchy (``docs/testing.md``) and returns the failures:
    zero heap leftovers).
 7. **metamorphic** — the symmetry relations of
    :mod:`repro.testing.metamorphic`.
+8. **backends** (opt-in: ``repro fuzz --backends``) — the vectorised
+   numpy kernel (:mod:`repro.sim.backends.numpy_backend`) must replay
+   the case with the identical assignment and event count, and
+   completions within ``SCHEDULE_TOL`` of the reference engine — a
+   third independent implementation in the differential battery.
 
 Every failure carries the check name, so the shrinker can preserve *the
 same* failure while minimising (``repro.testing.shrink``).
@@ -41,7 +46,7 @@ from repro.testing.generate import FuzzCase
 from repro.testing.metamorphic import run_relations
 from repro.testing.reference import reference_simulate
 
-__all__ = ["ALL_CHECKS", "CheckFailure", "run_checks"]
+__all__ = ["ALL_CHECKS", "BACKEND_CHECK", "CheckFailure", "run_checks"]
 
 #: Relative tolerance for exact-oracle agreement: both sides use the
 #: same arithmetic forms, so observed disagreement is ~1 ulp; anything
@@ -63,6 +68,10 @@ ALL_CHECKS = (
     "counters",
     "metamorphic",
 )
+
+#: Opt-in cross-backend differential check (``repro fuzz --backends``):
+#: not in :data:`ALL_CHECKS` because it roughly doubles per-case cost.
+BACKEND_CHECK = "backends"
 
 
 @dataclass(frozen=True)
@@ -86,10 +95,11 @@ def run_checks(
     """Run the battery on one case; returns the failures (empty = pass).
 
     ``checks`` restricts the battery to a subset of :data:`ALL_CHECKS`
-    (the ``engine`` run always happens — everything depends on it).
+    (the ``engine`` run always happens — everything depends on it), and
+    may add the opt-in :data:`BACKEND_CHECK`.
     """
     selected = set(ALL_CHECKS if checks is None else checks)
-    unknown = selected - set(ALL_CHECKS)
+    unknown = selected - set(ALL_CHECKS) - {BACKEND_CHECK}
     if unknown:
         raise ValueError(f"unknown checks: {sorted(unknown)}")
     failures: list[CheckFailure] = []
@@ -232,6 +242,78 @@ def run_checks(
             for problem in problems:
                 failures.append(CheckFailure("metamorphic", problem))
 
+    if BACKEND_CHECK in selected:
+        failures.extend(_check_numpy_backend(case, base, assignment))
+
+    return failures
+
+
+def _check_numpy_backend(case: FuzzCase, base, assignment) -> list[CheckFailure]:
+    """Differential replay on the vectorised numpy kernel.
+
+    The kernel promises bit-identical scheduling *decisions*, so the bar
+    is strict: the same leaf assignment and, per job, the same sequence
+    of per-hop completion / hand-off times within ``SCHEDULE_TOL`` (in
+    practice they are bit-equal; the tolerance only absorbs any future
+    change to float summation order inside the kernel).
+
+    ``num_events`` is deliberately *not* compared: on tie-heavy cases
+    two hop completions on adjacent nodes can land on the same instant,
+    and whether the engine counts the second as its own event or folds
+    it into the first's cascade (an uncounted drain whose scheduled
+    event goes stale) depends on its event-heap insertion order — an
+    implementation detail of the lazy event queue, invisible in the
+    schedule.  The per-hop timelines compared here are the schedule.
+    """
+    from repro.sim.backends.numpy_backend import NumpyEngine
+    from repro.sim.tolerances import SCHEDULE_TOL
+
+    failures: list[CheckFailure] = []
+    try:
+        alt = NumpyEngine(
+            case.instance,
+            case.policy(),
+            case.speeds(),
+            priority=case.priority_fn(),
+        ).run()
+    except (TreeSchedError, AssertionError) as exc:
+        return [
+            CheckFailure(
+                "backends", f"numpy backend raised {type(exc).__name__}: {exc}"
+            )
+        ]
+    alt_assignment = alt.assignment()
+    if alt_assignment != assignment:
+        moved = {
+            jid: (assignment.get(jid), alt_assignment.get(jid))
+            for jid in set(assignment) | set(alt_assignment)
+            if assignment.get(jid) != alt_assignment.get(jid)
+        }
+        failures.append(
+            CheckFailure(
+                "backends", f"assignment diverged (engine, numpy): {moved}"
+            )
+        )
+    for jid, rec in base.records.items():
+        got = alt.records.get(jid)
+        if got is None:
+            failures.append(
+                CheckFailure("backends", f"job {jid} never completed on numpy")
+            )
+            continue
+        for label, ours, theirs in (
+            ("completed_at", rec.completed_at, got.completed_at),
+            ("available_at", rec.available_at, got.available_at),
+        ):
+            if len(ours) != len(theirs) or any(
+                abs(x - y) > SCHEDULE_TOL for x, y in zip(ours, theirs)
+            ):
+                failures.append(
+                    CheckFailure(
+                        "backends",
+                        f"job {jid}: {label} engine {ours!r}, numpy {theirs!r}",
+                    )
+                )
     return failures
 
 

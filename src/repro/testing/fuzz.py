@@ -18,7 +18,12 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.testing.checks import ALL_CHECKS, CheckFailure, run_checks
+from repro.testing.checks import (
+    ALL_CHECKS,
+    BACKEND_CHECK,
+    CheckFailure,
+    run_checks,
+)
 from repro.testing.corpus import DEFAULT_CORPUS_DIR, case_digest, save_repro
 from repro.testing.generate import iter_cases
 from repro.testing.shrink import shrink_case
@@ -86,6 +91,7 @@ def run_fuzz(
     budget_seconds: float | None = None,
     corpus_dir: str | Path | None = DEFAULT_CORPUS_DIR,
     checks=None,
+    backends: bool = False,
     shrink: bool = True,
     shrink_attempts: int = 400,
     progress=None,
@@ -104,6 +110,11 @@ def run_fuzz(
     checks:
         Restrict the battery to a subset of
         :data:`repro.testing.checks.ALL_CHECKS`.
+    backends:
+        Add the opt-in cross-backend differential check: every case is
+        also replayed on the vectorised numpy kernel, which must agree
+        with the reference engine (and, transitively, with the exact
+        and dt oracles the battery already compares it against).
     shrink:
         Minimise failing cases before persisting.
     shrink_attempts:
@@ -115,6 +126,8 @@ def run_fuzz(
     if max_cases is None and budget_seconds is None:
         max_cases = 500
     selected = tuple(ALL_CHECKS if checks is None else checks)
+    if backends and BACKEND_CHECK not in selected:
+        selected = selected + (BACKEND_CHECK,)
     started = time.monotonic()
     summary = FuzzSummary(seed=seed, cases_run=0, elapsed_seconds=0.0)
     for case in iter_cases(seed, max_cases):

@@ -2,7 +2,34 @@
 
 from __future__ import annotations
 
+import sys
+
 import pytest
+
+
+def both_backends_fixture(module_name: str):
+    """An autouse fixture running every test in a module on both engine
+    backends.
+
+    The engine-level suites (hand-computed schedules, invariants,
+    metamorphic relations) call a module-global ``simulate``; binding
+    ``_engine_backend = both_backends_fixture(__name__)`` in such a
+    module parametrizes it over ``python`` / ``numpy`` by swapping that
+    global for the vectorised kernel's wrapper, so every schedule
+    assertion doubles as a cross-backend equivalence check.
+    """
+
+    @pytest.fixture(autouse=True, params=["python", "numpy"])
+    def _engine_backend(request, monkeypatch):
+        if request.param == "numpy":
+            from repro.sim.backends.numpy_backend import simulate_numpy
+
+            monkeypatch.setattr(
+                sys.modules[module_name], "simulate", simulate_numpy
+            )
+        return request.param
+
+    return _engine_backend
 
 from repro.network.builders import (
     broomstick_tree,

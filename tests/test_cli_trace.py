@@ -129,8 +129,9 @@ class TestBenchCompare:
         capsys.readouterr()
         # inflate the baseline so the fresh run is a guaranteed regression
         doc = json.loads(baseline.read_text())
-        for row in doc["scaling"].values():
-            row["events_per_s"] *= 1e6
+        for rows in doc["scaling"].values():  # per-backend sections (v3)
+            for row in rows.values():
+                row["events_per_s"] *= 1e6
         baseline.write_text(json.dumps(doc))
         code = main(
             ["bench", "--sizes", "30", "--repeats", "1", "--no-policies",
@@ -139,7 +140,7 @@ class TestBenchCompare:
         captured = capsys.readouterr()
         assert code == 1
         assert "FAILED" in captured.err
-        assert "scaling:30" in captured.err  # the failing section:name
+        assert "scaling:python/30" in captured.err  # section:backend/size
         assert "regression" in captured.err
 
     def test_clean_compare_passes(self, tmp_path, capsys):

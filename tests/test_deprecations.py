@@ -1,7 +1,8 @@
-"""The deprecation shims: every legacy call form still works, emits
-exactly one :class:`DeprecationWarning`, and produces the same result as
-its replacement.  These tests pin the one-release compatibility window
-promised by the API redesign."""
+"""The deprecation *removals*: every legacy call form that spent its
+one-release compatibility window is now gone, and the modern surface is
+warning-free.  Each test here is the flipped form of the old shim test —
+where the shim suite asserted "warns and still works", this suite
+asserts "raises / absent" so a shim cannot quietly come back."""
 
 from __future__ import annotations
 
@@ -25,110 +26,98 @@ def _policy():
     return GreedyIdenticalAssignment(0.5)
 
 
-def assert_warns_once(record, match):
-    hits = [w for w in record if match in str(w.message)]
-    assert len(hits) == 1, [str(w.message) for w in record]
-    assert all(issubclass(w.category, DeprecationWarning) for w in hits)
+class TestTopLevelSimulateRemoved:
+    """``repro.simulate`` (the lazy ``__getattr__`` alias) is gone; the
+    blessed entry points are ``repro.api.simulate`` and
+    ``repro.sim.simulate``."""
 
-
-class TestTopLevelSimulate:
-    def test_attribute_access_warns_and_resolves(self):
-        with pytest.warns(DeprecationWarning, match="top level is deprecated"):
-            fn = repro.simulate
-        assert fn is simulate
-
-    def test_each_access_warns_once(self):
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
+    def test_attribute_access_raises(self):
+        with pytest.raises(AttributeError):
             repro.simulate
-        assert_warns_once(record, "top level is deprecated")
+
+    def test_not_listed_in_all(self):
+        assert "simulate" not in repro.__all__
 
     def test_unknown_attribute_still_raises(self):
         with pytest.raises(AttributeError):
             repro.definitely_not_an_api
 
-    def test_listed_in_all_for_star_import_compat(self):
-        assert "simulate" in repro.__all__
+    def test_replacements_importable(self):
+        from repro.sim import simulate as sim_simulate
+
+        assert sim_simulate is simulate
+        assert callable(api.simulate)
 
 
-class TestPositionalSpeeds:
-    def test_warns_once_and_matches_keyword_form(self):
-        inst = _instance()
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            legacy = simulate(inst, _policy(), SpeedProfile.uniform(1.5))
-        assert_warns_once(record, "positionally")
-        modern = simulate(inst, _policy(), speeds=SpeedProfile.uniform(1.5))
-        assert legacy.total_flow_time() == modern.total_flow_time()
+class TestPositionalSpeedsRemoved:
+    """``simulate(instance, policy, speeds_profile)`` is now a
+    TypeError; every option is keyword-only."""
 
-    def test_keyword_form_is_silent(self):
+    def test_positional_speeds_rejected(self):
+        with pytest.raises(TypeError):
+            simulate(_instance(), _policy(), SpeedProfile.uniform(1.5))
+
+    def test_keyword_form_works_and_is_silent(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            simulate(_instance(), _policy(), speeds=SpeedProfile.uniform(1.0))
-            simulate(_instance(), _policy())
-
-    def test_both_forms_conflict(self):
-        with pytest.raises(TypeError, match="both"):
-            simulate(
-                _instance(),
-                _policy(),
-                SpeedProfile.uniform(1.0),
-                speeds=SpeedProfile.uniform(1.0),
+            result = simulate(
+                _instance(), _policy(), speeds=SpeedProfile.uniform(1.5)
             )
+        assert result.records
 
-    def test_extra_positionals_rejected(self):
+
+class TestPositionalRunnerParamsRemoved:
+    """``run_experiments(ids, params)`` is now a TypeError;
+    ``params_by_id`` is keyword-only."""
+
+    def test_positional_params_rejected(self, tmp_path):
+        from repro.analysis.runner import run_experiments
+
         with pytest.raises(TypeError):
-            simulate(
-                _instance(),
-                _policy(),
-                SpeedProfile.uniform(1.0),
-                object(),
-            )
+            run_experiments(["F1"], {}, cache_dir=tmp_path)
 
-
-class TestPositionalRunnerParams:
-    def test_warns_once_and_matches_keyword_form(self, tmp_path):
+    def test_keyword_form_works(self, tmp_path):
         from repro.analysis.runner import run_experiments
         from tests.test_experiments import QUICK_PARAMS
 
         params = {"F1": QUICK_PARAMS.get("F1", {})}
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            legacy = run_experiments(
-                ["F1"], params, cache_dir=tmp_path / "a"
-            )
-        assert_warns_once(record, "positionally")
-        modern = run_experiments(
-            ["F1"], params_by_id=params, cache_dir=tmp_path / "b"
-        )
-        assert legacy[0].key == modern[0].key
-        assert legacy[0].result.render() == modern[0].result.render()
-
-    def test_both_forms_conflict(self, tmp_path):
-        from repro.analysis.runner import run_experiments
-
-        with pytest.raises(TypeError, match="both"):
-            run_experiments(["F1"], {}, params_by_id={}, cache_dir=tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            out = run_experiments(["F1"], params_by_id=params, cache_dir=tmp_path)
+        assert out and out[0].key
 
 
-class TestEventLog:
-    def test_constructor_warns_once(self):
-        from repro.sim.events import EventLog
+class TestEventLogRemoved:
+    """The observer-side ``EventLog`` recorder is gone; structured
+    traces come from :mod:`repro.obs` (``tracer=`` / ``api.trace_run``)."""
 
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            log = EventLog()
-        assert_warns_once(record, "EventLog is deprecated")
-        assert log.events == []
+    def test_import_raises(self):
+        with pytest.raises(ImportError):
+            from repro.sim.events import EventLog  # noqa: F401
 
-    def test_still_functions_as_observer(self):
-        from repro.sim.events import EventKind, EventLog
+    def test_absent_from_module_and_all(self):
+        from repro.sim import events
 
-        with pytest.warns(DeprecationWarning):
-            log = EventLog()
-        result = simulate(_instance(), _policy(), observer=log)
-        finishes = log.of_kind(EventKind.FINISH)
-        assert sorted(e.job_id for e in finishes) == sorted(result.records)
+        assert not hasattr(events, "EventLog")
+        assert "EventLog" not in events.__all__
+
+    def test_absent_from_sim_package(self):
+        import repro.sim as sim
+
+        assert not hasattr(sim, "EventLog")
+        assert "EventLog" not in sim.__all__
+
+    def test_timeline_vocabulary_survives(self):
+        # The typed-event vocabulary stays: repro.obs builds on it.
+        from repro.sim.events import EventKind, TraceEvent
+
+        ev = TraceEvent(0.0, EventKind.ARRIVAL, job_id=0, node=1)
+        assert ev.kind is EventKind.ARRIVAL
+
+    def test_replacement_covers_the_use_case(self):
+        result = api.trace_run(instance=_instance())
+        done = {p.job_id for p in result.trace.points_of("finish")}
+        assert done == set(result.records)
 
 
 def test_modern_surface_is_warning_free(tmp_path):
@@ -141,54 +130,13 @@ def test_modern_surface_is_warning_free(tmp_path):
         api.run_experiments(exp_ids=["F1"], cache_dir=tmp_path)
 
 
-class TestRemovalPath:
-    """The shims above go away in the next API-cleanup PR.  These tests
-    make that removal mechanical: the modern surfaces are proven clean
-    under warnings-as-errors (so deleting the shims cannot break blessed
-    callers), and one canary per shim fails loudly the moment the shim
-    disappears — its failure message is the removal checklist."""
+def test_fuzz_surface_is_warning_free(tmp_path):
+    # The fuzzing subsystem never leaned on a deprecated call form, so
+    # it survived the shim removal unchanged.
+    from repro.testing import run_fuzz
 
-    def test_fuzz_surface_is_warning_free(self, tmp_path):
-        # The fuzzing subsystem must never lean on a deprecated call
-        # form: it has to survive the shim removal unchanged.
-        from repro.testing import run_fuzz
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            summary = run_fuzz(
-                seed=3, max_cases=20, corpus_dir=tmp_path / "corpus"
-            )
-        assert summary.cases_run == 20
-        assert summary.ok
-
-    def test_eventlog_shim_canary(self):
-        """CANARY — this failing means the EventLog shim was removed.
-
-        Finish the removal by deleting, in the same commit:
-          * class ``EventLog`` in ``src/repro/sim/events.py``,
-          * its re-export in ``src/repro/sim/__init__.py`` (import line
-            and the ``__all__`` entry),
-          * ``TestEventLog`` in this file, and
-          * this canary.
-        """
-        from repro.sim import events
-
-        assert hasattr(events, "EventLog"), self.test_eventlog_shim_canary.__doc__
-        assert "EventLog" in events.__all__
-
-    def test_eventlog_shim_points_at_replacement(self):
-        """The deprecation message must name the supported replacement
-        so downstream users migrating at removal time know where to go."""
-        from repro.sim.events import EventLog
-
-        with pytest.warns(DeprecationWarning, match="repro.obs.TraceRecorder"):
-            EventLog()
-
-    def test_top_level_simulate_shim_canary(self):
-        """CANARY — this failing means the lazy top-level ``repro.simulate``
-        shim was removed.  Delete ``TestTopLevelSimulate`` and this
-        canary alongside it (and the ``__getattr__`` hook plus the
-        ``__all__`` entry in ``src/repro/__init__.py``)."""
-        assert "simulate" in repro.__all__
-        with pytest.warns(DeprecationWarning):
-            assert repro.simulate is simulate
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        summary = run_fuzz(seed=3, max_cases=20, corpus_dir=tmp_path / "corpus")
+    assert summary.cases_run == 20
+    assert summary.ok

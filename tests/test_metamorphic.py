@@ -29,6 +29,11 @@ from repro.workload.instance import Instance, Setting
 from repro.workload.job import Job, JobSet
 
 
+from tests.conftest import both_backends_fixture
+
+_engine_backend = both_backends_fixture(__name__)
+
+
 def base_jobs(n=12):
     return [Job(id=i, release=0.7 * i, size=1.0 + (i * 7 % 5)) for i in range(n)]
 

@@ -20,6 +20,11 @@ from repro.workload.instance import Instance, Setting
 from repro.workload.job import Job, JobSet
 
 
+from tests.conftest import both_backends_fixture
+
+_engine_backend = both_backends_fixture(__name__)
+
+
 def chain_instance(jobs):
     """Jobs on the 3-node chain root->router(1)->leaf(2)."""
     return Instance(spine_tree(1), JobSet(jobs), Setting.IDENTICAL)

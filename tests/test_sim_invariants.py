@@ -17,6 +17,11 @@ from repro.workload.instance import Instance, Setting
 from repro.workload.job import Job, JobSet
 
 
+from tests.conftest import both_backends_fixture
+
+_engine_backend = both_backends_fixture(__name__)
+
+
 @pytest.fixture
 def good_result():
     tree = kary_tree(2, 2)
