@@ -54,32 +54,42 @@ def test_throughput_scales_near_linearly():
         )
 
 
-#: Enforced floor on the numpy/python throughput ratio at 2400 jobs.
-#: Interleaved best-of-N on a quiet machine measures ~2.3-2.8x; the gate
-#: sits below that so scheduler noise cannot flake it, and any real
-#: backend regression (the ratio falling toward 1x) still trips.  The
-#: ISSUE 6 target of 3x is out of reach for this kernel by design: the
+#: Enforced floor on each accelerated backend's throughput ratio over
+#: the python engine at 2400 jobs.  Interleaved best-of-N on a quiet
+#: machine measures ~2.3-2.8x for numpy and ~3-4x for the compiled C
+#: kernel; each gate sits below its band so scheduler noise cannot
+#: flake it, while any real backend regression (the ratio falling
+#: toward 1x) still trips.  The numpy ratio is bounded by design: the
 #: backends are pinned bit-identical (tests/test_backends.py), which
 #: forbids the float-reordering vectorization of the final drain, and
 #: the arrival phase is a sequential policy-feedback loop (each greedy
-#: decision mutates the state the next one scores).  Closing the
-#: remaining gap needs a compiled kernel — tracked in ROADMAP.md.
-MIN_BACKEND_SPEEDUP = 2.0
+#: decision mutates the state the next one scores).  The C kernel runs
+#: that same loop compiled, which is where the rest of the speedup
+#: comes from.
+MIN_BACKEND_SPEEDUP = {"numpy": 2.0, "c": 4.0}
 
 
-def test_numpy_backend_outruns_python():
-    """The SoA kernel must beat the python engine's event throughput on
-    the S1 2400-job sweep by at least ``MIN_BACKEND_SPEEDUP``."""
+@pytest.mark.parametrize("backend", sorted(MIN_BACKEND_SPEEDUP))
+def test_backend_outruns_python(backend):
+    """Each accelerated backend must beat the python engine's event
+    throughput on the S1 2400-job sweep by its floor ratio."""
+    from repro.sim.backends import backend_available
+
+    ok, reason = backend_available(backend)
+    if not ok:
+        pytest.skip(f"{backend} backend unavailable: {reason}")
     doc = run_bench(
         sizes=(2400,), repeats=3,
         include_policies=False, include_registry=False,
+        backends=("python", backend),
     )
     python = doc["scaling"]["python"]["2400"]["events_per_s"]
-    numpy = doc["scaling"]["numpy"]["2400"]["events_per_s"]
-    assert numpy >= MIN_BACKEND_SPEEDUP * python, (
-        f"numpy backend at {numpy:,.0f} events/s is only "
-        f"{numpy / python:.2f}x the python engine ({python:,.0f}); "
-        f"need {MIN_BACKEND_SPEEDUP}x"
+    accel = doc["scaling"][backend]["2400"]["events_per_s"]
+    floor = MIN_BACKEND_SPEEDUP[backend]
+    assert accel >= floor * python, (
+        f"{backend} backend at {accel:,.0f} events/s is only "
+        f"{accel / python:.2f}x the python engine ({python:,.0f}); "
+        f"need {floor}x"
     )
 
 

@@ -557,6 +557,18 @@ def run_experiments(
     return ordered
 
 
+def _toolchain_provenance() -> dict:
+    """Per-backend availability plus the compiled kernel's compiler
+    identity/version/flags (:func:`repro.sim.backends.c_build.toolchain_info`)."""
+    from repro.sim.backends import available_backends
+    from repro.sim.backends.c_build import toolchain_info
+
+    return {
+        "backends_available": list(available_backends()),
+        "ckernel": toolchain_info(),
+    }
+
+
 def _write_manifest(
     manifest_dir: str | Path,
     outcome: RunnerOutcome,
@@ -576,6 +588,10 @@ def _write_manifest(
         "params": params,
         "trials_total": outcome.trials_total,
         "trials_cached": outcome.trials_cached,
+        # Toolchain provenance: which engine backends this machine could
+        # have used and the compiled kernel's compiler identity, so a
+        # manifest pins the execution environment, not just parameters.
+        "toolchain": _toolchain_provenance(),
         # Per-trial rows exist only when the experiment was resolved
         # trial-wise in this invocation (experiment-level cache hits and
         # whole-experiment fallbacks have nothing finer to report).

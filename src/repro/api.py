@@ -293,10 +293,12 @@ def simulate(
     priority:
         ``"sjf"`` (default), ``"fifo"`` or a custom priority callable.
     backend:
-        ``"python"`` (the reference engine) or ``"numpy"`` (the
-        vectorized SoA kernel); ``None`` reads the ``REPRO_BACKEND``
-        environment variable, defaulting to ``"python"``.  See
-        :mod:`repro.sim.backends` for when the numpy kernel falls back.
+        ``"python"`` (the reference engine), ``"numpy"`` (the
+        vectorized SoA kernel) or ``"c"`` (the compiled kernel, built
+        on demand — raises if no C compiler is available); ``None``
+        reads the ``REPRO_BACKEND`` environment variable, defaulting
+        to ``"python"``.  See :mod:`repro.sim.backends` for when the
+        kernels fall back.
     record_segments / check_invariants / until / collect_counters / tracer:
         Forwarded to the engine; see
         :class:`~repro.sim.engine.Engine`.

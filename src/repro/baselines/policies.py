@@ -128,12 +128,33 @@ class LeastLoadedAssignment:
 
     def assign(self, view: SchedulerView, job: Job, now: float) -> int:
         tree = view.tree
-        top_load = {top: view.queue_volume_at(top) for top in tree.root_children}
         p = job.size
         uniform = job.leaf_sizes is None and math.isfinite(p)
+        layout = self._layout_for(view, job)
         best_leaf: int | None = None
         best_score = math.inf
-        for v, top, d in self._layout_for(view, job):
+        if uniform:
+            # Batched volume reads when the view offers them (the numpy
+            # kernel's hook): one call returns every candidate's
+            # ``top_load[top] + volume_through(v)`` with the public
+            # methods' exact read-and-sync order, so ``base + own``
+            # reassembles the identical score float.
+            hook = getattr(view, "_ll_bases", None)
+            bases = hook(job, layout) if hook is not None else None
+            if bases is not None:
+                for (v, top, d), base in zip(layout, bases):
+                    score = base + d * p
+                    if score < best_score or (
+                        score == best_score
+                        and (best_leaf is None or v < best_leaf)
+                    ):
+                        best_score = score
+                        best_leaf = v
+                if best_leaf is None:
+                    raise AssignmentError(f"job {job.id} has no feasible leaf")
+                return best_leaf
+        top_load = {top: view.queue_volume_at(top) for top in tree.root_children}
+        for v, top, d in layout:
             if uniform:
                 own = d * p  # path_volume: (d-1)·p_j + p_{j,v} with p_{j,v} = p_j
             else:

@@ -795,6 +795,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--backends",
         action="store_true",
         help="also replay every case on the vectorised numpy backend "
+        "(and, where available and applicable, the compiled c kernel) "
         "and require agreement with the reference engine",
     )
     p_fuzz.add_argument(

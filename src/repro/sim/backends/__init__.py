@@ -1,7 +1,6 @@
 """Engine backend registry and dispatch.
 
-Two implementations of the Section-2 semantics live behind one call
-surface:
+The selectable engine backends:
 
 * ``"python"`` — the reference :class:`~repro.sim.engine.Engine`: one
   global event heap, per-event observer/tracer/counter hooks, bounded
@@ -14,6 +13,18 @@ surface:
   ``tracer``, ``until``, engine counters) silently fall back to the
   python engine — results are equivalent either way, only the execution
   strategy differs.
+* ``"c"`` — the compiled kernel (:mod:`repro.sim.backends.c_backend`):
+  the numpy backend's event loop transliterated to C, built on demand
+  from shipped source by :mod:`repro.sim.backends.c_build` and driven
+  via ctypes.  Another ~3x over numpy, bit-identical output.  Optional:
+  with no working compiler (or ``REPRO_NO_CKERNEL=1``) the backend is
+  *unavailable* — requesting it explicitly raises, selecting it through
+  the environment falls back to ``"python"`` with a warning.  Calls the
+  kernel cannot express (generic priorities, custom policies, segment
+  recording) transparently run on the numpy backend; event-order
+  options fall back to the python engine as above.
+
+Three implementations of the Section-2 semantics, one call surface.
 
 Selection: the ``backend=`` keyword on :func:`simulate` (and on
 :func:`repro.api.simulate`), defaulting to the :data:`ENV_VAR`
@@ -23,6 +34,7 @@ environment variable ``REPRO_BACKEND``, defaulting to ``"python"``.
 from __future__ import annotations
 
 import os
+import warnings
 from collections.abc import Callable
 from typing import TYPE_CHECKING
 
@@ -31,6 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.exceptions import SimulationError
 from repro.sim import engine as _engine
+from repro.sim.backends import c_build
+from repro.sim.backends.c_backend import CEngine, simulate_c
 from repro.sim.backends.numpy_backend import NumpyEngine, NumpyView, simulate_numpy
 from repro.sim.counters import global_counters
 from repro.sim.engine import (
@@ -46,15 +60,19 @@ from repro.workload.instance import Instance
 __all__ = [
     "BACKENDS",
     "ENV_VAR",
+    "available_backends",
+    "backend_available",
     "resolve_backend",
     "simulate",
+    "CEngine",
     "NumpyEngine",
     "NumpyView",
     "simulate_numpy",
+    "simulate_c",
 ]
 
 #: The selectable engine backends.
-BACKENDS = ("python", "numpy")
+BACKENDS = ("python", "numpy", "c")
 
 #: Environment variable holding the default backend name.
 ENV_VAR = "REPRO_BACKEND"
@@ -70,6 +88,26 @@ def resolve_backend(backend: str | None = None) -> str:
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     return backend
+
+
+def backend_available(backend: str) -> tuple[bool, str | None]:
+    """``(available, reason-if-not)`` for a backend name.
+
+    ``python`` and ``numpy`` are always available; ``c`` requires a
+    working C compiler (probed — and the kernel built — on first ask).
+    """
+    if backend not in BACKENDS:
+        raise SimulationError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "c":
+        return c_build.availability()
+    return True, None
+
+
+def available_backends() -> tuple[str, ...]:
+    """The subset of :data:`BACKENDS` usable on this machine."""
+    return tuple(b for b in BACKENDS if backend_available(b)[0])
 
 
 def _numpy_applicable(
@@ -102,12 +140,44 @@ def simulate(
 ) -> SimulationResult:
     """Simulate on the selected backend.
 
-    Accepts the full engine option surface; when ``backend="numpy"`` is
-    combined with an option the kernel cannot honour (observer, tracer,
-    ``until``, counters), the call transparently runs on the python
-    engine instead — the schedule is the same either way.
+    Accepts the full engine option surface; when ``backend="numpy"`` or
+    ``backend="c"`` is combined with an option the kernels cannot honour
+    (observer, tracer, ``until``, counters), the call transparently runs
+    on the python engine instead — the schedule is the same either way.
+
+    An unavailable ``"c"`` backend raises when requested explicitly via
+    the keyword and falls back to ``"python"`` (with a
+    :class:`RuntimeWarning`) when selected through ``REPRO_BACKEND`` —
+    an exported environment variable must not break every simulation on
+    a compiler-less machine.
     """
+    explicit = backend is not None
     backend = resolve_backend(backend)
+    if backend == "c":
+        ok, reason = c_build.availability()
+        if not ok:
+            if explicit:
+                raise SimulationError(
+                    f"backend 'c' is unavailable on this machine: {reason}"
+                )
+            warnings.warn(
+                f"REPRO_BACKEND=c but the compiled kernel is unavailable "
+                f"({reason}); falling back to the python engine",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            backend = "python"
+    if backend == "c" and _numpy_applicable(
+        observer, tracer, until, collect_counters
+    ):
+        return simulate_c(
+            instance,
+            policy,
+            speeds=speeds,
+            priority=priority,
+            record_segments=record_segments,
+            check_invariants=check_invariants,
+        )
     if backend == "numpy" and _numpy_applicable(
         observer, tracer, until, collect_counters
     ):

@@ -302,6 +302,86 @@ class NumpyView:
             out.append(total)
         return out
 
+    def _ll_bases(self, job: Job, layout) -> list[float] | None:
+        """Batched volume reads for one least-loaded arrival.
+
+        :class:`~repro.baselines.policies.LeastLoadedAssignment` scores
+        candidate leaf ``v`` as ``queue_volume_at(R(v)) +
+        volume_through(v) + d_v * p_j``; the per-candidate public-method
+        calls are each O(1) against the aggregates but pay a python
+        attribute-and-guard prologue that, times ``leaves + branches``
+        per arrival, left the numpy backend *slower* than the python
+        engine on this policy.  This hook evaluates every base term
+        (everything except the job's own ``d_v * p_j``) in one call:
+        same reads, same sync order (all root children in
+        ``root_children`` order first, then each candidate's leaf
+        chain), same clamps — so ``base + own`` reassembles the exact
+        score float.  Returns ``None`` for layouts outside the fast
+        path (an unknown node id), sending the caller back to the
+        public methods.
+        """
+        k = self._k
+        resolved = k._llb_nis.get(layout, False)
+        if resolved is False:
+            resolved = None
+            ni_of = k._ni_of
+            tops_nis = []
+            ok = True
+            for top in k.instance.tree.root_children:
+                tni = ni_of.get(top)
+                if tni is None:  # pragma: no cover - malformed tree
+                    ok = False
+                    break
+                tops_nis.append((top, tni))
+            cand = []
+            if ok:
+                for v, top, _d in layout:
+                    ni = ni_of.get(v)
+                    if ni is None:
+                        ok = False
+                        break
+                    cand.append((ni, top))
+            if ok:
+                resolved = (tuple(tops_nis), tuple(cand))
+            k._llb_nis[layout] = resolved
+        if resolved is None:
+            return None
+        tops_nis, cand = resolved
+        k._ensure_aggregates()
+        now = k.now
+        node_next = k._node_next
+        heaps = k._heaps
+        tc = k._through_count
+        tv = k._through_volume
+        qv = k._queue_volume
+        chain_of = k._chain_of
+        advance = k._advance_node
+        live_processed = k._live_processed
+        # top_load, in root_children order (queue_volume_at verbatim).
+        top_load: dict[int, float] = {}
+        for top, tni in tops_nis:
+            if node_next[tni] <= now:  # root-adjacent: the chain is (tni,)
+                advance(tni, now)
+            if not heaps[tni]:
+                top_load[top] = 0.0
+            else:
+                vol = qv[tni] - live_processed(tni)
+                top_load[top] = vol if vol > 0.0 else 0.0
+        # Per-candidate volume_through, in layout order.
+        out = []
+        for ni, top in cand:
+            for a in chain_of[ni]:
+                if node_next[a] <= now:
+                    advance(a, now)
+            if tc[ni] == 0:
+                vol = 0.0
+            else:
+                vol = tv[ni] - live_processed(ni)
+                if vol <= 0.0:
+                    vol = 0.0
+            out.append(top_load[top] + vol)
+        return out
+
     def _f_top_value(self, job: Job, top: int) -> float | None:
         """``F(j, ·)`` at root-adjacent ``top`` — the greedy hot path.
 
@@ -568,6 +648,9 @@ class NumpyEngine:
         # path), memoising the batched-F hook's validity precheck; the
         # policy passes the same cached tuple every arrival.
         self._ftv_nis: dict[tuple[int, ...], tuple[int, ...] | None] = {}
+        # layout-tuple -> resolved dense indices for the batched
+        # least-loaded hook (same memoisation idea as _ftv_nis).
+        self._llb_nis: dict[tuple, tuple | None] = {}
 
         self._num_events = 0
         self._segments: list[ScheduleSegment] | None = (

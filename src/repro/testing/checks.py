@@ -243,12 +243,17 @@ def run_checks(
                 failures.append(CheckFailure("metamorphic", problem))
 
     if BACKEND_CHECK in selected:
-        failures.extend(_check_numpy_backend(case, base, assignment))
+        numpy_failures, numpy_result = _check_numpy_backend(
+            case, base, assignment
+        )
+        failures.extend(numpy_failures)
+        if numpy_result is not None:
+            failures.extend(_check_c_backend(case, numpy_result))
 
     return failures
 
 
-def _check_numpy_backend(case: FuzzCase, base, assignment) -> list[CheckFailure]:
+def _check_numpy_backend(case: FuzzCase, base, assignment):
     """Differential replay on the vectorised numpy kernel.
 
     The kernel promises bit-identical scheduling *decisions*, so the bar
@@ -281,7 +286,7 @@ def _check_numpy_backend(case: FuzzCase, base, assignment) -> list[CheckFailure]
             CheckFailure(
                 "backends", f"numpy backend raised {type(exc).__name__}: {exc}"
             )
-        ]
+        ], None
     alt_assignment = alt.assignment()
     if alt_assignment != assignment:
         moved = {
@@ -314,6 +319,72 @@ def _check_numpy_backend(case: FuzzCase, base, assignment) -> list[CheckFailure]
                         f"job {jid}: {label} engine {ours!r}, numpy {theirs!r}",
                     )
                 )
+    return failures, alt
+
+
+def _check_c_backend(case: FuzzCase, numpy_result) -> list[CheckFailure]:
+    """Differential replay on the compiled kernel, pinned to the numpy
+    backend **bit-for-bit** (``==``, no tolerance).
+
+    The C kernel is a transliteration of the numpy backend's float ops
+    in the same order, so here even ``num_events`` must agree exactly —
+    any drift means the kernels' event loops have diverged.  Skipped
+    per-case when the plan gate rejects the case (generic priorities,
+    policies the kernel does not model) and globally when no working
+    compiler exists: the numpy check above still pins those cases to
+    the reference engine.
+    """
+    from repro.sim.backends import c_build
+    from repro.sim.backends.c_backend import CEngine, CKernelInapplicable
+
+    if not c_build.availability()[0]:
+        return []
+    try:
+        eng = CEngine(
+            case.instance,
+            case.policy(),
+            case.speeds(),
+            priority=case.priority_fn(),
+        )
+    except (CKernelInapplicable, c_build.CKernelUnavailable):
+        return []
+    try:
+        alt = eng.run()
+    except (TreeSchedError, AssertionError) as exc:
+        return [
+            CheckFailure(
+                "backends", f"c backend raised {type(exc).__name__}: {exc}"
+            )
+        ]
+    failures: list[CheckFailure] = []
+    if alt.num_events != numpy_result.num_events:
+        failures.append(
+            CheckFailure(
+                "backends",
+                f"num_events diverged: numpy {numpy_result.num_events}, "
+                f"c {alt.num_events}",
+            )
+        )
+    for jid, rec in numpy_result.records.items():
+        got = alt.records.get(jid)
+        if got is None:
+            failures.append(
+                CheckFailure("backends", f"job {jid} missing on c backend")
+            )
+            continue
+        if (
+            got.leaf != rec.leaf
+            or got.completed_at != rec.completed_at
+            or got.available_at != rec.available_at
+        ):
+            failures.append(
+                CheckFailure(
+                    "backends",
+                    f"job {jid} not bit-identical: numpy "
+                    f"(leaf={rec.leaf}, comp={rec.completed_at!r}), c "
+                    f"(leaf={got.leaf}, comp={got.completed_at!r})",
+                )
+            )
     return failures
 
 

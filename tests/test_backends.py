@@ -18,8 +18,14 @@ from repro.core.assignment import GreedyIdenticalAssignment
 from repro.exceptions import SimulationError
 from repro.network.builders import datacenter_tree
 from repro.sim import backends
+from repro.sim.backends import c_build
 from repro.sim.backends.numpy_backend import NumpyEngine
 from repro.sim.speed import SpeedProfile
+
+_C_OK, _C_REASON = c_build.availability()
+needs_c = pytest.mark.skipif(
+    not _C_OK, reason=f"c backend unavailable: {_C_REASON}"
+)
 
 
 def _s1_instance(n=160):
@@ -63,6 +69,30 @@ class TestCrossBackendParity:
             j: r.completion for j, r in b.records.items()
         }
 
+    @needs_c
+    def test_c_matches_numpy_bit_for_bit(self):
+        a = _run("numpy")
+        b = _run("c")
+        assert set(a.records) == set(b.records)
+        for jid, ra in a.records.items():
+            rb = b.records[jid]
+            assert rb.leaf == ra.leaf
+            assert rb.path == ra.path
+            assert rb.completed_at == ra.completed_at
+            assert rb.available_at == ra.available_at
+        assert a.num_events == b.num_events
+        assert a.total_flow_time() == b.total_flow_time()
+        assert a.fractional_flow == b.fractional_flow
+
+    @needs_c
+    def test_api_facade_c_backend(self):
+        inst = _s1_instance(60)
+        a = api.simulate(instance=inst, policy="greedy", eps=0.25, backend="numpy")
+        b = api.simulate(instance=inst, policy="greedy", eps=0.25, backend="c")
+        assert {j: r.completion for j, r in a.records.items()} == {
+            j: r.completion for j, r in b.records.items()
+        }
+
 
 class TestSelection:
     def test_explicit_argument_wins(self, monkeypatch):
@@ -93,6 +123,26 @@ class TestSelection:
             j: r.completion for j, r in b.records.items()
         }
 
+    @needs_c
+    def test_env_selects_c_end_to_end(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_VAR, "c")
+        a = _run(None)
+        b = _run("python")
+        assert {j: r.completion for j, r in a.records.items()} == {
+            j: r.completion for j, r in b.records.items()
+        }
+
+    def test_backend_available_registry(self):
+        assert backends.backend_available("python") == (True, None)
+        assert backends.backend_available("numpy") == (True, None)
+        ok, reason = backends.backend_available("c")
+        assert ok == (reason is None)
+        avail = backends.available_backends()
+        assert "python" in avail and "numpy" in avail
+        assert ("c" in avail) == ok
+        with pytest.raises(SimulationError, match="unknown backend"):
+            backends.backend_available("fortran")
+
 
 class TestFallback:
     """Options defined in terms of the global event order silently run
@@ -117,6 +167,111 @@ class TestFallback:
         result = _run("numpy")
         assert result.counters is None
         assert len(result.records) == 160
+
+    @needs_c
+    def test_c_observer_falls_back_to_python(self):
+        seen = []
+        result = _run("c", observer=lambda view, kind, subject: seen.append(kind))
+        assert seen  # the compiled kernel has no observer hook either
+        assert len(result.records) == 160
+
+    @needs_c
+    def test_c_record_segments_falls_back_to_numpy(self):
+        # The C kernel never records segments; simulate_c hands the call
+        # to the numpy backend, which does.
+        result = _run("c", record_segments=True)
+        assert result.segments
+        ref = _run("python", record_segments=True)
+        key = lambda s: (s.start, s.end, s.node, s.job_id)  # noqa: E731
+        assert sorted(result.segments, key=key) == sorted(ref.segments, key=key)
+
+    @needs_c
+    def test_c_inapplicable_policy_falls_back_to_numpy(self):
+        # A policy the kernel has no native or static plan for (stateful
+        # in a way it cannot replay) runs on the numpy backend instead.
+        class Adversarial:
+            def assign(self, view, job, now):
+                # depends on live queue state -> not statically plannable
+                return min(
+                    view.tree.leaves, key=lambda v: (view.volume_through(v), v)
+                )
+
+        inst = _s1_instance(40)
+        a = backends.simulate(inst, Adversarial(), backend="c")
+        b = backends.simulate(inst, Adversarial(), backend="numpy")
+        assert {j: r.completed_at for j, r in a.records.items()} == {
+            j: r.completed_at for j, r in b.records.items()
+        }
+
+
+class TestCUnavailable:
+    """Behaviour with compiler discovery disabled: explicit requests
+    raise, environment selection degrades with a warning."""
+
+    @pytest.fixture()
+    def no_compiler(self, monkeypatch):
+        monkeypatch.setattr(c_build, "find_compiler", lambda: None)
+        c_build._reset_probe()
+        yield
+        c_build._reset_probe()  # forget the "unavailable" verdict
+
+    def test_availability_reports_reason(self, no_compiler):
+        ok, reason = c_build.availability()
+        assert not ok
+        assert "no C compiler" in reason
+
+    def test_explicit_request_raises(self, no_compiler):
+        with pytest.raises(SimulationError, match="backend 'c' is unavailable"):
+            _run("c")
+
+    def test_env_selection_warns_and_falls_back(self, no_compiler, monkeypatch):
+        monkeypatch.setenv(backends.ENV_VAR, "c")
+        with pytest.warns(RuntimeWarning, match="falling back to the python"):
+            result = _run(None)
+        assert len(result.records) == 160
+
+    def test_registry_excludes_c(self, no_compiler):
+        assert backends.backend_available("c")[0] is False
+        assert "c" not in backends.available_backends()
+
+    def test_no_ckernel_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CKERNEL", "1")
+        c_build._reset_probe()
+        try:
+            assert c_build.find_compiler() is None
+            ok, _ = c_build.availability()
+            assert not ok
+        finally:
+            c_build._reset_probe()
+
+
+class TestBuildCache:
+    """The compiled-library cache can never serve a stale binary: the
+    slot name hashes the source text, compiler version, flags and ABI."""
+
+    @needs_c
+    def test_source_edit_forces_rebuild(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CKERNEL_CACHE", str(tmp_path))
+        lib1 = c_build.build_library()
+        assert lib1.exists() and lib1.parent == tmp_path
+        # Same source -> same slot, no rebuild.
+        assert c_build.build_library() == lib1
+        # Any source edit -> different key -> fresh compile.
+        edited = c_build.source_path().read_text() + "\n/* edited */\n"
+        lib2 = c_build.build_library(source_text=edited)
+        assert lib2 != lib1
+        assert lib2.exists()
+
+    def test_cache_key_covers_all_inputs(self):
+        base = c_build._cache_key("src", "gcc 1.0", ("-O2",))
+        assert c_build._cache_key("src2", "gcc 1.0", ("-O2",)) != base
+        assert c_build._cache_key("src", "gcc 2.0", ("-O2",)) != base
+        assert c_build._cache_key("src", "gcc 1.0", ("-O3",)) != base
+
+    @needs_c
+    def test_loaded_kernel_abi_matches(self):
+        dll = c_build.load_kernel()
+        assert dll.repro_abi_version() == c_build.ABI_VERSION
 
 
 class TestNumpyEngineSurface:
