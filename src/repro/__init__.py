@@ -105,7 +105,14 @@ from repro.workload.chunking import (
 from repro.sim.gantt import render_gantt
 from repro.analysis.norms import flow_lk_norm, flow_norm_summary
 from repro import api
-from repro.api import build_tree, make_instance, run_experiments, trace_run
+from repro.api import (
+    build_tree,
+    make_instance,
+    open_system,
+    run_experiments,
+    trace_run,
+)
+from repro.service import StreamSession
 from repro.obs import (
     GaugeSample,
     SimulationTrace,
@@ -174,8 +181,10 @@ __all__ = [
     "api",
     "build_tree",
     "make_instance",
+    "open_system",
     "run_experiments",
     "trace_run",
+    "StreamSession",
     # observability
     "TraceConfig",
     "TraceRecorder",

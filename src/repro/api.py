@@ -1,12 +1,18 @@
 """The stable, keyword-only facade over the reproduction.
 
-``repro.api`` is the supported entry surface: five functions that cover
+``repro.api`` is the supported entry surface: six functions that cover
 the common workflows — building topologies, generating instances,
-simulating, tracing, and running the experiment registry — with every
-option keyword-only so signatures can grow without breaking callers.
-Deeper modules (``repro.sim``, ``repro.core``, ``repro.analysis``, …)
-remain importable but their call forms may shift between releases; code
-that sticks to this module keeps working.
+simulating (batch or open-system streaming), tracing, and running the
+experiment registry — with every option keyword-only so signatures can
+grow without breaking callers.  Deeper modules (``repro.sim``,
+``repro.core``, ``repro.analysis``, …) remain importable but their call
+forms may shift between releases; code that sticks to this module keeps
+working.
+
+The batch and streaming surfaces share one engine core:
+:func:`simulate` is the closed special case (finite job set, one
+uninterrupted step, nothing evicted) of the session returned by
+:func:`open_system`.
 
 >>> from repro import api
 >>> tree = api.build_tree("kary", branching=2, depth=3)
@@ -25,26 +31,36 @@ deep-module users interoperate freely.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
     from repro.analysis.runner import RunnerOutcome
     from repro.network.tree import TreeNetwork
+    from repro.service.session import StreamSession
     from repro.sim.engine import AssignmentPolicy
     from repro.sim.result import SimulationResult
     from repro.sim.speed import SpeedProfile
     from repro.workload.instance import Instance
+    from repro.workload.job import Job
 
 __all__ = [
     "build_tree",
     "make_instance",
     "simulate",
+    "open_system",
     "trace_run",
     "run_experiments",
     "TREE_KINDS",
     "POLICY_NAMES",
     "SIZE_DISTS",
 ]
+
+#: Sentinel distinguishing "not passed" from any real value in
+#: deprecation shims.
+_UNSET = object()
 
 #: Topology families :func:`build_tree` understands.
 TREE_KINDS = (
@@ -243,6 +259,21 @@ def _resolve_speeds(speeds, speed: float) -> "SpeedProfile | None":
     return None
 
 
+def _shim_collect_counters(counters, collect_counters, fn: str):
+    """One-release rename shim: ``collect_counters=`` → ``counters=``."""
+    if collect_counters is _UNSET:
+        return counters
+    warnings.warn(
+        f"api.{fn}(collect_counters=...) is deprecated; use counters=... "
+        "(the old name will be removed after one release)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if counters is None:
+        return collect_counters
+    return counters
+
+
 def _resolve_priority(priority):
     from repro.exceptions import SimulationError
     from repro.sim.engine import fifo_priority, sjf_priority
@@ -271,7 +302,8 @@ def simulate(
     record_segments: bool = False,
     check_invariants: bool = False,
     until: float | None = None,
-    collect_counters: bool | None = None,
+    counters: bool | None = None,
+    collect_counters=_UNSET,
     tracer=None,
 ) -> "SimulationResult":
     """Simulate ``instance`` under a policy; keyword-only throughout.
@@ -299,13 +331,19 @@ def simulate(
         reads the ``REPRO_BACKEND`` environment variable, defaulting
         to ``"python"``.  See :mod:`repro.sim.backends` for when the
         kernels fall back.
-    record_segments / check_invariants / until / collect_counters / tracer:
+    record_segments / check_invariants / until / counters / tracer:
         Forwarded to the engine; see
         :class:`~repro.sim.engine.Engine`.
+
+    .. deprecated::
+        ``collect_counters=`` was renamed to ``counters=``; the old
+        spelling still works for one release with a
+        :class:`DeprecationWarning`.
     """
     from repro.exceptions import SimulationError
     from repro.sim import backends
 
+    counters = _shim_collect_counters(counters, collect_counters, "simulate")
     if speeds is not None and speed != 1.0:
         raise SimulationError("pass either speed or speeds, not both")
     return backends.simulate(
@@ -317,8 +355,118 @@ def simulate(
         record_segments=record_segments,
         check_invariants=check_invariants,
         until=until,
-        collect_counters=collect_counters,
+        collect_counters=counters,
         tracer=tracer,
+    )
+
+
+def open_system(
+    *,
+    arrivals: "Iterable[Job] | None" = None,
+    instance: "Instance | None" = None,
+    tree: "TreeNetwork | None" = None,
+    unrelated: bool = False,
+    policy: "AssignmentPolicy | str" = "greedy",
+    eps: float = 0.25,
+    seed: int = 0,
+    speed: float = 1.0,
+    speeds: "SpeedProfile | None" = None,
+    priority=None,
+    backend: str | None = None,
+    window: float = 10.0,
+    keep_windows: int = 16,
+    check_invariants: bool = False,
+    record_points: bool = False,
+    record_spans: bool = False,
+    histogram=None,
+    on_finish=None,
+    evict: bool = True,
+    name: str = "open-system",
+) -> "StreamSession":
+    """Open a streaming (open-system) session; keyword-only throughout.
+
+    Returns a live :class:`~repro.service.session.StreamSession` —
+    ``step(until=...)`` / ``drain()`` / ``snapshot()`` / ``close()`` —
+    fed incrementally from ``arrivals``, which may be an *infinite*
+    generator (see :func:`repro.workload.arrivals.job_stream`).  Jobs
+    are admitted lazily, evicted on completion (``evict=True``), and
+    aggregated into per-window and cumulative steady-state metrics, so
+    memory is bounded by the work in flight rather than the length of
+    the stream.  Batch :func:`simulate` is the closed special case of
+    this path (finite source, single step, no eviction).
+
+    Parameters
+    ----------
+    arrivals:
+        Release-ordered iterable of :class:`~repro.workload.job.Job`.
+        Defaults to streaming ``instance.jobs`` when an instance is
+        given (the finite batch-parity case); required with ``tree``.
+    instance / tree / unrelated:
+        The simulation context — pass exactly one of ``instance`` or
+        ``tree``.  An :class:`~repro.workload.instance.Instance`
+        supplies tree + endpoint setting (its job set is only used as
+        the default ``arrivals``); a bare tree builds an empty-job-set
+        context with the identical (or, with ``unrelated=True``,
+        unrelated) endpoint model.
+    policy / eps / seed / speed / speeds / priority:
+        Resolved exactly as in :func:`simulate`.
+    backend:
+        Resolved through the same shared resolver as :func:`simulate`
+        (``backend=`` kwarg > ``REPRO_BACKEND`` > ``"python"``) —
+        but streaming always runs on the python engine, which is the
+        only backend with the per-event admission/eviction hooks; a
+        non-python selection warns and is ignored.
+    window / keep_windows / check_invariants / record_points /
+    record_spans / histogram / on_finish / evict:
+        Forwarded to :class:`~repro.service.session.StreamSession`.
+    name:
+        Label for the context built from ``tree``.
+    """
+    from repro.exceptions import SimulationError
+    from repro.service.session import StreamSession
+    from repro.sim import backends
+    from repro.workload.instance import Instance, Setting
+    from repro.workload.job import JobSet
+
+    if (instance is None) == (tree is None):
+        raise SimulationError(
+            "pass exactly one of instance= (context + default arrivals) "
+            "or tree= (context only)"
+        )
+    if instance is None:
+        setting = Setting.UNRELATED if unrelated else Setting.IDENTICAL
+        instance = Instance(tree, JobSet(()), setting, name=name)
+        if arrivals is None:
+            raise SimulationError(
+                "arrivals= is required when the context is a bare tree"
+            )
+    elif arrivals is None:
+        arrivals = instance.jobs
+    if speeds is not None and speed != 1.0:
+        raise SimulationError("pass either speed or speeds, not both")
+    choice = backends.select_backend(backend)
+    if choice.effective != "python":
+        warnings.warn(
+            f"open_system streams through the python engine (the only "
+            f"backend with per-event admission/eviction hooks); ignoring "
+            f"backend {choice.effective!r} selected via {choice.source}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return StreamSession(
+        instance=instance,
+        arrivals=arrivals,
+        policy=_resolve_policy(policy, instance, eps, seed),
+        window=window,
+        keep_windows=keep_windows,
+        speeds=_resolve_speeds(speeds, speed),
+        priority=_resolve_priority(priority),
+        check_invariants=check_invariants,
+        record_points=record_points,
+        record_spans=record_spans,
+        histogram=histogram,
+        on_finish=on_finish,
+        evict=evict,
     )
 
 
@@ -336,7 +484,8 @@ def trace_run(
     record_points: bool = True,
     record_spans: bool = True,
     until: float | None = None,
-    collect_counters: bool | None = None,
+    counters: bool | None = None,
+    collect_counters=_UNSET,
 ) -> "SimulationResult":
     """Simulate with structured tracing enabled.
 
@@ -349,9 +498,15 @@ def trace_run(
     single-release instance); pass an explicit interval for exact
     cadences, or ``record_points=False`` / ``record_spans=False`` to
     trim volume.
+
+    .. deprecated::
+        ``collect_counters=`` was renamed to ``counters=``; the old
+        spelling still works for one release with a
+        :class:`DeprecationWarning`.
     """
     from repro.obs.trace import TraceConfig, TraceRecorder
 
+    counters = _shim_collect_counters(counters, collect_counters, "trace_run")
     if gauge_interval is None:
         releases = [job.release for job in instance.jobs]
         span = (max(releases) - min(releases)) if releases else 0.0
@@ -373,7 +528,7 @@ def trace_run(
         speeds=speeds,
         priority=priority,
         until=until,
-        collect_counters=collect_counters,
+        counters=counters,
         tracer=recorder,
     )
 

@@ -26,10 +26,16 @@
   engine against independent reference oracles over seeded instance
   grids, shrink any disagreement and persist it to the crash corpus;
   ``--replay DIGEST`` re-runs a saved repro, ``--list`` shows the
-  corpus.
+  corpus;
+* ``serve`` — open-system streaming mode (:mod:`repro.service`): feed
+  a (possibly infinite) Poisson arrival stream through the engine,
+  aggregate windowed steady-state metrics and expose ``/metrics`` +
+  ``/snapshot`` over HTTP; ``--smoke`` is the self-checking CI mode.
 
 Every command is deterministic given ``--seed``; ``run --profile``
-wraps the simulation in ``cProfile`` for hot-path hunts.
+wraps the simulation in ``cProfile`` for hot-path hunts, and ``run
+--backend`` / ``REPRO_BACKEND`` select the engine backend through the
+same resolver as the API.
 """
 
 from __future__ import annotations
@@ -111,16 +117,20 @@ def _build_policy(name: str, instance, eps: float, seed: int):
 
 
 def _cmd_run(args) -> int:
-    from repro.sim.engine import fifo_priority, simulate, sjf_priority
+    from repro.sim import backends
+    from repro.sim.engine import fifo_priority, sjf_priority
     from repro.sim.speed import SpeedProfile
 
     instance = _build_instance(args)
     policy = _build_policy(args.policy, instance, args.eps, args.seed)
 
     def _simulate():
-        return simulate(
+        # backends.simulate resolves --backend through select_backend —
+        # the same kwarg > REPRO_BACKEND > "python" rule as the API.
+        return backends.simulate(
             instance,
             policy,
+            backend=args.backend,
             speeds=SpeedProfile.uniform(args.speed),
             priority=fifo_priority if args.fifo else sjf_priority,
             record_segments=args.gantt,
@@ -518,6 +528,61 @@ def _cmd_fuzz(args) -> int:
     return 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    import numpy as np
+
+    from repro import api
+    from repro.service.http import serve_session
+    from repro.workload.arrivals import (
+        job_stream,
+        poisson_process,
+        uniform_size_stream,
+    )
+    from repro.workload.instance import Instance
+
+    tree = _build_tree(args)
+    if args.rate is not None:
+        rate = args.rate
+    else:
+        # Uniform [1, 4] sizes have mean 2.5; pick the rate whose
+        # bottleneck offered load is --load, the same rule the batch
+        # generator uses, so serve and run are comparable.
+        rate = Instance.poisson_rate_for_load(tree, 2.5, args.load)
+    releases = poisson_process(rate, np.random.default_rng(args.seed + 1))
+    sizes = uniform_size_stream(rng=np.random.default_rng(args.seed))
+    limit = args.jobs if args.jobs > 0 else None
+    if args.smoke and limit is None:
+        limit = 2000
+    session = api.open_system(
+        tree=tree,
+        arrivals=job_stream(releases, sizes, limit=limit),
+        policy=args.policy,
+        eps=args.eps,
+        seed=args.seed,
+        speed=args.speed,
+        backend=args.backend,
+        window=args.window,
+        keep_windows=args.keep_windows,
+        name="serve",
+    )
+    max_windows = args.max_windows
+    if args.smoke and max_windows is None:
+        max_windows = 5
+    failures = asyncio.run(
+        serve_session(
+            session,
+            host=args.host,
+            port=args.port,
+            max_windows=max_windows,
+            step_delay=args.step_delay,
+            smoke=args.smoke,
+        )
+    )
+    return 1 if failures else 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import render_experiments_markdown
 
@@ -571,6 +636,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--counters",
         action="store_true",
         help="collect and print engine performance counters",
+    )
+    p_run.add_argument(
+        "--backend",
+        choices=("python", "numpy", "c"),
+        default=None,
+        help="engine backend (default: REPRO_BACKEND env var, else python)",
     )
     p_run.add_argument(
         "--profile",
@@ -809,6 +880,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the machine-readable summary document",
     )
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run an open-system arrival stream and expose live /metrics "
+        "+ /snapshot over HTTP",
+    )
+    p_serve.add_argument("--tree", choices=_TREES, default="kary")
+    p_serve.add_argument(
+        "--tree-args",
+        type=int,
+        nargs=3,
+        default=(2, 3, 0),
+        metavar=("A", "B", "C"),
+        help="family parameters (unused slots ignored), e.g. kary A B",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--policy", choices=_POLICIES, default="greedy")
+    p_serve.add_argument("--eps", type=float, default=0.25)
+    p_serve.add_argument("--speed", type=float, default=1.0)
+    p_serve.add_argument(
+        "--backend",
+        choices=("python", "numpy", "c"),
+        default=None,
+        help="resolved like run --backend; streaming always executes on "
+        "the python engine (warns if another backend is selected)",
+    )
+    p_serve.add_argument(
+        "--load",
+        type=float,
+        default=0.9,
+        help="offered bottleneck load used to derive the arrival rate",
+    )
+    p_serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="explicit Poisson arrival rate (overrides --load)",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="stop the arrival stream after N jobs (0 = infinite)",
+    )
+    p_serve.add_argument(
+        "--window", type=float, default=10.0, help="aggregation window (sim seconds)"
+    )
+    p_serve.add_argument(
+        "--keep-windows", type=int, default=16, help="closed windows to retain"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="listen port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--max-windows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N windows have closed (default: run until the "
+        "stream drains; smoke mode defaults to 5)",
+    )
+    p_serve.add_argument(
+        "--step-delay",
+        type=float,
+        default=0.0,
+        help="wall-clock sleep between windows (demo pacing)",
+    )
+    p_serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bounded run that scrapes its own endpoints, validates the "
+        "snapshot/v1 schema and exits non-zero on any failure (CI)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_report = sub.add_parser(
         "report", help="regenerate EXPERIMENTS.md from live experiment runs"

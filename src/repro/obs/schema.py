@@ -8,6 +8,10 @@ A JSONL trace is a sequence of JSON objects, one per line:
        "jobs": int, "nodes": int, "gauge_interval": float|null,
        "final_time": float}
 
+  plus an optional ``"retired": {kind: int}`` entry when the trace was
+  pruned by open-system window retirement (the counts of dropped
+  records per kind).
+
 * **point** lines — job-lifecycle instants::
 
       {"type": "point", "kind": "arrival"|"available"|"hop_complete"|"finish",
@@ -45,6 +49,9 @@ TRACE_SCHEMA = "trace/v1"
 
 _META_REQUIRED = {"type", "schema", "instance", "jobs", "nodes",
                   "gauge_interval", "final_time"}
+#: Optional meta keys (still ``trace/v1``): ``retired`` marks a trace
+#: pruned by open-system window retirement and carries the drop counts.
+_META_OPTIONAL = {"retired"}
 _POINT_KEYS = {"type", "kind", "t", "job", "node"}
 _SPAN_KEYS = {"type", "kind", "start", "end", "job", "node"}
 _GAUGE_KEYS = {"type", "t", "node", "queue_depth", "queue_volume",
@@ -59,11 +66,13 @@ def _is_int(x) -> bool:
     return isinstance(x, int) and not isinstance(x, bool)
 
 
-def _check_keys(obj: dict, required: set[str]) -> str | None:
+def _check_keys(
+    obj: dict, required: set[str], optional: set[str] = frozenset()
+) -> str | None:
     missing = required - obj.keys()
     if missing:
         return f"missing keys: {sorted(missing)}"
-    extra = obj.keys() - required
+    extra = obj.keys() - required - optional
     if extra:
         return f"unknown keys: {sorted(extra)}"
     return None
@@ -80,7 +89,7 @@ def validate_line(obj: object, *, first: bool = False) -> str | None:
     if kind == "meta":
         if not first:
             return "meta record allowed only on the first line"
-        err = _check_keys(obj, _META_REQUIRED)
+        err = _check_keys(obj, _META_REQUIRED, _META_OPTIONAL)
         if err:
             return err
         if obj["schema"] != TRACE_SCHEMA:
@@ -92,6 +101,13 @@ def validate_line(obj: object, *, first: bool = False) -> str | None:
             return "gauge_interval must be a number or null"
         if not _is_num(obj["final_time"]):
             return "final_time must be a number"
+        retired = obj.get("retired")
+        if retired is not None:
+            if not isinstance(retired, dict):
+                return "retired must be an object"
+            for key, val in retired.items():
+                if not _is_int(val) or val < 0:
+                    return f"retired[{key!r}] must be an integer >= 0"
         return None
     if kind == "point":
         err = _check_keys(obj, _POINT_KEYS)

@@ -204,11 +204,18 @@ def crosscheck_trace(result) -> list[str]:
 
     Used by the fuzzing battery (:mod:`repro.testing.checks`); exact
     equality is intentional — both sides quote the same engine floats.
+
+    A trace pruned by window retirement (``meta["retired"]``, see
+    :meth:`TraceRecorder.retire`) is checked in *subset* mode: records
+    that would live in retired windows are allowed to be absent, and the
+    service-span multiset need only be contained in the segments rather
+    than equal to them.
     """
     problems: list[str] = []
     trace = result.trace
     if trace is None:
         return ["result has no trace; run with tracer="]
+    retired = bool(trace.meta.get("retired"))
     finishes = {p.job_id: p for p in trace.points_of("finish")}
     if len(finishes) != len(trace.points_of("finish")):
         problems.append("duplicate finish points")
@@ -217,7 +224,8 @@ def crosscheck_trace(result) -> list[str]:
             continue
         p = finishes.get(jid)
         if p is None:
-            problems.append(f"job {jid}: completed but no finish point")
+            if not retired:
+                problems.append(f"job {jid}: completed but no finish point")
         elif p.time != rec.completion:
             problems.append(
                 f"job {jid}: finish point at {p.time}, record says {rec.completion}"
@@ -230,7 +238,8 @@ def crosscheck_trace(result) -> list[str]:
     for jid, rec in result.records.items():
         p = arrivals.get(jid)
         if p is None:
-            problems.append(f"job {jid}: no arrival point")
+            if not retired:
+                problems.append(f"job {jid}: no arrival point")
         elif p.node != rec.path[-1]:
             problems.append(
                 f"job {jid}: arrival point on node {p.node}, leaf is {rec.path[-1]}"
@@ -242,7 +251,19 @@ def crosscheck_trace(result) -> list[str]:
         span_set = sorted(
             (s.start, s.end, s.job_id, s.node) for s in trace.spans_of("service")
         )
-        if seg_set != span_set:
+        if retired:
+            seg_multiset: dict[tuple, int] = {}
+            for item in seg_set:
+                seg_multiset[item] = seg_multiset.get(item, 0) + 1
+            for item in span_set:
+                left = seg_multiset.get(item, 0)
+                if left == 0:
+                    problems.append(
+                        f"service span {item} not among recorded segments"
+                    )
+                else:
+                    seg_multiset[item] = left - 1
+        elif seg_set != span_set:
             problems.append(
                 f"service spans ({len(span_set)}) differ from recorded "
                 f"segments ({len(seg_set)})"
@@ -280,6 +301,9 @@ class TraceRecorder:
         self._gauge_ids: tuple[int, ...] = ()
         self._record_points = self.config.record_points
         self._record_spans = self.config.record_spans
+        # Window-retirement tally (open-system mode); all zero for batch
+        # runs, in which case build() leaves the meta line unchanged.
+        self._retired = {"points": 0, "spans": 0, "gauges": 0}
 
     # -- engine protocol ------------------------------------------------
     def attach(self, engine) -> None:
@@ -350,6 +374,44 @@ class TraceRecorder:
             if now > self._last_sample_t:
                 self._sample(now)
 
+    def retire(self, *, before: float) -> dict[str, int]:
+        """Drop records that belong entirely to closed windows.
+
+        Removes points at ``time <= before``, service spans with
+        ``end <= before`` and gauges at ``time <= before``; cumulative
+        drop counts are kept and surfaced as the ``retired`` entry of the
+        trace meta so a pruned trace is self-describing.  This is what
+        bounds recorder memory in the open-system streaming mode: the
+        session retires each window as it closes.  Returns the counts
+        dropped *by this call*.  Raises after :meth:`build` — a built
+        trace is immutable.
+        """
+        if self._built is not None:
+            raise SimulationError("cannot retire records after build()")
+        dropped = {"points": 0, "spans": 0, "gauges": 0}
+        if self._points:
+            kept = [p for p in self._points if p.time > before]
+            dropped["points"] = len(self._points) - len(kept)
+            self._points = kept
+        if self._service:
+            kept_s = [s for s in self._service if s.end > before]
+            dropped["spans"] = len(self._service) - len(kept_s)
+            self._service = kept_s
+        if self._gauges:
+            kept_g = [g for g in self._gauges if g.time > before]
+            dropped["gauges"] = len(self._gauges) - len(kept_g)
+            self._gauges = kept_g
+        for key, n in dropped.items():
+            self._retired[key] += n
+        return dropped
+
+    def cumulative_busy(self, node: int, at: float) -> float:
+        """Exact total busy time of ``node`` over ``[0, at]``, including
+        the in-flight partial of the active service span.  Unaffected by
+        :meth:`retire` (the accumulator survives pruning) — this is the
+        cumulative-utilization read of the streaming session."""
+        return self._cum_busy(node, at)
+
     # -- internals ------------------------------------------------------
     def _cum_busy(self, node: int, at: float) -> float:
         """Exact cumulative busy time of ``node`` up to time ``at``
@@ -410,6 +472,8 @@ class TraceRecorder:
             "gauge_interval": self._interval,
             "final_time": final_time,
         }
+        if any(self._retired.values()):
+            meta["retired"] = dict(self._retired)
         spans = list(self._service)
         spans.extend(self._derived_spans())
         spans.sort(key=lambda s: (s.start, s.end, s.node, s.job_id, s.kind))

@@ -1,0 +1,29 @@
+"""Open-system streaming service: sessions, steady-state metrics, HTTP.
+
+The layer behind :func:`repro.api.open_system` and ``repro serve``:
+
+* :mod:`repro.service.session` — :class:`StreamSession`, the windowed
+  session over the engine's re-enterable stream loop;
+* :mod:`repro.service.metrics` — fixed-bin streaming histograms,
+  per-window stats and the ``snapshot/v1`` document;
+* :mod:`repro.service.http` — the stdlib asyncio ``/metrics`` +
+  ``/snapshot`` facade.
+"""
+
+from repro.service.metrics import (
+    SNAPSHOT_SCHEMA,
+    StreamingHistogram,
+    StreamSnapshot,
+    WindowStats,
+    validate_snapshot,
+)
+from repro.service.session import StreamSession
+
+__all__ = [
+    "StreamSession",
+    "StreamingHistogram",
+    "StreamSnapshot",
+    "WindowStats",
+    "SNAPSHOT_SCHEMA",
+    "validate_snapshot",
+]

@@ -1,0 +1,255 @@
+"""The long-running asyncio facade: ``/metrics`` + ``/snapshot`` over HTTP.
+
+A deliberately tiny stdlib-only HTTP/1.1 server (``asyncio.start_server``
+plus a minimal request parse — no new dependencies) exposing a live
+:class:`~repro.service.session.StreamSession`:
+
+* ``GET /snapshot`` — the ``snapshot/v1`` JSON document
+  (:meth:`StreamSession.snapshot`);
+* ``GET /metrics`` — the same numbers in Prometheus text exposition
+  format (``repro_stream_*`` / ``repro_node_utilization`` families);
+* ``GET /healthz`` — liveness.
+
+:func:`serve_session` owns the simulation pacing: it advances the
+session one window per tick on the event loop (yielding between steps so
+scrapes stay responsive) and shuts down when the stream drains or
+``max_windows`` is reached.  ``repro serve`` is the CLI wrapper; its
+``--smoke`` mode runs a short bounded stream, scrapes its own endpoints
+through a real socket, validates the snapshot schema and exits — the CI
+streaming-smoke contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING
+
+from repro.service.metrics import validate_snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.session import StreamSession
+
+__all__ = ["MetricsServer", "serve_session", "fetch", "render_metrics"]
+
+_MAX_REQUEST_BYTES = 16384
+
+
+def render_metrics(session: "StreamSession") -> str:
+    """The session's live state in Prometheus text exposition format."""
+    snap = session.snapshot()
+    lines = [
+        "# TYPE repro_stream_time_seconds gauge",
+        f"repro_stream_time_seconds {snap.time:.17g}",
+        "# TYPE repro_stream_windows_closed counter",
+        f"repro_stream_windows_closed {snap.windows_closed}",
+        "# TYPE repro_stream_jobs_in_flight gauge",
+        f"repro_stream_jobs_in_flight {snap.jobs_in_flight}",
+        "# TYPE repro_stream_arrivals_total counter",
+        f"repro_stream_arrivals_total {snap.arrivals_total}",
+        "# TYPE repro_stream_completions_total counter",
+        f"repro_stream_completions_total {snap.completions_total}",
+        "# TYPE repro_stream_arrival_rate gauge",
+        f"repro_stream_arrival_rate {snap.arrival_rate:.17g}",
+        "# TYPE repro_stream_completion_rate gauge",
+        f"repro_stream_completion_rate {snap.completion_rate:.17g}",
+    ]
+    flow = snap.flow
+    lines.append("# TYPE repro_stream_flow_seconds summary")
+    for q in ("p50", "p95", "p99"):
+        val = flow.get(q)
+        if val is not None:
+            quantile = f"0.{q[1:]}"
+            lines.append(
+                f'repro_stream_flow_seconds{{quantile="{quantile}"}} {val:.17g}'
+            )
+    lines.append(f"repro_stream_flow_seconds_count {flow['count']}")
+    mean = flow.get("mean")
+    if mean is not None:
+        lines.append(
+            f"repro_stream_flow_seconds_sum {mean * flow['count']:.17g}"
+        )
+    lines.append("# TYPE repro_node_utilization gauge")
+    for node in sorted(snap.utilization):
+        lines.append(
+            f'repro_node_utilization{{node="{node}"}} '
+            f"{snap.utilization[node]:.17g}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+class MetricsServer:
+    """Minimal asyncio HTTP server over one :class:`StreamSession`."""
+
+    def __init__(
+        self,
+        session: "StreamSession",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.session = session
+        self.host = host
+        self.port = port  # 0 = ephemeral; real port filled in by start()
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling ----------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            writer.close()
+            return
+        if len(request) > _MAX_REQUEST_BYTES:
+            await self._respond(writer, 413, "text/plain", "request too large\n")
+            return
+        try:
+            method, path, _ = request.split(b"\r\n", 1)[0].decode(
+                "latin-1"
+            ).split(" ", 2)
+        except ValueError:
+            await self._respond(writer, 400, "text/plain", "bad request\n")
+            return
+        if method != "GET":
+            await self._respond(writer, 405, "text/plain", "method not allowed\n")
+            return
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            await self._respond(writer, 200, "text/plain", "ok\n")
+        elif path == "/snapshot":
+            doc = self.session.snapshot().to_dict()
+            await self._respond(
+                writer, 200, "application/json", json.dumps(doc, sort_keys=True)
+            )
+        elif path == "/metrics":
+            await self._respond(
+                writer, 200, "text/plain; version=0.0.4",
+                render_metrics(self.session),
+            )
+        else:
+            await self._respond(writer, 404, "text/plain", "not found\n")
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, ctype: str, body: str
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 413: "Payload Too Large"}.get(
+                      status, "Error")
+        payload = body.encode()
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        try:
+            await writer.drain()
+        finally:
+            writer.close()
+
+
+async def fetch(host: str, port: int, path: str) -> tuple[int, str]:
+    """One-shot HTTP GET over a raw asyncio socket (stdlib-only client
+    used by the smoke mode and the tests).  Returns (status, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+        "Connection: close\r\n\r\n".encode("latin-1")
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body.decode()
+
+
+async def serve_session(
+    session: "StreamSession",
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_windows: int | None = None,
+    step_delay: float = 0.0,
+    smoke: bool = False,
+    echo=print,
+) -> int:
+    """Serve ``session`` over HTTP while pacing it one window per tick.
+
+    Runs until the stream drains or ``max_windows`` windows have closed
+    (``None`` = forever for an infinite source).  ``step_delay`` sleeps
+    between windows (throttle for demo pacing; the default yields to the
+    event loop without waiting, so scrapes interleave with stepping).
+
+    With ``smoke=True`` the server scrapes its *own* ``/healthz``,
+    ``/metrics`` and ``/snapshot`` through a real socket after the run,
+    validates the snapshot against ``snapshot/v1`` and returns non-zero
+    on any violation — the CI streaming-smoke job.
+    """
+    server = MetricsServer(session, host=host, port=port)
+    await server.start()
+    echo(f"serving open system on http://{host}:{server.port} "
+         f"(window={session.window:g})")
+    failures = 0
+    try:
+        while not session.idle():
+            if max_windows is not None and session._windows_closed >= max_windows:
+                break
+            session.step()
+            await asyncio.sleep(step_delay)
+        if smoke:
+            failures = await _smoke_check(session, host, server.port, echo)
+        else:  # pragma: no cover - interactive path
+            snap = session.snapshot()
+            echo(f"stream finished at t={snap.time:g}: "
+                 f"{snap.completions_total} completed, "
+                 f"{snap.jobs_in_flight} in flight")
+    finally:
+        await server.stop()
+    return failures
+
+
+async def _smoke_check(
+    session: "StreamSession", host: str, port: int, echo
+) -> int:
+    failures = 0
+    status, body = await fetch(host, port, "/healthz")
+    if status != 200 or body.strip() != "ok":
+        echo(f"smoke: /healthz failed (status {status})")
+        failures += 1
+    status, body = await fetch(host, port, "/metrics")
+    if status != 200 or "repro_stream_arrivals_total" not in body:
+        echo(f"smoke: /metrics failed (status {status})")
+        failures += 1
+    status, body = await fetch(host, port, "/snapshot")
+    if status != 200:
+        echo(f"smoke: /snapshot failed (status {status})")
+        failures += 1
+    else:
+        problems = validate_snapshot(json.loads(body))
+        for p in problems:
+            echo(f"smoke: snapshot schema: {p}")
+        failures += len(problems)
+    snap = session.snapshot()
+    echo(f"smoke: t={snap.time:g} windows={snap.windows_closed} "
+         f"arrivals={snap.arrivals_total} completions={snap.completions_total} "
+         f"p95={snap.flow.get('p95')}")
+    if failures == 0:
+        echo("smoke: all endpoint checks passed")
+    return failures

@@ -26,9 +26,12 @@ The selectable engine backends:
 
 Three implementations of the Section-2 semantics, one call surface.
 
-Selection: the ``backend=`` keyword on :func:`simulate` (and on
-:func:`repro.api.simulate`), defaulting to the :data:`ENV_VAR`
-environment variable ``REPRO_BACKEND``, defaulting to ``"python"``.
+Selection: one resolver, :func:`select_backend`, shared by
+:func:`simulate`, :func:`repro.api.simulate`,
+:func:`repro.api.open_system` and the CLI — the ``backend=`` keyword
+wins, else the :data:`ENV_VAR` environment variable ``REPRO_BACKEND``,
+else ``"python"``; unavailable backends raise when named explicitly and
+warn-and-fall-back when selected through the environment.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from __future__ import annotations
 import os
 import warnings
 from collections.abc import Callable
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -60,9 +64,11 @@ from repro.workload.instance import Instance
 __all__ = [
     "BACKENDS",
     "ENV_VAR",
+    "BackendChoice",
     "available_backends",
     "backend_available",
     "resolve_backend",
+    "select_backend",
     "simulate",
     "CEngine",
     "NumpyEngine",
@@ -88,6 +94,73 @@ def resolve_backend(backend: str | None = None) -> str:
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     return backend
+
+
+@dataclass(frozen=True, slots=True)
+class BackendChoice:
+    """The outcome of one backend selection (see :func:`select_backend`).
+
+    Attributes
+    ----------
+    requested:
+        The ``backend=`` keyword as passed (``None`` when the caller
+        left selection to the environment/default).
+    source:
+        Where the name came from: ``"kwarg"``, ``"env"`` or
+        ``"default"`` — the documented precedence order.
+    effective:
+        The backend that will actually run.
+    fallback_reason:
+        Why ``effective`` differs from the selected name (``None`` when
+        the selection was honoured).
+    """
+
+    requested: str | None
+    source: str
+    effective: str
+    fallback_reason: str | None = None
+
+
+def select_backend(backend: str | None = None) -> BackendChoice:
+    """THE backend resolver — one precedence rule for every entry point.
+
+    ``simulate()``, ``open_system()`` and the CLI all resolve through
+    here: the explicit ``backend=`` keyword wins, else the
+    ``REPRO_BACKEND`` environment variable, else ``"python"``.
+
+    Availability policy: a backend named *explicitly* (kwarg) that is
+    unavailable raises :class:`~repro.exceptions.SimulationError`; one
+    selected through the environment falls back to ``"python"`` with a
+    :class:`RuntimeWarning` naming the reason — an exported variable
+    must not break every simulation on a compiler-less machine.  The
+    returned :class:`BackendChoice` records what happened.
+    """
+    if backend is not None:
+        source, name = "kwarg", backend
+    else:
+        env = os.environ.get(ENV_VAR)
+        if env:
+            source, name = "env", env
+        else:
+            source, name = "default", "python"
+    if name not in BACKENDS:
+        raise SimulationError(
+            f"unknown backend {name!r}; expected one of {BACKENDS}"
+        )
+    ok, reason = backend_available(name)
+    if ok:
+        return BackendChoice(backend, source, name)
+    if source == "kwarg":
+        raise SimulationError(
+            f"backend {name!r} is unavailable on this machine: {reason}"
+        )
+    warnings.warn(
+        f"{ENV_VAR}={name} but that backend is unavailable ({reason}); "
+        "falling back to the python engine",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return BackendChoice(backend, source, "python", reason)
 
 
 def backend_available(backend: str) -> tuple[bool, str | None]:
@@ -145,28 +218,12 @@ def simulate(
     (observer, tracer, ``until``, counters), the call transparently runs
     on the python engine instead — the schedule is the same either way.
 
-    An unavailable ``"c"`` backend raises when requested explicitly via
-    the keyword and falls back to ``"python"`` (with a
-    :class:`RuntimeWarning`) when selected through ``REPRO_BACKEND`` —
-    an exported environment variable must not break every simulation on
-    a compiler-less machine.
+    Selection and the unavailable-backend policy (explicit request
+    raises, environment selection warns and falls back) live in
+    :func:`select_backend` — the single resolver shared with
+    :func:`repro.api.open_system` and the CLI.
     """
-    explicit = backend is not None
-    backend = resolve_backend(backend)
-    if backend == "c":
-        ok, reason = c_build.availability()
-        if not ok:
-            if explicit:
-                raise SimulationError(
-                    f"backend 'c' is unavailable on this machine: {reason}"
-                )
-            warnings.warn(
-                f"REPRO_BACKEND=c but the compiled kernel is unavailable "
-                f"({reason}); falling back to the python engine",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            backend = "python"
+    backend = select_backend(backend).effective
     if backend == "c" and _numpy_applicable(
         observer, tracer, until, collect_counters
     ):

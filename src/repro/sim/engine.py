@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from collections.abc import Callable
+from collections.abc import Callable, Iterable, Iterator
 from heapq import heappop as _heappop, heappush as _heappush
 from time import perf_counter
 from typing import TYPE_CHECKING, Protocol
@@ -368,9 +368,6 @@ class Engine:
     check_invariants:
         When true, model invariants are asserted after every event
         (simulation slows down by a small constant factor).
-    max_events:
-        Safety bound on processed events; exceeding it raises
-        :class:`~repro.exceptions.SimulationError`.
     observer:
         Optional callback invoked after every processed event as
         ``observer(view, kind, subject)`` where ``kind`` is ``"arrival"``
@@ -383,6 +380,24 @@ class Engine:
         ``None`` (the default), collection follows the process-wide
         switch (:func:`~repro.sim.counters.enable_global_counters`);
         disabled collection costs nothing in the hot path.
+    on_admit / on_finish:
+        Optional open-system hooks.  ``on_admit(job)`` fires after each
+        job is admitted (released and dispatched); ``on_finish(record)``
+        fires when a job completes on its leaf, with the finished
+        :class:`~repro.sim.result.JobRecord`.  Like the tracer these are
+        purely observational and cost one ``is None`` test when unset.
+    evict_finished:
+        When true, a job's runtime state (and its record) is dropped
+        from the engine the moment it finishes — ``on_finish`` is the
+        only place the record is still reachable.  This is what bounds
+        memory in the open-system streaming mode
+        (:mod:`repro.service`); the final
+        :class:`~repro.sim.result.SimulationResult` then carries only
+        the jobs still in flight.
+    max_events:
+        Safety bound on processed events; exceeding it raises
+        :class:`~repro.exceptions.SimulationError`.  ``None`` disables
+        the bound — required for unbounded streaming runs.
     tracer:
         Optional :class:`~repro.obs.trace.TraceRecorder` collecting the
         structured simulation trace (job-lifecycle spans and sampled
@@ -402,10 +417,13 @@ class Engine:
         priority: PriorityFn = sjf_priority,
         record_segments: bool = False,
         check_invariants: bool = False,
-        max_events: int = 10_000_000,
+        max_events: int | None = 10_000_000,
         observer: Callable[["SchedulerView", str, int], None] | None = None,
         collect_counters: bool | None = None,
         tracer: "TraceRecorder | None" = None,
+        on_admit: Callable[[Job], None] | None = None,
+        on_finish: Callable[[JobRecord], None] | None = None,
+        evict_finished: bool = False,
     ) -> None:
         self.instance = instance
         self.policy = policy
@@ -477,7 +495,16 @@ class Engine:
         )
         self._view = SchedulerView(self)
         self._observer = observer
+        self._on_admit = on_admit
+        self._on_finish = on_finish
+        self._evict_finished = evict_finished
         self._finished = False
+        # Open-system streaming state (see stream_start / _stream_loop):
+        # the lazy arrival source and its one-job lookahead.
+        self._arrivals_iter: Iterator[Job] | None = None
+        self._pending_job: Job | None = None
+        self._result: SimulationResult | None = None
+        self._run_seconds = 0.0
         if collect_counters is None:
             collect_counters = global_counters() is not None
         self._counters: EngineCounters | None = (
@@ -486,6 +513,11 @@ class Engine:
         self._tracer = tracer
         if tracer is not None:
             tracer.attach(self)
+
+    @property
+    def alive_count(self) -> int:
+        """Number of released, uncompleted jobs — O(1)."""
+        return len(self._alive)
 
     # ------------------------------------------------------------------
     # internal helpers
@@ -656,6 +688,10 @@ class Engine:
             self._alive_at_leaf[st.record.leaf].discard(jid)
             if tracer is not None:
                 tracer.on_finish(self.now, jid, st.record.leaf)
+            if self._on_finish is not None:
+                self._on_finish(st.record)
+            if self._evict_finished:
+                del self._states[jid]
             return
         nxt = self._nodes[st.path[st.idx]]
         st.remaining = self._processing_on(nxt, st)
@@ -765,6 +801,8 @@ class Engine:
             self._tracer.on_arrival(self.now, job.id, leaf)
             self._tracer.on_available(self.now, job.id, path[0])
         self._enqueue(first, st)
+        if self._on_admit is not None:
+            self._on_admit(job)
 
     def _handle_completion(self, ns: _NodeState) -> None:
         jid = ns.active_id
@@ -832,6 +870,10 @@ class Engine:
             self._alive_at_leaf[st.record.leaf].discard(jid)
             if tracer is not None:
                 tracer.on_finish(now, jid, st.record.leaf)
+            if self._on_finish is not None:
+                self._on_finish(st.record)
+            if self._evict_finished:
+                del self._states[jid]
         else:
             nxt = self._nodes[st.path[st.idx]]
             st.remaining = st.leaf_time if nxt.is_leaf else st.job.size
@@ -861,32 +903,34 @@ class Engine:
                 self._set_leaf_drain(node_id, ns.speed / nxt_st.leaf_time)
 
     # ------------------------------------------------------------------
-    # main loop
+    # main loop (open-system core; batch run() is the closed special case)
     # ------------------------------------------------------------------
-    def run(self, *, until: float | None = None) -> SimulationResult:
-        """Simulate until every released job completes.
+    def stream_start(self, arrivals: Iterable[Job]) -> None:
+        """Attach the lazy arrival source and claim the engine for a run.
 
-        Parameters
-        ----------
-        until:
-            Optional time horizon.  When set, the run stops at the first
-            event past ``until`` (time is advanced exactly to ``until``
-            so the integrals cover ``[0, until]``); jobs still in flight
-            stay unfinished in the result (``records`` with partial
-            completion lists — use
-            :meth:`~repro.sim.result.SimulationResult.completed_records`).
-            Jobs released after ``until`` are not admitted.
+        ``arrivals`` may be any iterable of release-ordered
+        :class:`~repro.workload.job.Job` — a list, a ``JobSet``, or an
+        *infinite generator* (see :mod:`repro.workload.arrivals`).  Jobs
+        are pulled one at a time with a single-job lookahead, so an
+        unbounded stream never materialises.  Out-of-order releases
+        surface as the engine's usual "time went backwards"
+        :class:`~repro.exceptions.SimulationError`.
         """
         if self._finished:
             raise SimulationError("an Engine instance can only run once")
         self._finished = True
-        if until is not None and until < 0:
-            raise SimulationError(f"until must be >= 0, got {until}")
+        self._arrivals_iter = iter(arrivals)
+        self._pending_job = next(self._arrivals_iter, None)
 
-        arrivals = list(self.instance.jobs)
-        releases = [job.release for job in arrivals]
-        arr_idx = 0
-        n_arr = len(arrivals)
+    def _stream_loop(self, until: float | None) -> None:
+        """Process events (admissions and completions) in time order.
+
+        Returns when the next event lies past ``until`` — after advancing
+        time exactly to ``until`` so the integrals cover the full window
+        — or, with ``until=None``, when both the arrival source and the
+        event heap are exhausted.  Re-enterable: per-call state is only
+        the arrival lookahead, written back on every exit path.
+        """
         counters = self._counters
         tracer = self._tracer
         run_started = perf_counter() if counters is not None else 0.0
@@ -894,76 +938,127 @@ class Engine:
         nodes = self._nodes
         inf = math.inf
         max_events = self.max_events
+        if max_events is None:
+            max_events = inf
+        it = self._arrivals_iter
+        pending = self._pending_job
 
-        while True:
-            # Earliest valid completion event.
-            while events:
-                t, version, _, node_id = events[0]
-                if nodes[node_id].version == version:
+        try:
+            while True:
+                # Earliest valid completion event.
+                while events:
+                    t, version, _, node_id = events[0]
+                    if nodes[node_id].version == version:
+                        break
+                    _heappop(events)
+                    if counters is not None:
+                        counters.stale_events_skipped += 1
+                next_completion = events[0][0] if events else inf
+                next_arrival = pending.release if pending is not None else inf
+                if until is not None and min(next_completion, next_arrival) > until:
+                    self._advance(until)
                     break
-                _heappop(events)
-                if counters is not None:
-                    counters.stale_events_skipped += 1
-            next_completion = events[0][0] if events else inf
-            next_arrival = releases[arr_idx] if arr_idx < n_arr else inf
-            if until is not None and min(next_completion, next_arrival) > until:
-                self._advance(until)
-                break
-            if next_completion is inf and next_arrival is inf:
-                break
-            self._num_events += 1
-            if self._num_events > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={self.max_events}; "
-                    "likely a policy or engine bug"
-                )
-            phase_started = perf_counter() if counters is not None else 0.0
-            if next_completion <= next_arrival:
-                t, version, _, node_id = _heappop(events)
-                if tracer is not None:
-                    tracer.before_advance(t)
-                # Inlined _advance(t): exact affine integral accumulation.
-                dt = t - self.now
-                if dt > 0.0:
-                    drain = self._drain
-                    af = self._alive_fraction
-                    self._frac_integral += af * dt - 0.5 * drain * dt * dt
-                    af -= drain * dt
-                    self._alive_fraction = af if af > 0.0 else 0.0
-                    self._alive_integral += len(self._alive) * dt
-                    self.now = t
-                elif dt < -CLOCK_EPS:
+                if next_completion is inf and next_arrival is inf:
+                    break
+                self._num_events += 1
+                if self._num_events > max_events:
                     raise SimulationError(
-                        f"time went backwards: {self.now} -> {t}"
+                        f"exceeded max_events={self.max_events}; "
+                        "likely a policy or engine bug"
                     )
-                self._handle_completion(nodes[node_id])
-                if counters is not None:
-                    counters.events_processed += 1
-                    counters.completions += 1
-                    counters.completion_seconds += perf_counter() - phase_started
-                if self._observer is not None:
-                    self._observer(self._view, "completion", node_id)
-            else:
-                if tracer is not None:
-                    tracer.before_advance(next_arrival)
-                self._advance(next_arrival)
-                job_id = arrivals[arr_idx].id
-                self._handle_arrival(arrivals[arr_idx])
-                arr_idx += 1
-                if counters is not None:
-                    counters.events_processed += 1
-                    counters.arrivals += 1
-                    counters.arrival_seconds += perf_counter() - phase_started
-                if self._observer is not None:
-                    self._observer(self._view, "arrival", job_id)
-            if self.check_invariants:
-                self._assert_invariants()
+                phase_started = perf_counter() if counters is not None else 0.0
+                if next_completion <= next_arrival:
+                    t, version, _, node_id = _heappop(events)
+                    if tracer is not None:
+                        tracer.before_advance(t)
+                    # Inlined _advance(t): exact affine integral accumulation.
+                    dt = t - self.now
+                    if dt > 0.0:
+                        drain = self._drain
+                        af = self._alive_fraction
+                        self._frac_integral += af * dt - 0.5 * drain * dt * dt
+                        af -= drain * dt
+                        self._alive_fraction = af if af > 0.0 else 0.0
+                        self._alive_integral += len(self._alive) * dt
+                        self.now = t
+                    elif dt < -CLOCK_EPS:
+                        raise SimulationError(
+                            f"time went backwards: {self.now} -> {t}"
+                        )
+                    self._handle_completion(nodes[node_id])
+                    if counters is not None:
+                        counters.events_processed += 1
+                        counters.completions += 1
+                        counters.completion_seconds += perf_counter() - phase_started
+                    if self._observer is not None:
+                        self._observer(self._view, "completion", node_id)
+                else:
+                    if tracer is not None:
+                        tracer.before_advance(next_arrival)
+                    self._advance(next_arrival)
+                    job = pending
+                    self._handle_arrival(job)
+                    pending = next(it, None)
+                    if counters is not None:
+                        counters.events_processed += 1
+                        counters.arrivals += 1
+                        counters.arrival_seconds += perf_counter() - phase_started
+                    if self._observer is not None:
+                        self._observer(self._view, "arrival", job.id)
+                if self.check_invariants:
+                    self._assert_invariants()
+        finally:
+            self._pending_job = pending
+            if counters is not None:
+                self._run_seconds += perf_counter() - run_started
 
-        if until is not None:
-            # Close open schedule segments at the horizon so recorded
-            # segments cover exactly [0, until].
+    def stream_step(self, *, until: float) -> float:
+        """Advance the open system exactly to time ``until``.
+
+        Processes every admission and completion at or before ``until``
+        and moves the clock to ``until``.  Nodes are *not* settled —
+        in-flight work keeps running across steps — so per-job results
+        are bit-identical however the timeline is sliced into steps.
+        Returns the new :attr:`now` (== ``until``).
+        """
+        if self._arrivals_iter is None:
+            raise SimulationError("stream_step() before stream_start()")
+        if self._result is not None:
+            raise SimulationError("stream_step() after stream_result()")
+        if until < self.now - CLOCK_EPS:
+            raise SimulationError(
+                f"stream_step until={until} is before now={self.now}"
+            )
+        self._stream_loop(until)
+        return self.now
+
+    def stream_idle(self) -> bool:
+        """True when the stream can produce no further events: the
+        arrival source is exhausted and no admitted job is alive (any
+        events left on the heap are provably stale)."""
+        return self._pending_job is None and not self._alive
+
+    def stream_result(self, *, verify: bool = False) -> SimulationResult:
+        """Close the stream and build the final result.
+
+        Settles every node at the current time so recorded segments and
+        trace spans cover exactly ``[0, now]``.  Idempotent — repeated
+        calls return the same :class:`SimulationResult`.  With
+        ``evict_finished=True`` the result carries only still-in-flight
+        jobs; finished records were handed to ``on_finish``.
+        """
+        if self._arrivals_iter is None:
+            raise SimulationError("stream_result() before stream_start()")
+        if self._result is None:
             for ns in self._nodes.values():
                 self._settle(ns)
+        return self._build_result(verify=verify)
+
+    def _build_result(self, *, verify: bool) -> SimulationResult:
+        if self._result is not None:
+            return self._result
+        counters = self._counters
+        tracer = self._tracer
         trace = None
         if tracer is not None:
             tracer.finalize(self.now)
@@ -971,7 +1066,8 @@ class Engine:
             if counters is not None:
                 counters.trace_records += len(trace)
         if counters is not None:
-            counters.run_seconds += perf_counter() - run_started
+            counters.run_seconds += self._run_seconds
+            self._run_seconds = 0.0
             aggregate = global_counters()
             if aggregate is not None and aggregate is not counters:
                 aggregate.merge(counters)
@@ -986,9 +1082,38 @@ class Engine:
             counters=counters,
             trace=trace,
         )
-        if until is None:
+        if verify:
             result.verify_complete()
+        self._result = result
         return result
+
+    def run(self, *, until: float | None = None) -> SimulationResult:
+        """Simulate until every released job completes.
+
+        The batch entry point: streams the instance's (finite) job set
+        through the open-system core in one uninterrupted step.
+
+        Parameters
+        ----------
+        until:
+            Optional time horizon.  When set, the run stops at the first
+            event past ``until`` (time is advanced exactly to ``until``
+            so the integrals cover ``[0, until]``); jobs still in flight
+            stay unfinished in the result (``records`` with partial
+            completion lists — use
+            :meth:`~repro.sim.result.SimulationResult.completed_records`).
+            Jobs released after ``until`` are not admitted.
+        """
+        self.stream_start(self.instance.jobs)
+        if until is not None and until < 0:
+            raise SimulationError(f"until must be >= 0, got {until}")
+        self._stream_loop(until)
+        if until is not None:
+            # Close open schedule segments at the horizon so recorded
+            # segments cover exactly [0, until].
+            for ns in self._nodes.values():
+                self._settle(ns)
+        return self._build_result(verify=until is None)
 
     # ------------------------------------------------------------------
     # invariants (enabled via check_invariants=True)

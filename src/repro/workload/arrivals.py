@@ -1,8 +1,17 @@
 """Arrival-time generators.
 
-All generators return a 1-D float numpy array of non-decreasing release
-times.  Randomness flows through a :class:`numpy.random.Generator` (or a
-seed convertible to one) so every workload is reproducible.
+The batch generators return a 1-D float numpy array of non-decreasing
+release times.  Randomness flows through a
+:class:`numpy.random.Generator` (or a seed convertible to one) so every
+workload is reproducible.
+
+The *stream* generators (:func:`poisson_process`,
+:func:`uniform_size_stream`, :func:`job_stream`) are lazy and may be
+infinite: they feed the open-system streaming mode
+(:func:`repro.api.open_system`) one value at a time, so an unbounded
+arrival process never materialises in memory.  Internally they draw in
+chunks for numpy throughput but the chunk size never changes the drawn
+sequence — ``chunk`` is a speed knob, not a semantic one.
 
 Load calibration
 ----------------
@@ -15,11 +24,13 @@ to a target utilisation.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import itertools
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.exceptions import WorkloadError
+from repro.workload.job import Job
 
 __all__ = [
     "poisson_arrivals",
@@ -28,6 +39,9 @@ __all__ = [
     "bursty_arrivals",
     "adversarial_bursts",
     "tied_arrivals",
+    "poisson_process",
+    "uniform_size_stream",
+    "job_stream",
 ]
 
 
@@ -148,6 +162,78 @@ def adversarial_bursts(
             offsets = np.sort(rng.uniform(0.0, jitter, size=jobs_per_burst))
             times.extend((start + offsets).tolist())
     return np.asarray(times, dtype=float)
+
+
+def poisson_process(
+    rate: float,
+    rng: np.random.Generator | int | None = None,
+    *,
+    start: float = 0.0,
+    chunk: int = 1024,
+) -> Iterator[float]:
+    """An *infinite* Poisson arrival process: lazily yields the
+    non-decreasing absolute release times one by one.
+
+    The stream counterpart of :func:`poisson_arrivals`: taking the first
+    ``n`` values reproduces ``start + poisson_arrivals(n, rate, rng)``
+    for the same seed (gaps are drawn in the same order).
+    """
+    if rate <= 0:
+        raise WorkloadError(f"rate must be > 0, got {rate}")
+    if chunk < 1:
+        raise WorkloadError(f"chunk must be >= 1, got {chunk}")
+    rng = np.random.default_rng(rng)
+    t = start
+    while True:
+        for gap in rng.exponential(1.0 / rate, size=chunk):
+            t += float(gap)
+            yield t
+
+
+def uniform_size_stream(
+    low: float = 1.0,
+    high: float = 4.0,
+    rng: np.random.Generator | int | None = None,
+    *,
+    chunk: int = 1024,
+) -> Iterator[float]:
+    """An *infinite* stream of iid uniform job sizes on ``[low, high]``."""
+    if not 0 < low <= high:
+        raise WorkloadError(f"need 0 < low <= high, got [{low}, {high}]")
+    if chunk < 1:
+        raise WorkloadError(f"chunk must be >= 1, got {chunk}")
+    rng = np.random.default_rng(rng)
+    while True:
+        yield from (float(x) for x in rng.uniform(low, high, size=chunk))
+
+
+def job_stream(
+    releases: Iterable[float],
+    sizes: Iterable[float] | float,
+    *,
+    start_id: int = 0,
+    limit: int | None = None,
+) -> Iterator[Job]:
+    """Zip release and size streams into a lazy :class:`Job` stream.
+
+    ``sizes`` may be a single float (every job the same size) or an
+    iterable drawn in lockstep with ``releases``; ids are assigned
+    sequentially from ``start_id``.  ``limit`` truncates an infinite
+    stream to a finite prefix (``None`` = unbounded).  The output is the
+    shape :meth:`Engine.stream_start <repro.sim.engine.Engine>` and
+    :func:`repro.api.open_system` consume.
+    """
+    if limit is not None and limit < 0:
+        raise WorkloadError(f"limit must be >= 0, got {limit}")
+    size_it: Iterator[float] = (
+        itertools.repeat(float(sizes)) if isinstance(sizes, (int, float))
+        else iter(sizes)
+    )
+    pairs = zip(releases, size_it)
+    if limit is not None:
+        pairs = itertools.islice(pairs, limit)
+    for jid, (release, size) in enumerate(pairs, start=start_id):
+        yield Job(jid, float(release), float(size))
 
 
 def tied_arrivals(

@@ -258,6 +258,13 @@ class TestTopLevelSurface:
         assert repro.make_instance is api.make_instance
         assert repro.trace_run is api.trace_run
         assert repro.run_experiments is api.run_experiments
+        assert repro.open_system is api.open_system
+
+    def test_streaming_surface_reexported(self):
+        from repro.service import StreamSession
+
+        assert repro.StreamSession is StreamSession
+        assert "open_system" in api.__all__
 
     def test_obs_reexported(self):
         from repro.obs import SimulationTrace, TraceConfig, TraceRecorder
@@ -268,5 +275,6 @@ class TestTopLevelSurface:
 
     def test_all_covers_facade(self):
         for name in ("api", "build_tree", "make_instance", "trace_run",
-                     "run_experiments", "TraceRecorder", "SimulationTrace"):
+                     "run_experiments", "open_system", "StreamSession",
+                     "TraceRecorder", "SimulationTrace"):
             assert name in repro.__all__

@@ -120,6 +120,44 @@ class TestEventLogRemoved:
         assert done == set(result.records)
 
 
+class TestCollectCountersRenameShim:
+    """The *live* one-release shim: ``collect_counters=`` →
+    ``counters=`` in ``api.simulate`` / ``api.trace_run``.  Warns once
+    per call and still works; next release these tests flip into the
+    removal form above (old spelling becomes a ``TypeError``)."""
+
+    def test_simulate_old_name_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="collect_counters"):
+            result = api.simulate(instance=_instance(), collect_counters=True)
+        assert result.counters is not None
+
+    def test_trace_run_old_name_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="collect_counters"):
+            result = api.trace_run(instance=_instance(), collect_counters=True)
+        assert result.counters is not None
+        assert result.trace is not None
+
+    def test_exactly_one_warning_per_call(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            api.simulate(instance=_instance(), collect_counters=False)
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+
+    def test_new_name_wins_when_both_passed(self):
+        with pytest.warns(DeprecationWarning):
+            result = api.simulate(
+                instance=_instance(), counters=True, collect_counters=False
+            )
+        assert result.counters is not None
+
+    def test_new_name_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = api.simulate(instance=_instance(), counters=True)
+        assert result.counters is not None
+
+
 def test_modern_surface_is_warning_free(tmp_path):
     """The blessed call forms never trip a DeprecationWarning."""
     with warnings.catch_warnings():
@@ -127,6 +165,7 @@ def test_modern_surface_is_warning_free(tmp_path):
         inst = api.make_instance(n_jobs=6, seed=1)
         api.simulate(instance=inst)
         api.trace_run(instance=inst)
+        api.open_system(instance=inst).drain()
         api.run_experiments(exp_ids=["F1"], cache_dir=tmp_path)
 
 

@@ -1,0 +1,134 @@
+"""The asyncio HTTP facade: endpoint behavior, Prometheus rendering and
+the self-checking smoke mode."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import api
+from repro.service.http import MetricsServer, fetch, render_metrics, serve_session
+from repro.service.metrics import validate_snapshot
+
+
+def _session(n_jobs=60, **kw):
+    inst = api.make_instance(n_jobs=n_jobs, load=0.95, seed=21)
+    kw.setdefault("window", 5.0)
+    return api.open_system(instance=inst, **kw)
+
+
+class TestRenderMetrics:
+    def test_families_present(self):
+        sess = _session()
+        sess.drain()
+        text = render_metrics(sess)
+        for family in (
+            "repro_stream_time_seconds",
+            "repro_stream_windows_closed",
+            "repro_stream_jobs_in_flight",
+            "repro_stream_arrivals_total",
+            "repro_stream_completions_total",
+            "repro_stream_flow_seconds",
+            "repro_node_utilization",
+        ):
+            assert family in text
+        assert text.endswith("\n")
+
+    def test_counts_match_snapshot(self):
+        sess = _session()
+        sess.drain()
+        snap = sess.snapshot()
+        lines = dict(
+            line.rsplit(" ", 1)
+            for line in render_metrics(sess).splitlines()
+            if not line.startswith("#") and "{" not in line
+        )
+        assert int(lines["repro_stream_arrivals_total"]) == snap.arrivals_total
+        assert int(lines["repro_stream_completions_total"]) == snap.completions_total
+
+    def test_quantile_labels(self):
+        sess = _session()
+        sess.drain()
+        text = render_metrics(sess)
+        assert 'repro_stream_flow_seconds{quantile="0.50"}' in text
+        assert 'repro_stream_flow_seconds{quantile="0.95"}' in text
+        assert 'repro_stream_flow_seconds{quantile="0.99"}' in text
+
+
+class TestEndpoints:
+    def _roundtrip(self, path):
+        async def go():
+            sess = _session()
+            sess.drain()
+            server = MetricsServer(sess)
+            await server.start()
+            try:
+                return await fetch(server.host, server.port, path)
+            finally:
+                await server.stop()
+
+        return asyncio.run(go())
+
+    def test_healthz(self):
+        status, body = self._roundtrip("/healthz")
+        assert status == 200
+        assert body.strip() == "ok"
+
+    def test_snapshot_is_valid_schema(self):
+        status, body = self._roundtrip("/snapshot")
+        assert status == 200
+        assert validate_snapshot(json.loads(body)) == []
+
+    def test_metrics(self):
+        status, body = self._roundtrip("/metrics")
+        assert status == 200
+        assert "repro_stream_completions_total" in body
+
+    def test_unknown_path_404(self):
+        status, _ = self._roundtrip("/nope")
+        assert status == 404
+
+    def test_query_string_ignored(self):
+        status, _ = self._roundtrip("/healthz?x=1")
+        assert status == 200
+
+    def test_non_get_rejected(self):
+        async def go():
+            sess = _session()
+            server = MetricsServer(sess)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(b"POST /snapshot HTTP/1.1\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return int(raw.split(b" ", 2)[1])
+            finally:
+                await server.stop()
+
+        assert asyncio.run(go()) == 405
+
+
+class TestServeSession:
+    def test_smoke_mode_reports_zero_failures(self):
+        sess = _session(n_jobs=80)
+        lines: list[str] = []
+        failures = asyncio.run(
+            serve_session(sess, max_windows=3, smoke=True, echo=lines.append)
+        )
+        assert failures == 0
+        assert any("all endpoint checks passed" in line for line in lines)
+        assert sess.snapshot().windows_closed == 3
+
+    def test_runs_to_drain_without_max_windows(self):
+        sess = _session(n_jobs=40)
+        failures = asyncio.run(
+            serve_session(sess, smoke=True, echo=lambda *_: None)
+        )
+        assert failures == 0
+        assert sess.idle()

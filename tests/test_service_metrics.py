@@ -1,0 +1,153 @@
+"""Streaming metrics primitives: fixed-bin histograms, window stats and
+the ``snapshot/v1`` document."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.service.metrics import (
+    SNAPSHOT_SCHEMA,
+    StreamingHistogram,
+    StreamSnapshot,
+    WindowStats,
+    validate_snapshot,
+)
+
+
+class TestStreamingHistogram:
+    def test_empty_summary(self):
+        h = StreamingHistogram()
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["mean"] is None
+        assert s["p50"] is None and s["p95"] is None and s["p99"] is None
+
+    def test_exact_scalars(self):
+        h = StreamingHistogram()
+        for v in (1.0, 2.0, 3.0, 10.0):
+            h.add(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(16.0)
+        assert h.min == 1.0 and h.max == 10.0
+        assert h.summary()["mean"] == pytest.approx(4.0)
+
+    def test_quantiles_conservative_and_clamped(self):
+        """The streamed quantile is an upper bound (bin upper edge) and
+        never leaves the observed [min, max] range."""
+        rng = np.random.default_rng(7)
+        values = rng.exponential(5.0, size=5000)
+        h = StreamingHistogram()
+        for v in values:
+            h.add(float(v))
+        for q in (0.5, 0.95, 0.99):
+            exact = float(np.quantile(values, q))
+            est = h.quantile(q)
+            assert est >= exact * 0.9  # upper-edge estimate can't be far below
+            assert h.min <= est <= h.max
+        # bins are log-spaced: relative error of the p50 stays small
+        assert h.quantile(0.5) <= float(np.quantile(values, 0.5)) * 1.25
+
+    def test_monotone_in_q(self):
+        h = StreamingHistogram()
+        for v in range(1, 200):
+            h.add(float(v) / 10.0)
+        assert h.quantile(0.5) <= h.quantile(0.95) <= h.quantile(0.99)
+
+    def test_under_and_overflow_bins(self):
+        h = StreamingHistogram(low=1.0, high=10.0, bins=4)
+        h.add(0.01)  # below low -> underflow bin
+        h.add(1e6)  # above high -> overflow bin
+        assert h.count == 2
+        assert h.min == pytest.approx(0.01)
+        assert h.max == pytest.approx(1e6)
+        # quantiles clamp to the observed extremes, not the bin range
+        assert h.quantile(0.99) == pytest.approx(1e6)
+
+    def test_rejects_bad_values(self):
+        h = StreamingHistogram()
+        with pytest.raises(ValueError):
+            h.add(-1.0)
+        with pytest.raises(ValueError):
+            h.add(math.nan)
+        with pytest.raises(ValueError):
+            h.add(math.inf)
+        with pytest.raises(ValueError):
+            StreamingHistogram(low=0.0, high=1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_zero_goes_to_underflow(self):
+        h = StreamingHistogram()
+        h.add(0.0)
+        assert h.count == 1
+        assert h.quantile(0.5) == 0.0
+
+
+class TestWindowStats:
+    def _stats(self):
+        return WindowStats(
+            index=3,
+            start=30.0,
+            end=40.0,
+            arrivals=5,
+            completions=4,
+            flow={"count": 4, "mean": 2.0, "min": 1.0, "max": 3.0,
+                  "p50": 2.0, "p95": 3.0, "p99": 3.0},
+            utilization={1: 0.5, 2: 0.25},
+        )
+
+    def test_rates(self):
+        st = self._stats()
+        assert st.length == pytest.approx(10.0)
+        assert st.arrival_rate == pytest.approx(0.5)
+        assert st.completion_rate == pytest.approx(0.4)
+
+    def test_to_dict_stringifies_nodes(self):
+        doc = self._stats().to_dict()
+        assert doc["utilization"] == {"1": 0.5, "2": 0.25}
+        assert doc["index"] == 3
+
+
+class TestSnapshotSchema:
+    def _snapshot(self):
+        return StreamSnapshot(
+            time=40.0,
+            window=10.0,
+            windows_closed=4,
+            jobs_in_flight=2,
+            arrivals_total=20,
+            completions_total=18,
+            flow={"count": 18, "mean": 2.0, "min": 0.5, "max": 9.0,
+                  "p50": 1.5, "p95": 7.0, "p99": 8.5},
+            utilization={1: 0.8},
+            last_window=None,
+        )
+
+    def test_to_dict_round_trips_schema(self):
+        doc = self._snapshot().to_dict()
+        assert doc["schema"] == SNAPSHOT_SCHEMA
+        assert validate_snapshot(doc) == []
+
+    def test_validator_catches_missing_top_level_key(self):
+        doc = self._snapshot().to_dict()
+        del doc["arrival_rate"]
+        problems = validate_snapshot(doc)
+        assert problems and "arrival_rate" in problems[0]
+
+    def test_validator_catches_flow_and_type_problems(self):
+        doc = self._snapshot().to_dict()
+        doc["flow"].pop("p95")
+        doc["jobs_in_flight"] = -1
+        assert len(validate_snapshot(doc)) >= 2
+        assert validate_snapshot([1, 2, 3])  # not even a dict
+
+    def test_validator_flags_wrong_schema_and_extra_keys(self):
+        doc = self._snapshot().to_dict()
+        doc["schema"] = "snapshot/v999"
+        doc["bonus"] = 1
+        problems = validate_snapshot(doc)
+        assert any("schema" in p for p in problems)
+        assert any("unknown keys" in p for p in problems)

@@ -113,3 +113,83 @@ class TestAdversarialBursts:
             adversarial_bursts(-1, 1, 1.0)
         with pytest.raises(WorkloadError):
             adversarial_bursts(1, 1, -1.0)
+
+
+class TestStreamGenerators:
+    """The lazy stream counterparts feeding the open-system mode."""
+
+    def test_poisson_process_prefix_matches_batch(self):
+        from itertools import islice
+
+        from repro.workload.arrivals import poisson_process
+
+        stream = list(islice(poisson_process(2.0, rng=7), 50))
+        batch = poisson_arrivals(50, 2.0, rng=7)
+        assert np.allclose(stream, batch)
+
+    def test_poisson_process_chunk_is_not_semantic(self):
+        from itertools import islice
+
+        from repro.workload.arrivals import poisson_process
+
+        a = list(islice(poisson_process(1.5, rng=3, chunk=1), 40))
+        b = list(islice(poisson_process(1.5, rng=3, chunk=1024), 40))
+        assert a == b
+
+    def test_poisson_process_start_offset(self):
+        from itertools import islice
+
+        from repro.workload.arrivals import poisson_process
+
+        base = list(islice(poisson_process(1.0, rng=5), 10))
+        shifted = list(islice(poisson_process(1.0, rng=5, start=100.0), 10))
+        assert np.allclose(np.array(shifted) - 100.0, base)
+
+    def test_poisson_process_validation(self):
+        from repro.workload.arrivals import poisson_process
+
+        with pytest.raises(WorkloadError):
+            next(poisson_process(0.0))
+        with pytest.raises(WorkloadError):
+            next(poisson_process(1.0, chunk=0))
+
+    def test_uniform_size_stream_range_and_determinism(self):
+        from itertools import islice
+
+        from repro.workload.arrivals import uniform_size_stream
+
+        a = list(islice(uniform_size_stream(2.0, 3.0, rng=1), 200))
+        b = list(islice(uniform_size_stream(2.0, 3.0, rng=1), 200))
+        assert a == b
+        assert all(2.0 <= x <= 3.0 for x in a)
+        with pytest.raises(WorkloadError):
+            next(uniform_size_stream(0.0, 1.0))
+
+    def test_job_stream_zips_and_truncates(self):
+        from repro.workload.arrivals import job_stream
+
+        jobs = list(job_stream([0.0, 1.0, 2.0], [1.0, 2.0, 3.0], limit=2))
+        assert [j.id for j in jobs] == [0, 1]
+        assert jobs[1].release == 1.0 and jobs[1].size == 2.0
+
+    def test_job_stream_scalar_size_and_start_id(self):
+        from repro.workload.arrivals import job_stream
+
+        jobs = list(job_stream([0.0, 0.5], 2.5, start_id=10))
+        assert [j.id for j in jobs] == [10, 11]
+        assert all(j.size == 2.5 for j in jobs)
+
+    def test_job_stream_is_lazy_over_infinite_sources(self):
+        from itertools import count, islice
+
+        from repro.workload.arrivals import job_stream
+
+        stream = job_stream((float(t) for t in count()), 1.0)
+        first = list(islice(stream, 5))
+        assert [j.release for j in first] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_job_stream_validation(self):
+        from repro.workload.arrivals import job_stream
+
+        with pytest.raises(WorkloadError):
+            list(job_stream([0.0], 1.0, limit=-1))
