@@ -1,0 +1,19 @@
+"""Benchmark X5 — dynamic events: realized-instance competitiveness.
+
+Regenerates the breakdown/cancellation robustness table: each policy
+runs event-free and under a deterministic outage + cancellation deck,
+measured against the LP lower bound of the realized instance (cancelled
+jobs removed).  Expected shape: the greedy's ratio barely moves under
+the storm while closest-leaf degrades further.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_x5_dynamic_events(benchmark):
+    result = run_and_report(benchmark, "X5")
+    assert result.metrics["closest_over_greedy_events"] > 1.0
+    assert (
+        result.metrics["greedy_ratio_events"]
+        <= 1.5 * result.metrics["greedy_ratio_static"]
+    )

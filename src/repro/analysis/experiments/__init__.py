@@ -41,6 +41,7 @@ from repro.analysis.experiments import (  # noqa: F401  (registration side effec
     x2,
     x3,
     x4,
+    x5,
 )
 
 __all__ = [

@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import AssignmentPolicy
     from repro.sim.result import SimulationResult
     from repro.sim.speed import SpeedProfile
+    from repro.workload.events import EventSchedule
     from repro.workload.instance import Instance
     from repro.workload.job import Job
 
@@ -305,6 +306,7 @@ def simulate(
     counters: bool | None = None,
     collect_counters=_UNSET,
     tracer=None,
+    events: "EventSchedule | None" = None,
 ) -> "SimulationResult":
     """Simulate ``instance`` under a policy; keyword-only throughout.
 
@@ -334,6 +336,12 @@ def simulate(
     record_segments / check_invariants / until / counters / tracer:
         Forwarded to the engine; see
         :class:`~repro.sim.engine.Engine`.
+    events:
+        An optional :class:`~repro.workload.events.EventSchedule` of
+        dynamic events (node outages, cancellations) applied during
+        the run.  Honoured natively by the python and numpy backends;
+        ``backend="c"`` falls back to numpy for event-bearing runs
+        with a once-per-process :class:`RuntimeWarning`.
 
     .. deprecated::
         ``collect_counters=`` was renamed to ``counters=``; the old
@@ -357,6 +365,7 @@ def simulate(
         until=until,
         collect_counters=counters,
         tracer=tracer,
+        events=events,
     )
 
 
@@ -379,7 +388,9 @@ def open_system(
     record_points: bool = False,
     record_spans: bool = False,
     histogram=None,
+    events: "EventSchedule | None" = None,
     on_finish=None,
+    on_cancel=None,
     evict: bool = True,
     name: str = "open-system",
 ) -> "StreamSession":
@@ -417,8 +428,11 @@ def open_system(
         only backend with the per-event admission/eviction hooks; a
         non-python selection warns and is ignored.
     window / keep_windows / check_invariants / record_points /
-    record_spans / histogram / on_finish / evict:
+    record_spans / histogram / events / on_finish / on_cancel / evict:
         Forwarded to :class:`~repro.service.session.StreamSession`.
+        ``events`` schedules dynamic node outages/cancellations;
+        cancelled jobs surface through ``on_cancel`` and the session's
+        ``cancelled`` counters, never as completions.
     name:
         Label for the context built from ``tree``.
     """
@@ -465,7 +479,9 @@ def open_system(
         record_points=record_points,
         record_spans=record_spans,
         histogram=histogram,
+        events=events,
         on_finish=on_finish,
+        on_cancel=on_cancel,
         evict=evict,
     )
 

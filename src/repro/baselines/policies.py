@@ -6,6 +6,7 @@ import math
 
 import numpy as np
 
+from repro.core.assignment import path_is_blocked
 from repro.exceptions import AssignmentError
 from repro.sim.engine import SchedulerView
 from repro.workload.job import Job
@@ -131,6 +132,21 @@ class LeastLoadedAssignment:
         p = job.size
         uniform = job.leaf_sizes is None and math.isfinite(p)
         layout = self._layout_for(view, job)
+        downs_fn = getattr(view, "downed_nodes", None)
+        downs = downs_fn() if downs_fn is not None else None
+        if downs:
+            origin = job.origin
+            if origin is None or origin == tree.root or origin not in tree:
+                origin = tree.root
+            kept = tuple(
+                e for e in layout if not path_is_blocked(tree, e[0], downs, origin)
+            )
+            # keep the full layout when the outage excludes everything:
+            # dispatch must still pick a leaf (the job stalls until the
+            # repair), and the hook memo keys on the layout tuple either
+            # way, so filtered layouts stay bit-consistent across backends.
+            if kept and len(kept) < len(layout):
+                layout = kept
         best_leaf: int | None = None
         best_score = math.inf
         if uniform:

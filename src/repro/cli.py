@@ -492,6 +492,7 @@ def _cmd_fuzz(args) -> int:
         budget_seconds=args.budget_seconds,
         corpus_dir=corpus_dir,
         backends=args.backends,
+        events=args.events,
         shrink=not args.no_shrink,
         progress=ticker if not args.json else None,
     )
@@ -868,6 +869,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also replay every case on the vectorised numpy backend "
         "(and, where available and applicable, the compiled c kernel) "
         "and require agreement with the reference engine",
+    )
+    p_fuzz.add_argument(
+        "--events",
+        action="store_true",
+        help="extend the case stream with dynamic-event plans (node "
+        "outages, cancellations); the default stream is unchanged "
+        "when omitted",
     )
     p_fuzz.add_argument(
         "--no-shrink",

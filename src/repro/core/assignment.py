@@ -28,6 +28,7 @@ __all__ = [
     "GreedyIdenticalAssignment",
     "GreedyUnrelatedAssignment",
     "FixedAssignment",
+    "path_is_blocked",
 ]
 
 
@@ -35,6 +36,59 @@ def _check_eps(eps: float) -> float:
     if not math.isfinite(eps) or eps <= 0:
         raise AssignmentError(f"eps must be finite and > 0, got {eps}")
     return eps
+
+
+def path_is_blocked(tree, leaf: int, downs, origin: int) -> bool:
+    """Whether the processing path ``origin -> leaf`` crosses a node in
+    ``downs`` (the origin itself performs no processing and is excluded).
+
+    Down-aware policies use this to drop candidate leaves whose queue
+    would stall behind a breakdown; it is a pure function of the static
+    tree and the down set, so both backends filter identically.
+    """
+    root = tree.root
+    v = leaf
+    while v != origin and v != root:
+        if v in downs:
+            return True
+        v = tree.parent(v)
+    return False
+
+
+def _downed_nodes(view) -> "frozenset[int] | None":
+    """The view's current down set, or ``None`` for views predating the
+    dynamic-events surface (audit shims, third-party fakes)."""
+    fn = getattr(view, "downed_nodes", None)
+    return fn() if fn is not None else None
+
+
+def _filter_branch_records(tree, records, downs, origin):
+    """Restrict per-branch greedy records to leaves whose path avoids
+    ``downs``.  Returns ``(records, tops)`` or ``None`` when the down
+    set touches no candidate (nothing to do) or excludes every leaf
+    (the policy falls back to the unfiltered set — dispatch must still
+    produce a leaf; the job simply stalls en route until the repair).
+    """
+    out = []
+    changed = False
+    for entry, leaves, min_steps, min_steps_leaf, min_leaf in records:
+        keep = tuple(
+            (lf, steps)
+            for lf, steps in leaves
+            if not path_is_blocked(tree, lf, downs, origin)
+        )
+        if len(keep) == len(leaves):
+            out.append((entry, leaves, min_steps, min_steps_leaf, min_leaf))
+            continue
+        changed = True
+        if not keep:
+            continue
+        ms, msl = min((s, lf) for lf, s in keep)
+        ml = min(lf for lf, _ in keep)
+        out.append((entry, keep, ms, msl, ml))
+    if not changed or not out:
+        return None
+    return tuple(out), tuple(rec[0] for rec in out)
 
 
 class GreedyIdenticalAssignment:
@@ -126,11 +180,17 @@ class GreedyIdenticalAssignment:
         best_score = math.inf
         weight_p = self.weight * job.size
         records = self._entries_for(view, origin)
+        tops = self._tops[origin]
+        downs = _downed_nodes(view)
+        if downs:
+            filtered = _filter_branch_records(tree, records, downs, origin)
+            if filtered is not None:
+                records, tops = filtered
         # Batched F evaluation when the view offers it (the numpy
         # kernel's hook); scores are bit-identical to the per-entry
         # form, just one amortised call instead of len(records).
         hook = getattr(view, "_f_top_values", None)
-        bases = hook(job, self._tops[origin]) if hook is not None else None
+        bases = hook(job, tops) if hook is not None else None
         if bases is None:
             bases = [f_top_value(view, job, rec[0]) for rec in records]
         if weight_p > 0.0:
@@ -188,6 +248,20 @@ class GreedyUnrelatedAssignment:
     def assign(self, view: SchedulerView, job: Job, now: float) -> int:
         tree = view.tree
         origin = job.origin if job.origin is not None else tree.root
+        downs = _downed_nodes(view)
+        best_leaf, scores = self._scan(view, job, origin, downs)
+        if best_leaf is None and downs:
+            # every feasible leaf sits behind an outage: dispatch must
+            # still pick one, so rescore ignoring the down set (the job
+            # stalls en route until the repair).
+            best_leaf, scores = self._scan(view, job, origin, None)
+        if best_leaf is None:
+            raise AssignmentError(f"job {job.id} has no feasible leaf")
+        self._last_parts = ("dict", scores)
+        return best_leaf
+
+    def _scan(self, view, job, origin, downs):
+        tree = view.tree
         best_leaf: int | None = None
         best_score = math.inf
         scores: dict[int, float] = {}
@@ -197,6 +271,8 @@ class GreedyUnrelatedAssignment:
             for leaf, steps in leaves:
                 if not math.isfinite(job.processing_on_leaf(leaf)):
                     continue
+                if downs and path_is_blocked(tree, leaf, downs, origin):
+                    continue
                 score = base + f_prime_value(view, job, leaf) + weight_p * steps
                 scores[leaf] = score
                 if score < best_score or (
@@ -204,10 +280,7 @@ class GreedyUnrelatedAssignment:
                 ):
                     best_score = score
                     best_leaf = leaf
-        if best_leaf is None:
-            raise AssignmentError(f"job {job.id} has no feasible leaf")
-        self._last_parts = ("dict", scores)
-        return best_leaf
+        return best_leaf, scores
 
 
 class FixedAssignment:

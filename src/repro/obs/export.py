@@ -24,7 +24,13 @@ from typing import IO, Iterator
 
 from repro.analysis.tables import Table
 from repro.obs.schema import TRACE_SCHEMA, validate_line
-from repro.obs.trace import GaugeSample, SimulationTrace, TracePoint, TraceSpan
+from repro.obs.trace import (
+    GaugeSample,
+    SimulationTrace,
+    TraceEvent,
+    TracePoint,
+    TraceSpan,
+)
 
 __all__ = [
     "jsonl_lines",
@@ -65,6 +71,12 @@ def jsonl_lines(trace: SimulationTrace) -> Iterator[str]:
              "utilization": g.utilization},
             sort_keys=True,
         )
+    for e in trace.events:
+        yield json.dumps(
+            {"type": "event", "kind": e.kind, "t": e.time, "node": e.node,
+             "job": e.job_id, "size": e.size},
+            sort_keys=True,
+        )
 
 
 def write_jsonl(trace: SimulationTrace, path: str | Path | IO[str]) -> int:
@@ -92,6 +104,7 @@ def read_jsonl(path: str | Path | IO[str]) -> SimulationTrace:
     points: list[TracePoint] = []
     spans: list[TraceSpan] = []
     gauges: list[GaugeSample] = []
+    events: list[TraceEvent] = []
     for lineno, raw in enumerate(path, start=1):
         raw = raw.strip()
         if not raw:
@@ -117,6 +130,11 @@ def read_jsonl(path: str | Path | IO[str]) -> SimulationTrace:
                 TraceSpan(obj["kind"], obj["start"], obj["end"], obj["job"],
                           obj["node"])
             )
+        elif kind == "event":
+            events.append(
+                TraceEvent(obj["kind"], obj["t"], node=obj["node"],
+                           job_id=obj["job"], size=obj["size"])
+            )
         else:  # gauge
             gauges.append(
                 GaugeSample(
@@ -127,7 +145,8 @@ def read_jsonl(path: str | Path | IO[str]) -> SimulationTrace:
                     busy_s=obj["busy_s"], utilization=obj["utilization"],
                 )
             )
-    return SimulationTrace(meta=meta, points=points, spans=spans, gauges=gauges)
+    return SimulationTrace(meta=meta, points=points, spans=spans, gauges=gauges,
+                           events=events)
 
 
 def to_chrome(trace: SimulationTrace) -> dict:

@@ -28,6 +28,17 @@ A JSONL trace is a sequence of JSON objects, one per line:
        "queue_volume": float, "through_count": int, "busy_s": float,
        "utilization": float}
 
+* **event** lines — dynamic-event lifecycle records::
+
+      {"type": "event", "kind": "node_down"|"node_up"|"cancel"|"reveal",
+       "t": float, "node": int|null, "job": int|null, "size": float|null}
+
+  ``node`` is set for ``node_down``/``node_up``/``cancel`` (for a
+  cancel, the node the job was withdrawn from), ``job`` for
+  ``cancel``/``reveal``, ``size`` only for ``reveal`` (the revealed
+  true size).  Event-free runs emit no event lines, so pre-existing
+  traces stay valid unchanged.
+
 Unknown keys are rejected so producers cannot silently drift from the
 documented schema; see ``docs/observability.md`` for field semantics.
 :func:`validate_jsonl` checks a whole file and is what the CI trace-smoke
@@ -40,7 +51,7 @@ import json
 from pathlib import Path
 from typing import IO
 
-from repro.obs.trace import POINT_KINDS, SPAN_KINDS
+from repro.obs.trace import EVENT_KINDS, POINT_KINDS, SPAN_KINDS
 
 __all__ = ["TRACE_SCHEMA", "validate_line", "validate_jsonl"]
 
@@ -56,6 +67,7 @@ _POINT_KEYS = {"type", "kind", "t", "job", "node"}
 _SPAN_KEYS = {"type", "kind", "start", "end", "job", "node"}
 _GAUGE_KEYS = {"type", "t", "node", "queue_depth", "queue_volume",
                "through_count", "busy_s", "utilization"}
+_EVENT_KEYS = {"type", "kind", "t", "node", "job", "size"}
 
 
 def _is_num(x) -> bool:
@@ -150,6 +162,38 @@ def validate_line(obj: object, *, first: bool = False) -> str | None:
                 return f"{key} must be a number"
             if obj[key] < 0:
                 return f"{key} must be >= 0"
+        return None
+    if kind == "event":
+        err = _check_keys(obj, _EVENT_KEYS)
+        if err:
+            return err
+        ekind = obj["kind"]
+        if ekind not in EVENT_KINDS:
+            return f"unknown event kind {ekind!r}"
+        if not _is_num(obj["t"]):
+            return "t must be a number"
+        node, job, size = obj["node"], obj["job"], obj["size"]
+        if node is not None and not _is_int(node):
+            return "node must be an integer or null"
+        if job is not None and not _is_int(job):
+            return "job must be an integer or null"
+        if size is not None and not _is_num(size):
+            return "size must be a number or null"
+        if ekind in ("node_down", "node_up"):
+            if node is None:
+                return f"{ekind} event needs a node"
+            if job is not None or size is not None:
+                return f"{ekind} event takes no job/size"
+        elif ekind == "cancel":
+            if job is None or node is None:
+                return "cancel event needs job and node"
+            if size is not None:
+                return "cancel event takes no size"
+        else:  # reveal
+            if job is None or size is None:
+                return "reveal event needs job and size"
+            if node is not None:
+                return "reveal event takes no node"
         return None
     return f"unknown record type {kind!r}"
 

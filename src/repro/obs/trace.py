@@ -44,11 +44,13 @@ __all__ = [
     "TracePoint",
     "TraceSpan",
     "GaugeSample",
+    "TraceEvent",
     "SimulationTrace",
     "TraceRecorder",
     "crosscheck_trace",
     "POINT_KINDS",
     "SPAN_KINDS",
+    "EVENT_KINDS",
 ]
 
 #: Valid ``TracePoint.kind`` values.
@@ -56,6 +58,11 @@ POINT_KINDS = ("arrival", "available", "hop_complete", "finish")
 
 #: Valid ``TraceSpan.kind`` values.
 SPAN_KINDS = ("service", "queue_wait", "job")
+
+#: Valid ``TraceEvent.kind`` values (the dynamic-event lifecycle of
+#: ``docs/dynamic-events.md``: breakdown, repair, withdrawal, and the
+#: true-size revelation at completion of an estimated-size job).
+EVENT_KINDS = ("node_down", "node_up", "cancel", "reveal")
 
 #: Gaps shorter than this fraction of the hop duration are not emitted
 #: as ``queue_wait`` spans (float noise between back-to-back segments).
@@ -143,6 +150,22 @@ class GaugeSample:
     utilization: float
 
 
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One dynamic-event lifecycle record.
+
+    ``node`` is set for ``node_down``/``node_up`` and for ``cancel``
+    (the node the job was withdrawn from); ``job_id`` for ``cancel`` and
+    ``reveal``; ``size`` is the revealed true size of a ``reveal``.
+    """
+
+    kind: str
+    time: float
+    node: int | None = None
+    job_id: int | None = None
+    size: float | None = None
+
+
 @dataclass
 class SimulationTrace:
     """The assembled trace of one simulation run.
@@ -154,17 +177,26 @@ class SimulationTrace:
         gauge cadence and the final simulation time.
     points / spans / gauges:
         The records, each in time order (spans by start time).
+    events:
+        Dynamic-event lifecycle records (breakdown / repair / cancel /
+        reveal), in processing order; empty for event-free runs without
+        size estimates, so existing consumers see no change.
     """
 
     meta: dict
     points: list[TracePoint] = field(default_factory=list)
     spans: list[TraceSpan] = field(default_factory=list)
     gauges: list[GaugeSample] = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
 
     # -- queries --------------------------------------------------------
     def points_of(self, kind: str) -> list[TracePoint]:
         """All points of one kind, in time order."""
         return [p for p in self.points if p.kind == kind]
+
+    def events_of(self, kind: str) -> list[TraceEvent]:
+        """All dynamic-event records of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
 
     def spans_of(self, kind: str) -> list[TraceSpan]:
         """All spans of one kind."""
@@ -185,7 +217,12 @@ class SimulationTrace:
         return [g for g in self.gauges if g.node == node]
 
     def __len__(self) -> int:
-        return len(self.points) + len(self.spans) + len(self.gauges)
+        return (
+            len(self.points)
+            + len(self.spans)
+            + len(self.gauges)
+            + len(self.events)
+        )
 
 
 def crosscheck_trace(result) -> list[str]:
@@ -200,7 +237,11 @@ def crosscheck_trace(result) -> list[str]:
     * ``arrival`` points land on the assigned leaf at the job's release;
     * the multiset of ``service`` spans equals the multiset of recorded
       segments (tracing must not perturb or re-derive the schedule);
-    * per-node busy time from spans matches segment totals.
+    * per-node busy time from spans matches segment totals;
+    * every cancelled record has exactly one ``cancel`` event at its
+      ``cancelled_at`` instant (and vice versa), and every finished job
+      carrying a size estimate has a ``reveal`` event at its completion
+      quoting the true size.
 
     Used by the fuzzing battery (:mod:`repro.testing.checks`); exact
     equality is intentional — both sides quote the same engine floats.
@@ -268,6 +309,34 @@ def crosscheck_trace(result) -> list[str]:
                 f"service spans ({len(span_set)}) differ from recorded "
                 f"segments ({len(seg_set)})"
             )
+    cancels = {e.job_id: e for e in trace.events_of("cancel")}
+    if len(cancels) != len(trace.events_of("cancel")):
+        problems.append("duplicate cancel events")
+    for jid, rec in result.records.items():
+        if rec.cancelled:
+            e = cancels.pop(jid, None)
+            if e is None:
+                if not retired:
+                    problems.append(f"job {jid}: cancelled but no cancel event")
+            elif e.time != rec.cancelled_at:
+                problems.append(
+                    f"job {jid}: cancel event at {e.time}, record says "
+                    f"{rec.cancelled_at}"
+                )
+    for jid in cancels:
+        problems.append(f"cancel event for job {jid} which is not cancelled")
+    reveals = {e.job_id: e for e in trace.events_of("reveal")}
+    for jid, rec in result.records.items():
+        if not rec.finished or rec.size_estimate is None:
+            continue
+        e = reveals.get(jid)
+        if e is None:
+            if not retired:
+                problems.append(f"job {jid}: estimated size but no reveal event")
+        elif e.time != rec.completion:
+            problems.append(
+                f"job {jid}: reveal at {e.time}, completion is {rec.completion}"
+            )
     return problems
 
 
@@ -292,6 +361,7 @@ class TraceRecorder:
         self._points: list[TracePoint] = []
         self._service: list[TraceSpan] = []
         self._gauges: list[GaugeSample] = []
+        self._events: list[TraceEvent] = []
         # gauge state
         self._interval = self.config.gauge_interval
         self._sample_k = 1  # index of the next cadence point
@@ -303,7 +373,7 @@ class TraceRecorder:
         self._record_spans = self.config.record_spans
         # Window-retirement tally (open-system mode); all zero for batch
         # runs, in which case build() leaves the meta line unchanged.
-        self._retired = {"points": 0, "spans": 0, "gauges": 0}
+        self._retired = {"points": 0, "spans": 0, "gauges": 0, "events": 0}
 
     # -- engine protocol ------------------------------------------------
     def attach(self, engine) -> None:
@@ -340,6 +410,23 @@ class TraceRecorder:
     def on_finish(self, time: float, job_id: int, leaf: int) -> None:
         if self._record_points:
             self._points.append(TracePoint("finish", time, job_id, leaf))
+
+    # -- dynamic-event lifecycle (no on/off switch: event-free runs
+    # without size estimates never reach these sites, so the common
+    # path is unchanged) --------------------------------------------
+    def on_node_down(self, time: float, node: int) -> None:
+        self._events.append(TraceEvent("node_down", time, node=node))
+
+    def on_node_up(self, time: float, node: int) -> None:
+        self._events.append(TraceEvent("node_up", time, node=node))
+
+    def on_cancel(self, time: float, job_id: int, node: int) -> None:
+        """Job ``job_id`` was withdrawn while at ``node``."""
+        self._events.append(TraceEvent("cancel", time, node=node, job_id=job_id))
+
+    def on_reveal(self, time: float, job_id: int, size: float) -> None:
+        """An estimated-size job completed; its true size is revealed."""
+        self._events.append(TraceEvent("reveal", time, job_id=job_id, size=size))
 
     def on_service(self, node: int, job_id: int, start: float, end: float) -> None:
         """A maximal (node, job) processing interval just closed."""
@@ -388,7 +475,7 @@ class TraceRecorder:
         """
         if self._built is not None:
             raise SimulationError("cannot retire records after build()")
-        dropped = {"points": 0, "spans": 0, "gauges": 0}
+        dropped = {"points": 0, "spans": 0, "gauges": 0, "events": 0}
         if self._points:
             kept = [p for p in self._points if p.time > before]
             dropped["points"] = len(self._points) - len(kept)
@@ -401,8 +488,12 @@ class TraceRecorder:
             kept_g = [g for g in self._gauges if g.time > before]
             dropped["gauges"] = len(self._gauges) - len(kept_g)
             self._gauges = kept_g
+        if self._events:
+            kept_e = [e for e in self._events if e.time > before]
+            dropped["events"] = len(self._events) - len(kept_e)
+            self._events = kept_e
         for key, n in dropped.items():
-            self._retired[key] += n
+            self._retired[key] = self._retired.get(key, 0) + n
         return dropped
 
     def cumulative_busy(self, node: int, at: float) -> float:
@@ -455,8 +546,14 @@ class TraceRecorder:
 
     @property
     def record_count(self) -> int:
-        """Raw records collected so far (points + spans + gauges)."""
-        return len(self._points) + len(self._service) + len(self._gauges)
+        """Raw records collected so far (points + spans + gauges +
+        dynamic events)."""
+        return (
+            len(self._points)
+            + len(self._service)
+            + len(self._gauges)
+            + len(self._events)
+        )
 
     # -- assembly -------------------------------------------------------
     def build(self, final_time: float) -> SimulationTrace:
@@ -482,6 +579,9 @@ class TraceRecorder:
             points=sorted(self._points, key=lambda p: (p.time, p.job_id)),
             spans=spans,
             gauges=self._gauges,
+            # stable sort: same-instant events keep engine processing
+            # order (completions/reveals before dyn events).
+            events=sorted(self._events, key=lambda e: e.time),
         )
         return self._built
 

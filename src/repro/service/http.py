@@ -49,6 +49,8 @@ def render_metrics(session: "StreamSession") -> str:
         f"repro_stream_arrivals_total {snap.arrivals_total}",
         "# TYPE repro_stream_completions_total counter",
         f"repro_stream_completions_total {snap.completions_total}",
+        "# TYPE repro_stream_cancelled_total counter",
+        f"repro_stream_cancelled_total {snap.cancelled_total}",
         "# TYPE repro_stream_arrival_rate gauge",
         f"repro_stream_arrival_rate {snap.arrival_rate:.17g}",
         "# TYPE repro_stream_completion_rate gauge",

@@ -135,7 +135,10 @@ class WindowStats:
 
     ``utilization`` is exact (from the recorder's windowed busy-time
     gauges); ``flow`` is the window's completion flow-time summary in
-    :meth:`StreamingHistogram.summary` shape.
+    :meth:`StreamingHistogram.summary` shape.  ``cancelled`` counts jobs
+    withdrawn by a dynamic :class:`~repro.workload.events.Cancel` event
+    inside the window — they are *not* completions and contribute
+    nothing to ``flow`` or ``completion_rate``.
     """
 
     index: int
@@ -145,6 +148,7 @@ class WindowStats:
     completions: int
     flow: dict
     utilization: dict[int, float] = field(default_factory=dict)
+    cancelled: int = 0
 
     @property
     def length(self) -> float:
@@ -165,6 +169,7 @@ class WindowStats:
             "end": self.end,
             "arrivals": self.arrivals,
             "completions": self.completions,
+            "cancelled": self.cancelled,
             "arrival_rate": self.arrival_rate,
             "completion_rate": self.completion_rate,
             "flow": dict(self.flow),
@@ -188,6 +193,7 @@ class StreamSnapshot:
     completions_total: int
     flow: dict
     utilization: dict[int, float]
+    cancelled_total: int = 0
     last_window: WindowStats | None = None
 
     @property
@@ -207,6 +213,7 @@ class StreamSnapshot:
             "jobs_in_flight": self.jobs_in_flight,
             "arrivals_total": self.arrivals_total,
             "completions_total": self.completions_total,
+            "cancelled_total": self.cancelled_total,
             "arrival_rate": self.arrival_rate,
             "completion_rate": self.completion_rate,
             "flow": dict(self.flow),
@@ -219,8 +226,9 @@ class StreamSnapshot:
 
 _SNAPSHOT_REQUIRED = {
     "schema", "time", "window", "windows_closed", "jobs_in_flight",
-    "arrivals_total", "completions_total", "arrival_rate",
-    "completion_rate", "flow", "utilization", "last_window",
+    "arrivals_total", "completions_total", "cancelled_total",
+    "arrival_rate", "completion_rate", "flow", "utilization",
+    "last_window",
 }
 _FLOW_REQUIRED = {"count", "mean", "min", "max", "p50", "p95", "p99"}
 
@@ -274,7 +282,7 @@ def validate_snapshot(obj: object) -> list[str]:
         if not _is_num(obj[key]) or obj[key] < 0:
             errors.append(f"{key} must be a number >= 0")
     for key in ("windows_closed", "jobs_in_flight", "arrivals_total",
-                "completions_total"):
+                "completions_total", "cancelled_total"):
         if not _is_int(obj[key]) or obj[key] < 0:
             errors.append(f"{key} must be an integer >= 0")
     _check_flow(obj["flow"], "flow", errors)
@@ -290,7 +298,7 @@ def validate_snapshot(obj: object) -> list[str]:
         if not isinstance(last, dict):
             errors.append("last_window must be an object or null")
         else:
-            for key in ("index", "arrivals", "completions"):
+            for key in ("index", "arrivals", "completions", "cancelled"):
                 if key not in last or not _is_int(last[key]) or last[key] < 0:
                     errors.append(f"last_window.{key} must be an integer >= 0")
             if "flow" in last:

@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import AssignmentPolicy
     from repro.sim.result import JobRecord, SimulationResult
     from repro.sim.speed import SpeedProfile
+    from repro.workload.events import EventSchedule
     from repro.workload.instance import Instance
     from repro.workload.job import Job
 
@@ -76,10 +77,20 @@ class StreamSession:
         Optional :class:`StreamingHistogram` prototype; its bin layout
         (``low``/``high``/``bins``) is copied for the cumulative and
         per-window flow histograms.
+    events:
+        Optional :class:`~repro.workload.events.EventSchedule` of
+        dynamic mid-run events (node breakdowns/repairs, cancellations).
+        Cancelled jobs count as *cancellations*, never as completions:
+        they stay out of the flow histograms and the window/snapshot
+        completion counters (``WindowStats.cancelled`` /
+        ``StreamSnapshot.cancelled_total`` track them instead).
     on_finish:
         Optional sink called with each finished
         :class:`~repro.sim.result.JobRecord` — with eviction on, the
         only place completed records are observable.
+    on_cancel:
+        Same, for records withdrawn by a dynamic cancel event (their
+        ``cancelled_at`` is set; they never reach ``on_finish``).
     evict:
         Evict finished jobs from the engine (default).  ``False`` keeps
         every record for :meth:`close` — batch-equivalent output, at
@@ -100,7 +111,9 @@ class StreamSession:
         record_points: bool = False,
         record_spans: bool = False,
         histogram: StreamingHistogram | None = None,
+        events: "EventSchedule | None" = None,
         on_finish=None,
+        on_cancel=None,
         evict: bool = True,
     ) -> None:
         if not window > 0.0:
@@ -123,6 +136,7 @@ class StreamSession:
             )
         )
         self._user_on_finish = on_finish
+        self._user_on_cancel = on_cancel
         self._engine = Engine(
             instance,
             policy,
@@ -131,14 +145,18 @@ class StreamSession:
             check_invariants=check_invariants,
             max_events=None,
             tracer=self._recorder,
+            events=events,
             on_admit=self._on_admit,
             on_finish=self._on_finish,
+            on_cancel=self._on_cancel,
             evict_finished=evict,
         )
         self._arrivals_total = 0
         self._completions_total = 0
+        self._cancelled_total = 0
         self._arrivals_win = 0
         self._completions_win = 0
+        self._cancelled_win = 0
         self._windows_closed = 0
         self._windows: deque[WindowStats] = deque(maxlen=keep_windows)
         self._result: "SimulationResult | None" = None
@@ -157,6 +175,14 @@ class StreamSession:
         self._win_hist.add(flow)
         if self._user_on_finish is not None:
             self._user_on_finish(record)
+
+    def _on_cancel(self, record: "JobRecord") -> None:
+        # A cancellation is not a completion: the censored flow time
+        # must not pollute the histograms or the completion counters.
+        self._cancelled_total += 1
+        self._cancelled_win += 1
+        if self._user_on_cancel is not None:
+            self._user_on_cancel(record)
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -239,6 +265,7 @@ class StreamSession:
             jobs_in_flight=engine.alive_count,
             arrivals_total=self._arrivals_total,
             completions_total=self._completions_total,
+            cancelled_total=self._cancelled_total,
             flow=self._cum_hist.summary(),
             utilization=utilization,
             last_window=self.last_window,
@@ -276,6 +303,7 @@ class StreamSession:
             end=boundary,
             arrivals=self._arrivals_win,
             completions=self._completions_win,
+            cancelled=self._cancelled_win,
             flow=self._win_hist.summary(),
             utilization={v: b / w for v, b in busy.items()},
         )
@@ -283,5 +311,6 @@ class StreamSession:
         self._windows_closed += 1
         self._arrivals_win = 0
         self._completions_win = 0
+        self._cancelled_win = 0
         self._win_hist = StreamingHistogram(**self._hist_layout)
         self._recorder.retire(before=boundary)

@@ -197,6 +197,11 @@ def _numpy_applicable(
     return True
 
 
+#: One-shot flag: the C-kernel dynamic-events fallback warns once per
+#: process, not once per call (event-bearing sweeps run thousands).
+_warned_c_events = False
+
+
 def simulate(
     instance: Instance,
     policy: AssignmentPolicy,
@@ -210,6 +215,7 @@ def simulate(
     until: float | None = None,
     collect_counters: bool | None = None,
     tracer: "TraceRecorder | None" = None,
+    events=None,
 ) -> SimulationResult:
     """Simulate on the selected backend.
 
@@ -217,6 +223,10 @@ def simulate(
     ``backend="c"`` is combined with an option the kernels cannot honour
     (observer, tracer, ``until``, counters), the call transparently runs
     on the python engine instead — the schedule is the same either way.
+    A dynamic-event schedule (``events=``) is honoured by the python
+    and numpy backends natively; the C kernel cannot express it, so
+    ``backend="c"`` with events falls back to the numpy backend with a
+    once-per-process :class:`RuntimeWarning`.
 
     Selection and the unavailable-backend policy (explicit request
     raises, environment selection warns and falls back) live in
@@ -224,6 +234,18 @@ def simulate(
     :func:`repro.api.open_system` and the CLI.
     """
     backend = select_backend(backend).effective
+    if backend == "c" and events is not None and len(events):
+        global _warned_c_events
+        if not _warned_c_events:
+            _warned_c_events = True
+            warnings.warn(
+                "backend='c' cannot run dynamic events (outages/"
+                "cancellations); falling back to the numpy backend for "
+                "event-bearing runs",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        backend = "numpy"
     if backend == "c" and _numpy_applicable(
         observer, tracer, until, collect_counters
     ):
@@ -234,6 +256,7 @@ def simulate(
             priority=priority,
             record_segments=record_segments,
             check_invariants=check_invariants,
+            events=events,
         )
     if backend == "numpy" and _numpy_applicable(
         observer, tracer, until, collect_counters
@@ -245,6 +268,7 @@ def simulate(
             priority=priority,
             record_segments=record_segments,
             check_invariants=check_invariants,
+            events=events,
         )
     return _engine.simulate(
         instance,
@@ -257,4 +281,5 @@ def simulate(
         until=until,
         collect_counters=collect_counters,
         tracer=tracer,
+        events=events,
     )

@@ -183,6 +183,7 @@ class CEngine:
         record_segments: bool = False,
         check_invariants: bool = False,
         max_events: int = 10_000_000,
+        events=None,
     ) -> None:
         self.instance = instance
         self.policy = policy
@@ -194,6 +195,14 @@ class CEngine:
         if record_segments or check_invariants:
             raise CKernelInapplicable(
                 "segment recording / invariant checks need the numpy backend"
+            )
+        if events is not None and len(events):
+            raise CKernelInapplicable(
+                "dynamic events (outages/cancellations) need the numpy backend"
+            )
+        if any(j.size_estimate is not None for j in instance.jobs):
+            raise CKernelInapplicable(
+                "size estimates (masked assignment) need the numpy backend"
             )
         if priority is sjf_priority:
             self._prio_kind = 1
@@ -629,6 +638,7 @@ def simulate_c(
     priority: PriorityFn = sjf_priority,
     record_segments: bool = False,
     check_invariants: bool = False,
+    events=None,
 ) -> SimulationResult:
     """Simulate on the compiled kernel, falling back to the numpy
     backend for calls outside its plan (the schedule is identical).
@@ -645,6 +655,7 @@ def simulate_c(
             priority=priority,
             record_segments=record_segments,
             check_invariants=check_invariants,
+            events=events,
         )
     except CKernelInapplicable:
         return simulate_numpy(
@@ -654,5 +665,6 @@ def simulate_c(
             priority=priority,
             record_segments=record_segments,
             check_invariants=check_invariants,
+            events=events,
         )
     return eng.run()

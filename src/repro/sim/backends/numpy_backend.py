@@ -41,6 +41,21 @@ completion times are bit-identical on drain-free runs and agree to
 (``repro fuzz --backends``) enforces this against the reference and
 exact-replay oracles.
 
+Dynamic events (:class:`~repro.workload.events.EventSchedule`) keep the
+same execution strategy: the run loop interleaves the schedule with the
+arrival stream (events before same-instant arrivals, matching the
+engine's completions-then-events-then-arrivals tie order), and each
+event is applied at a *global sync barrier* — ``_sync_all()`` first
+runs every node through its completions up to the event instant (the
+sweeps never settle at their limit, so a completion landing exactly on
+the event time is processed by the barrier itself: completion-first
+ties for free), then the handler mutates node state exactly as the
+engine's: breakdowns settle the active run and drain finished tops (a
+down node's sweep degenerates to consuming pending admissions into its
+heap — nothing arms), repairs drain and rearm, cancellations
+swap-remove from whichever heap holds the job with the engine's
+aggregate and fractional-flow adjustments.
+
 The one quantity that is *not* schedule-determined is ``num_events``:
 when two hop completions on adjacent nodes land on the same instant,
 the engine either counts both or folds the downstream one into the
@@ -59,7 +74,11 @@ order the batched sweeps deliberately avoid.
 from __future__ import annotations
 
 import math
-from heapq import heappop as _heappop, heappush as _heappush
+from heapq import (
+    heapify as _heapify,
+    heappop as _heappop,
+    heappush as _heappush,
+)
 
 import numpy as np
 
@@ -72,6 +91,7 @@ from repro.sim.engine import AssignmentPolicy, PriorityFn, fifo_priority, sjf_pr
 from repro.sim.result import JobRecord, ScheduleSegment, SimulationResult
 from repro.sim.speed import SpeedProfile
 from repro.sim.tolerances import REMAINING_ATOL, REMAINING_RTOL
+from repro.workload.events import Cancel, EventSchedule, NodeDown
 from repro.workload.instance import Instance, Setting
 from repro.workload.job import Job
 
@@ -191,6 +211,13 @@ class NumpyView:
         self._k._sync_all()
         return tuple(sorted(self._k._alive))
 
+    def downed_nodes(self) -> frozenset[int]:
+        """Node ids currently down (empty when no outage is active)."""
+        return frozenset(self._k._down_ids)
+
+    def is_down(self, node: int) -> bool:
+        return node in self._k._down_ids
+
     def job(self, job_id: int) -> Job:
         return self._k._jobs_l[self._k._idx_of_id[job_id]]
 
@@ -239,6 +266,11 @@ class NumpyView:
         :func:`repro.core.fvalues.f_top_value` on either backend.
         """
         k = self._k
+        if k._est:
+            # Size estimates in play: the precomputed true-size SJF
+            # ranks cannot express the engine's masked-vs-true tuple
+            # compare; fall back to the per-entry hook, which can.
+            return None
         nis = k._ftv_nis.get(tops, False)
         if nis is False:
             nis = None
@@ -395,9 +427,48 @@ class NumpyView:
         if ni is None or ni not in k._root_adjacent_nis:
             return None
         is_leaf = k._is_leaf_l[ni]
+        now = k.now
+        if k._est:
+            # Size estimates in play: the arriving job's ``size`` is its
+            # masked estimate while queued jobs keep their true sizes,
+            # so the single-key rank compare cannot express the engine's
+            # mixed tuple compare.  Mirror it literally — same heap
+            # array order, same live-remaining handling.
+            if k._node_next[ni] <= now:  # root-adjacent: chain is (ni,)
+                k._advance_node(ni, now)
+            p_j = job.size
+            r_j = job.release
+            id_j = job.id
+            total = p_j
+            heap = k._heaps[ni]
+            if not heap:
+                return total
+            rem = k._rem_l
+            active = k._actives[ni]
+            live = 0.0
+            if active >= 0:
+                live = k._arems[ni] - k._speed_l[ni] * (now - k._astarts[ni])
+                if live < 0.0:
+                    live = 0.0
+            size_l = k._size_l
+            p_leaf_l = k._p_leaf_l
+            rel_l = k._rel_l
+            id_l = k._id_l
+            if k._enc_l[ni]:
+                by_rank = k._by_rank
+                indices = [by_rank[e] for e in heap]
+            else:
+                idx_of_id = k._idx_of_id
+                indices = [idx_of_id[e[1]] for e in heap]
+            for i in indices:
+                p_i = p_leaf_l[i] if is_leaf else size_l[i]
+                if (p_i, rel_l[i], id_l[i]) < (p_j, r_j, id_j):
+                    total += live if i == active else rem[i]
+                elif p_i > p_j:
+                    total += p_j
+            return total
         if is_leaf and not k._identical:
             return None  # per-leaf sizes: the global SJF rank is invalid
-        now = k.now
         if k._node_next[ni] <= now:  # root-adjacent: the chain is (ni,)
             k._advance_node(ni, now)
         sjf_rank = k._sjf_rank
@@ -505,6 +576,7 @@ class NumpyEngine:
         record_segments: bool = False,
         check_invariants: bool = False,
         max_events: int = 10_000_000,
+        events: EventSchedule | None = None,
     ) -> None:
         self.instance = instance
         self.policy = policy
@@ -514,6 +586,9 @@ class NumpyEngine:
         self.check_invariants = check_invariants
         self.max_events = max_events
         self.now = 0.0
+        if events is not None:
+            events.validate_for(instance)
+        self._dyn = events.events if events is not None else ()
 
         tree = instance.tree
         root = tree.root
@@ -549,6 +624,12 @@ class NumpyEngine:
         self._astarts = [0.0] * n_nodes
         self._arems = [0.0] * n_nodes
         self._node_next = [_INF] * n_nodes
+        # Dynamic-event state: per-node down flags (dense) plus the
+        # node-id set the view exposes; cancellations record the job
+        # *index* -> cancel instant.
+        self._down_l = [False] * n_nodes
+        self._down_ids: set[int] = set()
+        self._cancelled: dict[int, float] = {}
 
         # Incremental congestion aggregates (same maintenance points as
         # the engine: release, settle, hop advance) — built lazily by
@@ -569,6 +650,12 @@ class NumpyEngine:
         self._id_l = ids.tolist()
         self._idx_of_id = {jid: i for i, jid in enumerate(self._id_l)}
         self._ftol_size_l = np.maximum(REMAINING_ATOL, REMAINING_RTOL * size).tolist()
+        # Partial information: with declared estimates the precomputed
+        # SJF ranks no longer encode the *policy-visible* priority of an
+        # arriving job, so the rank-encoded fvalues fast paths switch to
+        # the engine's explicit float-tuple comparisons (same heap
+        # iteration order, same floats).
+        self._est = any(j.size_estimate is not None for j in jobs)
 
         if priority is sjf_priority:
             self._prio_kind = 1
@@ -673,7 +760,7 @@ class NumpyEngine:
             self._prev_end_l, self._deficit_l, self._comp_l,
             self._avail_l, self._alive, self._alive_at_leaf,
             self._leaf_l, self._ftol_leaf_l, self._ftol_size_l,
-            self._nid_l, self._segments, self._pathlen_l,
+            self._nid_l, self._segments, self._pathlen_l, self._down_l,
         )
 
     # ------------------------------------------------------------------
@@ -791,7 +878,28 @@ class NumpyEngine:
          node_next, by_rank, idx_of_id, rem, hop_l, path_ni_l, size_l,
          id_l, rel_l, rank, p_leaf_l, is_leaf_l, enc_l, prev_end,
          deficit, comp, avail, alive, alive_at_leaf, leaf_l,
-         ftol_leaf_l, ftol_size_l, nid_l, segs, pathlen_l) = self._hot
+         ftol_leaf_l, ftol_size_l, nid_l, segs, pathlen_l,
+         down_l) = self._hot
+        if down_l[ni]:
+            # A down node performs no work: its sweep degenerates to
+            # consuming due pending admissions into the heap (arrivals
+            # keep queueing through an outage — the engine's down-mode
+            # ``_enqueue``).  Nothing arms; the repair handler drains
+            # and rearms.
+            pend = pendings[ni]
+            pi = pis[ni]
+            heap = heaps[ni]
+            enc = enc_l[ni]
+            agg = self._through_count is not None
+            while pi < len(pend) and pend[pi][0] <= limit:
+                _t, key, i = pend[pi]
+                pi += 1
+                _heappush(heap, key if enc else (key, id_l[i]))
+                if agg:
+                    self._queue_volume[ni] += rem[i]
+            pis[ni] = pi
+            node_next[ni] = pend[pi][0] if pi < len(pend) else _INF
+            return
         pend = pendings[ni]
         pi = pis[ni]
         heap = heaps[ni]
@@ -858,6 +966,7 @@ class NumpyEngine:
                             actives[nxt] < 0
                             and not heaps[nxt]
                             and pis[nxt] >= len(pendings[nxt])
+                            and not down_l[nxt]
                         ):
                             heaps[nxt].append(rank[active])
                             actives[nxt] = active
@@ -951,6 +1060,7 @@ class NumpyEngine:
                                 actives[nxt] < 0
                                 and not heaps[nxt]
                                 and pis[nxt] >= len(pendings[nxt])
+                                and not down_l[nxt]
                             ):
                                 # Fused admission: the child is idle with
                                 # every prior admission consumed, so the
@@ -1084,6 +1194,7 @@ class NumpyEngine:
                             actives[nxt] < 0
                             and not heaps[nxt]
                             and pis[nxt] >= len(pendings[nxt])
+                            and not down_l[nxt]
                         ):
                             # Fused admission (see the completion branch).
                             heaps[nxt].append(rank[ti])
@@ -1175,6 +1286,14 @@ class NumpyEngine:
             else:
                 key = self.priority(self.instance, self._jobs_l[i], self._nid_l[ni])
             entry = (key, id_l[i])
+        if self._down_l[ni]:
+            # Downed node: park the newcomer in the queue.  Nothing
+            # arms while the node is out, so its next event stays the
+            # pending head (untouched here).
+            _heappush(heap, entry)
+            if agg:
+                self._queue_volume[ni] += rem[i]
+            return
         active = self._actives[ni]
         speed = self._speed_l[ni]
         is_leaf = self._is_leaf_l[ni]
@@ -1272,6 +1391,226 @@ class NumpyEngine:
         self._node_next[ni] = nn
 
     # ------------------------------------------------------------------
+    # dynamic events
+    # ------------------------------------------------------------------
+    def _settle_active(self, ni: int, t: float) -> int:
+        """Settle node ``ni``'s active run at ``t`` (the preemption
+        algebra of :meth:`_admit_now`, shared by the dynamic-event
+        handlers) and return the settled job index, or ``-1`` when the
+        node was idle.  Leaves the heap and ``_actives`` untouched."""
+        active = self._actives[ni]
+        if active < 0:
+            return -1
+        astart = self._astarts[ni]
+        arem = self._arems[ni]
+        elapsed = t - astart
+        rem = self._rem_l
+        if elapsed > 0.0:
+            speed = self._speed_l[ni]
+            new_rem = arem - speed * elapsed
+            if new_rem < 0.0:
+                new_rem = 0.0
+            if self._through_count is not None:
+                delta = arem - new_rem
+                if delta != 0.0:
+                    self._through_volume[ni] -= delta
+                    self._queue_volume[ni] -= delta
+            rem[active] = new_rem
+            if self._segments is not None:
+                self._segments.append(
+                    ScheduleSegment(
+                        self._nid_l[ni], self._id_l[active], astart, t
+                    )
+                )
+            if self._is_leaf_l[ni]:
+                pl = self._p_leaf_l[active]
+                self._deficit_l[active] += (pl - arem) / pl * (
+                    astart - self._prev_end_l[active]
+                ) + (2.0 * pl - arem - new_rem) / (2.0 * pl) * (t - astart)
+                self._prev_end_l[active] = t
+        else:
+            rem[active] = arem
+        return active
+
+    def _drain_tops(self, ni: int, t: float) -> None:
+        """Complete zero-remaining jobs stranded at the heap top and
+        forward them (the drain loop of :meth:`_admit_now`, shared by
+        the dynamic-event handlers)."""
+        heap = self._heaps[ni]
+        if not heap:
+            return
+        enc = self._enc_l[ni]
+        rem = self._rem_l
+        id_l = self._id_l
+        agg = self._through_count is not None
+        is_leaf = self._is_leaf_l[ni]
+        by_rank = self._by_rank
+        idx_of_id = self._idx_of_id
+        ftol = self._ftol_leaf_l if is_leaf else self._ftol_size_l
+        node_next = self._node_next
+        while heap:
+            top = heap[0]
+            ti = by_rank[top] if enc else idx_of_id[top[1]]
+            if rem[ti] > ftol[ti]:
+                break
+            _heappop(heap)
+            residual = rem[ti]
+            if agg:
+                self._through_count[ni] -= 1
+                self._through_volume[ni] -= residual
+                self._queue_volume[ni] -= residual
+            rem[ti] = 0.0
+            self._comp_l[ti].append(t)
+            if is_leaf:
+                pl = self._p_leaf_l[ti]
+                self._deficit_l[ti] += (
+                    (pl - residual) / pl * (t - self._prev_end_l[ti])
+                )
+            self._hop_l[ti] += 1
+            h = self._hop_l[ti]
+            path = self._path_ni_l[ti]
+            if h < len(path):
+                nxt = path[h]
+                if self._is_leaf_l[nxt]:
+                    rem[ti] = self._p_leaf_l[ti]
+                    self._prev_end_l[ti] = t
+                else:
+                    rem[ti] = self._size_l[ti]
+                self._avail_l[ti].append(t)
+                self._pendings[nxt].append((t, self._key_for(nxt, ti), ti))
+                if t < node_next[nxt]:
+                    node_next[nxt] = t
+            else:
+                jid = id_l[ti]
+                self._alive.discard(jid)
+                self._alive_at_leaf[self._leaf_l[ti]].discard(jid)
+
+    def _rearm(self, ni: int, t: float) -> None:
+        """Arm the heap top (if any) at ``t`` and recompute the node's
+        next-event time."""
+        heap = self._heaps[ni]
+        if heap:
+            top = heap[0]
+            active = (
+                self._by_rank[top]
+                if self._enc_l[ni]
+                else self._idx_of_id[top[1]]
+            )
+            self._actives[ni] = active
+            self._astarts[ni] = t
+            arem = self._rem_l[active]
+            self._arems[ni] = arem
+            nn = t + arem / self._speed_l[ni]
+        else:
+            self._actives[ni] = -1
+            nn = _INF
+        pend = self._pendings[ni]
+        pi = self._pis[ni]
+        if pi < len(pend) and pend[pi][0] < nn:
+            nn = pend[pi][0]
+        self._node_next[ni] = nn
+
+    def _apply_dyn(self, ev) -> None:
+        """Apply one dynamic event at a global sync barrier.
+
+        Mirrors the engine's tie order: ``_sync_all`` first processes
+        every completion/admission due at or before ``ev.time``, then
+        the event handler mutates the (now-current) state."""
+        self.now = ev.time
+        self._sync_all()
+        if isinstance(ev, NodeDown):
+            self._on_down(ev.node, ev.time)
+        elif isinstance(ev, Cancel):
+            self._on_cancel(ev.job_id, ev.time)
+        else:
+            self._on_up(ev.node, ev.time)
+
+    def _on_down(self, node: int, t: float) -> None:
+        ni = self._ni_of[node]
+        if self._settle_active(ni, t) >= 0:
+            self._actives[ni] = -1
+            self._drain_tops(ni, t)
+        self._down_l[ni] = True
+        self._down_ids.add(node)
+        # Nothing arms while down: the only future event the node can
+        # see is a parent emission landing in its pending list.
+        pend = self._pendings[ni]
+        pi = self._pis[ni]
+        self._node_next[ni] = pend[pi][0] if pi < len(pend) else _INF
+
+    def _on_up(self, node: int, t: float) -> None:
+        ni = self._ni_of[node]
+        self._down_l[ni] = False
+        self._down_ids.discard(node)
+        self._drain_tops(ni, t)
+        self._rearm(ni, t)
+
+    def _on_cancel(self, job_id: int, t: float) -> None:
+        i = self._idx_of_id.get(job_id)
+        if i is None or job_id not in self._alive:
+            return  # unknown, not yet admitted, or already terminal
+        hop = self._hop_l[i]
+        ni = self._path_ni_l[i][hop]
+        heap = self._heaps[ni]
+        enc = self._enc_l[ni]
+        rem = self._rem_l
+        agg = self._through_count is not None
+        was_active = self._actives[ni] == i
+        if was_active:
+            self._settle_active(ni, t)
+            _heappop(heap)
+            self._actives[ni] = -1
+        else:
+            # Queued (or parked on a downed node): swap-remove plus
+            # heapify, exactly the engine's queue surgery — the active
+            # run (if any) keeps its armed completion.
+            if enc:
+                pos = heap.index(self._rank[i])
+            else:
+                pos = next(
+                    p for p, e in enumerate(heap) if e[1] == job_id
+                )
+            last = heap.pop()
+            if pos < len(heap):
+                heap[pos] = last
+                _heapify(heap)
+        rem_i = rem[i]
+        if agg:
+            # Unwind the job's share of every aggregate it still
+            # touches: its settled remainder here, its untouched quanta
+            # downstream.
+            self._queue_volume[ni] -= rem_i
+            tc = self._through_count
+            tv = self._through_volume
+            path = self._path_ni_l[i]
+            size = self._size_l[i]
+            for pos in range(hop, len(path)):
+                v = path[pos]
+                tc[v] -= 1
+                if pos == hop:
+                    tv[v] -= rem_i
+                elif self._is_leaf_l[v]:
+                    tv[v] -= self._p_leaf_l[i]
+                else:
+                    tv[v] -= size
+        if self._is_leaf_l[ni]:
+            # Close out the fractional-flow deficit: the fraction is
+            # ``rem / p_leaf`` and has been constant since the last
+            # settle, so the integrand over the open window is exact.
+            pl = self._p_leaf_l[i]
+            self._deficit_l[i] += (
+                (pl - rem_i) / pl * (t - self._prev_end_l[i])
+            )
+        rem[i] = 0.0
+        self._hop_l[i] = self._pathlen_l[i]
+        self._alive.discard(job_id)
+        self._alive_at_leaf[self._leaf_l[i]].discard(job_id)
+        self._cancelled[i] = t
+        if was_active:
+            self._drain_tops(ni, t)
+            self._rearm(ni, t)
+
+    # ------------------------------------------------------------------
     # arrivals
     # ------------------------------------------------------------------
     def _layout_for(
@@ -1314,7 +1653,10 @@ class NumpyEngine:
 
     def _handle_arrival(self, job: Job) -> None:
         now = self.now
-        leaf = self.policy.assign(self._view, job, now)
+        # Policies see the masked job: the size estimate (when present)
+        # substitutes for the true size, which is revealed only at
+        # completion — identical to the engine's information model.
+        leaf = self.policy.assign(self._view, job.masked(), now)
         origin = job.origin
         if origin is None or origin == self.instance.tree.root:
             layout = self._leaf_layouts.get(leaf)
@@ -1336,7 +1678,8 @@ class NumpyEngine:
          node_next, by_rank, idx_of_id, rem, hop_l, path_ni_l, size_l,
          id_l, rel_l, rank, p_leaf_l, is_leaf_l, enc_l, prev_end,
          deficit, comp, avail, alive, alive_at_leaf, leaf_l,
-         ftol_leaf_l, ftol_size_l, nid_l, segs, pathlen_l) = self._hot
+         ftol_leaf_l, ftol_size_l, nid_l, segs, pathlen_l,
+         down_l) = self._hot
         jid = job.id
         i = idx_of_id[jid]
         leaf_l[i] = leaf
@@ -1376,7 +1719,7 @@ class NumpyEngine:
         # Inlined fast admission paths (the two cases that dominate the
         # arrival phase); anything involving settles or finished-top
         # drains goes through the full :meth:`_admit_now`.
-        if enc_l[first]:
+        if enc_l[first] and not down_l[first]:
             active = actives[first]
             heap = heaps[first]
             if active >= 0:
@@ -1420,13 +1763,24 @@ class NumpyEngine:
             )
 
         handle = self._handle_arrival
+        dyn = self._dyn
+        di = 0
+        ndyn = len(dyn)
         for job in self._jobs_l:
+            # Dynamic events precede same-time arrivals (the engine's
+            # tie order: completions <= dyn events <= arrivals).
+            while di < ndyn and dyn[di].time <= job.release:
+                self._apply_dyn(dyn[di])
+                di += 1
             self.now = job.release
             handle(job)
-        # Arrivals count as events exactly as on the engine; adding them
-        # in one step keeps the final total identical while sparing the
-        # loop a counter read-modify-write per job.
-        self._num_events += len(self._jobs_l)
+        while di < ndyn:
+            self._apply_dyn(dyn[di])
+            di += 1
+        # Arrivals and dynamic events count exactly as on the engine;
+        # adding them in one step keeps the final total identical while
+        # sparing the loop a counter read-modify-write per item.
+        self._num_events += len(self._jobs_l) + ndyn
 
         # Final drain: preorder guarantees every node's parent empties
         # first, so one pass completes all in-flight work.
@@ -1438,6 +1792,7 @@ class NumpyEngine:
         alive_integral = 0.0
         records: dict[int, JobRecord] = {}
         for i, job in enumerate(self._jobs_l):
+            ct = self._cancelled.get(i)
             rec = JobRecord(
                 job_id=job.id,
                 release=job.release,
@@ -1445,9 +1800,17 @@ class NumpyEngine:
                 path=self._path_ids_l[i],
                 available_at=self._avail_l[i],
                 completed_at=self._comp_l[i],
+                cancelled_at=ct,
+                size_estimate=job.size_estimate,
             )
             records[job.id] = rec
-            if len(self._comp_l[i]) == len(self._path_ids_l[i]) and self._comp_l[i]:
+            if ct is not None:
+                # Truncated model: a cancelled job contributes its flow
+                # up to the cancel instant, fractional deficit included.
+                flow = ct - job.release
+                alive_integral += flow
+                frac += flow - self._deficit_l[i]
+            elif len(self._comp_l[i]) == len(self._path_ids_l[i]) and self._comp_l[i]:
                 flow = self._comp_l[i][-1] - job.release
                 alive_integral += flow
                 frac += flow - self._deficit_l[i]
@@ -1486,6 +1849,7 @@ def simulate_numpy(
     priority: PriorityFn = sjf_priority,
     record_segments: bool = False,
     check_invariants: bool = False,
+    events: EventSchedule | None = None,
 ) -> SimulationResult:
     """Build a :class:`NumpyEngine` and run it to completion."""
     return NumpyEngine(
@@ -1495,4 +1859,5 @@ def simulate_numpy(
         priority=priority,
         record_segments=record_segments,
         check_invariants=check_invariants,
+        events=events,
     ).run()

@@ -42,9 +42,12 @@ class EngineCounters:
         Number of engine runs merged into this struct (1 for a single
         ``SimulationResult``).
     events_processed:
-        Events handled by the main loop (arrivals + completions).
-    arrivals / completions:
-        The split of ``events_processed`` by kind.
+        Events handled by the main loop (arrivals + completions +
+        dynamic events).
+    arrivals / completions / dyn_events:
+        The split of ``events_processed`` by kind (``dyn_events`` counts
+        node breakdowns/repairs and cancellations from an
+        :class:`~repro.workload.events.EventSchedule`).
     stale_events_skipped:
         Version-invalidated completion predictions popped and discarded.
     settle_calls / rearm_calls:
@@ -80,6 +83,7 @@ class EngineCounters:
     events_processed: int = 0
     arrivals: int = 0
     completions: int = 0
+    dyn_events: int = 0
     stale_events_skipped: int = 0
     settle_calls: int = 0
     rearm_calls: int = 0

@@ -72,6 +72,7 @@ from repro.sim.tolerances import (
     finished_tol,
 )
 from repro.sim.speed import SpeedProfile
+from repro.workload.events import Cancel, DynEvent, EventSchedule, NodeDown
 from repro.workload.instance import Instance
 from repro.workload.job import Job
 
@@ -169,6 +170,7 @@ class _NodeState:
         "active_id",
         "active_started",
         "active_rem_start",
+        "down",
     )
 
     def __init__(self, node_id: int, speed: float, is_leaf: bool) -> None:
@@ -180,6 +182,12 @@ class _NodeState:
         self.active_id: int | None = None
         self.active_started = 0.0
         self.active_rem_start = 0.0
+        self.down = False
+
+
+#: Shared empty result for :meth:`SchedulerView.downed_nodes` — the
+#: overwhelmingly common (event-free) case allocates nothing.
+_NO_NODES: frozenset[int] = frozenset()
 
 
 class SchedulerView:
@@ -348,6 +356,22 @@ class SchedulerView:
         """Remaining processing of the job on its *current* node."""
         return self._engine._live_remaining(self._engine._states[job_id])
 
+    # -- dynamic events --------------------------------------------------
+    def downed_nodes(self) -> frozenset[int]:
+        """Ids of nodes currently down (empty on event-free runs).
+
+        Down-aware policies exclude leaves whose processing path crosses
+        a downed node; every other query keeps reporting the stalled
+        queues truthfully (jobs neither advance nor migrate while their
+        node is down).
+        """
+        down = self._engine._down
+        return frozenset(down) if down else _NO_NODES
+
+    def is_down(self, node: int) -> bool:
+        """Whether ``node`` is currently down."""
+        return node in self._engine._down
+
 
 class Engine:
     """One simulation run over an :class:`~repro.workload.instance.Instance`.
@@ -380,11 +404,21 @@ class Engine:
         ``None`` (the default), collection follows the process-wide
         switch (:func:`~repro.sim.counters.enable_global_counters`);
         disabled collection costs nothing in the hot path.
-    on_admit / on_finish:
+    events:
+        Optional :class:`~repro.workload.events.EventSchedule` of
+        dynamic mid-run events — node breakdowns/repairs and job
+        cancellations (see ``docs/dynamic-events.md``).  ``None`` (the
+        default) is bit-identical to an empty schedule.  At equal times
+        the engine processes completions first, then dynamic events,
+        then arrivals.
+    on_admit / on_finish / on_cancel:
         Optional open-system hooks.  ``on_admit(job)`` fires after each
         job is admitted (released and dispatched); ``on_finish(record)``
         fires when a job completes on its leaf, with the finished
-        :class:`~repro.sim.result.JobRecord`.  Like the tracer these are
+        :class:`~repro.sim.result.JobRecord`; ``on_cancel(record)``
+        fires when an alive job is withdrawn by a
+        :class:`~repro.workload.events.Cancel` event, with the record's
+        ``cancelled_at`` already stamped.  Like the tracer these are
         purely observational and cost one ``is None`` test when unset.
     evict_finished:
         When true, a job's runtime state (and its record) is dropped
@@ -423,7 +457,9 @@ class Engine:
         tracer: "TraceRecorder | None" = None,
         on_admit: Callable[[Job], None] | None = None,
         on_finish: Callable[[JobRecord], None] | None = None,
+        on_cancel: Callable[[JobRecord], None] | None = None,
         evict_finished: bool = False,
+        events: EventSchedule | None = None,
     ) -> None:
         self.instance = instance
         self.policy = policy
@@ -493,10 +529,21 @@ class Engine:
         self._segments: list[ScheduleSegment] | None = (
             [] if record_segments else None
         )
+        # Dynamic-event state: the canonical (time, kind, id)-ordered
+        # event tuple, a cursor into it, and the set of down node ids.
+        if events is not None and events:
+            events.validate_for(instance)
+            self._dyn: tuple[DynEvent, ...] = events.events
+        else:
+            self._dyn = ()
+        self._dyn_i = 0
+        self._down: set[int] = set()
+
         self._view = SchedulerView(self)
         self._observer = observer
         self._on_admit = on_admit
         self._on_finish = on_finish
+        self._on_cancel = on_cancel
         self._evict_finished = evict_finished
         self._finished = False
         # Open-system streaming state (see stream_start / _stream_loop):
@@ -643,6 +690,15 @@ class Engine:
         key = st.leaf_key if ns.is_leaf else st.node_key
         if key is None:
             key = self.priority(self.instance, st.job, ns.node_id)
+        if ns.down:
+            # A down node accepts queued work but never settles, drains
+            # or rearms — the job stalls until the matching NodeUp.
+            _heappush(ns.heap, (key, st.job.id))
+            self._queue_volume[ns.node_id] += st.remaining
+            if self._counters is not None:
+                self._counters.heap_pushes += 1
+                self._counters.aggregate_updates += 1
+            return
         if ns.active_id is not None:
             if ns.heap[0][0] < key:
                 _heappush(ns.heap, (key, st.job.id))
@@ -688,6 +744,8 @@ class Engine:
             self._alive_at_leaf[st.record.leaf].discard(jid)
             if tracer is not None:
                 tracer.on_finish(self.now, jid, st.record.leaf)
+                if st.job.size_estimate is not None:
+                    tracer.on_reveal(self.now, jid, st.job.size)
             if self._on_finish is not None:
                 self._on_finish(st.record)
             if self._evict_finished:
@@ -761,14 +819,24 @@ class Engine:
         return cached
 
     def _handle_arrival(self, job: Job) -> None:
-        leaf = self.policy.assign(self._view, job, self.now)
+        # Partial information: the policy scores the arriving job by its
+        # declared estimate (``masked()`` is identity when none is set);
+        # engine-side priorities, aggregates and processing use the true
+        # size, which is revealed at completion.
+        leaf = self.policy.assign(self._view, job.masked(), self.now)
         path, pos_of = self._layout_for(job, leaf)
         p_leaf = job.processing_on_leaf(leaf)
         if not math.isfinite(p_leaf):
             raise AssignmentError(
                 f"policy assigned job {job.id} to forbidden leaf {leaf} (p=inf)"
             )
-        record = JobRecord(job_id=job.id, release=job.release, leaf=leaf, path=path)
+        record = JobRecord(
+            job_id=job.id,
+            release=job.release,
+            leaf=leaf,
+            path=path,
+            size_estimate=job.size_estimate,
+        )
         st = _JobState(job, record, pos_of)
         st.leaf_time = p_leaf
         if self._prio_kind == 1:
@@ -870,6 +938,8 @@ class Engine:
             self._alive_at_leaf[st.record.leaf].discard(jid)
             if tracer is not None:
                 tracer.on_finish(now, jid, st.record.leaf)
+                if st.job.size_estimate is not None:
+                    tracer.on_reveal(now, jid, st.job.size)
             if self._on_finish is not None:
                 self._on_finish(st.record)
             if self._evict_finished:
@@ -901,6 +971,115 @@ class Engine:
                 counters.heap_pushes += 1
             if ns.is_leaf:
                 self._set_leaf_drain(node_id, ns.speed / nxt_st.leaf_time)
+
+    # ------------------------------------------------------------------
+    # dynamic events (node breakdowns/repairs, cancellations)
+    # ------------------------------------------------------------------
+    def _handle_dyn(self, ev: DynEvent) -> None:
+        """Apply one dynamic event at ``self.now == ev.time``."""
+        if type(ev) is Cancel:
+            self._handle_cancel(ev.job_id)
+        elif type(ev) is NodeDown:
+            self._handle_node_down(ev.node)
+        else:
+            self._handle_node_up(ev.node)
+
+    def _handle_node_down(self, node: int) -> None:
+        """Node ``node`` stops serving: settle the active run, complete
+        any zero-remaining heap tops *at the down instant* (a job whose
+        work hit exactly zero has finished — the completions-first tie
+        rule, which the exact-replay oracle shares), invalidate the
+        pending completion prediction, and mark the node down."""
+        ns = self._nodes[node]
+        self._settle(ns)
+        self._drain_finished_top(ns)
+        # _settle does not bump the version (its callers normally rearm,
+        # which does).  A down node must not rearm, so bump here or the
+        # stale completion event would restart the node mid-outage.
+        ns.version += 1
+        ns.down = True
+        self._down.add(node)
+        if self._tracer is not None:
+            self._tracer.on_node_down(self.now, node)
+
+    def _handle_node_up(self, node: int) -> None:
+        """Node ``node`` resumes serving: drain (arrivals while down
+        carry full work, so this is a guard, not a work source) and
+        restart the highest-priority stalled job."""
+        ns = self._nodes[node]
+        ns.down = False
+        self._down.discard(node)
+        self._drain_finished_top(ns)
+        self._rearm(ns)
+        if self._tracer is not None:
+            self._tracer.on_node_up(self.now, node)
+
+    def _handle_cancel(self, job_id: int) -> None:
+        """Withdraw ``job_id`` if it is alive; otherwise a defined no-op
+        (unknown id, not yet released, or already finished)."""
+        st = self._states.get(job_id)
+        if st is None or st.done:
+            return
+        cur = st.path[st.idx]
+        ns = self._nodes[cur]
+        if ns.active_id == job_id:
+            # In service: settle folds the elapsed work (closing the
+            # schedule segment), then the job — still the heap top —
+            # is popped and the node restarted on the next job.
+            self._settle(ns)
+            _heappop(ns.heap)
+            self._drain_finished_top(ns)
+            self._rearm(ns)
+        else:
+            # Queued (possibly on a down node): remove its heap entry.
+            # Removing a non-minimum entry keeps heap[0] — and with it
+            # the active job's pending completion event — valid, so the
+            # version is deliberately NOT bumped.
+            heap = ns.heap
+            for pos, (_, jid) in enumerate(heap):
+                if jid == job_id:
+                    heap[pos] = heap[-1]
+                    heap.pop()
+                    heapq.heapify(heap)
+                    break
+
+        # Aggregate mutation point: the cancelled job's residual leaves
+        # its current node's volumes and its future requirements leave
+        # every remaining node of its path.
+        rem = st.remaining
+        self._queue_volume[cur] -= rem
+        tc = self._through_count
+        tv = self._through_volume
+        path = st.path
+        for pos in range(st.idx, len(path)):
+            v = path[pos]
+            tc[v] -= 1
+            tv[v] -= rem if pos == st.idx else self._processing_on(
+                self._nodes[v], st
+            )
+        if self._counters is not None:
+            self._counters.aggregate_updates += len(path) - st.idx + 1
+
+        # Fractional-flow accounting: the job's alive fraction vanishes.
+        leaf = st.record.leaf
+        lpos = st.pos_of[leaf]
+        if st.idx < lpos:
+            af = self._alive_fraction - 1.0
+        else:
+            af = self._alive_fraction - rem / st.leaf_time
+        self._alive_fraction = af if af > 0.0 else 0.0
+
+        self._alive.discard(job_id)
+        self._alive_at_leaf[leaf].discard(job_id)
+        st.idx = len(path)
+        st.remaining = 0.0
+        st.record.cancelled_at = self.now
+        if self._tracer is not None:
+            self._tracer.on_cancel(self.now, job_id, cur)
+        if self._on_cancel is not None:
+            self._on_cancel(st.record)
+        if self._evict_finished:
+            del self._states[job_id]
 
     # ------------------------------------------------------------------
     # main loop (open-system core; batch run() is the closed special case)
@@ -942,6 +1121,9 @@ class Engine:
             max_events = inf
         it = self._arrivals_iter
         pending = self._pending_job
+        dyn = self._dyn
+        dyn_i = self._dyn_i
+        n_dyn = len(dyn)
 
         try:
             while True:
@@ -955,10 +1137,17 @@ class Engine:
                         counters.stale_events_skipped += 1
                 next_completion = events[0][0] if events else inf
                 next_arrival = pending.release if pending is not None else inf
-                if until is not None and min(next_completion, next_arrival) > until:
+                next_dyn = dyn[dyn_i].time if dyn_i < n_dyn else inf
+                if until is not None and (
+                    min(next_completion, next_arrival, next_dyn) > until
+                ):
                     self._advance(until)
                     break
-                if next_completion is inf and next_arrival is inf:
+                if (
+                    next_completion is inf
+                    and next_arrival is inf
+                    and next_dyn is inf
+                ):
                     break
                 self._num_events += 1
                 if self._num_events > max_events:
@@ -967,7 +1156,9 @@ class Engine:
                         "likely a policy or engine bug"
                     )
                 phase_started = perf_counter() if counters is not None else 0.0
-                if next_completion <= next_arrival:
+                # Tie rule at equal instants: completions first, then
+                # dynamic events, then arrivals.
+                if next_completion <= next_arrival and next_completion <= next_dyn:
                     t, version, _, node_id = _heappop(events)
                     if tracer is not None:
                         tracer.before_advance(t)
@@ -992,6 +1183,23 @@ class Engine:
                         counters.completion_seconds += perf_counter() - phase_started
                     if self._observer is not None:
                         self._observer(self._view, "completion", node_id)
+                elif next_dyn <= next_arrival:
+                    ev = dyn[dyn_i]
+                    dyn_i += 1
+                    if tracer is not None:
+                        tracer.before_advance(next_dyn)
+                    self._advance(next_dyn)
+                    self._handle_dyn(ev)
+                    if counters is not None:
+                        counters.events_processed += 1
+                        counters.dyn_events += 1
+                    if self._observer is not None:
+                        if type(ev) is Cancel:
+                            self._observer(self._view, "cancel", ev.job_id)
+                        elif type(ev) is NodeDown:
+                            self._observer(self._view, "node_down", ev.node)
+                        else:
+                            self._observer(self._view, "node_up", ev.node)
                 else:
                     if tracer is not None:
                         tracer.before_advance(next_arrival)
@@ -1009,6 +1217,7 @@ class Engine:
                     self._assert_invariants()
         finally:
             self._pending_job = pending
+            self._dyn_i = dyn_i
             if counters is not None:
                 self._run_seconds += perf_counter() - run_started
 
@@ -1135,6 +1344,22 @@ class Engine:
                         f"job {jid} queued on two nodes: {seen[jid]}, {ns.node_id}"
                     )
                 seen[jid] = ns.node_id
+            # A down node must be idle (its queue stalls, it never arms)
+            # and the down flag must agree with the engine's down set.
+            if ns.down:
+                if ns.active_id is not None:
+                    raise InvariantViolation(
+                        f"down node {ns.node_id} has active job {ns.active_id}"
+                    )
+                if ns.node_id not in self._down:
+                    raise InvariantViolation(
+                        f"node {ns.node_id} flagged down but absent from the "
+                        "down set"
+                    )
+            elif ns.node_id in self._down:
+                raise InvariantViolation(
+                    f"node {ns.node_id} in the down set but not flagged down"
+                )
             # The active job must be the heap minimum.
             if ns.active_id is not None:
                 if not ns.heap or ns.heap[0][1] != ns.active_id:
@@ -1227,6 +1452,7 @@ def simulate(
     until: float | None = None,
     collect_counters: bool | None = None,
     tracer: "TraceRecorder | None" = None,
+    events: EventSchedule | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build an :class:`Engine` and run it.
 
@@ -1244,4 +1470,5 @@ def simulate(
         observer=observer,
         collect_counters=collect_counters,
         tracer=tracer,
+        events=events,
     ).run(until=until)

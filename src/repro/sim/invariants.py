@@ -13,6 +13,12 @@
    the instant it completes on node ``i``.
 4. **Release respect** — nothing is processed before its release.
 
+Jobs withdrawn by a :class:`~repro.workload.events.Cancel` event are
+validated against a truncated model: completed hops obey the rules
+above, the hop in progress at the cancel may have processed *at most*
+its requirement with every segment ending by ``cancelled_at``, and no
+processing exists past the truncation point.
+
 These checks are independent of the engine's internal bookkeeping: they
 consume only the emitted segments and records, so an engine bug cannot
 hide itself.
@@ -63,6 +69,9 @@ def validate_schedule(result: SimulationResult, *, tol: float = SCHEDULE_TOL) ->
 
     for rec in result.records.values():
         job = instance.jobs.by_id(rec.job_id)
+        if rec.cancelled:
+            _validate_cancelled(rec, job, instance, result, by_job_node, tol)
+            continue
         if len(rec.available_at) != len(rec.path) or len(rec.completed_at) != len(
             rec.path
         ):
@@ -103,11 +112,22 @@ def validate_schedule(result: SimulationResult, *, tol: float = SCHEDULE_TOL) ->
         raise InvariantViolation(f"processing off the assigned path: {stray}")
 
     # 3b. segments must lie inside the availability window on their node.
-    windows = {
-        (rec.job_id, node): (rec.available_at[i], rec.completed_at[i])
-        for rec in result.records.values()
-        for i, node in enumerate(rec.path)
-    }
+    # For a cancelled job the window of the hop in progress closes at the
+    # cancel instant, and hops never reached have no window at all.
+    windows = {}
+    for rec in result.records.values():
+        n_done = len(rec.completed_at)
+        for i, node in enumerate(rec.path):
+            if i < n_done:
+                windows[(rec.job_id, node)] = (
+                    rec.available_at[i],
+                    rec.completed_at[i],
+                )
+            elif rec.cancelled and i < len(rec.available_at):
+                windows[(rec.job_id, node)] = (
+                    rec.available_at[i],
+                    rec.cancelled_at,
+                )
     for seg in result.segments:
         window = windows.get((seg.job_id, seg.node))
         if window is None:
@@ -118,4 +138,59 @@ def validate_schedule(result: SimulationResult, *, tol: float = SCHEDULE_TOL) ->
         if seg.start < lo - tol or seg.end > hi + tol:
             raise InvariantViolation(
                 f"segment {seg} outside availability window [{lo}, {hi}]"
+            )
+
+
+def _validate_cancelled(rec, job, instance, result, by_job_node, tol) -> None:
+    """Truncated-model validation of one cancelled job record."""
+    n_avail = len(rec.available_at)
+    n_done = len(rec.completed_at)
+    ct = rec.cancelled_at
+    if n_done > n_avail or n_avail > len(rec.path):
+        raise InvariantViolation(
+            f"job {rec.job_id}: inconsistent cancelled record "
+            f"({n_avail} availabilities, {n_done} hop completions)"
+        )
+    if n_avail and rec.available_at[0] < job.release - tol:
+        raise InvariantViolation(f"job {rec.job_id} available before release")
+    for i in range(n_done):
+        node = rec.path[i]
+        speed = result.speeds.speed_of(instance.tree, node)
+        required = instance.processing_time(job, node)
+        done = by_job_node.pop((rec.job_id, node), 0.0) * speed
+        if abs(done - required) > tol * max(1.0, required):
+            raise InvariantViolation(
+                f"job {rec.job_id} on node {node}: processed {done}, "
+                f"required {required}"
+            )
+        if rec.completed_at[i] < rec.available_at[i] - tol:
+            raise InvariantViolation(
+                f"job {rec.job_id} completed on node {node} before available"
+            )
+        if rec.completed_at[i] > ct + tol:
+            raise InvariantViolation(
+                f"job {rec.job_id}: hop completion on node {node} at "
+                f"{rec.completed_at[i]} after cancellation at {ct}"
+            )
+        if i + 1 < n_avail and abs(rec.available_at[i + 1] - rec.completed_at[i]) > tol:
+            raise InvariantViolation(
+                f"job {rec.job_id}: availability on {rec.path[i + 1]} "
+                f"({rec.available_at[i + 1]}) does not match completion "
+                f"on {node} ({rec.completed_at[i]})"
+            )
+    if n_avail > n_done:
+        # the hop in progress at the cancel: work is truncated, never over.
+        node = rec.path[n_done]
+        speed = result.speeds.speed_of(instance.tree, node)
+        required = instance.processing_time(job, node)
+        done = by_job_node.pop((rec.job_id, node), 0.0) * speed
+        if done > required + tol * max(1.0, required):
+            raise InvariantViolation(
+                f"job {rec.job_id} on node {node}: processed {done} exceeds "
+                f"requirement {required} despite cancellation"
+            )
+        if rec.available_at[n_done] > ct + tol:
+            raise InvariantViolation(
+                f"job {rec.job_id}: became available on node {node} after "
+                f"its cancellation at {ct}"
             )

@@ -37,6 +37,16 @@ class JobRecord:
     completed_at:
         ``completed_at[i]`` is the time the job finished processing on
         ``path[i]``.  The final entry is the completion time ``C_j``.
+    cancelled_at:
+        ``None`` unless the job was withdrawn mid-run by a
+        :class:`~repro.workload.events.Cancel` event, in which case this
+        is the cancellation instant — a *terminal* state distinct from
+        completion (``finished`` stays false; the job is excluded from
+        flow-time metrics).
+    size_estimate:
+        The declared size estimate the assignment policy saw (``None``
+        for fully-known sizes) — recorded so traces and audits can
+        reconstruct the policy's information set.
     """
 
     job_id: int
@@ -45,6 +55,8 @@ class JobRecord:
     path: tuple[int, ...]
     available_at: list[float] = field(default_factory=list)
     completed_at: list[float] = field(default_factory=list)
+    cancelled_at: float | None = None
+    size_estimate: float | None = None
 
     @property
     def completion(self) -> float:
@@ -62,6 +74,11 @@ class JobRecord:
     def finished(self) -> bool:
         """Whether the job completed on its leaf."""
         return len(self.completed_at) == len(self.path)
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the job ended in the cancelled terminal state."""
+        return self.cancelled_at is not None
 
     def time_on_node(self, i: int) -> float:
         """Wall-clock the job spent associated with ``path[i]``
@@ -139,18 +156,46 @@ class SimulationResult:
         run, a strict subset after a bounded-horizon run."""
         return {j: rec for j, rec in self.records.items() if rec.finished}
 
+    def cancelled_records(self) -> dict[int, JobRecord]:
+        """Only the jobs withdrawn by a ``Cancel`` event (empty for
+        event-free runs)."""
+        return {j: rec for j, rec in self.records.items() if rec.cancelled}
+
     def unfinished_job_ids(self) -> tuple[int, ...]:
-        """Ids of admitted jobs still in flight (bounded-horizon runs)."""
-        return tuple(sorted(j for j, rec in self.records.items() if not rec.finished))
+        """Ids of admitted jobs still in flight (bounded-horizon runs);
+        cancelled jobs are terminal, not in flight."""
+        return tuple(
+            sorted(
+                j
+                for j, rec in self.records.items()
+                if not rec.finished and not rec.cancelled
+            )
+        )
 
     def completions(self) -> dict[int, float]:
-        """``job id -> C_j``."""
-        return {j: rec.completion for j, rec in self.records.items()}
+        """``job id -> C_j`` over finished jobs (cancelled jobs have no
+        completion and are excluded)."""
+        return {
+            j: rec.completion
+            for j, rec in self.records.items()
+            if not rec.cancelled
+        }
 
     def flow_times(self) -> np.ndarray:
-        """Per-job flow times in job-id order."""
+        """Per-job flow times in job-id order.
+
+        Cancelled jobs never appear here: a withdrawn job has no
+        completion, so it contributes to no flow-time statistic.  An
+        unfinished *non-cancelled* record still raises, exactly as
+        before.
+        """
         return np.array(
-            [self.records[j].flow_time for j in sorted(self.records)], dtype=float
+            [
+                self.records[j].flow_time
+                for j in sorted(self.records)
+                if not self.records[j].cancelled
+            ],
+            dtype=float,
         )
 
     def total_flow_time(self) -> float:
@@ -175,8 +220,11 @@ class SimulationResult:
         )
 
     def verify_complete(self) -> None:
-        """Raise if any released job failed to finish."""
-        unfinished = [j for j, r in self.records.items() if not r.finished]
+        """Raise if any released job failed to reach a terminal state
+        (finished, or cancelled by a dynamic event)."""
+        unfinished = [
+            j for j, r in self.records.items() if not r.finished and not r.cancelled
+        ]
         if unfinished:
             raise SimulationError(f"jobs did not complete: {unfinished[:10]}")
 

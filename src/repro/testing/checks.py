@@ -104,6 +104,7 @@ def run_checks(
         raise ValueError(f"unknown checks: {sorted(unknown)}")
     failures: list[CheckFailure] = []
 
+    events = case.events
     tracer = TraceRecorder(gauge_interval=None)
     try:
         base = simulate(
@@ -115,6 +116,7 @@ def run_checks(
             check_invariants=True,
             collect_counters=True,
             tracer=tracer,
+            events=events,
         )
     except (TreeSchedError, AssertionError) as exc:
         return [CheckFailure("engine", f"{type(exc).__name__}: {exc}")]
@@ -123,7 +125,29 @@ def run_checks(
             CheckFailure(
                 "engine",
                 f"only {len(base.records)} of {len(case.instance.jobs)} "
-                "jobs completed",
+                "jobs dispatched",
+            )
+        ]
+    # Completeness is terminal-state based: every released job must end
+    # finished or (event-bearing cases only) cancelled.
+    non_terminal = sorted(
+        j for j, r in base.records.items() if not r.finished and not r.cancelled
+    )
+    if non_terminal:
+        return [
+            CheckFailure(
+                "engine", f"jobs in non-terminal state: {non_terminal[:10]}"
+            )
+        ]
+    stray_cancelled = sorted(j for j, r in base.records.items() if r.cancelled)
+    if stray_cancelled and (
+        events is None
+        or any(j not in events.cancel_times() for j in stray_cancelled)
+    ):
+        return [
+            CheckFailure(
+                "engine",
+                f"jobs cancelled without a matching event: {stray_cancelled[:10]}",
             )
         ]
     assignment = base.assignment()
@@ -135,13 +159,27 @@ def run_checks(
                 assignment,
                 speeds=case.speeds(),
                 priority=case.priority_fn(),
+                events=events,
             )
         except TreeSchedError as exc:
             failures.append(
                 CheckFailure("exact_oracle", f"oracle raised {exc}")
             )
         else:
+            # The oracle must agree on terminal states too: it returns
+            # completions exactly for the non-cancelled jobs.
             for jid, rec in base.records.items():
+                if rec.cancelled:
+                    if jid in oracle:
+                        failures.append(
+                            CheckFailure(
+                                "exact_oracle",
+                                f"job {jid}: engine cancelled at "
+                                f"{rec.cancelled_at!r}, exact replay completed "
+                                f"at {oracle[jid]!r}",
+                            )
+                        )
+                    continue
                 if jid not in oracle:
                     failures.append(
                         CheckFailure("exact_oracle", f"job {jid} missing")
@@ -162,16 +200,33 @@ def run_checks(
         # vanish as dt shrinks (the error band tightens 5x per rung);
         # a genuine engine bug stays put.  Only a disagreement that
         # survives every rung is reported.
+        cancel_times = events.cancel_times() if events is not None else {}
         for rung, step in enumerate((dt, dt / 5.0, dt / 25.0)):
             tol = _dt_tol(case, base, step)
             reference = reference_simulate(
-                case.instance, assignment, dt=step, speeds=case.speeds()
+                case.instance,
+                assignment,
+                dt=step,
+                speeds=case.speeds(),
+                events=events,
             )
             disagreements = []
             for jid, rec in base.records.items():
                 got = reference.get(jid)
+                if rec.cancelled:
+                    # A terminal-state disagreement is only tolerable as a
+                    # tick-scale near-tie at the cancel instant.
+                    if got is not None and abs(got - rec.cancelled_at) > tol:
+                        disagreements.append(
+                            f"job {jid}: engine cancelled at "
+                            f"{rec.cancelled_at}, reference completed at "
+                            f"{got} (dt {step}, tol {tol})"
+                        )
+                    continue
                 if got is None:
-                    disagreements.append(f"job {jid} never completed")
+                    c = cancel_times.get(jid)
+                    if c is None or abs(rec.completion - c) > tol:
+                        disagreements.append(f"job {jid} never completed")
                 elif abs(got - rec.completion) > tol:
                     disagreements.append(
                         f"job {jid}: engine {rec.completion}, reference "
@@ -197,15 +252,25 @@ def run_checks(
             case.policy(),
             speeds=case.speeds(),
             priority=case.priority_fn(),
+            events=events,
         )
         for jid, rec in base.records.items():
-            if untraced.records[jid].completion != rec.completion:
+            other = untraced.records[jid]
+            if rec.cancelled or other.cancelled:
+                if other.cancelled_at != rec.cancelled_at:
+                    failures.append(
+                        CheckFailure(
+                            "trace_consistency",
+                            f"job {jid}: tracing changed cancellation "
+                            f"{other.cancelled_at!r} -> {rec.cancelled_at!r}",
+                        )
+                    )
+            elif other.completion != rec.completion:
                 failures.append(
                     CheckFailure(
                         "trace_consistency",
                         f"job {jid}: tracing changed completion "
-                        f"{untraced.records[jid].completion!r} -> "
-                        f"{rec.completion!r}",
+                        f"{other.completion!r} -> {rec.completion!r}",
                     )
                 )
 
@@ -214,12 +279,21 @@ def run_checks(
         n = len(case.instance.jobs)
         if c.runs != 1:
             failures.append(CheckFailure("counters", f"runs = {c.runs}, not 1"))
-        if c.events_processed != c.arrivals + c.completions:
+        if c.events_processed != c.arrivals + c.completions + c.dyn_events:
             failures.append(
                 CheckFailure(
                     "counters",
                     f"events_processed {c.events_processed} != arrivals "
-                    f"{c.arrivals} + completions {c.completions}",
+                    f"{c.arrivals} + completions {c.completions} + "
+                    f"dyn_events {c.dyn_events}",
+                )
+            )
+        n_dyn = len(events) if events is not None else 0
+        if c.dyn_events != n_dyn:
+            failures.append(
+                CheckFailure(
+                    "counters",
+                    f"dyn_events {c.dyn_events} for a schedule of {n_dyn}",
                 )
             )
         if c.arrivals != n:
@@ -280,6 +354,7 @@ def _check_numpy_backend(case: FuzzCase, base, assignment):
             case.policy(),
             case.speeds(),
             priority=case.priority_fn(),
+            events=case.events,
         ).run()
     except (TreeSchedError, AssertionError) as exc:
         return [
@@ -306,6 +381,18 @@ def _check_numpy_backend(case: FuzzCase, base, assignment):
                 CheckFailure("backends", f"job {jid} never completed on numpy")
             )
             continue
+        if rec.cancelled != got.cancelled or (
+            rec.cancelled
+            and abs(rec.cancelled_at - got.cancelled_at) > SCHEDULE_TOL
+        ):
+            failures.append(
+                CheckFailure(
+                    "backends",
+                    f"job {jid}: terminal state engine "
+                    f"cancelled_at={rec.cancelled_at!r}, numpy "
+                    f"cancelled_at={got.cancelled_at!r}",
+                )
+            )
         for label, ours, theirs in (
             ("completed_at", rec.completed_at, got.completed_at),
             ("available_at", rec.available_at, got.available_at),
@@ -345,8 +432,12 @@ def _check_c_backend(case: FuzzCase, numpy_result) -> list[CheckFailure]:
             case.policy(),
             case.speeds(),
             priority=case.priority_fn(),
+            events=case.events,
         )
     except (CKernelInapplicable, c_build.CKernelUnavailable):
+        # Event-bearing plans are among the inapplicable cases: the C
+        # kernel declines them and the numpy check above keeps the case
+        # pinned to the reference engine.
         return []
     try:
         alt = eng.run()
@@ -405,4 +496,5 @@ def _dt_tol(case: FuzzCase, base, dt: float) -> float:
     profile = case.speeds() or SpeedProfile.uniform(1.0)
     top_speed = max(profile.speeds_for(case.instance.tree).values())
     longest = max(len(rec.path) for rec in base.records.values())
-    return dt * (longest + 4) * max(1.0, top_speed) + 1e-9
+    n_events = len(case.events) if case.events is not None else 0
+    return dt * (longest + 4 + n_events) * max(1.0, top_speed) + 1e-9

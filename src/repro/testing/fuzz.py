@@ -43,6 +43,7 @@ class FuzzFailureRecord:
     shrink_steps: int
     path: str | None
     failures: list[CheckFailure] = field(default_factory=list)
+    n_events_shrunk: int = 0
 
     def to_doc(self) -> dict:
         return {
@@ -51,6 +52,7 @@ class FuzzFailureRecord:
             "failing_checks": list(self.failing_checks),
             "n_jobs_original": self.n_jobs_original,
             "n_jobs_shrunk": self.n_jobs_shrunk,
+            "n_events_shrunk": self.n_events_shrunk,
             "shrink_steps": self.shrink_steps,
             "path": self.path,
             "failures": [
@@ -92,6 +94,7 @@ def run_fuzz(
     corpus_dir: str | Path | None = DEFAULT_CORPUS_DIR,
     checks=None,
     backends: bool = False,
+    events: bool = False,
     shrink: bool = True,
     shrink_attempts: int = 400,
     progress=None,
@@ -115,6 +118,10 @@ def run_fuzz(
         also replayed on the vectorised numpy kernel, which must agree
         with the reference engine (and, transitively, with the exact
         and dt oracles the battery already compares it against).
+    events:
+        Extend the case stream with dynamic-event plans (node outages,
+        cancellations) drawn from a separate sub-stream; the default
+        stream stays byte-identical when off.
     shrink:
         Minimise failing cases before persisting.
     shrink_attempts:
@@ -130,7 +137,7 @@ def run_fuzz(
         selected = selected + (BACKEND_CHECK,)
     started = time.monotonic()
     summary = FuzzSummary(seed=seed, cases_run=0, elapsed_seconds=0.0)
-    for case in iter_cases(seed, max_cases):
+    for case in iter_cases(seed, max_cases, events=events):
         if (
             budget_seconds is not None
             and time.monotonic() - started >= budget_seconds
@@ -194,4 +201,5 @@ def _handle_failure(
         shrink_steps=shrink_steps,
         path=path,
         failures=list(failures),
+        n_events_shrunk=len(case.events) if case.events is not None else 0,
     )

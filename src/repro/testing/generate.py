@@ -42,6 +42,7 @@ from repro.workload.arrivals import (
     poisson_arrivals,
     tied_arrivals,
 )
+from repro.workload.events import Cancel, EventSchedule, NodeDown, NodeUp
 from repro.workload.instance import Instance, Setting
 from repro.workload.job import JobSet
 from repro.workload.sizes import (
@@ -59,6 +60,7 @@ __all__ = [
     "POLICIES",
     "SPEEDS",
     "PRIORITIES",
+    "EVENT_FAMILIES",
     "CaseConfig",
     "FuzzCase",
     "build_case",
@@ -90,6 +92,11 @@ POLICIES = ("greedy", "closest", "random", "least-loaded", "round-robin", "fixed
 #: exact); ``tiered`` mixes faster routers with slower leaves.
 SPEEDS = ("unit", "crawl", "fast", "tiered")
 PRIORITIES = ("sjf", "fifo")
+#: Dynamic-event families: ``none`` reproduces the historical static
+#: stream byte-for-byte, the rest layer an :class:`EventSchedule` drawn
+#: from an *independent* sub-stream on top of the same instance (so a
+#: case and its event-free twin share jobs, tree, and assignment grid).
+EVENT_FAMILIES = ("none", "outages", "cancels", "mixed")
 
 _SPEED_PROFILES = {
     "unit": lambda: None,
@@ -113,14 +120,18 @@ class CaseConfig:
     eps: float = 0.5
     speed: str = "unit"
     priority: str = "sjf"
+    events: str = "none"
 
     def label(self) -> str:
         """Compact human-readable tag used in summaries and corpus docs."""
-        return (
+        tag = (
             f"{self.topology}/{self.arrivals}/{self.sizes}/{self.setting}"
             f"/{self.policy}/{self.speed}/{self.priority}"
             f"/n{self.n_jobs}/s{self.seed}"
         )
+        if self.events != "none":
+            tag += f"/ev-{self.events}"
+        return tag
 
     def to_doc(self) -> dict:
         return asdict(self)
@@ -144,6 +155,7 @@ class FuzzCase:
     instance: Instance
     fixed_assignment: dict[int, int] | None = None
     shrunk: bool = field(default=False)
+    events: EventSchedule | None = None
 
     def speeds(self) -> SpeedProfile | None:
         return _SPEED_PROFILES[self.config.speed]()
@@ -175,11 +187,13 @@ class FuzzCase:
                 else {str(k): v for k, v in self.fixed_assignment.items()}
             ),
             "shrunk": self.shrunk,
+            "events": None if self.events is None else self.events.to_doc(),
         }
 
     @staticmethod
     def from_doc(doc: dict) -> "FuzzCase":
         fixed = doc.get("fixed_assignment")
+        ev_doc = doc.get("events")
         return FuzzCase(
             config=CaseConfig.from_doc(doc["config"]),
             instance=instance_from_json(json.dumps(doc["instance"])),
@@ -187,6 +201,7 @@ class FuzzCase:
                 None if fixed is None else {int(k): int(v) for k, v in fixed.items()}
             ),
             shrunk=bool(doc.get("shrunk", False)),
+            events=None if not ev_doc else EventSchedule.from_doc(ev_doc),
         )
 
 
@@ -228,6 +243,53 @@ def _make_releases(
     raise WorkloadError(f"unknown arrival family {config.arrivals!r}")
 
 
+def _make_events(config: CaseConfig, instance: Instance) -> EventSchedule | None:
+    """Draw the case's dynamic events from an independent sub-stream.
+
+    The event randomness is seeded ``[config.seed, <tag>]`` rather than
+    taken from the instance rng, so a case and its ``events="none"``
+    twin are built on *identical* jobs — the metamorphic
+    ``empty_events`` relation and the EXPERIMENTS ablation both rely on
+    it.  Times land on a ``0.25`` grid (exact in binary, collision-rich
+    against power-of-two sizes on integer releases); cancels fire a
+    strictly positive grid offset after their job's release, since a
+    cancel at or before release is a defined no-op the oracles would
+    never observe.
+    """
+    if config.events == "none":
+        return None
+    if config.events not in EVENT_FAMILIES:
+        raise WorkloadError(f"unknown event family {config.events!r}")
+    rng = np.random.default_rng([config.seed, 0xD1CE])
+    tree = instance.tree
+    jobs = list(instance.jobs)
+    horizon = max(
+        1.0,
+        max((j.release for j in jobs), default=0.0)
+        + float(sum(j.size for j in jobs)),
+    )
+    grid = max(1, int(horizon * 4))
+    events: list = []
+    if config.events in ("outages", "mixed"):
+        nodes = sorted(v for v in tree.node_ids if v != tree.root)
+        n_out = min(int(rng.integers(1, 3)), len(nodes))
+        picked = rng.choice(len(nodes), size=n_out, replace=False)
+        for idx in sorted(int(i) for i in picked):
+            node = nodes[idx]
+            start = 0.25 * float(rng.integers(0, grid))
+            length = 0.25 * float(rng.integers(1, max(2, grid // 2)))
+            events.append(NodeDown(start, node))
+            events.append(NodeUp(start + length, node))
+    if config.events in ("cancels", "mixed"):
+        n_cancel = min(int(rng.integers(1, 4)), len(jobs))
+        picked = rng.choice(len(jobs), size=n_cancel, replace=False)
+        for idx in sorted(int(i) for i in picked):
+            job = jobs[idx]
+            delta = 0.25 * float(rng.integers(1, max(2, grid)))
+            events.append(Cancel(job.release + delta, job.id))
+    return EventSchedule(events)
+
+
 def build_case(config: CaseConfig) -> FuzzCase:
     """Materialise a :class:`CaseConfig` into a runnable case.
 
@@ -252,7 +314,12 @@ def build_case(config: CaseConfig) -> FuzzCase:
         for job in instance.jobs:
             feasible = instance.feasible_leaves(job)
             fixed[job.id] = int(feasible[int(rng.integers(len(feasible)))])
-    return FuzzCase(config=config, instance=instance, fixed_assignment=fixed)
+    return FuzzCase(
+        config=config,
+        instance=instance,
+        fixed_assignment=fixed,
+        events=_make_events(config, instance),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -289,7 +356,9 @@ def _collision_config(rng: np.random.Generator) -> CaseConfig:
     )
 
 
-def iter_cases(seed: int, max_cases: int | None = None) -> Iterator[FuzzCase]:
+def iter_cases(
+    seed: int, max_cases: int | None = None, *, events: bool = False
+) -> Iterator[FuzzCase]:
     """Yield a deterministic stream of materialised cases.
 
     The first dozen cases are a fixed smoke deck — one per boundary
@@ -298,6 +367,13 @@ def iter_cases(seed: int, max_cases: int | None = None) -> Iterator[FuzzCase]:
     are sampled from the grids with weights biased toward the tie-heavy
     families (~60% of size draws are equal/powers/near-tie, ~60% of
     arrival patterns share release instants).
+
+    With ``events=True`` the deck gains an event-bearing slice (outages
+    on stalls-prone spines, cancels against ties, a mixed schedule) and
+    sampled cases draw a dynamic-event family (~55% carry events).  The
+    default stream is untouched — every rng draw of the ``events=False``
+    stream happens in the same order, so historical corpora and golden
+    registries replay byte-identically.
     """
     rng = np.random.default_rng(seed)
     deck = [
@@ -314,6 +390,24 @@ def iter_cases(seed: int, max_cases: int | None = None) -> Iterator[FuzzCase]:
         CaseConfig(0, "paths_2x1", 7, "tied", "powers", policy="fixed"),
         CaseConfig(0, "spine2", 8, "integer_grid", "equal", policy="round-robin"),
     ]
+    if events:
+        deck += [
+            CaseConfig(0, "spine4", 6, "integer_grid", "powers", events="outages"),
+            CaseConfig(0, "paths_3x2", 6, "tied", "equal", events="cancels"),
+            CaseConfig(0, "broomstick", 7, "integer_grid", "powers", events="mixed"),
+            CaseConfig(
+                0, "kary_2x2", 6, "tied", "powers",
+                policy="least-loaded", events="outages",
+            ),
+            CaseConfig(
+                0, "caterpillar", 6, "all_zero", "equal",
+                priority="fifo", events="mixed",
+            ),
+            CaseConfig(
+                0, "figure1", 8, "poisson", "pareto",
+                policy="fixed", events="cancels",
+            ),
+        ]
     count = 0
     for config in deck:
         if max_cases is not None and count >= max_cases:
@@ -338,5 +432,12 @@ def iter_cases(seed: int, max_cases: int | None = None) -> Iterator[FuzzCase]:
             speed=_choice(rng, SPEEDS, (45, 20, 15, 20)),
             priority=_choice(rng, PRIORITIES, (70, 30)),
         )
+        if events:
+            # Drawn only on the events stream: the default stream's rng
+            # sequence must stay byte-identical to the historical one.
+            config = replace(
+                config,
+                events=_choice(rng, EVENT_FAMILIES, (45, 20, 20, 15)),
+            )
         yield build_case(config)
         count += 1

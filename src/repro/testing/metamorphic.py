@@ -30,13 +30,38 @@ Soundness notes (the restrictions are load-bearing):
   priority a lower-ranked job is invisible to higher-ranked ones, so
   every other completion must be bitwise unchanged.  Dropping any
   *other* job is not predictable this way (removal anomalies are real).
+
+Dynamic events ride through the symmetries: ``relabel`` renames cancel
+targets, ``time_shift`` translates event times with the releases, and
+``scale`` passes the schedule through untouched (doubling sizes *and*
+speeds leaves the timeline bitwise identical, so absolute event times
+still land on the same instants).  ``speed_monotonicity`` additionally
+skips any case with cancels — under a cancel the relation is false even
+for FIFO: speeding the network up can complete a job *before* its
+cancel fires, resurrecting work that then delays its queue-mates.
+Outage-only schedules are safe (an outage frees no capacity and the
+completion recursion stays monotone).  Two relations exist only for
+events:
+
+* ``empty_events`` — an explicitly empty schedule must reproduce the
+  event-free run bitwise (the ``events=None`` and ``EventSchedule()``
+  code paths may not diverge);
+* ``idle_outage`` — a breakdown/repair pair appended strictly after the
+  last activity must change nothing: completions, cancellations and
+  ``alive_integral`` bitwise, ``fractional_flow`` to ``1e-9`` (the
+  run's accumulated alive-fraction dust integrates over the idle gap;
+  the same dust exists in event-free idle gaps and is not an events
+  bug).
 """
 
 from __future__ import annotations
 
+import math
+
 from repro.core.assignment import FixedAssignment
 from repro.sim.engine import simulate
 from repro.sim.speed import SpeedProfile
+from repro.workload.events import Cancel, EventSchedule, NodeDown, NodeUp
 from repro.workload.instance import Instance
 from repro.workload.job import Job, JobSet
 
@@ -51,14 +76,17 @@ def _with_jobs(instance: Instance, jobs: list[Job]) -> Instance:
     return Instance(instance.tree, JobSet(jobs), instance.setting, instance.name)
 
 
-def _rerun(case, instance, assignment, *, speeds="inherit"):
+def _rerun(case, instance, assignment, *, speeds="inherit", events="inherit"):
     if speeds == "inherit":
         speeds = case.speeds()
+    if events == "inherit":
+        events = case.events
     return simulate(
         instance,
         FixedAssignment(assignment),
         speeds=speeds,
         priority=case.priority_fn(),
+        events=events,
     )
 
 
@@ -67,7 +95,22 @@ def _compare(base, other, *, id_map=None, shift=0.0, tol=0.0, name=""):
     for jid, rec in base.records.items():
         ojid = jid if id_map is None else id_map[jid]
         orec = other.records.get(ojid)
-        if orec is None or not orec.finished:
+        if orec is None:
+            problems.append(f"{name}: job {jid} missing from transformed run")
+            continue
+        if rec.cancelled:
+            if not orec.cancelled:
+                problems.append(
+                    f"{name}: job {jid} cancelled in base but completed "
+                    f"in transformed run"
+                )
+            elif abs(orec.cancelled_at - (rec.cancelled_at + shift)) > tol:
+                problems.append(
+                    f"{name}: job {jid} expected cancellation at "
+                    f"{rec.cancelled_at + shift}, got {orec.cancelled_at}"
+                )
+            continue
+        if not orec.finished:
             problems.append(f"{name}: job {jid} missing from transformed run")
             continue
         want = rec.completion + shift
@@ -86,23 +129,40 @@ def relabel(case, base) -> list[str]:
     """Doubling every job id (order-preserving) changes nothing."""
     inst = case.instance
     jobs = [
-        Job(j.id * 2, j.release, j.size, j.leaf_sizes, j.origin) for j in inst.jobs
+        Job(j.id * 2, j.release, j.size, j.leaf_sizes, j.origin, j.size_estimate)
+        for j in inst.jobs
     ]
     assignment = {jid * 2: leaf for jid, leaf in base.assignment().items()}
-    other = _rerun(case, _with_jobs(inst, jobs), assignment)
+    events = case.events
+    if events is not None and events:
+        events = EventSchedule(
+            Cancel(ev.time, ev.job_id * 2) if isinstance(ev, Cancel) else ev
+            for ev in events
+        )
+    other = _rerun(case, _with_jobs(inst, jobs), assignment, events=events)
     return _compare(
         base, other, id_map={j: 2 * j for j in base.records}, name="relabel"
     )
 
 
 def time_shift(case, base) -> list[str]:
-    """Shifting every release by a constant shifts the schedule by it."""
+    """Shifting every release by a constant shifts the schedule by it.
+
+    Event times translate with the releases — the whole timeline moves
+    as one rigid body, breakdown windows and cancel instants included.
+    """
     inst = case.instance
     jobs = [
-        Job(j.id, j.release + _SHIFT, j.size, j.leaf_sizes, j.origin)
+        Job(j.id, j.release + _SHIFT, j.size, j.leaf_sizes, j.origin, j.size_estimate)
         for j in inst.jobs
     ]
-    other = _rerun(case, _with_jobs(inst, jobs), base.assignment())
+    events = case.events
+    if events is not None and events:
+        events = EventSchedule(
+            type(ev)(ev.time + _SHIFT, ev.job_id if isinstance(ev, Cancel) else ev.node)
+            for ev in events
+        )
+    other = _rerun(case, _with_jobs(inst, jobs), base.assignment(), events=events)
     return _compare(base, other, shift=_SHIFT, tol=_SHIFT_TOL, name="time_shift")
 
 
@@ -114,8 +174,13 @@ def scale(case, base) -> list[str]:
         leaf_sizes = None
         if j.leaf_sizes is not None:
             leaf_sizes = {v: p * 2.0 for v, p in j.leaf_sizes.items()}
-        jobs.append(Job(j.id, j.release, j.size * 2.0, leaf_sizes, j.origin))
+        estimate = None if j.size_estimate is None else j.size_estimate * 2.0
+        jobs.append(
+            Job(j.id, j.release, j.size * 2.0, leaf_sizes, j.origin, estimate)
+        )
     profile = case.speeds() or SpeedProfile.uniform(1.0)
+    # events inherit unchanged: the timeline is bitwise identical, so
+    # absolute breakdown/cancel instants keep hitting the same states.
     other = _rerun(
         case, _with_jobs(inst, jobs), base.assignment(), speeds=profile.scaled(2.0)
     )
@@ -123,8 +188,18 @@ def scale(case, base) -> list[str]:
 
 
 def speed_monotonicity(case, base) -> list[str]:
-    """FIFO only: doubling every speed never delays any completion."""
+    """FIFO only, no cancels: doubling every speed never delays any
+    completion.
+
+    A single cancel breaks the relation even under FIFO — on the fast
+    network a job can finish *before* its cancel fires, and the work it
+    then occupies the node with delays jobs the slow network ran
+    immediately.  Outages are harmless: they are absolute unavailability
+    windows and the completion recursion stays monotone through them.
+    """
     if case.config.priority != "fifo":
+        return []
+    if case.events is not None and case.events.cancel_times():
         return []
     profile = case.speeds() or SpeedProfile.uniform(1.0)
     other = _rerun(case, case.instance, base.assignment(), speeds=profile.scaled(2.0))
@@ -155,13 +230,26 @@ def drop_lowest(case, base) -> list[str]:
     assignment = {
         jid: leaf for jid, leaf in base.assignment().items() if jid != victim.id
     }
+    # The event schedule passes through as-is: a cancel naming the
+    # removed victim becomes a defined no-op, and the victim is invisible
+    # to every surviving job whether it completed or was cancelled.
     other = _rerun(case, _with_jobs(inst, jobs), assignment)
     problems = []
     for jid, rec in base.records.items():
         if jid == victim.id:
             continue
         orec = other.records.get(jid)
-        if orec is None or not orec.finished:
+        if orec is None:
+            problems.append(f"drop_lowest: job {jid} missing")
+            continue
+        if rec.cancelled:
+            if not orec.cancelled or orec.cancelled_at != rec.cancelled_at:
+                problems.append(
+                    f"drop_lowest: job {jid} cancellation moved after "
+                    f"removing unrelated job {victim.id}"
+                )
+            continue
+        if not orec.finished:
             problems.append(f"drop_lowest: job {jid} missing")
             continue
         if orec.completion != rec.completion:
@@ -169,6 +257,75 @@ def drop_lowest(case, base) -> list[str]:
                 f"drop_lowest: job {jid} moved {rec.completion} -> "
                 f"{orec.completion} after removing unrelated job {victim.id}"
             )
+    return problems
+
+
+def empty_events(case, base) -> list[str]:
+    """An explicitly empty schedule reproduces the event-free run
+    bitwise.
+
+    Only meaningful on event-free cases: the ``events=None`` fast path
+    and the ``EventSchedule()`` path share the engine loop but take
+    different branches at construction, and this pins them together —
+    the acceptance criterion that event-free runs stay bit-exact against
+    the pre-events engine rides on exactly this equivalence.
+    """
+    if case.events is not None and case.events:
+        return []
+    other = _rerun(
+        case, case.instance, base.assignment(), events=EventSchedule()
+    )
+    problems = _compare(base, other, name="empty_events")
+    if other.fractional_flow != base.fractional_flow:
+        problems.append(
+            f"empty_events: fractional_flow moved "
+            f"{base.fractional_flow!r} -> {other.fractional_flow!r}"
+        )
+    if other.alive_integral != base.alive_integral:
+        problems.append(
+            f"empty_events: alive_integral moved "
+            f"{base.alive_integral!r} -> {other.alive_integral!r}"
+        )
+    return problems
+
+
+def idle_outage(case, base) -> list[str]:
+    """A breakdown/repair pair strictly after the last activity is a
+    no-op.
+
+    The outage lands ``16`` time units past both the base run's last
+    terminal instant and the last scheduled event, on the smallest
+    non-root node; nothing is queued anywhere, so completions and
+    cancellations must be bitwise unchanged.  ``fractional_flow`` is
+    compared to ``1e-9`` rather than bitwise: integrating the run's
+    residual alive-fraction dust (~1e-15, present in event-free idle
+    gaps too) over the gap to the outage perturbs the last few ulps.
+    """
+    tree = case.instance.tree
+    nodes = [v for v in tree.node_ids if v != tree.root]
+    if not nodes:
+        return []
+    last = 0.0
+    for rec in base.records.values():
+        last = max(last, rec.cancelled_at if rec.cancelled else rec.completion)
+    if case.events is not None:
+        for ev in case.events:
+            last = max(last, ev.time)
+    t0 = last + 16.0
+    node = min(nodes)
+    extra = list(case.events) if case.events is not None else []
+    extra += [NodeDown(t0, node), NodeUp(t0 + 1.0, node)]
+    other = _rerun(
+        case, case.instance, base.assignment(), events=EventSchedule(extra)
+    )
+    problems = _compare(base, other, name="idle_outage")
+    if not math.isclose(
+        other.fractional_flow, base.fractional_flow, rel_tol=1e-9, abs_tol=1e-9
+    ):
+        problems.append(
+            f"idle_outage: fractional_flow moved "
+            f"{base.fractional_flow!r} -> {other.fractional_flow!r}"
+        )
     return problems
 
 
@@ -180,6 +337,8 @@ RELATIONS = {
     "scale": scale,
     "speed_monotonicity": speed_monotonicity,
     "drop_lowest": drop_lowest,
+    "empty_events": empty_events,
+    "idle_outage": idle_outage,
 }
 
 

@@ -10,6 +10,12 @@ strong evidence that the engine's event algebra (settling, versioned
 events, preemption, the zero-remaining drain rule) implements the model
 and not an artefact of its own bookkeeping.
 
+Dynamic events take the same brute-force form: a ``down`` set of nodes
+toggled by the schedule's breakdown/repair times (a down node simply
+serves nobody that tick), and cancellations that drop a released job on
+the tick its cancel time passes.  No shared event algebra with the
+engine — which is the point.
+
 Because its error accumulates ~``dt`` per node transition it sits in
 the middle of the oracle hierarchy (``docs/testing.md``): coarser than
 :mod:`repro.testing.exact` but structurally the most alien to the
@@ -19,6 +25,7 @@ engine, which is exactly what makes its agreement meaningful.
 from __future__ import annotations
 
 from repro.sim.speed import SpeedProfile
+from repro.workload.events import Cancel, EventSchedule, NodeDown
 from repro.workload.instance import Instance
 
 __all__ = ["reference_simulate", "assert_engine_matches_reference"]
@@ -31,13 +38,17 @@ def reference_simulate(
     *,
     speeds: SpeedProfile | None = None,
     max_time: float = 10_000.0,
+    events: EventSchedule | None = None,
 ) -> dict[int, float]:
     """Fixed-step reference: returns ``job id -> completion time``.
 
     At each tick every node independently serves the highest-priority
     ``(p, release, id)`` job currently resident, removing ``speed * dt``
     work; a job moves on the tick its remaining hits zero.  ``speeds``
-    defaults to unit speed everywhere (the historical behaviour).
+    defaults to unit speed everywhere (the historical behaviour).  With
+    an ``events`` schedule, down nodes serve nobody until their repair
+    tick and cancelled jobs vanish on the tick their cancel time passes;
+    cancelled jobs are absent from the returned completions.
     """
     tree = instance.tree
     jobs = list(instance.jobs)
@@ -52,20 +63,51 @@ def reference_simulate(
             "idx": -1,  # not yet released
             "rem": 0.0,
         }
+    if events is not None and events:
+        # Cancels at or before release (or of unknown jobs) are defined
+        # no-ops and never fire here.
+        cancel_times = {
+            jid: c
+            for jid, c in events.cancel_times().items()
+            if jid in state and c > state[jid]["job"].release
+        }
+        toggles = [e for e in events.events if not isinstance(e, Cancel)]
+    else:
+        cancel_times = {}
+        toggles = []
+    down: set[int] = set()
+    ti, tn = 0, len(toggles)
+    cancelled: set[int] = set()
     completions: dict[int, float] = {}
     t = 0.0
-    while len(completions) < len(jobs) and t < max_time:
+    while len(completions) + len(cancelled) < len(jobs) and t < max_time:
         # admit
         for s in state.values():
             if s["idx"] == -1 and s["job"].release <= t + 1e-12:
                 s["idx"] = 0
                 s["rem"] = instance.processing_time(s["job"], s["path"][0])
+        # apply dynamic events due this tick (breakdown/repair toggles
+        # are pre-sorted; alternation is validated at schedule build)
+        while ti < tn and toggles[ti].time <= t + 1e-12:
+            ev = toggles[ti]
+            if isinstance(ev, NodeDown):
+                down.add(ev.node)
+            else:
+                down.discard(ev.node)
+            ti += 1
+        for jid, c in list(cancel_times.items()):
+            if c <= t + 1e-12 and state[jid]["idx"] >= 0:
+                if jid not in completions:
+                    cancelled.add(jid)
+                del cancel_times[jid]
         # pick the active job per node (fresh each tick)
         active: dict[int, dict] = {}
         for s in state.values():
-            if s["idx"] < 0 or s["job"].id in completions:
+            if s["idx"] < 0 or s["job"].id in completions or s["job"].id in cancelled:
                 continue
             node = s["path"][s["idx"]]
+            if node in down:
+                continue
             p = instance.processing_time(s["job"], node)
             key = (p, s["job"].release, s["job"].id)
             if node not in active or key < active[node]["key"]:
@@ -92,26 +134,52 @@ def assert_engine_matches_reference(
     dt: float = 0.002,
     *,
     speeds: SpeedProfile | None = None,
+    events: EventSchedule | None = None,
 ) -> None:
     """Run both simulators and raise ``AssertionError`` on disagreement.
 
     The tolerance scales with ``dt`` times the path length (the
     reference's error accumulates roughly one tick per node transition)
-    and with the fastest node speed.
+    and with the fastest node speed; each dynamic event can add one more
+    tick of slack (outage edges land on tick boundaries).  A job the two
+    sides disagree about terminally (engine finished, reference
+    cancelled or vice versa) is accepted only when the engine's terminal
+    instant sits within tolerance of the cancel time — the genuine
+    near-tie a fixed step cannot resolve.
     """
     from repro.core.assignment import FixedAssignment
     from repro.sim.engine import simulate
 
-    engine = simulate(instance, FixedAssignment(assignment), speeds=speeds)
-    reference = reference_simulate(instance, assignment, dt=dt, speeds=speeds)
-    assert set(reference) == set(engine.records)
+    engine = simulate(
+        instance, FixedAssignment(assignment), speeds=speeds, events=events
+    )
+    reference = reference_simulate(
+        instance, assignment, dt=dt, speeds=speeds, events=events
+    )
     profile = speeds or SpeedProfile.uniform(1.0)
     top_speed = max(profile.speeds_for(instance.tree).values())
+    n_events = len(events) if events is not None else 0
+    cancel_times = events.cancel_times() if events is not None else {}
     for jid, rec in engine.records.items():
-        # Reference error accumulates ~dt per node transition.
-        tol = dt * (len(rec.path) + 4) * max(1.0, top_speed) + 1e-9
-        if abs(reference[jid] - rec.completion) > tol:
+        tol = dt * (len(rec.path) + 4 + n_events) * max(1.0, top_speed) + 1e-9
+        ref_done = reference.get(jid)
+        if rec.cancelled:
+            if ref_done is not None and abs(ref_done - rec.cancelled_at) > tol:
+                raise AssertionError(
+                    f"job {jid}: engine cancelled at {rec.cancelled_at}, "
+                    f"reference completed at {ref_done} (tol {tol})"
+                )
+            continue
+        if ref_done is None:
+            c = cancel_times.get(jid)
+            if c is None or abs(rec.completion - c) > tol:
+                raise AssertionError(
+                    f"job {jid}: engine completed at {rec.completion}, "
+                    f"reference never completed it"
+                )
+            continue
+        if abs(ref_done - rec.completion) > tol:
             raise AssertionError(
-                f"job {jid}: engine {rec.completion}, reference {reference[jid]} "
+                f"job {jid}: engine {rec.completion}, reference {ref_done} "
                 f"(tol {tol})"
             )

@@ -4,13 +4,21 @@
 and a predicate ("does this candidate still fail the same way?") and
 greedily applies reduction passes until none makes progress:
 
-1. **drop jobs** — remove the first/second half of the job list, then
+1. **drop events** — the whole dynamic-event schedule, then each
+   outage interval and each cancel individually (a repro that fails
+   without events is a plain engine bug, not an events bug);
+2. **drop jobs** — remove the first/second half of the job list, then
    individual jobs, lowest id first;
-2. **prune subtrees** — delete whole root-child subtrees the failing
+3. **prune subtrees** — delete whole root-child subtrees the failing
    behaviour does not need (re-keying unrelated leaf maps, rejecting
    candidates whose fixed assignment points into the pruned region);
-3. **simplify releases** — all to zero, then halved (rounded);
-4. **simplify sizes** — all to 1.0, then halved toward 1.0 (rounded).
+4. **simplify releases** — all to zero, then halved (rounded);
+5. **simplify sizes** — all to 1.0, then halved toward 1.0 (rounded).
+
+Every structural pass keeps the event schedule consistent with the
+candidate: cancels of dropped jobs and outages of pruned nodes are
+filtered out (both edges of an interval drop together, so the
+alternation invariant survives by construction).
 
 Everything is RNG-free and the passes run in a fixed order, so for a
 fixed predicate the result is a pure function of the input case —
@@ -32,6 +40,7 @@ from typing import Callable, Iterable
 from repro.exceptions import TreeSchedError
 from repro.network.tree import TreeNetwork
 from repro.testing.generate import FuzzCase
+from repro.workload.events import Cancel, EventSchedule, NodeDown, NodeUp
 from repro.workload.instance import Instance
 from repro.workload.job import Job, JobSet
 
@@ -57,6 +66,10 @@ class ShrinkResult:
     def n_jobs(self) -> int:
         return len(self.case.instance.jobs)
 
+    @property
+    def n_events(self) -> int:
+        return len(self.case.events) if self.case.events is not None else 0
+
 
 def _rebuild(
     case: FuzzCase,
@@ -78,14 +91,66 @@ def _rebuild(
         )
     except TreeSchedError:
         return None
+    kept = {j.id for j in jobs}
     fixed = case.fixed_assignment
     if fixed is not None:
-        kept = {j.id for j in jobs}
         fixed = {jid: leaf for jid, leaf in fixed.items() if jid in kept}
         leaves = set(candidate_inst.tree.leaves)
         if any(leaf not in leaves for leaf in fixed.values()):
             return None
-    return replace(case, instance=candidate_inst, fixed_assignment=fixed, shrunk=True)
+    sched = case.events
+    if sched is not None and sched:
+        nodes = set(candidate_inst.tree.node_ids)
+        filtered = []
+        for ev in sched.events:
+            if isinstance(ev, Cancel):
+                if ev.job_id in kept:
+                    filtered.append(ev)
+            elif ev.node in nodes:
+                filtered.append(ev)
+        sched = EventSchedule(filtered) if filtered else None
+    return replace(
+        case,
+        instance=candidate_inst,
+        fixed_assignment=fixed,
+        shrunk=True,
+        events=sched,
+    )
+
+
+def _schedule_of(intervals, cancels) -> EventSchedule | None:
+    evs: list = []
+    for node, lo, hi in intervals:
+        evs.append(NodeDown(lo, node))
+        evs.append(NodeUp(hi, node))
+    for jid, t in cancels:
+        evs.append(Cancel(t, jid))
+    return EventSchedule(evs) if evs else None
+
+
+def _drop_events(case: FuzzCase):
+    sched = case.events
+    if sched is None or not sched:
+        return
+    yield replace(case, events=None, shrunk=True)
+    intervals = [
+        (node, lo, hi)
+        for node, ivs in sorted(sched.down_intervals().items())
+        for lo, hi in ivs
+    ]
+    cancels = sorted(sched.cancel_times().items())
+    for k in range(len(intervals)):
+        yield replace(
+            case,
+            events=_schedule_of(intervals[:k] + intervals[k + 1 :], cancels),
+            shrunk=True,
+        )
+    for k in range(len(cancels)):
+        yield replace(
+            case,
+            events=_schedule_of(intervals, cancels[:k] + cancels[k + 1 :]),
+            shrunk=True,
+        )
 
 
 def _drop_jobs(case: FuzzCase):
@@ -131,10 +196,21 @@ def _simplify_releases(case: FuzzCase):
     jobs = list(case.instance.jobs)
     if any(j.release != 0.0 for j in jobs):
         yield _rebuild(
-            case, (Job(j.id, 0.0, j.size, j.leaf_sizes, j.origin) for j in jobs)
+            case,
+            (
+                Job(j.id, 0.0, j.size, j.leaf_sizes, j.origin, j.size_estimate)
+                for j in jobs
+            ),
         )
         halved = [
-            Job(j.id, round(j.release / 2.0, _GRAIN), j.size, j.leaf_sizes, j.origin)
+            Job(
+                j.id,
+                round(j.release / 2.0, _GRAIN),
+                j.size,
+                j.leaf_sizes,
+                j.origin,
+                j.size_estimate,
+            )
             for j in jobs
         ]
         if any(
@@ -156,7 +232,9 @@ def _simplify_sizes(case: FuzzCase):
             if j.leaf_sizes is not None:
                 leaf_sizes = {v: (p if p == float("inf") else 1.0)
                               for v, p in j.leaf_sizes.items()}
-            unit.append(Job(j.id, j.release, 1.0, leaf_sizes, j.origin))
+            unit.append(
+                Job(j.id, j.release, 1.0, leaf_sizes, j.origin, j.size_estimate)
+            )
         yield _rebuild(case, unit)
         halved = []
         for j in jobs:
@@ -167,13 +245,26 @@ def _simplify_sizes(case: FuzzCase):
                     for v, p in j.leaf_sizes.items()
                 }
             halved.append(
-                Job(j.id, j.release, _toward_one(j.size), leaf_sizes, j.origin)
+                Job(
+                    j.id,
+                    j.release,
+                    _toward_one(j.size),
+                    leaf_sizes,
+                    j.origin,
+                    j.size_estimate,
+                )
             )
         if any(abs(a.size - b.size) > _PROGRESS for a, b in zip(halved, jobs)):
             yield _rebuild(case, halved)
 
 
-_PASSES = (_drop_jobs, _prune_subtrees, _simplify_releases, _simplify_sizes)
+_PASSES = (
+    _drop_events,
+    _drop_jobs,
+    _prune_subtrees,
+    _simplify_releases,
+    _simplify_sizes,
+)
 
 
 def shrink_case(

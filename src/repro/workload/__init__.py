@@ -8,6 +8,7 @@ stress points of the proofs: congestion at the root-adjacent routers
 machine affinities in the unrelated-endpoint setting (Theorem 2).
 """
 
+from repro.workload.events import Cancel, EventSchedule, NodeDown, NodeUp
 from repro.workload.job import Job, JobSet
 from repro.workload.arrivals import (
     adversarial_bursts,
@@ -44,6 +45,10 @@ from repro.workload.trace_io import instance_from_json, instance_to_json
 __all__ = [
     "Job",
     "JobSet",
+    "EventSchedule",
+    "NodeDown",
+    "NodeUp",
+    "Cancel",
     "poisson_arrivals",
     "deterministic_arrivals",
     "batch_arrivals",

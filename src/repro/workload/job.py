@@ -48,6 +48,14 @@ class Job:
         its origin and must be assigned to a leaf of the origin's
         subtree.  Validated against the tree by
         :class:`~repro.workload.instance.Instance`.
+    size_estimate:
+        ``None`` (the default) means the size is known at release — the
+        paper's model.  A positive float marks a *partial-information*
+        job: assignment policies see only this estimate (the engine
+        masks ``size`` before ``policy.assign``); the true ``size``
+        still drives processing and node priorities, and is revealed at
+        completion (the ``reveal`` trace event).  Identical setting
+        only — estimates cannot be combined with ``leaf_sizes``.
     """
 
     id: int
@@ -55,6 +63,7 @@ class Job:
     size: float
     leaf_sizes: Mapping[int, float] | None = field(default=None)
     origin: int | None = field(default=None)
+    size_estimate: float | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.id < 0:
@@ -86,6 +95,17 @@ class Job:
             raise WorkloadError(
                 f"job {self.id}: origin must be a node id >= 0, got {self.origin}"
             )
+        if self.size_estimate is not None:
+            if self.leaf_sizes is not None:
+                raise WorkloadError(
+                    f"job {self.id}: size_estimate requires the identical "
+                    "setting (cannot combine with leaf_sizes)"
+                )
+            if not math.isfinite(self.size_estimate) or self.size_estimate <= 0:
+                raise WorkloadError(
+                    f"job {self.id}: size_estimate must be finite and > 0, "
+                    f"got {self.size_estimate}"
+                )
 
     @property
     def is_unrelated(self) -> bool:
@@ -105,7 +125,26 @@ class Job:
 
     def with_leaf_sizes(self, leaf_sizes: Mapping[int, float] | None) -> "Job":
         """A copy of this job with a different per-leaf mapping."""
-        return Job(self.id, self.release, self.size, leaf_sizes, self.origin)
+        return Job(
+            self.id, self.release, self.size, leaf_sizes, self.origin,
+            self.size_estimate,
+        )
+
+    @property
+    def policy_size(self) -> float:
+        """The size an assignment policy is allowed to read: the
+        estimate when one is set, else the true size."""
+        return self.size if self.size_estimate is None else self.size_estimate
+
+    def masked(self) -> "Job":
+        """The policy-facing view of this job: ``size`` replaced by the
+        estimate.  Identity when no estimate is set."""
+        if self.size_estimate is None:
+            return self
+        return Job(
+            self.id, self.release, self.size_estimate, None, self.origin,
+            self.size_estimate,
+        )
 
 
 class JobSet:
@@ -182,12 +221,14 @@ class JobSet:
         sizes: Sequence[float],
         leaf_size_rows: Sequence[Mapping[int, float] | None] | None = None,
         origins: Sequence[int | None] | None = None,
+        size_estimates: Sequence[float | None] | None = None,
     ) -> "JobSet":
         """Assemble a job set from parallel arrays.
 
         ``leaf_size_rows`` may be ``None`` (identical setting) or one
-        mapping (or ``None``) per job; ``origins`` likewise (``None``
-        entries mean the root).
+        mapping (or ``None``) per job; ``origins`` and
+        ``size_estimates`` likewise (``None`` entries mean root origin /
+        fully-known size).
         """
         if len(releases) != len(sizes):
             raise WorkloadError(
@@ -203,6 +244,11 @@ class JobSet:
                 f"origins ({len(origins)}) and releases ({len(releases)}) "
                 "differ in length"
             )
+        if size_estimates is not None and len(size_estimates) != len(releases):
+            raise WorkloadError(
+                f"size_estimates ({len(size_estimates)}) and releases "
+                f"({len(releases)}) differ in length"
+            )
         jobs = [
             Job(
                 id=i,
@@ -210,6 +256,11 @@ class JobSet:
                 size=float(sizes[i]),
                 leaf_sizes=None if leaf_size_rows is None else leaf_size_rows[i],
                 origin=None if origins is None else origins[i],
+                size_estimate=(
+                    None
+                    if size_estimates is None or size_estimates[i] is None
+                    else float(size_estimates[i])
+                ),
             )
             for i in range(len(releases))
         ]

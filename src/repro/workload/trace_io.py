@@ -53,6 +53,13 @@ def instance_to_json(instance: Instance) -> str:
                         for v, p in job.leaf_sizes.items()
                     }
                 ),
+                # Optional key: omitted for fully-known sizes so legacy
+                # documents and new ones stay byte-identical there.
+                **(
+                    {}
+                    if job.size_estimate is None
+                    else {"size_estimate": job.size_estimate}
+                ),
             }
             for job in instance.jobs
         ],
@@ -92,6 +99,7 @@ def instance_from_json(text: str) -> Instance:
                 for v, p in leaf_sizes.items()
             }
         origin = row.get("origin")
+        estimate = row.get("size_estimate")
         jobs.append(
             Job(
                 id=int(row["id"]),
@@ -99,6 +107,7 @@ def instance_from_json(text: str) -> Instance:
                 size=float(row["size"]),
                 leaf_sizes=parsed,
                 origin=None if origin is None else int(origin),
+                size_estimate=None if estimate is None else float(estimate),
             )
         )
     return Instance(

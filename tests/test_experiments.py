@@ -21,7 +21,7 @@ EXPECTED_IDS = {
     "T1", "T2", "T3", "T4", "T5",
     "L1", "L2", "L3", "L4", "L8",
     "D1", "B1", "B2", "F1", "F2", "S1",
-    "X1", "X2", "X3", "X4", "M1",
+    "X1", "X2", "X3", "X4", "X5", "M1",
 }
 
 #: Reduced-size parameters per experiment (defaults already small for some).
@@ -46,6 +46,7 @@ QUICK_PARAMS: dict[str, dict] = {
     "X2": {"n": 40},
     "X3": {"n": 40, "multipliers": (0.0, 1.0, 64.0)},
     "X4": {"n": 25},
+    "X5": {"n": 35},
     "M1": {"n": 30, "speeds": (1.0, 1.5)},
 }
 

@@ -1,0 +1,112 @@
+"""End-to-end proof the events fuzz stream catches a dynamic-events bug.
+
+The injected bug breaks :meth:`Engine._handle_node_down`: the handler
+settles the interrupted run but "forgets" the version bump that
+invalidates the node's pending completion event.  The stale event then
+restarts the node mid-outage, so work completes while the node is down —
+exactly the class of bug the outage families of ``repro fuzz --events``
+exist to catch.  The fuzzer must (a) catch it within the default budget
+at seed 0, (b) shrink the witness to a handful of jobs AND events,
+(c) persist it to the corpus, and (d) replay it: reproducing while the
+bug is present, clean once the handler is restored.
+
+The event-free stream cannot see this bug (no outages, no down
+handler), which doubles as proof that the ``--events`` flag is what
+buys the coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.testing import replay, run_fuzz
+
+MAX_CASES = 500
+SHRUNK_JOB_CEILING = 6
+SHRUNK_EVENT_CEILING = 3
+
+
+def _broken_handle_node_down(self, node: int) -> None:
+    """The real handler minus the version bump: the stale completion
+    event keeps serving the node through the outage."""
+    ns = self._nodes[node]
+    self._settle(ns)
+    self._drain_finished_top(ns)
+    ns.down = True
+    self._down.add(node)
+    if self._tracer is not None:
+        self._tracer.on_node_down(self.now, node)
+
+
+@pytest.fixture
+def broken_node_down(monkeypatch):
+    monkeypatch.setattr(
+        Engine, "_handle_node_down", _broken_handle_node_down
+    )
+
+
+@pytest.mark.slow
+def test_injected_node_down_bug_is_caught_shrunk_and_replayable(
+    broken_node_down, tmp_path, monkeypatch
+):
+    corpus = tmp_path / "corpus"
+    summary = run_fuzz(
+        seed=0, max_cases=MAX_CASES, corpus_dir=corpus, events=True
+    )
+
+    assert not summary.ok, (
+        f"events fuzzer missed the injected node_down bug in "
+        f"{MAX_CASES} cases"
+    )
+
+    best = min(
+        summary.failures,
+        key=lambda rec: (rec.n_jobs_shrunk, rec.n_events_shrunk),
+    )
+    assert best.n_jobs_shrunk <= SHRUNK_JOB_CEILING, (
+        f"witness only shrank to {best.n_jobs_shrunk} jobs"
+    )
+    assert best.n_events_shrunk <= SHRUNK_EVENT_CEILING, (
+        f"witness kept {best.n_events_shrunk} events"
+    )
+    assert best.n_events_shrunk >= 1, (
+        "an event-free witness cannot exercise the node_down handler"
+    )
+    for rec in summary.failures:
+        assert rec.path is not None
+        assert (corpus / f"{rec.digest}.json").exists()
+        assert rec.failing_checks, rec
+
+    # With the bug still present the repro reproduces...
+    report = replay(best.digest, corpus)
+    assert report.reproduced
+    assert set(report.failing_checks) & set(best.failing_checks)
+
+    # ...and with the handler restored, it is clean: the corpus entry
+    # now documents a fixed bug.
+    monkeypatch.undo()
+    report = replay(best.digest, corpus)
+    assert not report.reproduced
+
+
+def test_event_free_stream_is_blind_to_the_bug(broken_node_down, tmp_path):
+    """Without ``events=True`` no outage is ever generated, so the
+    broken handler never runs — the coverage is bought by the flag."""
+    summary = run_fuzz(
+        seed=0, max_cases=60, corpus_dir=tmp_path / "corpus", shrink=False
+    )
+    assert summary.ok
+
+
+def test_broken_node_down_caught_quickly(broken_node_down, tmp_path):
+    """A cheaper smoke version: the deterministic outage deck entries
+    mean the bug cannot hide even in a short run."""
+    summary = run_fuzz(
+        seed=0,
+        max_cases=60,
+        corpus_dir=tmp_path / "corpus",
+        shrink=False,
+        events=True,
+    )
+    assert not summary.ok
